@@ -1,0 +1,26 @@
+//! E1 bench: cost of the drift simulation (manual vs generated flows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtuml_verify::drift::{simulate_generated_flow, simulate_manual_flow, DriftConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_interface_drift");
+    for steps in [50usize, 200, 800] {
+        let cfg = DriftConfig {
+            steps,
+            miss_probability: 0.1,
+            seed: 7,
+        };
+        g.bench_with_input(BenchmarkId::new("manual", steps), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_manual_flow(cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("generated", steps), &cfg, |b, cfg| {
+            b.iter(|| black_box(simulate_generated_flow(cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E2 bench: full repartition cycle — re-mark, recompile, re-verify.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtuml_bench::workloads::pipeline_domain;
+use xtuml_core::marks::MarkSet;
+use xtuml_verify::{verify_partition, TestCase};
+
+fn bench(c: &mut Criterion) {
+    let domain = pipeline_domain(4).unwrap();
+    let tc = TestCase::pipeline(4, 3);
+    let mut g = c.benchmark_group("e2_repartition");
+    g.sample_size(20);
+    g.bench_function("remark_recompile_verify", |b| {
+        let mut mask = 0u32;
+        b.iter(|| {
+            mask = (mask + 1) % 16;
+            let mut marks = MarkSet::new();
+            for k in 0..4 {
+                if mask & (1 << k) != 0 {
+                    marks.mark_hardware(&format!("Stage{k}"));
+                }
+            }
+            let report = verify_partition(&domain, &marks, &tc).unwrap();
+            assert!(report.is_equivalent());
+            black_box(report)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E3 bench: abstract-model interpreter event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xtuml_bench::workloads::pipeline_domain;
+use xtuml_core::value::Value;
+use xtuml_exec::Simulation;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_interpreter");
+    for stages in [2usize, 8, 32] {
+        let feeds = 64u64;
+        let domain = pipeline_domain(stages).unwrap();
+        // Dispatches = feeds * stages.
+        g.throughput(Throughput::Elements(feeds * stages as u64));
+        g.bench_with_input(BenchmarkId::new("pipeline", stages), &domain, |b, d| {
+            b.iter(|| {
+                let mut sim = Simulation::new(d);
+                let insts: Vec<_> = (0..stages)
+                    .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+                    .collect();
+                for k in 0..stages - 1 {
+                    sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+                        .unwrap();
+                }
+                for i in 0..feeds {
+                    sim.inject(i, insts[0], "Feed", vec![Value::Int(0)])
+                        .unwrap();
+                }
+                black_box(sim.run_to_quiescence().unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 bench: co-simulation cost vs hardware fraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtuml_bench::workloads::pipeline_domain;
+use xtuml_core::marks::MarkSet;
+use xtuml_mda::ModelCompiler;
+use xtuml_verify::{run_compiled, TestCase};
+
+fn bench(c: &mut Criterion) {
+    let stages = 4usize;
+    let domain = pipeline_domain(stages).unwrap();
+    let tc = TestCase::pipeline(stages, 4);
+    let mut g = c.benchmark_group("e4_cosim");
+    g.sample_size(20);
+    for hw in [0usize, 2, 4] {
+        let mut marks = MarkSet::new();
+        for k in 0..hw {
+            marks.mark_hardware(&format!("Stage{k}"));
+        }
+        let design = ModelCompiler::new().compile(&domain, &marks).unwrap();
+        g.bench_with_input(BenchmarkId::new("hw_stages", hw), &design, |b, design| {
+            b.iter(|| black_box(run_compiled(design, &tc).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E5 bench: interleaving sweep with causality checking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtuml_bench::experiments::e5_causality;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_causality");
+    g.sample_size(10);
+    g.bench_function("sweep_8_seeds_burst_40", |b| {
+        b.iter(|| black_box(e5_causality(8, 40)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E6 bench: model-compilation (partition + interface + C + VHDL) cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtuml_bench::workloads::pipeline_domain;
+use xtuml_core::marks::MarkSet;
+use xtuml_mda::ModelCompiler;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_codegen");
+    for stages in [4usize, 16, 64] {
+        let domain = pipeline_domain(stages).unwrap();
+        let mut marks = MarkSet::new();
+        for k in 0..stages / 2 {
+            marks.mark_hardware(&format!("Stage{}", 2 * k + 1));
+        }
+        g.bench_with_input(
+            BenchmarkId::new("compile", stages),
+            &(domain, marks),
+            |b, (d, m)| b.iter(|| black_box(ModelCompiler::new().compile(d, m).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

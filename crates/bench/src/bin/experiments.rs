@@ -1,0 +1,21 @@
+//! Regenerates every experiment table recorded in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p xtuml-bench --release --bin experiments
+//! ```
+
+use xtuml_bench::experiments;
+
+fn main() {
+    println!("# xtuml experiment tables (E1–E6)\n");
+    println!(
+        "{}",
+        experiments::e1_interface_drift(100, &[0.02, 0.05, 0.10, 0.25], 16)
+    );
+    println!("{}", experiments::e2_repartition(4, 4));
+    println!("{}", experiments::e3_interpreter(&[2, 4, 8, 16, 32], 200));
+    println!("{}", experiments::e3_families(8, 50));
+    println!("{}", experiments::e4_cosim(4, 6, &[1, 4, 16]));
+    println!("{}", experiments::e5_causality(32, 50));
+    println!("{}", experiments::e6_codegen(&[2, 4, 8, 16, 32]));
+}

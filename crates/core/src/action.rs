@@ -1,0 +1,675 @@
+//! Abstract syntax of the action language.
+//!
+//! The paper (§2) requires that "on receipt of a signal, a state machine
+//! executes a set of actions that runs to completion before the next signal
+//! is processed". This module defines those actions: a small, OAL-inspired
+//! statement language over the [`crate::value::Value`] system —
+//! assignment, instance creation/deletion, instance selection, association
+//! navigation, relating/unrelating, **signal generation** (including
+//! delayed/timer signals), and structured control flow.
+//!
+//! The AST is name-based; resolution against a [`Domain`](crate::model::Domain)
+//! happens in the type checker ([`crate::typeck`]) and at interpretation
+//! time ([`crate::interp`]). Every node pretty-prints via [`std::fmt::Display`]
+//! to concrete syntax that the parser ([`crate::parse`]) accepts again —
+//! property tests rely on that round trip.
+
+use crate::error::Pos;
+use crate::value::{BinOp, UnOp, Value};
+use std::fmt;
+
+/// An expression of the action language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A local variable reference.
+    Var(String),
+    /// The instance executing the action (`self`).
+    SelfRef,
+    /// The placeholder for the candidate instance in a `where` clause
+    /// (`selected`).
+    Selected,
+    /// A parameter of the received event (`rcvd.<name>`).
+    Param(String),
+    /// Attribute read: `<base>.<attr>`.
+    Attr(Box<Expr>, String),
+    /// Association navigation: `<base> -> Class[Rk]`; yields a `Set`.
+    Nav(Box<Expr>, String, String),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Bridge (external-entity) function call: `ACTOR::func(args)`.
+    BridgeCall(String, String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Integer literal shortcut.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// Boolean literal shortcut.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Lit(Value::Bool(v))
+    }
+
+    /// String literal shortcut.
+    pub fn str(v: &str) -> Expr {
+        Expr::Lit(Value::from(v))
+    }
+
+    /// Variable reference shortcut.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// `self.<attr>` shortcut.
+    pub fn self_attr(name: &str) -> Expr {
+        Expr::Attr(Box::new(Expr::SelfRef), name.to_owned())
+    }
+
+    /// Binary operation shortcut.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+}
+
+/// The left-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A local variable (created on first assignment, function-scoped).
+    Var(String),
+    /// An attribute of an instance-valued expression: `<base>.<attr>`.
+    Attr(Expr, String),
+}
+
+/// The destination of a `generate` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenTarget {
+    /// An instance-valued expression (including `self`).
+    Inst(Expr),
+    /// An external actor, by name: the signal leaves the domain and is
+    /// *observable* — these signals form the trace compared by the
+    /// verification layer.
+    Actor(String),
+}
+
+/// A statement of the action language.
+///
+/// Equality is **position-insensitive**: two statements compare equal if
+/// they are the same code, regardless of where they were parsed from. The
+/// parser/printer round-trip property and model-equality checks depend on
+/// this.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `lhs = expr;`
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Right-hand side.
+        expr: Expr,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `v = create Class;` — creates an instance (its state machine starts
+    /// in the initial state) and binds the reference.
+    Create {
+        /// Variable bound to the new instance.
+        var: String,
+        /// Class name.
+        class: String,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `delete expr;` — deletes the referenced instance.
+    Delete {
+        /// Instance-valued expression.
+        expr: Expr,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `select any v from Class [where <cond>];` — binds an arbitrary (but
+    /// deterministic: lowest instance id) matching instance or the empty
+    /// reference.
+    SelectAny {
+        /// Variable to bind.
+        var: String,
+        /// Class name.
+        class: String,
+        /// Optional filter; `selected` refers to the candidate.
+        filter: Option<Expr>,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `select many v from Class [where <cond>];` — binds the matching set.
+    SelectMany {
+        /// Variable to bind.
+        var: String,
+        /// Class name.
+        class: String,
+        /// Optional filter; `selected` refers to the candidate.
+        filter: Option<Expr>,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `relate a to b across Rk;`
+    Relate {
+        /// One end (instance-valued).
+        a: Expr,
+        /// Other end (instance-valued).
+        b: Expr,
+        /// Association name, e.g. `R1`.
+        assoc: String,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `unrelate a from b across Rk;`
+    Unrelate {
+        /// One end (instance-valued).
+        a: Expr,
+        /// Other end (instance-valued).
+        b: Expr,
+        /// Association name, e.g. `R1`.
+        assoc: String,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `gen Ev(args) to <target> [after <delay>];`
+    ///
+    /// With `after`, the signal is scheduled `delay` time units in the
+    /// future (the timer idiom); the target must then be an instance.
+    Generate {
+        /// Event name.
+        event: String,
+        /// Event arguments, positional.
+        args: Vec<Expr>,
+        /// Destination.
+        target: GenTarget,
+        /// Optional delay expression (integer time units).
+        delay: Option<Expr>,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `cancel Ev;` — cancels any pending delayed `Ev` signal to `self`.
+    Cancel {
+        /// Event name.
+        event: String,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `if (cond) { .. } [elif (cond) { .. }]* [else { .. }]`
+    If {
+        /// `(condition, block)` pairs: the `if` arm followed by `elif` arms.
+        arms: Vec<(Expr, Block)>,
+        /// The `else` block, if present.
+        otherwise: Option<Block>,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `foreach v in <set-expr> { .. }`
+    ForEach {
+        /// Loop variable (bound to an instance reference).
+        var: String,
+        /// Set-valued expression, snapshot before iteration.
+        set: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `break;`
+    Break {
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `continue;`
+    Continue {
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// `return;` — leaves the action block early.
+    Return {
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+    /// An expression evaluated for its side effect (a bridge call):
+    /// `ACTOR::func(args);`
+    ExprStmt {
+        /// The call expression.
+        expr: Expr,
+        /// Source position for diagnostics.
+        pos: Pos,
+    },
+}
+
+impl Stmt {
+    /// The source position of this statement.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Stmt::Assign { pos, .. }
+            | Stmt::Create { pos, .. }
+            | Stmt::Delete { pos, .. }
+            | Stmt::SelectAny { pos, .. }
+            | Stmt::SelectMany { pos, .. }
+            | Stmt::Relate { pos, .. }
+            | Stmt::Unrelate { pos, .. }
+            | Stmt::Generate { pos, .. }
+            | Stmt::Cancel { pos, .. }
+            | Stmt::If { pos, .. }
+            | Stmt::While { pos, .. }
+            | Stmt::ForEach { pos, .. }
+            | Stmt::Break { pos }
+            | Stmt::Continue { pos }
+            | Stmt::Return { pos }
+            | Stmt::ExprStmt { pos, .. } => *pos,
+        }
+    }
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        use Stmt::*;
+        match (self, other) {
+            (
+                Assign {
+                    lhs: a, expr: b, ..
+                },
+                Assign {
+                    lhs: a2, expr: b2, ..
+                },
+            ) => a == a2 && b == b2,
+            (
+                Create {
+                    var: a, class: b, ..
+                },
+                Create {
+                    var: a2, class: b2, ..
+                },
+            ) => a == a2 && b == b2,
+            (Delete { expr: a, .. }, Delete { expr: a2, .. }) => a == a2,
+            (
+                SelectAny {
+                    var: a,
+                    class: b,
+                    filter: c,
+                    ..
+                },
+                SelectAny {
+                    var: a2,
+                    class: b2,
+                    filter: c2,
+                    ..
+                },
+            ) => a == a2 && b == b2 && c == c2,
+            (
+                SelectMany {
+                    var: a,
+                    class: b,
+                    filter: c,
+                    ..
+                },
+                SelectMany {
+                    var: a2,
+                    class: b2,
+                    filter: c2,
+                    ..
+                },
+            ) => a == a2 && b == b2 && c == c2,
+            (
+                Relate { a, b, assoc: r, .. },
+                Relate {
+                    a: a2,
+                    b: b2,
+                    assoc: r2,
+                    ..
+                },
+            ) => a == a2 && b == b2 && r == r2,
+            (
+                Unrelate { a, b, assoc: r, .. },
+                Unrelate {
+                    a: a2,
+                    b: b2,
+                    assoc: r2,
+                    ..
+                },
+            ) => a == a2 && b == b2 && r == r2,
+            (
+                Generate {
+                    event: e,
+                    args: a,
+                    target: t,
+                    delay: d,
+                    ..
+                },
+                Generate {
+                    event: e2,
+                    args: a2,
+                    target: t2,
+                    delay: d2,
+                    ..
+                },
+            ) => e == e2 && a == a2 && t == t2 && d == d2,
+            (Cancel { event: e, .. }, Cancel { event: e2, .. }) => e == e2,
+            (
+                If {
+                    arms: a,
+                    otherwise: o,
+                    ..
+                },
+                If {
+                    arms: a2,
+                    otherwise: o2,
+                    ..
+                },
+            ) => a == a2 && o == o2,
+            (
+                While {
+                    cond: c, body: b, ..
+                },
+                While {
+                    cond: c2, body: b2, ..
+                },
+            ) => c == c2 && b == b2,
+            (
+                ForEach {
+                    var: v,
+                    set: s,
+                    body: b,
+                    ..
+                },
+                ForEach {
+                    var: v2,
+                    set: s2,
+                    body: b2,
+                    ..
+                },
+            ) => v == v2 && s == s2 && b == b2,
+            (Break { .. }, Break { .. }) => true,
+            (Continue { .. }, Continue { .. }) => true,
+            (Return { .. }, Return { .. }) => true,
+            (ExprStmt { expr: e, .. }, ExprStmt { expr: e2, .. }) => e == e2,
+            _ => false,
+        }
+    }
+}
+
+/// A sequence of statements — the body of a state's entry action.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in execution order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Block {
+        Block::default()
+    }
+
+    /// Total number of statements, counting nested blocks — used by the
+    /// substrates' cycle-cost models and by codegen size metrics.
+    pub fn weight(&self) -> usize {
+        fn block_weight(b: &Block) -> usize {
+            b.stmts.iter().map(stmt_weight).sum()
+        }
+        fn stmt_weight(s: &Stmt) -> usize {
+            match s {
+                Stmt::If {
+                    arms, otherwise, ..
+                } => {
+                    1 + arms.iter().map(|(_, b)| block_weight(b)).sum::<usize>()
+                        + otherwise.as_ref().map_or(0, block_weight)
+                }
+                Stmt::While { body, .. } | Stmt::ForEach { body, .. } => 1 + block_weight(body),
+                _ => 1,
+            }
+        }
+        block_weight(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printing (concrete syntax accepted by `crate::parse`)
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => match v {
+                Value::Str(s) => write!(f, "{s:?}"),
+                Value::Real(r) if r.fract() == 0.0 && r.is_finite() => write!(f, "{r:.1}"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::SelfRef => write!(f, "self"),
+            Expr::Selected => write!(f, "selected"),
+            Expr::Param(n) => write!(f, "rcvd.{n}"),
+            Expr::Attr(b, n) => write!(f, "{}.{n}", paren(b)),
+            Expr::Nav(b, class, assoc) => write!(f, "{} -> {class}[{assoc}]", paren(b)),
+            Expr::Unary(op, e) => match op {
+                UnOp::Neg => write!(f, "-{}", paren(e)),
+                UnOp::Not => write!(f, "not {}", paren(e)),
+                _ => write!(f, "{op}({e})"),
+            },
+            Expr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::BridgeCall(actor, func, args) => {
+                write!(f, "{actor}::{func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Parenthesises compound sub-expressions so precedence survives printing.
+fn paren(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) | Expr::Unary(..) | Expr::Nav(..) => format!("({e})"),
+        _ => e.to_string(),
+    }
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Var(n) => write!(f, "{n}"),
+            LValue::Attr(b, n) => write!(f, "{}.{n}", paren(b)),
+        }
+    }
+}
+
+impl Block {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        for s in &self.stmts {
+            s.fmt_indented(f, indent)?;
+        }
+        Ok(())
+    }
+}
+
+impl Stmt {
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "    ".repeat(indent);
+        match self {
+            Stmt::Assign { lhs, expr, .. } => writeln!(f, "{pad}{lhs} = {expr};"),
+            Stmt::Create { var, class, .. } => writeln!(f, "{pad}{var} = create {class};"),
+            Stmt::Delete { expr, .. } => writeln!(f, "{pad}delete {expr};"),
+            Stmt::SelectAny {
+                var, class, filter, ..
+            } => match filter {
+                Some(c) => writeln!(f, "{pad}select any {var} from {class} where {c};"),
+                None => writeln!(f, "{pad}select any {var} from {class};"),
+            },
+            Stmt::SelectMany {
+                var, class, filter, ..
+            } => match filter {
+                Some(c) => writeln!(f, "{pad}select many {var} from {class} where {c};"),
+                None => writeln!(f, "{pad}select many {var} from {class};"),
+            },
+            Stmt::Relate { a, b, assoc, .. } => {
+                writeln!(f, "{pad}relate {a} to {b} across {assoc};")
+            }
+            Stmt::Unrelate { a, b, assoc, .. } => {
+                writeln!(f, "{pad}unrelate {a} from {b} across {assoc};")
+            }
+            Stmt::Generate {
+                event,
+                args,
+                target,
+                delay,
+                ..
+            } => {
+                write!(f, "{pad}gen {event}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ") to ")?;
+                match target {
+                    GenTarget::Inst(e) => write!(f, "{e}")?,
+                    GenTarget::Actor(n) => write!(f, "{n}")?,
+                }
+                if let Some(d) = delay {
+                    write!(f, " after {d}")?;
+                }
+                writeln!(f, ";")
+            }
+            Stmt::Cancel { event, .. } => writeln!(f, "{pad}cancel {event};"),
+            Stmt::If {
+                arms, otherwise, ..
+            } => {
+                for (i, (cond, block)) in arms.iter().enumerate() {
+                    let kw = if i == 0 { "if" } else { "elif" };
+                    writeln!(f, "{pad}{kw} ({cond}) {{")?;
+                    block.fmt_indented(f, indent + 1)?;
+                    write!(f, "{pad}}}")?;
+                    writeln!(f)?;
+                }
+                if let Some(b) = otherwise {
+                    writeln!(f, "{pad}else {{")?;
+                    b.fmt_indented(f, indent + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                writeln!(f, "{pad}while ({cond}) {{")?;
+                body.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::ForEach { var, set, body, .. } => {
+                writeln!(f, "{pad}foreach {var} in {set} {{")?;
+                body.fmt_indented(f, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+            Stmt::Break { .. } => writeln!(f, "{pad}break;"),
+            Stmt::Continue { .. } => writeln!(f, "{pad}continue;"),
+            Stmt::Return { .. } => writeln!(f, "{pad}return;"),
+            Stmt::ExprStmt { expr, .. } => writeln!(f, "{pad}{expr};"),
+        }
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BinOp;
+
+    #[test]
+    fn expr_display() {
+        let e = Expr::bin(BinOp::Add, Expr::self_attr("count"), Expr::int(1));
+        assert_eq!(e.to_string(), "(self.count + 1)");
+    }
+
+    #[test]
+    fn nav_display() {
+        let e = Expr::Nav(Box::new(Expr::SelfRef), "Lamp".into(), "R1".into());
+        assert_eq!(e.to_string(), "self -> Lamp[R1]");
+    }
+
+    #[test]
+    fn stmt_display() {
+        let s = Stmt::Generate {
+            event: "Tick".into(),
+            args: vec![Expr::int(3)],
+            target: GenTarget::Inst(Expr::SelfRef),
+            delay: Some(Expr::int(10)),
+            pos: Pos::UNKNOWN,
+        };
+        assert_eq!(s.to_string(), "gen Tick(3) to self after 10;\n");
+    }
+
+    #[test]
+    fn block_weight_counts_nested_statements() {
+        let inner = Block {
+            stmts: vec![
+                Stmt::Break { pos: Pos::UNKNOWN },
+                Stmt::Continue { pos: Pos::UNKNOWN },
+            ],
+        };
+        let b = Block {
+            stmts: vec![
+                Stmt::While {
+                    cond: Expr::bool(true),
+                    body: inner,
+                    pos: Pos::UNKNOWN,
+                },
+                Stmt::Return { pos: Pos::UNKNOWN },
+            ],
+        };
+        assert_eq!(b.weight(), 4);
+    }
+
+    #[test]
+    fn if_display_has_elif_and_else() {
+        let s = Stmt::If {
+            arms: vec![
+                (Expr::bool(true), Block::new()),
+                (Expr::bool(false), Block::new()),
+            ],
+            otherwise: Some(Block::new()),
+            pos: Pos::UNKNOWN,
+        };
+        let text = s.to_string();
+        assert!(text.contains("if (true)"));
+        assert!(text.contains("elif (false)"));
+        assert!(text.contains("else {"));
+    }
+
+    #[test]
+    fn real_literal_prints_with_decimal_point() {
+        // `2.0` must not print as `2` or it would reparse as an int.
+        let e = Expr::Lit(Value::Real(2.0));
+        assert_eq!(e.to_string(), "2.0");
+    }
+}

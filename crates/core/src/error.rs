@@ -1,0 +1,182 @@
+//! Error types shared across the xtUML toolchain core.
+
+use std::fmt;
+
+/// Convenience alias used throughout `xtuml-core`.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// A source position (1-based line and column) attached to diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+    /// 1-based column number; 0 means "unknown".
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub const fn new(line: u32, col: u32) -> Self {
+        Self { line, col }
+    }
+
+    /// The "unknown position" sentinel, used for programmatically built
+    /// models that never came from source text.
+    pub const UNKNOWN: Pos = Pos { line: 0, col: 0 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<builtin>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// Errors produced while building, validating, type-checking or executing
+/// an Executable UML model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A lexical error in action or model source text.
+    Lex {
+        /// Where the bad input was found.
+        pos: Pos,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A syntax error in action or model source text.
+    Parse {
+        /// Where the parser gave up.
+        pos: Pos,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A name (class, event, state, attribute, association, actor or
+    /// variable) could not be resolved.
+    Unresolved {
+        /// Element kind, e.g. `"class"`.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A name was declared twice in the same scope.
+    Duplicate {
+        /// Element kind, e.g. `"state"`.
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// A static type error in an action block.
+    Type {
+        /// Where the error occurred, if known.
+        pos: Pos,
+        /// Human-readable description of the mismatch.
+        msg: String,
+    },
+    /// A structural model-validation failure (bad transition, missing
+    /// initial state, arity mismatch, ...).
+    Validate {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A runtime error while interpreting actions (dangling instance
+    /// reference, division by zero, empty-set navigation, ...).
+    Runtime {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// An event arrived in a state with no transition declared for it.
+    ///
+    /// In Executable UML an unexpected event is a specification error
+    /// ("can't happen"), not something to silently drop.
+    CantHappen {
+        /// The class in which the violation occurred.
+        class: String,
+        /// The state the instance was in.
+        state: String,
+        /// The offending event.
+        event: String,
+    },
+}
+
+impl CoreError {
+    /// Shorthand constructor for runtime errors.
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        CoreError::Runtime { msg: msg.into() }
+    }
+
+    /// Shorthand constructor for validation errors.
+    pub fn validate(msg: impl Into<String>) -> Self {
+        CoreError::Validate { msg: msg.into() }
+    }
+
+    /// Shorthand constructor for unresolved-name errors.
+    pub fn unresolved(kind: &'static str, name: impl Into<String>) -> Self {
+        CoreError::Unresolved {
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            CoreError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            CoreError::Unresolved { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            CoreError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            CoreError::Type { pos, msg } => write!(f, "type error at {pos}: {msg}"),
+            CoreError::Validate { msg } => write!(f, "invalid model: {msg}"),
+            CoreError::Runtime { msg } => write!(f, "runtime error: {msg}"),
+            CoreError::CantHappen {
+                class,
+                state,
+                event,
+            } => write!(
+                f,
+                "can't-happen: event `{event}` received by `{class}` in state `{state}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CoreError::Lex {
+            pos: Pos::new(3, 14),
+            msg: "bad char".into(),
+        };
+        assert_eq!(e.to_string(), "lex error at 3:14: bad char");
+
+        let e = CoreError::unresolved("class", "Oven");
+        assert_eq!(e.to_string(), "unknown class `Oven`");
+
+        let e = CoreError::CantHappen {
+            class: "Oven".into(),
+            state: "Idle".into(),
+            event: "Tick".into(),
+        };
+        assert!(e.to_string().contains("can't-happen"));
+    }
+
+    #[test]
+    fn unknown_pos_displays_builtin() {
+        assert_eq!(Pos::UNKNOWN.to_string(), "<builtin>");
+        assert_eq!(Pos::new(2, 5).to_string(), "2:5");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed identifiers for model elements and runtime instances.
+//!
+//! Every index into the metamodel is a dedicated newtype (C-NEWTYPE): a
+//! [`StateId`] can never be confused with an [`EventId`] even though both
+//! are small integers. Identifiers are dense indices assigned by the
+//! [`builder`](crate::builder) in declaration order, which keeps lookup
+//! arrays flat and the whole model `Copy`-cheap to address.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index backing this id.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a [`Class`](crate::model::Class) within a domain.
+    ClassId,
+    "C"
+);
+id_type!(
+    /// Identifies an [`Attribute`](crate::model::Attribute) within a class.
+    AttrId,
+    "A"
+);
+id_type!(
+    /// Identifies an [`EventDecl`](crate::model::EventDecl) within a class
+    /// or actor.
+    EventId,
+    "E"
+);
+id_type!(
+    /// Identifies a [`State`](crate::model::State) within a state machine.
+    StateId,
+    "S"
+);
+id_type!(
+    /// Identifies an [`Association`](crate::model::Association) within a
+    /// domain.
+    AssocId,
+    "R"
+);
+id_type!(
+    /// Identifies an external [`Actor`](crate::model::Actor) (a terminator
+    /// in Shlaer-Mellor terminology) within a domain.
+    ActorId,
+    "X"
+);
+id_type!(
+    /// Identifies a live object instance at run time.
+    ///
+    /// Instance ids are assigned in creation order by whichever execution
+    /// host is running the model and are never reused, so a dangling
+    /// reference after `delete` is detectable.
+    InstId,
+    "I"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_dense_indices() {
+        let c = ClassId::new(3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(u32::from(c), 3);
+        assert_eq!(ClassId::from(3u32), c);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(ClassId::new(0).to_string(), "C0");
+        assert_eq!(StateId::new(7).to_string(), "S7");
+        assert_eq!(EventId::new(2).to_string(), "E2");
+        assert_eq!(AssocId::new(1).to_string(), "R1");
+        assert_eq!(ActorId::new(4).to_string(), "X4");
+        assert_eq!(InstId::new(9).to_string(), "I9");
+        assert_eq!(AttrId::new(5).to_string(), "A5");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        let set: BTreeSet<InstId> = [2u32, 0, 1].into_iter().map(InstId::new).collect();
+        let ordered: Vec<u32> = set.into_iter().map(u32::from).collect();
+        assert_eq!(ordered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ClassId::default(), ClassId::new(0));
+    }
+}

@@ -1,0 +1,996 @@
+//! The action-language evaluator, parameterised over an execution host.
+//!
+//! The paper's model compiler "may [implement the model] any manner it
+//! chooses so long as the defined behavior is preserved" (§4). We make the
+//! *defined behaviour* a single reusable artifact: this module evaluates
+//! action blocks against the [`ActionHost`] trait, and every execution
+//! platform in the workspace — the abstract model interpreter
+//! (`xtuml-exec`), the generated-hardware FSMs (`xtuml-mda` lowering onto
+//! `xtuml-rtl`) and the generated-software tasks (`xtuml-mda` lowering onto
+//! `xtuml-swrt`) — implements `ActionHost` over its own object store and
+//! signal transport. Behavioural equivalence across partitions then reduces
+//! to the hosts' transport semantics, which is exactly what the
+//! verification layer checks.
+
+use crate::action::{Block, Expr, GenTarget, LValue, Stmt};
+use crate::error::{CoreError, Result};
+use crate::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
+use crate::model::Domain;
+use crate::value::{apply_binop, apply_unop, Value};
+use std::collections::BTreeMap;
+
+/// The services an execution platform provides to running actions.
+///
+/// Implementations must keep instance populations **per platform
+/// partition**: a host only ever sees classes mapped to it, plus a
+/// transport (`send*`) that may cross the partition boundary.
+pub trait ActionHost {
+    /// The domain model being executed (for name→id resolution).
+    fn domain(&self) -> &Domain;
+
+    /// Creates an instance of `class` in its initial state; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report resource exhaustion or out-of-partition
+    /// classes as [`CoreError::Runtime`].
+    fn create(&mut self, class: ClassId) -> Result<InstId>;
+
+    /// Deletes an instance; subsequent access through the reference fails.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is unknown or already deleted.
+    fn delete(&mut self, inst: InstId) -> Result<()>;
+
+    /// The class of a live instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is unknown or deleted.
+    fn class_of(&self, inst: InstId) -> Result<ClassId>;
+
+    /// Reads an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    fn attr_read(&self, inst: InstId, attr: AttrId) -> Result<Value>;
+
+    /// Writes an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references or a type mismatch.
+    fn attr_write(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()>;
+
+    /// All live instances of a class, in creation order.
+    fn instances_of(&self, class: ClassId) -> Vec<InstId>;
+
+    /// Instances linked to `inst` across `assoc`, in link order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    fn related(&self, inst: InstId, assoc: AssocId) -> Result<Vec<InstId>>;
+
+    /// Creates a link.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references or multiplicity violations.
+    fn relate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()>;
+
+    /// Removes a link.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such link exists.
+    fn unrelate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()>;
+
+    /// Sends a signal to an instance (possibly across the partition
+    /// boundary; possibly to `self`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references or queue overflow (platform-defined).
+    fn send(&mut self, from: InstId, to: InstId, event: EventId, args: Vec<Value>) -> Result<()>;
+
+    /// Sends a signal to an external actor — an *observable output*.
+    ///
+    /// # Errors
+    ///
+    /// Platform-defined.
+    fn send_actor(
+        &mut self,
+        from: InstId,
+        actor: ActorId,
+        event: EventId,
+        args: Vec<Value>,
+    ) -> Result<()>;
+
+    /// Schedules a signal to an instance after `delay` time units (the
+    /// timer idiom: `gen Ev() to self after n;`).
+    ///
+    /// # Errors
+    ///
+    /// Platform-defined.
+    fn send_delayed(
+        &mut self,
+        from: InstId,
+        to: InstId,
+        event: EventId,
+        args: Vec<Value>,
+        delay: i64,
+    ) -> Result<()>;
+
+    /// Cancels pending delayed signals of the given event to `inst`.
+    ///
+    /// # Errors
+    ///
+    /// Platform-defined; cancelling when nothing is pending is *not* an
+    /// error.
+    fn cancel_delayed(&mut self, inst: InstId, event: EventId) -> Result<()>;
+
+    /// Invokes a synchronous bridge function on an actor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the actor does not implement the function.
+    fn bridge_call(&mut self, actor: ActorId, func: &str, args: Vec<Value>) -> Result<Value>;
+}
+
+/// Why a block stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to the end.
+    Completed,
+    /// A `return;` statement fired.
+    Returned,
+}
+
+/// Control-flow signal inside loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Broke,
+    Continued,
+    Returned,
+}
+
+/// Default fuel: maximum primitive steps per action block before the
+/// interpreter assumes a runaway loop. Run-to-completion semantics make an
+/// unbounded action block a model error, not a scheduling choice.
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Execution context for one run-to-completion action block.
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// The instance whose state action is running.
+    pub self_inst: InstId,
+    /// Parameters of the event that triggered the transition.
+    pub params: BTreeMap<String, Value>,
+    /// Local variables (function-scoped, created on first assignment).
+    pub locals: BTreeMap<String, Value>,
+    /// Candidate binding for `selected` inside `where` clauses.
+    selected: Option<Value>,
+    /// Primitive-step counter (statements + expression nodes); the
+    /// substrates convert this into cycles.
+    pub steps: u64,
+    /// Remaining fuel; see [`DEFAULT_FUEL`].
+    pub fuel: u64,
+}
+
+impl ExecCtx {
+    /// Creates a context for `self_inst` with the given event parameters.
+    pub fn new(self_inst: InstId, params: BTreeMap<String, Value>) -> ExecCtx {
+        ExecCtx {
+            self_inst,
+            params,
+            locals: BTreeMap::new(),
+            selected: None,
+            steps: 0,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    fn burn(&mut self, n: u64) -> Result<()> {
+        self.steps += n;
+        if self.fuel < n {
+            return Err(CoreError::runtime(
+                "action block exceeded its fuel limit (runaway loop?)",
+            ));
+        }
+        self.fuel -= n;
+        Ok(())
+    }
+}
+
+/// Executes a block to completion against `host`.
+///
+/// Returns the outcome and leaves the accumulated step count in
+/// `ctx.steps` (the substrates' cost models read it).
+///
+/// # Errors
+///
+/// Propagates name-resolution and runtime errors ([`CoreError::Runtime`],
+/// [`CoreError::Unresolved`]) from the statements executed.
+pub fn run_block<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, block: &Block) -> Result<Outcome> {
+    match exec_block(host, ctx, block)? {
+        Flow::Returned => Ok(Outcome::Returned),
+        Flow::Broke | Flow::Continued => {
+            Err(CoreError::runtime("`break`/`continue` outside of a loop"))
+        }
+        Flow::Normal => Ok(Outcome::Completed),
+    }
+}
+
+fn exec_block<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, block: &Block) -> Result<Flow> {
+    for stmt in &block.stmts {
+        match exec_stmt(host, ctx, stmt)? {
+            Flow::Normal => {}
+            other => return Ok(other),
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+fn exec_stmt<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, stmt: &Stmt) -> Result<Flow> {
+    ctx.burn(1)?;
+    match stmt {
+        Stmt::Assign { lhs, expr, .. } => {
+            let v = eval(host, ctx, expr)?;
+            match lhs {
+                LValue::Var(name) => {
+                    ctx.locals.insert(name.clone(), v);
+                }
+                LValue::Attr(base, attr) => {
+                    let base_v = eval(host, ctx, base)?;
+                    let inst = base_v.as_inst()?;
+                    let class = host.class_of(inst)?;
+                    let attr_id = resolve_attr(host.domain(), class, attr)?;
+                    host.attr_write(inst, attr_id, v)?;
+                }
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::Create { var, class, .. } => {
+            let class_id = host.domain().class_id(class)?;
+            let inst = host.create(class_id)?;
+            ctx.locals
+                .insert(var.clone(), Value::Inst(class_id, Some(inst)));
+            Ok(Flow::Normal)
+        }
+        Stmt::Delete { expr, .. } => {
+            let inst = eval(host, ctx, expr)?.as_inst()?;
+            host.delete(inst)?;
+            Ok(Flow::Normal)
+        }
+        Stmt::SelectAny {
+            var, class, filter, ..
+        } => {
+            let class_id = host.domain().class_id(class)?;
+            let matched = select_instances(host, ctx, class_id, filter.as_ref(), true)?;
+            let v = Value::Inst(class_id, matched.first().copied());
+            ctx.locals.insert(var.clone(), v);
+            Ok(Flow::Normal)
+        }
+        Stmt::SelectMany {
+            var, class, filter, ..
+        } => {
+            let class_id = host.domain().class_id(class)?;
+            let matched = select_instances(host, ctx, class_id, filter.as_ref(), false)?;
+            ctx.locals
+                .insert(var.clone(), Value::Set(class_id, matched));
+            Ok(Flow::Normal)
+        }
+        Stmt::Relate { a, b, assoc, .. } => {
+            let ia = eval(host, ctx, a)?.as_inst()?;
+            let ib = eval(host, ctx, b)?.as_inst()?;
+            let assoc_id = host.domain().assoc_id(assoc)?;
+            host.relate(ia, ib, assoc_id)?;
+            Ok(Flow::Normal)
+        }
+        Stmt::Unrelate { a, b, assoc, .. } => {
+            let ia = eval(host, ctx, a)?.as_inst()?;
+            let ib = eval(host, ctx, b)?.as_inst()?;
+            let assoc_id = host.domain().assoc_id(assoc)?;
+            host.unrelate(ia, ib, assoc_id)?;
+            Ok(Flow::Normal)
+        }
+        Stmt::Generate {
+            event,
+            args,
+            target,
+            delay,
+            ..
+        } => {
+            let arg_vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(host, ctx, a))
+                .collect::<Result<_>>()?;
+            exec_generate(host, ctx, event, arg_vals, target, delay.as_ref())
+        }
+        Stmt::Cancel { event, .. } => {
+            let class = host.class_of(ctx.self_inst)?;
+            let event_id = resolve_event(host.domain(), class, event)?;
+            host.cancel_delayed(ctx.self_inst, event_id)?;
+            Ok(Flow::Normal)
+        }
+        Stmt::If {
+            arms, otherwise, ..
+        } => {
+            for (cond, body) in arms {
+                if eval(host, ctx, cond)?.as_bool()? {
+                    return exec_block(host, ctx, body);
+                }
+            }
+            if let Some(body) = otherwise {
+                return exec_block(host, ctx, body);
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::While { cond, body, .. } => {
+            while eval(host, ctx, cond)?.as_bool()? {
+                ctx.burn(1)?;
+                match exec_block(host, ctx, body)? {
+                    Flow::Broke => break,
+                    Flow::Returned => return Ok(Flow::Returned),
+                    Flow::Normal | Flow::Continued => {}
+                }
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::ForEach { var, set, body, .. } => {
+            let set_v = eval(host, ctx, set)?;
+            let Value::Set(class, items) = set_v else {
+                return Err(CoreError::runtime(format!(
+                    "foreach needs a set, got {}",
+                    set_v.data_type()
+                )));
+            };
+            for item in items {
+                ctx.burn(1)?;
+                ctx.locals
+                    .insert(var.clone(), Value::Inst(class, Some(item)));
+                match exec_block(host, ctx, body)? {
+                    Flow::Broke => break,
+                    Flow::Returned => return Ok(Flow::Returned),
+                    Flow::Normal | Flow::Continued => {}
+                }
+            }
+            Ok(Flow::Normal)
+        }
+        Stmt::Break { .. } => Ok(Flow::Broke),
+        Stmt::Continue { .. } => Ok(Flow::Continued),
+        Stmt::Return { .. } => Ok(Flow::Returned),
+        Stmt::ExprStmt { expr, .. } => {
+            eval(host, ctx, expr)?;
+            Ok(Flow::Normal)
+        }
+    }
+}
+
+fn exec_generate<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    event: &str,
+    args: Vec<Value>,
+    target: &GenTarget,
+    delay: Option<&Expr>,
+) -> Result<Flow> {
+    // Resolve dynamic actor fallback: a bare variable in target position
+    // that is not a local but names an actor is an actor send (used when
+    // blocks are parsed without declaration context).
+    let actor_target: Option<ActorId> = match target {
+        GenTarget::Actor(name) => Some(host.domain().actor_id(name)?),
+        GenTarget::Inst(Expr::Var(name)) if !ctx.locals.contains_key(name) => {
+            host.domain().actor_id(name).ok()
+        }
+        GenTarget::Inst(_) => None,
+    };
+
+    if let Some(actor) = actor_target {
+        if delay.is_some() {
+            return Err(CoreError::runtime(
+                "`after` is only valid for instance-directed signals",
+            ));
+        }
+        let event_id = host
+            .domain()
+            .actor(actor)
+            .event_id(event)
+            .ok_or_else(|| CoreError::unresolved("actor event", event))?;
+        check_arity(
+            &host.domain().actor(actor).events[event_id.index()].params,
+            &args,
+            event,
+        )?;
+        host.send_actor(ctx.self_inst, actor, event_id, args)?;
+        return Ok(Flow::Normal);
+    }
+
+    let GenTarget::Inst(target_expr) = target else {
+        unreachable!("actor targets handled above");
+    };
+    let target_v = eval(host, ctx, target_expr)?;
+    let to = target_v.as_inst()?;
+    let class = host.class_of(to)?;
+    let event_id = resolve_event(host.domain(), class, event)?;
+    check_arity(
+        &host.domain().class(class).events[event_id.index()].params,
+        &args,
+        event,
+    )?;
+    match delay {
+        None => host.send(ctx.self_inst, to, event_id, args)?,
+        Some(d) => {
+            let ticks = eval(host, ctx, d)?.as_int()?;
+            if ticks < 0 {
+                return Err(CoreError::runtime("negative signal delay"));
+            }
+            host.send_delayed(ctx.self_inst, to, event_id, args, ticks)?;
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+fn check_arity(
+    params: &[(String, crate::value::DataType)],
+    args: &[Value],
+    event: &str,
+) -> Result<()> {
+    if params.len() != args.len() {
+        return Err(CoreError::runtime(format!(
+            "event `{event}` takes {} argument(s), got {}",
+            params.len(),
+            args.len()
+        )));
+    }
+    Ok(())
+}
+
+fn select_instances<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    class: ClassId,
+    filter: Option<&Expr>,
+    first_only: bool,
+) -> Result<Vec<InstId>> {
+    let candidates = host.instances_of(class);
+    let mut out = Vec::new();
+    for inst in candidates {
+        ctx.burn(1)?;
+        let keep = match filter {
+            None => true,
+            Some(f) => {
+                let saved = ctx.selected.replace(Value::Inst(class, Some(inst)));
+                let r = eval(host, ctx, f)?.as_bool();
+                ctx.selected = saved;
+                r?
+            }
+        };
+        if keep {
+            out.push(inst);
+            if first_only {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn resolve_attr(domain: &Domain, class: ClassId, name: &str) -> Result<AttrId> {
+    domain
+        .class(class)
+        .attr_id(name)
+        .ok_or_else(|| CoreError::Unresolved {
+            kind: "attribute",
+            name: format!("{}.{name}", domain.class(class).name),
+        })
+}
+
+fn resolve_event(domain: &Domain, class: ClassId, name: &str) -> Result<EventId> {
+    domain
+        .class(class)
+        .event_id(name)
+        .ok_or_else(|| CoreError::Unresolved {
+            kind: "event",
+            name: format!("{}.{name}", domain.class(class).name),
+        })
+}
+
+/// Evaluates an expression.
+///
+/// # Errors
+///
+/// Propagates runtime and resolution errors.
+pub fn eval<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, expr: &Expr) -> Result<Value> {
+    ctx.burn(1)?;
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(name) => ctx
+            .locals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::unresolved("variable", name.clone())),
+        Expr::SelfRef => {
+            let class = host.class_of(ctx.self_inst)?;
+            Ok(Value::Inst(class, Some(ctx.self_inst)))
+        }
+        Expr::Selected => ctx
+            .selected
+            .clone()
+            .ok_or_else(|| CoreError::runtime("`selected` used outside a `where` clause")),
+        Expr::Param(name) => ctx
+            .params
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::unresolved("event parameter", name.clone())),
+        Expr::Attr(base, name) => {
+            let base_v = eval(host, ctx, base)?;
+            let inst = base_v.as_inst()?;
+            let class = host.class_of(inst)?;
+            let attr = resolve_attr(host.domain(), class, name)?;
+            host.attr_read(inst, attr)
+        }
+        Expr::Nav(base, class_name, assoc_name) => {
+            let base_v = eval(host, ctx, base)?;
+            let assoc = host.domain().assoc_id(assoc_name)?;
+            let want = host.domain().class_id(class_name)?;
+            let sources: Vec<InstId> = match base_v {
+                Value::Inst(_, Some(i)) => vec![i],
+                Value::Inst(_, None) => vec![],
+                Value::Set(_, items) => items,
+                other => {
+                    return Err(CoreError::runtime(format!(
+                        "cannot navigate from {}",
+                        other.data_type()
+                    )))
+                }
+            };
+            let mut out: Vec<InstId> = Vec::new();
+            for src in sources {
+                let src_class = host.class_of(src)?;
+                let target_class = host.domain().nav_target(assoc, src_class)?;
+                if target_class != want {
+                    return Err(CoreError::runtime(format!(
+                        "association {assoc_name} from {} reaches {}, not {}",
+                        host.domain().class(src_class).name,
+                        host.domain().class(target_class).name,
+                        class_name
+                    )));
+                }
+                for t in host.related(src, assoc)? {
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+            }
+            Ok(Value::Set(want, out))
+        }
+        Expr::Unary(op, e) => {
+            let v = eval(host, ctx, e)?;
+            apply_unop(*op, &v)
+        }
+        Expr::Binary(op, a, b) => {
+            let va = eval(host, ctx, a)?;
+            let vb = eval(host, ctx, b)?;
+            apply_binop(*op, &va, &vb)
+        }
+        Expr::BridgeCall(actor, func, args) => {
+            let actor_id = host.domain().actor_id(actor)?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(host, ctx, a))
+                .collect::<Result<_>>()?;
+            host.bridge_call(actor_id, func, vals)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Actor, Attribute, Class, EventDecl};
+    use crate::parse::parse_block;
+    use crate::value::DataType;
+
+    /// A minimal in-memory host for interpreter unit tests.
+    struct MiniHost {
+        domain: Domain,
+        // (class, attrs, alive)
+        instances: Vec<(ClassId, Vec<Value>, bool)>,
+        links: Vec<(AssocId, InstId, InstId)>,
+        sent: Vec<(InstId, InstId, EventId, Vec<Value>)>,
+        actor_sent: Vec<(ActorId, EventId, Vec<Value>)>,
+        delayed: Vec<(InstId, EventId, i64)>,
+        log: Vec<String>,
+    }
+
+    impl MiniHost {
+        fn new(domain: Domain) -> MiniHost {
+            MiniHost {
+                domain,
+                instances: Vec::new(),
+                links: Vec::new(),
+                sent: Vec::new(),
+                actor_sent: Vec::new(),
+                delayed: Vec::new(),
+                log: Vec::new(),
+            }
+        }
+
+        fn check_live(&self, inst: InstId) -> Result<()> {
+            match self.instances.get(inst.index()) {
+                Some((_, _, true)) => Ok(()),
+                _ => Err(CoreError::runtime(format!("dangling instance {inst}"))),
+            }
+        }
+    }
+
+    impl ActionHost for MiniHost {
+        fn domain(&self) -> &Domain {
+            &self.domain
+        }
+        fn create(&mut self, class: ClassId) -> Result<InstId> {
+            let attrs = self
+                .domain
+                .class(class)
+                .attributes
+                .iter()
+                .map(|a| a.default.clone())
+                .collect();
+            self.instances.push((class, attrs, true));
+            Ok(InstId::new(self.instances.len() as u32 - 1))
+        }
+        fn delete(&mut self, inst: InstId) -> Result<()> {
+            self.check_live(inst)?;
+            self.instances[inst.index()].2 = false;
+            Ok(())
+        }
+        fn class_of(&self, inst: InstId) -> Result<ClassId> {
+            self.check_live(inst)?;
+            Ok(self.instances[inst.index()].0)
+        }
+        fn attr_read(&self, inst: InstId, attr: AttrId) -> Result<Value> {
+            self.check_live(inst)?;
+            Ok(self.instances[inst.index()].1[attr.index()].clone())
+        }
+        fn attr_write(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
+            self.check_live(inst)?;
+            self.instances[inst.index()].1[attr.index()] = value;
+            Ok(())
+        }
+        fn instances_of(&self, class: ClassId) -> Vec<InstId> {
+            self.instances
+                .iter()
+                .enumerate()
+                .filter(|(_, (c, _, alive))| *alive && *c == class)
+                .map(|(i, _)| InstId::new(i as u32))
+                .collect()
+        }
+        fn related(&self, inst: InstId, assoc: AssocId) -> Result<Vec<InstId>> {
+            self.check_live(inst)?;
+            Ok(self
+                .links
+                .iter()
+                .filter(|(a, x, y)| *a == assoc && (*x == inst || *y == inst))
+                .map(|(_, x, y)| if *x == inst { *y } else { *x })
+                .collect())
+        }
+        fn relate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()> {
+            self.links.push((assoc, a, b));
+            Ok(())
+        }
+        fn unrelate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()> {
+            let before = self.links.len();
+            self.links.retain(|(x, p, q)| {
+                !(*x == assoc && ((*p == a && *q == b) || (*p == b && *q == a)))
+            });
+            if self.links.len() == before {
+                return Err(CoreError::runtime("no such link"));
+            }
+            Ok(())
+        }
+        fn send(
+            &mut self,
+            from: InstId,
+            to: InstId,
+            event: EventId,
+            args: Vec<Value>,
+        ) -> Result<()> {
+            self.sent.push((from, to, event, args));
+            Ok(())
+        }
+        fn send_actor(
+            &mut self,
+            _from: InstId,
+            actor: ActorId,
+            event: EventId,
+            args: Vec<Value>,
+        ) -> Result<()> {
+            self.actor_sent.push((actor, event, args));
+            Ok(())
+        }
+        fn send_delayed(
+            &mut self,
+            _from: InstId,
+            to: InstId,
+            event: EventId,
+            _args: Vec<Value>,
+            delay: i64,
+        ) -> Result<()> {
+            self.delayed.push((to, event, delay));
+            Ok(())
+        }
+        fn cancel_delayed(&mut self, inst: InstId, event: EventId) -> Result<()> {
+            self.delayed
+                .retain(|(i, e, _)| !(*i == inst && *e == event));
+            Ok(())
+        }
+        fn bridge_call(&mut self, actor: ActorId, func: &str, args: Vec<Value>) -> Result<Value> {
+            let name = &self.domain.actor(actor).name;
+            self.log.push(format!("{name}::{func}({args:?})"));
+            Ok(Value::Int(args.len() as i64))
+        }
+    }
+
+    fn test_domain() -> Domain {
+        let mut d = Domain::new("t");
+        d.classes.push(Class {
+            name: "Counter".into(),
+            attributes: vec![Attribute {
+                name: "n".into(),
+                ty: DataType::Int,
+                default: Value::Int(0),
+            }],
+            events: vec![
+                EventDecl {
+                    name: "Tick".into(),
+                    params: vec![],
+                },
+                EventDecl {
+                    name: "Set".into(),
+                    params: vec![("v".into(), DataType::Int)],
+                },
+            ],
+            state_machine: None,
+        });
+        d.classes.push(Class {
+            name: "Lamp".into(),
+            attributes: vec![Attribute {
+                name: "on".into(),
+                ty: DataType::Bool,
+                default: Value::Bool(false),
+            }],
+            events: vec![],
+            state_machine: None,
+        });
+        d.associations.push(crate::model::Association {
+            name: "R1".into(),
+            from: ClassId::new(0),
+            to: ClassId::new(1),
+            from_mult: crate::model::Multiplicity::One,
+            to_mult: crate::model::Multiplicity::Many,
+        });
+        d.actors.push(Actor {
+            name: "ENV".into(),
+            events: vec![EventDecl {
+                name: "done".into(),
+                params: vec![("code".into(), DataType::Int)],
+            }],
+            funcs: vec![crate::model::FuncDecl {
+                name: "info".into(),
+                params: vec![("msg".into(), DataType::Str)],
+                ret: None,
+            }],
+        });
+        d.reindex().unwrap();
+        d
+    }
+
+    fn run(host: &mut MiniHost, self_inst: InstId, src: &str) -> Result<ExecCtx> {
+        let block = parse_block(src).unwrap();
+        let mut ctx = ExecCtx::new(self_inst, BTreeMap::new());
+        run_block(host, &mut ctx, &block)?;
+        Ok(ctx)
+    }
+
+    fn host_with_counter() -> (MiniHost, InstId) {
+        let mut h = MiniHost::new(test_domain());
+        let i = h.create(ClassId::new(0)).unwrap();
+        (h, i)
+    }
+
+    #[test]
+    fn assign_and_attrs() {
+        let (mut h, i) = host_with_counter();
+        run(&mut h, i, "self.n = self.n + 41; x = self.n + 1;").unwrap();
+        assert_eq!(h.attr_read(i, AttrId::new(0)).unwrap(), Value::Int(41));
+    }
+
+    #[test]
+    fn create_select_delete() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(
+            &mut h,
+            i,
+            "a = create Lamp; b = create Lamp;\n\
+             select many all from Lamp;\n\
+             n = cardinality(all);\n\
+             delete a;\n\
+             select many rest from Lamp;\n\
+             m = cardinality(rest);",
+        )
+        .unwrap();
+        assert_eq!(ctx.locals["n"], Value::Int(2));
+        assert_eq!(ctx.locals["m"], Value::Int(1));
+    }
+
+    #[test]
+    fn select_with_where() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(
+            &mut h,
+            i,
+            "a = create Lamp; b = create Lamp;\n\
+             b.on = true;\n\
+             select any lit from Lamp where selected.on;\n\
+             select any dark from Lamp where not selected.on;\n\
+             lit_found = not_empty(lit);",
+        )
+        .unwrap();
+        assert_eq!(ctx.locals["lit_found"], Value::Bool(true));
+        let Value::Inst(_, Some(lit)) = ctx.locals["lit"] else {
+            panic!("lit should be bound")
+        };
+        assert_eq!(h.attr_read(lit, AttrId::new(0)).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn select_any_empty_binds_empty_ref() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(&mut h, i, "select any l from Lamp; e = empty(l);").unwrap();
+        assert_eq!(ctx.locals["e"], Value::Bool(true));
+    }
+
+    #[test]
+    fn relate_navigate_unrelate() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(
+            &mut h,
+            i,
+            "a = create Lamp; b = create Lamp;\n\
+             relate self to a across R1;\n\
+             relate self to b across R1;\n\
+             lamps = self -> Lamp[R1];\n\
+             n = cardinality(lamps);\n\
+             unrelate self from a across R1;\n\
+             m = cardinality(self -> Lamp[R1]);",
+        )
+        .unwrap();
+        assert_eq!(ctx.locals["n"], Value::Int(2));
+        assert_eq!(ctx.locals["m"], Value::Int(1));
+    }
+
+    #[test]
+    fn navigation_wrong_class_is_error() {
+        let (mut h, i) = host_with_counter();
+        assert!(run(&mut h, i, "x = self -> Counter[R1];").is_err());
+    }
+
+    #[test]
+    fn generate_to_instance_and_actor() {
+        let (mut h, i) = host_with_counter();
+        run(
+            &mut h,
+            i,
+            "gen Set(7) to self;\n\
+             gen Tick() to self after 10;\n\
+             gen done(0) to ENV;",
+        )
+        .unwrap();
+        assert_eq!(h.sent.len(), 1);
+        assert_eq!(h.sent[0].2, EventId::new(1));
+        assert_eq!(h.sent[0].3, vec![Value::Int(7)]);
+        assert_eq!(h.delayed, vec![(i, EventId::new(0), 10)]);
+        assert_eq!(h.actor_sent.len(), 1);
+    }
+
+    #[test]
+    fn cancel_removes_delayed() {
+        let (mut h, i) = host_with_counter();
+        run(&mut h, i, "gen Tick() to self after 10; cancel Tick;").unwrap();
+        assert!(h.delayed.is_empty());
+    }
+
+    #[test]
+    fn wrong_arity_is_runtime_error() {
+        let (mut h, i) = host_with_counter();
+        assert!(run(&mut h, i, "gen Set() to self;").is_err());
+        assert!(run(&mut h, i, "gen done() to ENV;").is_err());
+    }
+
+    #[test]
+    fn control_flow_loops() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(
+            &mut h,
+            i,
+            "total = 0; k = 0;\n\
+             while (k < 5) { k = k + 1; if (k == 3) { continue; } total = total + k; }\n\
+             count = 0;\n\
+             a = create Lamp; b = create Lamp; c = create Lamp;\n\
+             select many all from Lamp;\n\
+             foreach l in all { count = count + 1; if (count == 2) { break; } }",
+        )
+        .unwrap();
+        assert_eq!(ctx.locals["total"], Value::Int(1 + 2 + 4 + 5));
+        assert_eq!(ctx.locals["count"], Value::Int(2));
+    }
+
+    #[test]
+    fn return_stops_block() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(&mut h, i, "x = 1; return; x = 2;").unwrap();
+        assert_eq!(ctx.locals["x"], Value::Int(1));
+    }
+
+    #[test]
+    fn runaway_loop_exhausts_fuel() {
+        let (mut h, i) = host_with_counter();
+        let block = parse_block("while (true) { x = 1; }").unwrap();
+        let mut ctx = ExecCtx::new(i, BTreeMap::new());
+        ctx.fuel = 1000;
+        let err = run_block(&mut h, &mut ctx, &block).unwrap_err();
+        assert!(err.to_string().contains("fuel"));
+    }
+
+    #[test]
+    fn bridge_call_reaches_host() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(&mut h, i, "ENV::info(\"hi\"); r = ENV::info(\"a\");").unwrap();
+        assert_eq!(h.log.len(), 2);
+        assert_eq!(ctx.locals["r"], Value::Int(1));
+    }
+
+    #[test]
+    fn event_params_via_rcvd() {
+        let (mut h, i) = host_with_counter();
+        let block = parse_block("self.n = rcvd.v * 2;").unwrap();
+        let mut params = BTreeMap::new();
+        params.insert("v".to_string(), Value::Int(21));
+        let mut ctx = ExecCtx::new(i, params);
+        run_block(&mut h, &mut ctx, &block).unwrap();
+        assert_eq!(h.attr_read(i, AttrId::new(0)).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn dangling_reference_detected() {
+        let (mut h, i) = host_with_counter();
+        assert!(run(&mut h, i, "a = create Lamp; delete a; a.on = true;").is_err());
+    }
+
+    #[test]
+    fn unknown_variable_is_resolution_error() {
+        let (mut h, i) = host_with_counter();
+        let err = run(&mut h, i, "x = nope + 1;").unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Unresolved {
+                kind: "variable",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn steps_are_counted() {
+        let (mut h, i) = host_with_counter();
+        let ctx = run(&mut h, i, "x = 1;").unwrap();
+        // one statement + two expression nodes (literal, implicit?) — at
+        // minimum the statement and the literal burn fuel.
+        assert!(ctx.steps >= 2);
+    }
+}

@@ -1,0 +1,398 @@
+//! Lexer shared by the action-language parser ([`crate::parse`]) and the
+//! model-file parser in `xtuml-lang`.
+//!
+//! The token set is deliberately small: identifiers (keywords are
+//! recognised by the parsers, not the lexer), integer/real/string literals,
+//! and punctuation. `//` starts a line comment.
+
+use crate::error::{CoreError, Pos, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (contains a `.`).
+    Real(f64),
+    /// String literal (supports `\"`, `\\`, `\n`, `\t` escapes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `->`
+    Arrow,
+    /// `--`
+    DashDash,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Real(v) => write!(f, "`{v}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::ColonColon => write!(f, "`::`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::DashDash => write!(f, "`--`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Eq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// Tokenises `src`, appending an [`Tok::Eof`] sentinel.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Lex`] on unknown characters, malformed numbers,
+/// or unterminated strings.
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $pos:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                pos: $pos,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos::new(line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                    col += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                match word.as_str() {
+                    "true" => push!(Tok::Ident("true".into()), pos),
+                    "false" => push!(Tok::Ident("false".into()), pos),
+                    _ => push!(Tok::Ident(word), pos),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_real = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                // A `.` followed by a digit makes this a real literal; a
+                // bare `.` is attribute access on an int (not allowed, but
+                // the parser will say so with a better message).
+                if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+                    is_real = true;
+                    i += 1;
+                    col += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                        col += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_real {
+                    let v = text.parse::<f64>().map_err(|e| CoreError::Lex {
+                        pos,
+                        msg: format!("bad real literal `{text}`: {e}"),
+                    })?;
+                    push!(Tok::Real(v), pos);
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| CoreError::Lex {
+                        pos,
+                        msg: format!("bad int literal `{text}`: {e}"),
+                    })?;
+                    push!(Tok::Int(v), pos);
+                }
+            }
+            '"' => {
+                i += 1;
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some('\n') => {
+                            return Err(CoreError::Lex {
+                                pos,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some('"') => {
+                            i += 1;
+                            col += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            let esc = bytes.get(i + 1).copied();
+                            let ch = match esc {
+                                Some('n') => '\n',
+                                Some('t') => '\t',
+                                Some('\\') => '\\',
+                                Some('"') => '"',
+                                other => {
+                                    return Err(CoreError::Lex {
+                                        pos,
+                                        msg: format!("unknown escape `\\{}`", other.unwrap_or(' ')),
+                                    })
+                                }
+                            };
+                            s.push(ch);
+                            i += 2;
+                            col += 2;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                            col += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s), pos);
+            }
+            _ => {
+                // Punctuation, longest match first.
+                let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+                let (tok, len) = match two.as_str() {
+                    "::" => (Tok::ColonColon, 2),
+                    "->" => (Tok::Arrow, 2),
+                    "--" => (Tok::DashDash, 2),
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ';' => (Tok::Semi, 1),
+                        ',' => (Tok::Comma, 1),
+                        '.' => (Tok::Dot, 1),
+                        ':' => (Tok::Colon, 1),
+                        '=' => (Tok::Assign, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        other => {
+                            return Err(CoreError::Lex {
+                                pos,
+                                msg: format!("unexpected character `{other}`"),
+                            })
+                        }
+                    },
+                };
+                push!(tok, pos);
+                i += len;
+                col += len as u32;
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos::new(line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            toks("x = y + 1;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("y".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a == b != c <= d >= e -> f :: g --"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Ident("b".into()),
+                Tok::Ne,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+                Tok::Arrow,
+                Tok::Ident("f".into()),
+                Tok::ColonColon,
+                Tok::Ident("g".into()),
+                Tok::DashDash,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("3.5"), vec![Tok::Real(3.5), Tok::Eof]);
+        // `1.x` lexes as int, dot, ident — attribute access, not a real.
+        assert_eq!(
+            toks("1.x"),
+            vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks(r#""hi\n\"there\"""#),
+            vec![Tok::Str("hi\n\"there\"".into()), Tok::Eof]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos::new(1, 1));
+        assert_eq!(ts[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn unknown_char_is_an_error() {
+        assert!(lex("a ? b").is_err());
+        assert!(lex("a #").is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(toks(""), vec![Tok::Eof]);
+    }
+}

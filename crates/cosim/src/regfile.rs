@@ -1,0 +1,258 @@
+//! The register-file view of the bridge — what the generated C driver
+//! sees.
+//!
+//! The model compiler emits a C driver that talks to the hardware
+//! partition through memory-mapped registers; this module is the
+//! behavioural model of that register file, layered over the message
+//! transport. The layout is *computed from the channel table*, never
+//! hand-written, so the software and hardware sides cannot disagree:
+//!
+//! ```text
+//! word address                    register
+//! ch*8 + 0 .. ch*8 + 5            TX data words (sw→hw channel `ch`)
+//! ch*8 + 7                        TX doorbell: write = send
+//! 0x100                           RX status: pending message count
+//! 0x101                           RX channel id of the front message
+//! 0x102 .. 0x107                  RX data words of the front message
+//! 0x10F                           RX pop: write = consume front message
+//! ```
+
+use crate::bridge::{Bridge, BridgeConfig};
+use crate::msg::{BusMessage, Direction};
+use xtuml_swrt::Mmio;
+
+/// Base word address of the RX register block.
+pub const RX_BASE: u32 = 0x100;
+/// RX status register (pending count).
+pub const RX_STATUS: u32 = RX_BASE;
+/// RX front-message channel id.
+pub const RX_CHANNEL: u32 = RX_BASE + 1;
+/// First RX data word.
+pub const RX_DATA0: u32 = RX_BASE + 2;
+/// RX pop register.
+pub const RX_POP: u32 = RX_BASE + 0xF;
+/// Words reserved per TX channel block.
+pub const TX_STRIDE: u32 = 8;
+/// Doorbell offset within a TX channel block.
+pub const TX_DOORBELL: u32 = 7;
+/// Maximum payload words a channel block can carry.
+pub const MAX_PAYLOAD_WORDS: usize = 6;
+
+/// Software-side register file state (TX staging buffers).
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    config: BridgeConfig,
+    tx_staging: Vec<Vec<u32>>, // per channel id
+    /// Doorbell writes whose send was rejected (bad channel etc.).
+    pub errors: u64,
+}
+
+impl RegisterFile {
+    /// Builds the register file for a generated bridge configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel payload exceeds [`MAX_PAYLOAD_WORDS`] — the
+    /// model compiler splits larger events before this point.
+    pub fn new(config: &BridgeConfig) -> RegisterFile {
+        let max_id = config.channels.iter().map(|c| c.id).max().unwrap_or(0);
+        for c in &config.channels {
+            assert!(
+                c.payload_words <= MAX_PAYLOAD_WORDS,
+                "channel {} payload too wide",
+                c.id
+            );
+        }
+        RegisterFile {
+            config: config.clone(),
+            tx_staging: vec![vec![0; MAX_PAYLOAD_WORDS]; max_id as usize + 1],
+            errors: 0,
+        }
+    }
+
+    /// The word address of a TX data register.
+    pub fn tx_data_addr(channel: u32, word: usize) -> u32 {
+        channel * TX_STRIDE + word as u32
+    }
+
+    /// The word address of a TX doorbell.
+    pub fn tx_doorbell_addr(channel: u32) -> u32 {
+        channel * TX_STRIDE + TX_DOORBELL
+    }
+
+    /// Borrows the register file together with the bridge as an [`Mmio`]
+    /// device for one software time slice at hardware time `now`.
+    pub fn view<'a>(&'a mut self, bridge: &'a mut Bridge, now: u64) -> RegView<'a> {
+        RegView {
+            rf: self,
+            bridge,
+            now,
+        }
+    }
+}
+
+/// A borrowed MMIO window onto the bridge at a fixed hardware time.
+pub struct RegView<'a> {
+    rf: &'a mut RegisterFile,
+    bridge: &'a mut Bridge,
+    now: u64,
+}
+
+impl Mmio for RegView<'_> {
+    fn read(&mut self, addr: u32) -> u32 {
+        match addr {
+            RX_STATUS => self.bridge.sw_pending() as u32,
+            RX_CHANNEL => self.bridge.sw_front().map_or(u32::MAX, |m| m.channel),
+            a if (RX_DATA0..RX_DATA0 + MAX_PAYLOAD_WORDS as u32).contains(&a) => {
+                let idx = (a - RX_DATA0) as usize;
+                self.bridge
+                    .sw_front()
+                    .and_then(|m| m.words.get(idx).copied())
+                    .unwrap_or(0)
+            }
+            a if a < RX_BASE => {
+                // TX staging reads back what was written.
+                let ch = a / TX_STRIDE;
+                let word = (a % TX_STRIDE) as usize;
+                self.rf
+                    .tx_staging
+                    .get(ch as usize)
+                    .and_then(|w| w.get(word).copied())
+                    .unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, addr: u32, value: u32) {
+        match addr {
+            RX_POP => {
+                self.bridge.sw_recv();
+            }
+            a if a < RX_BASE => {
+                let ch = a / TX_STRIDE;
+                let word = (a % TX_STRIDE) as usize;
+                if word == TX_DOORBELL as usize {
+                    // Doorbell: package staged words per the channel spec
+                    // and send.
+                    let Some(spec) = self
+                        .rf
+                        .config
+                        .channels
+                        .iter()
+                        .find(|c| c.id == ch && c.dir == Direction::SwToHw)
+                    else {
+                        self.rf.errors += 1;
+                        return;
+                    };
+                    let words = self.rf.tx_staging[ch as usize][..spec.payload_words].to_vec();
+                    if self
+                        .bridge
+                        .sw_send(BusMessage { channel: ch, words }, self.now)
+                        .is_err()
+                    {
+                        self.rf.errors += 1;
+                    }
+                } else if let Some(slot) = self
+                    .rf
+                    .tx_staging
+                    .get_mut(ch as usize)
+                    .and_then(|w| w.get_mut(word))
+                {
+                    *slot = value;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::ChannelSpec;
+
+    fn setup() -> (RegisterFile, Bridge) {
+        let cfg = BridgeConfig {
+            channels: vec![
+                ChannelSpec {
+                    id: 0,
+                    payload_words: 2,
+                    dir: Direction::SwToHw,
+                },
+                ChannelSpec {
+                    id: 1,
+                    payload_words: 1,
+                    dir: Direction::HwToSw,
+                },
+            ],
+            fifo_depth: 4,
+            bus_latency: 0,
+        };
+        (RegisterFile::new(&cfg), Bridge::new(&cfg))
+    }
+
+    #[test]
+    fn doorbell_sends_staged_words() {
+        let (mut rf, mut bridge) = setup();
+        {
+            let mut v = rf.view(&mut bridge, 5);
+            v.write(RegisterFile::tx_data_addr(0, 0), 0xAA);
+            v.write(RegisterFile::tx_data_addr(0, 1), 0xBB);
+            v.write(RegisterFile::tx_doorbell_addr(0), 1);
+        }
+        bridge.advance(5);
+        let m = bridge.hw_recv().unwrap();
+        assert_eq!(m.channel, 0);
+        assert_eq!(m.words, vec![0xAA, 0xBB]);
+        assert_eq!(rf.errors, 0);
+    }
+
+    #[test]
+    fn rx_registers_expose_front_message() {
+        let (mut rf, mut bridge) = setup();
+        bridge
+            .hw_send(
+                BusMessage {
+                    channel: 1,
+                    words: vec![42],
+                },
+                0,
+            )
+            .unwrap();
+        bridge.advance(0);
+        let mut v = rf.view(&mut bridge, 0);
+        assert_eq!(v.read(RX_STATUS), 1);
+        assert_eq!(v.read(RX_CHANNEL), 1);
+        assert_eq!(v.read(RX_DATA0), 42);
+        v.write(RX_POP, 1);
+        assert_eq!(v.read(RX_STATUS), 0);
+        assert_eq!(v.read(RX_CHANNEL), u32::MAX);
+    }
+
+    #[test]
+    fn doorbell_on_rx_channel_counts_error() {
+        let (mut rf, mut bridge) = setup();
+        {
+            let mut v = rf.view(&mut bridge, 0);
+            v.write(RegisterFile::tx_doorbell_addr(1), 1); // ch1 is hw→sw
+        }
+        assert_eq!(rf.errors, 1);
+    }
+
+    #[test]
+    fn staging_reads_back() {
+        let (mut rf, mut bridge) = setup();
+        let mut v = rf.view(&mut bridge, 0);
+        v.write(RegisterFile::tx_data_addr(0, 1), 7);
+        assert_eq!(v.read(RegisterFile::tx_data_addr(0, 1)), 7);
+    }
+
+    #[test]
+    fn address_map_is_disjoint() {
+        // TX blocks for plausible channel counts stay below RX_BASE.
+        for ch in 0..32u32 {
+            assert!(RegisterFile::tx_doorbell_addr(ch) < RX_BASE);
+        }
+    }
+}

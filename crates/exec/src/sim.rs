@@ -1,0 +1,1052 @@
+//! The model interpreter: run-to-completion signal dispatch over a whole
+//! domain.
+//!
+//! A [`Simulation`] owns the instance population, per-instance signal
+//! queues, delayed-signal timers and a stimulus script, and advances in
+//! discrete steps: pick a ready instance (per the scheduling policy), pop
+//! one signal respecting the event rules, look up the transition, execute
+//! the destination state's actions to completion. Time advances by one
+//! tick per consumed signal and jumps forward when only timers or future
+//! stimuli remain.
+
+use crate::sched::{SchedPolicy, SplitMix64};
+use crate::store::ObjectStore;
+use crate::trace::{Trace, TraceEvent};
+use std::collections::{BTreeMap, VecDeque};
+use xtuml_core::action::Block;
+use xtuml_core::error::{CoreError, Result};
+use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
+use xtuml_core::interp::{self, ActionHost, ExecCtx};
+use xtuml_core::model::{Domain, TransitionTarget};
+use xtuml_core::value::Value;
+
+/// A queued signal.
+#[derive(Debug, Clone)]
+struct Envelope {
+    from: Option<InstId>,
+    event: EventId,
+    args: Vec<Value>,
+    seq: u64,
+}
+
+/// Per-instance signal queues. Self-directed signals have their own queue
+/// so they can be consumed with priority.
+#[derive(Debug, Clone, Default)]
+struct InstQueues {
+    self_q: VecDeque<Envelope>,
+    main_q: VecDeque<Envelope>,
+}
+
+impl InstQueues {
+    fn is_empty(&self) -> bool {
+        self.self_q.is_empty() && self.main_q.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    from: InstId,
+    to: InstId,
+    event: EventId,
+    args: Vec<Value>,
+}
+
+#[derive(Debug, Clone)]
+struct Stimulus {
+    time: u64,
+    seq: u64,
+    to: InstId,
+    event: EventId,
+    args: Vec<Value>,
+}
+
+/// Handler invoked for bridge calls on a given actor.
+pub type BridgeFn = Box<dyn FnMut(&str, &[Value]) -> Result<Value>>;
+
+/// An executing Executable UML model. See the crate-level example.
+pub struct Simulation<'d> {
+    domain: &'d Domain,
+    store: ObjectStore,
+    queues: Vec<InstQueues>,
+    timers: Vec<TimerEntry>,
+    stimuli: Vec<Stimulus>,
+    now: u64,
+    send_seq: u64,
+    policy: SchedPolicy,
+    rng: SplitMix64,
+    trace: Trace,
+    bridges: BTreeMap<ActorId, BridgeFn>,
+    dropped: u64,
+    max_steps: u64,
+}
+
+impl std::fmt::Debug for Simulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("domain", &self.domain.name)
+            .field("now", &self.now)
+            .field("live", &self.store.live_count())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'d> Simulation<'d> {
+    /// Creates a simulation with the default (seed 0, strict) policy.
+    pub fn new(domain: &'d Domain) -> Simulation<'d> {
+        Simulation::with_policy(domain, SchedPolicy::default())
+    }
+
+    /// Creates a simulation with an explicit scheduling policy.
+    pub fn with_policy(domain: &'d Domain, policy: SchedPolicy) -> Simulation<'d> {
+        Simulation {
+            domain,
+            store: ObjectStore::new(domain.associations.len()),
+            queues: Vec::new(),
+            timers: Vec::new(),
+            stimuli: Vec::new(),
+            now: 0,
+            send_seq: 0,
+            policy,
+            rng: SplitMix64::new(policy.seed),
+            trace: Trace::new(),
+            bridges: BTreeMap::new(),
+            dropped: 0,
+            max_steps: 10_000_000,
+        }
+    }
+
+    /// The domain being executed.
+    pub fn domain(&self) -> &'d Domain {
+        self.domain
+    }
+
+    /// Current simulation time (ticks).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The instance population (read-only).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Number of events dropped in non-strict mode.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Caps the total number of dispatch steps per `run_*` call.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps = max;
+    }
+
+    /// Registers a handler for synchronous bridge calls on `actor`.
+    ///
+    /// Unhandled calls are traced and return the function's declared
+    /// default (zero) value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the actor is unknown.
+    pub fn register_bridge(
+        &mut self,
+        actor: &str,
+        f: impl FnMut(&str, &[Value]) -> Result<Value> + 'static,
+    ) -> Result<()> {
+        let id = self.domain.actor_id(actor)?;
+        self.bridges.insert(id, Box::new(f));
+        Ok(())
+    }
+
+    /// Creates an instance of the named class.
+    ///
+    /// Creation places the instance in its initial state **without**
+    /// executing that state's entry action (xtUML creation semantics).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class is unknown.
+    pub fn create(&mut self, class: &str) -> Result<InstId> {
+        let id = self.domain.class_id(class)?;
+        ActionHost::create(self, id)
+    }
+
+    /// Relates two instances across the named association.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (multiplicity, class mismatch, dangling).
+    pub fn relate(&mut self, a: InstId, b: InstId, assoc: &str) -> Result<()> {
+        let id = self.domain.assoc_id(assoc)?;
+        self.store.relate(self.domain, a, b, id)
+    }
+
+    /// Schedules an external stimulus: deliver `event` to `inst` at
+    /// absolute time `time` (must not be in the past).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown events, dead instances, arity mismatches or past
+    /// times.
+    pub fn inject(&mut self, time: u64, inst: InstId, event: &str, args: Vec<Value>) -> Result<()> {
+        if time < self.now {
+            return Err(CoreError::runtime(format!(
+                "cannot inject at past time {time} (now {})",
+                self.now
+            )));
+        }
+        let class = self.store.class_of(inst)?;
+        let c = self.domain.class(class);
+        let event_id = c
+            .event_id(event)
+            .ok_or_else(|| CoreError::unresolved("event", format!("{}.{event}", c.name)))?;
+        if c.events[event_id.index()].params.len() != args.len() {
+            return Err(CoreError::runtime(format!(
+                "event `{event}` takes {} argument(s), got {}",
+                c.events[event_id.index()].params.len(),
+                args.len()
+            )));
+        }
+        self.send_seq += 1;
+        self.stimuli.push(Stimulus {
+            time,
+            seq: self.send_seq,
+            to: inst,
+            event: event_id,
+            args,
+        });
+        Ok(())
+    }
+
+    /// Reads an attribute by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown attributes or dangling instances.
+    pub fn attr(&self, inst: InstId, name: &str) -> Result<Value> {
+        let class = self.store.class_of(inst)?;
+        let c = self.domain.class(class);
+        let id = c
+            .attr_id(name)
+            .ok_or_else(|| CoreError::unresolved("attribute", format!("{}.{name}", c.name)))?;
+        self.store.attr_read(inst, id)
+    }
+
+    /// The name of the instance's current state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling instances or passive classes.
+    pub fn state_name(&self, inst: InstId) -> Result<&str> {
+        let class = self.store.class_of(inst)?;
+        let machine = self
+            .domain
+            .class(class)
+            .state_machine
+            .as_ref()
+            .ok_or_else(|| CoreError::runtime("passive class has no states"))?;
+        Ok(&machine.state(self.store.state_of(inst)?).name)
+    }
+
+    // -- the dispatch loop --------------------------------------------------
+
+    /// Runs until no signal, timer or stimulus remains.
+    ///
+    /// Returns the number of dispatch steps taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates action runtime errors and, in strict mode, can't-happen
+    /// events; fails if `max_steps` is exceeded.
+    pub fn run_to_quiescence(&mut self) -> Result<u64> {
+        let mut steps = 0u64;
+        while self.step()? {
+            steps += 1;
+            if steps > self.max_steps {
+                return Err(CoreError::runtime(format!(
+                    "exceeded max_steps ({}) — livelock?",
+                    self.max_steps
+                )));
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Runs until simulation time reaches `deadline` or quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run_to_quiescence`].
+    pub fn run_until(&mut self, deadline: u64) -> Result<u64> {
+        let mut steps = 0u64;
+        while self.now < deadline {
+            if !self.step()? {
+                break;
+            }
+            steps += 1;
+            if steps > self.max_steps {
+                return Err(CoreError::runtime(format!(
+                    "exceeded max_steps ({}) — livelock?",
+                    self.max_steps
+                )));
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Performs one dispatch step; returns `false` at quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates action errors and strict-mode can't-happen events.
+    pub fn step(&mut self) -> Result<bool> {
+        loop {
+            self.deliver_due();
+            let ready = self.ready_instances();
+            if ready.is_empty() {
+                // Jump to the next timer/stimulus moment, if any.
+                let next = self
+                    .timers
+                    .iter()
+                    .map(|t| t.deadline)
+                    .chain(self.stimuli.iter().map(|s| s.time))
+                    .min();
+                match next {
+                    Some(t) if t > self.now => {
+                        self.now = t;
+                        continue;
+                    }
+                    Some(_) => continue, // due now; deliver on next loop
+                    None => return Ok(false),
+                }
+            }
+            let pick = ready[self.rng.below(ready.len())];
+            let env = self.pop_envelope(pick);
+            self.dispatch(pick, env)?;
+            self.now += 1;
+            return Ok(true);
+        }
+    }
+
+    /// Moves due stimuli and timers into instance queues.
+    fn deliver_due(&mut self) {
+        let now = self.now;
+        // (time, seq, to, from, event, args)
+        type Due = (u64, u64, InstId, Option<InstId>, EventId, Vec<Value>);
+        let mut due: Vec<Due> = Vec::new();
+        self.stimuli.retain(|s| {
+            if s.time <= now {
+                due.push((s.time, s.seq, s.to, None, s.event, s.args.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        self.timers.retain(|t| {
+            if t.deadline <= now {
+                due.push((
+                    t.deadline,
+                    t.seq,
+                    t.to,
+                    Some(t.from),
+                    t.event,
+                    t.args.clone(),
+                ));
+                false
+            } else {
+                true
+            }
+        });
+        // Deterministic delivery order: by (time, seq).
+        due.sort_by_key(|(time, seq, ..)| (*time, *seq));
+        for (_, seq, to, from, event, args) in due {
+            if !self.store.is_alive(to) {
+                continue; // instance died while the signal was in flight
+            }
+            self.enqueue(
+                to,
+                Envelope {
+                    from,
+                    event,
+                    args,
+                    seq,
+                },
+            );
+        }
+    }
+
+    fn enqueue(&mut self, to: InstId, env: Envelope) {
+        let is_self = self.policy.self_priority && env.from == Some(to);
+        let q = &mut self.queues[to.index()];
+        if is_self {
+            q.self_q.push_back(env);
+        } else {
+            q.main_q.push_back(env);
+        }
+    }
+
+    fn ready_instances(&self) -> Vec<InstId> {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| !q.is_empty() && self.store.is_alive(InstId::new(*i as u32)))
+            .map(|(i, _)| InstId::new(i as u32))
+            .collect()
+    }
+
+    fn pop_envelope(&mut self, inst: InstId) -> Envelope {
+        // Decide any random index *before* borrowing the queue mutably.
+        let (self_len, main_len) = {
+            let q = &self.queues[inst.index()];
+            (q.self_q.len(), q.main_q.len())
+        };
+        let q_idx = if !self.policy.pair_order {
+            // Ablation: pick a random position instead of the front.
+            let total = self_len + main_len;
+            Some(self.rng.below(total))
+        } else {
+            None
+        };
+        let q = &mut self.queues[inst.index()];
+        match q_idx {
+            Some(k) => {
+                if k < q.self_q.len() {
+                    q.self_q.remove(k).expect("index checked")
+                } else {
+                    let k = k - q.self_q.len();
+                    q.main_q.remove(k).expect("index checked")
+                }
+            }
+            None => {
+                if !q.self_q.is_empty() {
+                    q.self_q.pop_front().expect("checked nonempty")
+                } else {
+                    q.main_q.pop_front().expect("ready instance has a signal")
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, inst: InstId, env: Envelope) -> Result<()> {
+        let class = self.store.class_of(inst)?;
+        let c = self.domain.class(class);
+        let Some(machine) = c.state_machine.as_ref() else {
+            return Err(CoreError::runtime(format!(
+                "signal sent to passive class {}",
+                c.name
+            )));
+        };
+        let from_state = self.store.state_of(inst)?;
+        match machine.dispatch(from_state, env.event) {
+            TransitionTarget::To(to_state) => {
+                self.store.set_state(inst, to_state)?;
+                self.trace.push(TraceEvent::Dispatch {
+                    time: self.now,
+                    inst,
+                    from: env.from,
+                    event: env.event,
+                    seq: env.seq,
+                    from_state,
+                    to_state,
+                });
+                let params: BTreeMap<String, Value> = c.events[env.event.index()]
+                    .params
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .zip(env.args)
+                    .collect();
+                // The block borrow comes from the domain ('d), not self.
+                let block: &'d Block = &self
+                    .domain
+                    .class(class)
+                    .state_machine
+                    .as_ref()
+                    .expect("checked above")
+                    .state(to_state)
+                    .action;
+                let mut ctx = ExecCtx::new(inst, params);
+                interp::run_block(self, &mut ctx, block)?;
+                Ok(())
+            }
+            TransitionTarget::Ignore => {
+                self.trace.push(TraceEvent::Ignored {
+                    time: self.now,
+                    inst,
+                    event: env.event,
+                });
+                Ok(())
+            }
+            TransitionTarget::CantHappen => {
+                if self.policy.strict {
+                    Err(CoreError::CantHappen {
+                        class: c.name.clone(),
+                        state: machine.state(from_state).name.clone(),
+                        event: c.events[env.event.index()].name.clone(),
+                    })
+                } else {
+                    self.dropped += 1;
+                    self.trace.push(TraceEvent::Dropped {
+                        time: self.now,
+                        inst,
+                        event: env.event,
+                    });
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl ActionHost for Simulation<'_> {
+    fn domain(&self) -> &Domain {
+        self.domain
+    }
+
+    fn create(&mut self, class: ClassId) -> Result<InstId> {
+        let inst = self.store.create(self.domain, class);
+        self.queues.push(InstQueues::default());
+        debug_assert_eq!(self.queues.len() - 1, inst.index());
+        self.trace.push(TraceEvent::Create {
+            time: self.now,
+            inst,
+            class,
+        });
+        Ok(inst)
+    }
+
+    fn delete(&mut self, inst: InstId) -> Result<()> {
+        self.store.delete(inst)?;
+        self.queues[inst.index()] = InstQueues::default();
+        self.timers.retain(|t| t.to != inst);
+        self.trace.push(TraceEvent::Delete {
+            time: self.now,
+            inst,
+        });
+        Ok(())
+    }
+
+    fn class_of(&self, inst: InstId) -> Result<ClassId> {
+        self.store.class_of(inst)
+    }
+
+    fn attr_read(&self, inst: InstId, attr: AttrId) -> Result<Value> {
+        self.store.attr_read(inst, attr)
+    }
+
+    fn attr_write(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
+        self.store.attr_write(self.domain, inst, attr, value)
+    }
+
+    fn instances_of(&self, class: ClassId) -> Vec<InstId> {
+        self.store.instances_of(class)
+    }
+
+    fn related(&self, inst: InstId, assoc: AssocId) -> Result<Vec<InstId>> {
+        self.store.related(inst, assoc)
+    }
+
+    fn relate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()> {
+        self.store.relate(self.domain, a, b, assoc)
+    }
+
+    fn unrelate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()> {
+        self.store.unrelate(a, b, assoc)
+    }
+
+    fn send(&mut self, from: InstId, to: InstId, event: EventId, args: Vec<Value>) -> Result<()> {
+        self.store.class_of(to)?; // liveness check
+        self.send_seq += 1;
+        let env = Envelope {
+            from: Some(from),
+            event,
+            args,
+            seq: self.send_seq,
+        };
+        self.enqueue(to, env);
+        Ok(())
+    }
+
+    fn send_actor(
+        &mut self,
+        _from: InstId,
+        actor: ActorId,
+        event: EventId,
+        args: Vec<Value>,
+    ) -> Result<()> {
+        let a = self.domain.actor(actor);
+        self.trace.push(TraceEvent::ActorSignal {
+            time: self.now,
+            actor,
+            actor_name: a.name.clone(),
+            event_name: a.events[event.index()].name.clone(),
+            args,
+        });
+        Ok(())
+    }
+
+    fn send_delayed(
+        &mut self,
+        from: InstId,
+        to: InstId,
+        event: EventId,
+        args: Vec<Value>,
+        delay: i64,
+    ) -> Result<()> {
+        self.store.class_of(to)?;
+        self.send_seq += 1;
+        self.timers.push(TimerEntry {
+            deadline: self.now + delay as u64,
+            seq: self.send_seq,
+            from,
+            to,
+            event,
+            args,
+        });
+        Ok(())
+    }
+
+    fn cancel_delayed(&mut self, inst: InstId, event: EventId) -> Result<()> {
+        self.timers.retain(|t| !(t.to == inst && t.event == event));
+        Ok(())
+    }
+
+    fn bridge_call(&mut self, actor: ActorId, func: &str, args: Vec<Value>) -> Result<Value> {
+        let a = self.domain.actor(actor);
+        let decl = a
+            .func(func)
+            .ok_or_else(|| CoreError::unresolved("bridge function", func))?;
+        let ret_ty = decl.ret;
+        let actor_name = a.name.clone();
+        self.trace.push(TraceEvent::BridgeCall {
+            time: self.now,
+            actor_name: actor_name.clone(),
+            func: func.to_owned(),
+            args: args.clone(),
+        });
+        if let Some(handler) = self.bridges.get_mut(&actor) {
+            return handler(func, &args);
+        }
+        Ok(match ret_ty {
+            Some(t) => Value::default_for(t),
+            None => Value::Bool(false),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtuml_core::builder::{pipeline_domain, DomainBuilder};
+    use xtuml_core::value::DataType;
+
+    fn counter_domain() -> Domain {
+        let mut b = DomainBuilder::new("demo");
+        b.actor("OUT").event("done", &[("v", DataType::Int)]);
+        b.class("Counter")
+            .attr("n", DataType::Int)
+            .event("Bump", &[])
+            .event("Reset", &[])
+            .state("Idle", "")
+            .state("Bumping", "self.n = self.n + 1; gen done(self.n) to OUT;")
+            .state("Zero", "self.n = 0;")
+            .initial("Idle")
+            .transition("Idle", "Bump", "Bumping")
+            .transition("Bumping", "Bump", "Bumping")
+            .transition("Bumping", "Reset", "Zero")
+            .transition("Zero", "Bump", "Bumping")
+            .ignore("Idle", "Reset");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_dispatch_and_observables() {
+        let d = counter_domain();
+        let mut sim = Simulation::new(&d);
+        let c = sim.create("Counter").unwrap();
+        sim.inject(0, c, "Bump", vec![]).unwrap();
+        sim.inject(1, c, "Bump", vec![]).unwrap();
+        sim.inject(2, c, "Reset", vec![]).unwrap();
+        sim.inject(3, c, "Bump", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.attr(c, "n").unwrap(), Value::Int(1));
+        assert_eq!(sim.state_name(c).unwrap(), "Bumping");
+        let obs = sim.trace().observable();
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs[0].args, vec![Value::Int(1)]);
+        assert_eq!(obs[1].args, vec![Value::Int(2)]);
+        assert_eq!(obs[2].args, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn ignore_consumes_silently() {
+        let d = counter_domain();
+        let mut sim = Simulation::new(&d);
+        let c = sim.create("Counter").unwrap();
+        sim.inject(0, c, "Reset", vec![]).unwrap(); // ignored in Idle
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.state_name(c).unwrap(), "Idle");
+        assert!(sim
+            .trace()
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Ignored { .. })));
+    }
+
+    #[test]
+    fn cant_happen_errors_in_strict_mode() {
+        let mut b = DomainBuilder::new("m");
+        b.class("C")
+            .event("E", &[])
+            .event("F", &[])
+            .state("S", "")
+            .initial("S")
+            .transition("S", "E", "S");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        let c = sim.create("C").unwrap();
+        sim.inject(0, c, "F", vec![]).unwrap();
+        let err = sim.run_to_quiescence().unwrap_err();
+        assert!(matches!(err, CoreError::CantHappen { .. }));
+    }
+
+    #[test]
+    fn cant_happen_dropped_in_lenient_mode() {
+        let mut b = DomainBuilder::new("m");
+        b.class("C")
+            .event("E", &[])
+            .event("F", &[])
+            .state("S", "")
+            .initial("S")
+            .transition("S", "E", "S");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::with_policy(
+            &d,
+            SchedPolicy {
+                strict: false,
+                ..SchedPolicy::default()
+            },
+        );
+        let c = sim.create("C").unwrap();
+        sim.inject(0, c, "F", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.dropped_events(), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut b = DomainBuilder::new("m");
+        b.actor("OUT").event("fired", &[("tag", DataType::Int)]);
+        b.class("T")
+            .event("Arm", &[])
+            .event("Late", &[("tag", DataType::Int)])
+            .state("Idle", "")
+            .state(
+                "Armed",
+                "gen Late(2) to self after 20;\n\
+                 gen Late(1) to self after 10;",
+            )
+            .state("Fired", "gen fired(rcvd.tag) to OUT;")
+            .initial("Idle")
+            .transition("Idle", "Arm", "Armed")
+            .transition("Armed", "Late", "Fired")
+            .transition("Fired", "Late", "Fired");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        let t = sim.create("T").unwrap();
+        sim.inject(0, t, "Arm", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let obs = sim.trace().observable();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].args, vec![Value::Int(1)]);
+        assert_eq!(obs[1].args, vec![Value::Int(2)]);
+        assert!(sim.now() >= 20);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut b = DomainBuilder::new("m");
+        b.actor("OUT").event("fired", &[]);
+        b.class("T")
+            .event("Arm", &[])
+            .event("Disarm", &[])
+            .event("Late", &[])
+            .state("Idle", "")
+            .state("Armed", "gen Late() to self after 50;")
+            .state("Safe", "cancel Late;")
+            .state("Boom", "gen fired() to OUT;")
+            .initial("Idle")
+            .transition("Idle", "Arm", "Armed")
+            .transition("Armed", "Disarm", "Safe")
+            .transition("Armed", "Late", "Boom");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        let t = sim.create("T").unwrap();
+        sim.inject(0, t, "Arm", vec![]).unwrap();
+        sim.inject(1, t, "Disarm", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.trace().observable().is_empty());
+        assert_eq!(sim.state_name(t).unwrap(), "Safe");
+    }
+
+    #[test]
+    fn self_events_preempt_external_ones() {
+        // In state Work, the instance sends itself Finish. An external
+        // Next is already queued. With self-priority, Finish must be
+        // consumed first.
+        let mut b = DomainBuilder::new("m");
+        b.actor("OUT").event("seen", &[("which", DataType::Int)]);
+        b.class("W")
+            .event("Go", &[])
+            .event("Next", &[])
+            .event("Finish", &[])
+            .state("Idle", "")
+            .state("Work", "gen Finish() to self;")
+            .state("Done", "gen seen(1) to OUT;")
+            .state("Nexted", "gen seen(2) to OUT;")
+            .initial("Idle")
+            .transition("Idle", "Go", "Work")
+            .transition("Work", "Finish", "Done")
+            .transition("Work", "Next", "Nexted")
+            .transition("Done", "Next", "Nexted")
+            .ignore("Nexted", "Finish");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        let w = sim.create("W").unwrap();
+        sim.inject(0, w, "Go", vec![]).unwrap();
+        sim.inject(0, w, "Next", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let obs = sim.trace().observable();
+        let order: Vec<i64> = obs.iter().map(|o| o.args[0].as_int().unwrap()).collect();
+        assert_eq!(order, vec![1, 2], "self event must be consumed first");
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_may_differ() {
+        let d = pipeline_domain(4).unwrap();
+        let run = |seed: u64| {
+            let mut sim = Simulation::with_policy(&d, SchedPolicy::seeded(seed));
+            let insts: Vec<InstId> = (0..4)
+                .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+                .collect();
+            for k in 0..3 {
+                sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+                    .unwrap();
+            }
+            for i in 0..8 {
+                sim.inject(i, insts[0], "Feed", vec![Value::Int(i as i64)])
+                    .unwrap();
+            }
+            sim.run_to_quiescence().unwrap();
+            sim.trace().clone()
+        };
+        let t1 = run(1);
+        let t2 = run(1);
+        assert_eq!(t1, t2, "same seed must reproduce the trace exactly");
+        // Observable outputs must be identical across seeds for this
+        // deterministic pipeline (it is confluent).
+        let t3 = run(99);
+        assert_eq!(
+            t1.observable(),
+            t3.observable(),
+            "pipeline output is interleaving-independent"
+        );
+    }
+
+    #[test]
+    fn causality_holds_with_rules_on() {
+        let d = pipeline_domain(3).unwrap();
+        let mut sim = Simulation::new(&d);
+        let insts: Vec<InstId> = (0..3)
+            .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+            .collect();
+        for k in 0..2 {
+            sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+                .unwrap();
+        }
+        for i in 0..20 {
+            sim.inject(i, insts[0], "Feed", vec![Value::Int(0)])
+                .unwrap();
+        }
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.trace().causality_violations(), 0);
+    }
+
+    #[test]
+    fn pair_order_ablation_can_violate_causality() {
+        // One sender fires many ordered signals at one receiver; with FIFO
+        // off, some pair must eventually be dispatched out of order.
+        let mut b = DomainBuilder::new("m");
+        b.class("Recv")
+            .attr("last", DataType::Int)
+            .event("Msg", &[("k", DataType::Int)])
+            .state("Idle", "")
+            .state("Got", "self.last = rcvd.k;")
+            .initial("Idle")
+            .transition("Idle", "Msg", "Got")
+            .transition("Got", "Msg", "Got");
+        b.class("Send")
+            .event("Go", &[])
+            .state("Idle", "")
+            .state(
+                "Burst",
+                "select any r from Recv;\n\
+                 k = 0;\n\
+                 while (k < 50) { gen Msg(k) to r; k = k + 1; }",
+            )
+            .initial("Idle")
+            .transition("Idle", "Go", "Burst");
+        let d = b.build().unwrap();
+        let mut violated = false;
+        for seed in 0..10 {
+            let mut sim = Simulation::with_policy(
+                &d,
+                SchedPolicy {
+                    pair_order: false,
+                    ..SchedPolicy::seeded(seed)
+                },
+            );
+            let _r = sim.create("Recv").unwrap();
+            let s = sim.create("Send").unwrap();
+            sim.inject(0, s, "Go", vec![]).unwrap();
+            sim.run_to_quiescence().unwrap();
+            if sim.trace().causality_violations() > 0 {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "ablating pair order must eventually reorder");
+    }
+
+    #[test]
+    fn delete_drops_in_flight_signals() {
+        let mut b = DomainBuilder::new("m");
+        b.actor("OUT").event("late", &[]);
+        b.class("Victim")
+            .event("Poke", &[])
+            .state("Idle", "")
+            .state("Poked", "gen late() to OUT;")
+            .initial("Idle")
+            .transition("Idle", "Poke", "Poked")
+            .transition("Poked", "Poke", "Poked");
+        b.class("Killer")
+            .event("Go", &[])
+            .state("Idle", "")
+            .state(
+                "Kill",
+                "select any v from Victim;\n\
+                 gen Poke() to v after 100;\n\
+                 delete v;",
+            )
+            .initial("Idle")
+            .transition("Idle", "Go", "Kill");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        let _v = sim.create("Victim").unwrap();
+        let k = sim.create("Killer").unwrap();
+        sim.inject(0, k, "Go", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.trace().observable().is_empty());
+    }
+
+    #[test]
+    fn bridge_handler_receives_calls() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut b = DomainBuilder::new("m");
+        b.actor("MATH")
+            .func("abs", &[("v", DataType::Int)], Some(DataType::Int));
+        b.class("C")
+            .attr("r", DataType::Int)
+            .event("E", &[])
+            .state("Idle", "")
+            .state("Calc", "self.r = MATH::abs(-5);")
+            .initial("Idle")
+            .transition("Idle", "E", "Calc");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        let calls = Rc::new(RefCell::new(0));
+        let calls2 = calls.clone();
+        sim.register_bridge("MATH", move |func, args| {
+            *calls2.borrow_mut() += 1;
+            assert_eq!(func, "abs");
+            Ok(Value::Int(args[0].as_int()?.abs()))
+        })
+        .unwrap();
+        let c = sim.create("C").unwrap();
+        sim.inject(0, c, "E", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.attr(c, "r").unwrap(), Value::Int(5));
+        assert_eq!(*calls.borrow(), 1);
+    }
+
+    #[test]
+    fn unregistered_bridge_returns_default() {
+        let mut b = DomainBuilder::new("m");
+        b.actor("MATH")
+            .func("abs", &[("v", DataType::Int)], Some(DataType::Int));
+        b.class("C")
+            .attr("r", DataType::Int)
+            .event("E", &[])
+            .state("Idle", "")
+            .state("Calc", "self.r = MATH::abs(-5) + 7;")
+            .initial("Idle")
+            .transition("Idle", "E", "Calc");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        let c = sim.create("C").unwrap();
+        sim.inject(0, c, "E", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.attr(c, "r").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn inject_validates_event_and_time() {
+        let d = counter_domain();
+        let mut sim = Simulation::new(&d);
+        let c = sim.create("Counter").unwrap();
+        assert!(sim.inject(0, c, "Nope", vec![]).is_err());
+        assert!(sim.inject(0, c, "Bump", vec![Value::Int(1)]).is_err());
+        sim.inject(5, c, "Bump", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert!(sim.inject(0, c, "Bump", vec![]).is_err(), "past time");
+    }
+
+    #[test]
+    fn max_steps_guards_livelock() {
+        let mut b = DomainBuilder::new("m");
+        b.class("Loop")
+            .event("E", &[])
+            .state("A", "gen E() to self;")
+            .initial("A")
+            .transition("A", "E", "A");
+        let d = b.build().unwrap();
+        let mut sim = Simulation::new(&d);
+        sim.set_max_steps(100);
+        let c = sim.create("Loop").unwrap();
+        sim.inject(0, c, "E", vec![]).unwrap();
+        let err = sim.run_to_quiescence().unwrap_err();
+        assert!(err.to_string().contains("max_steps"));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let d = counter_domain();
+        let mut sim = Simulation::new(&d);
+        let c = sim.create("Counter").unwrap();
+        for i in 0..100 {
+            sim.inject(i, c, "Bump", vec![]).unwrap();
+        }
+        sim.run_until(10).unwrap();
+        assert!(sim.now() >= 10);
+        let n = sim.attr(c, "n").unwrap().as_int().unwrap();
+        assert!(n < 100);
+    }
+}

@@ -1,0 +1,454 @@
+//! The instance population: objects, attribute slots and association links.
+//!
+//! [`ObjectStore`] is deliberately free-standing (no scheduler, no queues)
+//! so that every execution platform in the workspace can embed one: the
+//! abstract interpreter holds the whole domain's population, while the
+//! generated hardware and software partitions each hold the population of
+//! *their* classes only.
+
+use xtuml_core::error::{CoreError, Result};
+use xtuml_core::ids::{AssocId, AttrId, ClassId, InstId, StateId};
+use xtuml_core::model::{Domain, Multiplicity};
+use xtuml_core::value::Value;
+
+/// One live (or deleted) object instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    class: ClassId,
+    attrs: Vec<Value>,
+    state: StateId,
+    alive: bool,
+    /// True for a placeholder standing in for an instance owned by the
+    /// other partition: navigable and addressable, but with no attribute
+    /// slots, not selectable, not deletable through actions.
+    proxy: bool,
+}
+
+/// Objects, attributes and links for some subset of a domain's classes.
+///
+/// Instance ids are dense and never reused; deleted instances leave a
+/// tombstone so dangling references are detected, not misinterpreted.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    instances: Vec<Instance>,
+    /// Links per association, in creation order.
+    links: Vec<Vec<(InstId, InstId)>>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store for a domain with `assoc_count` associations.
+    pub fn new(assoc_count: usize) -> ObjectStore {
+        ObjectStore {
+            instances: Vec::new(),
+            links: vec![Vec::new(); assoc_count],
+        }
+    }
+
+    /// Creates an instance of `class` with default attribute values, in
+    /// the class's initial state (or state 0 for passive classes).
+    pub fn create(&mut self, domain: &Domain, class: ClassId) -> InstId {
+        let c = domain.class(class);
+        let attrs = c.attributes.iter().map(|a| a.default.clone()).collect();
+        let state = c
+            .state_machine
+            .as_ref()
+            .map(|m| m.initial)
+            .unwrap_or_default();
+        self.instances.push(Instance {
+            class,
+            attrs,
+            state,
+            alive: true,
+            proxy: false,
+        });
+        InstId::new(self.instances.len() as u32 - 1)
+    }
+
+    /// Registers an instance that lives in *another* partition's store
+    /// under the same id, so cross-partition references resolve classes
+    /// without owning attributes. The proxy has no attribute slots.
+    pub fn create_proxy(&mut self, class: ClassId) -> InstId {
+        self.instances.push(Instance {
+            class,
+            attrs: Vec::new(),
+            state: StateId::default(),
+            alive: true,
+            proxy: true,
+        });
+        InstId::new(self.instances.len() as u32 - 1)
+    }
+
+    /// True if the instance is a cross-partition proxy.
+    pub fn is_proxy(&self, inst: InstId) -> bool {
+        self.instances.get(inst.index()).is_some_and(|i| i.proxy)
+    }
+
+    fn get(&self, inst: InstId) -> Result<&Instance> {
+        match self.instances.get(inst.index()) {
+            Some(i) if i.alive => Ok(i),
+            Some(_) => Err(CoreError::runtime(format!(
+                "instance {inst} has been deleted"
+            ))),
+            None => Err(CoreError::runtime(format!("unknown instance {inst}"))),
+        }
+    }
+
+    fn get_mut(&mut self, inst: InstId) -> Result<&mut Instance> {
+        match self.instances.get_mut(inst.index()) {
+            Some(i) if i.alive => Ok(i),
+            Some(_) => Err(CoreError::runtime(format!(
+                "instance {inst} has been deleted"
+            ))),
+            None => Err(CoreError::runtime(format!("unknown instance {inst}"))),
+        }
+    }
+
+    /// Deletes an instance and all links touching it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown or already-deleted instances.
+    pub fn delete(&mut self, inst: InstId) -> Result<()> {
+        self.get_mut(inst)?.alive = false;
+        for links in &mut self.links {
+            links.retain(|(a, b)| *a != inst && *b != inst);
+        }
+        Ok(())
+    }
+
+    /// True if the instance exists and is alive.
+    pub fn is_alive(&self, inst: InstId) -> bool {
+        self.instances.get(inst.index()).is_some_and(|i| i.alive)
+    }
+
+    /// The class of a live instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    pub fn class_of(&self, inst: InstId) -> Result<ClassId> {
+        Ok(self.get(inst)?.class)
+    }
+
+    /// Current state of a live instance's state machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    pub fn state_of(&self, inst: InstId) -> Result<StateId> {
+        Ok(self.get(inst)?.state)
+    }
+
+    /// Moves the instance to a new state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    pub fn set_state(&mut self, inst: InstId, state: StateId) -> Result<()> {
+        self.get_mut(inst)?.state = state;
+        Ok(())
+    }
+
+    /// Reads an attribute slot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references or proxy instances (which own no
+    /// attributes).
+    pub fn attr_read(&self, inst: InstId, attr: AttrId) -> Result<Value> {
+        let i = self.get(inst)?;
+        i.attrs.get(attr.index()).cloned().ok_or_else(|| {
+            CoreError::runtime(format!(
+                "instance {inst} has no attribute slot {attr} (cross-partition access?)"
+            ))
+        })
+    }
+
+    /// Writes an attribute slot, enforcing the declared type.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references, missing slots, or type mismatches.
+    pub fn attr_write(
+        &mut self,
+        domain: &Domain,
+        inst: InstId,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<()> {
+        let class = self.get(inst)?.class;
+        let decl = domain.class(class).attribute(attr);
+        if decl.ty != value.data_type() {
+            return Err(CoreError::runtime(format!(
+                "attribute {}.{} is {}, got {}",
+                domain.class(class).name,
+                decl.name,
+                decl.ty,
+                value.data_type()
+            )));
+        }
+        let i = self.get_mut(inst)?;
+        match i.attrs.get_mut(attr.index()) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(CoreError::runtime(format!(
+                "instance {inst} has no attribute slot {attr} (cross-partition access?)"
+            ))),
+        }
+    }
+
+    /// All live, locally-owned instances of `class`, in creation order.
+    /// Proxies are excluded: `select` must only see the partition's own
+    /// population.
+    pub fn instances_of(&self, class: ClassId) -> Vec<InstId> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.alive && !i.proxy && i.class == class)
+            .map(|(k, _)| InstId::new(k as u32))
+            .collect()
+    }
+
+    /// Total number of live instances (proxies excluded).
+    pub fn live_count(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.alive && !i.proxy)
+            .count()
+    }
+
+    /// Instances linked to `inst` across `assoc`, in link order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    pub fn related(&self, inst: InstId, assoc: AssocId) -> Result<Vec<InstId>> {
+        self.get(inst)?;
+        Ok(self.links[assoc.index()]
+            .iter()
+            .filter_map(|(a, b)| {
+                if *a == inst {
+                    Some(*b)
+                } else if *b == inst {
+                    Some(*a)
+                } else {
+                    None
+                }
+            })
+            .collect())
+    }
+
+    /// Creates a link, enforcing multiplicity upper bounds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references, duplicate links, participants of the
+    /// wrong class, or multiplicity violations.
+    pub fn relate(&mut self, domain: &Domain, a: InstId, b: InstId, assoc: AssocId) -> Result<()> {
+        let ca = self.class_of(a)?;
+        let cb = self.class_of(b)?;
+        let r = domain.association(assoc);
+        // Orient (a, b) as (from-side, to-side).
+        let (fa, fb) = if ca == r.from && cb == r.to {
+            (a, b)
+        } else if ca == r.to && cb == r.from {
+            (b, a)
+        } else {
+            return Err(CoreError::runtime(format!(
+                "association {} cannot link {} and {}",
+                r.name,
+                domain.class(ca).name,
+                domain.class(cb).name
+            )));
+        };
+        let links = &self.links[assoc.index()];
+        if links.contains(&(fa, fb)) {
+            return Err(CoreError::runtime(format!(
+                "instances already related across {}",
+                r.name
+            )));
+        }
+        // `to_mult` bounds how many to-side partners a from-side instance
+        // may have; `from_mult` bounds the reverse.
+        let to_count = links.iter().filter(|(x, _)| *x == fa).count();
+        if !r.to_mult.is_many() && to_count >= 1 {
+            return Err(CoreError::runtime(format!(
+                "multiplicity violation on {} ({} side)",
+                r.name,
+                domain.class(r.to).name
+            )));
+        }
+        let from_count = links.iter().filter(|(_, y)| *y == fb).count();
+        if !r.from_mult.is_many() && from_count >= 1 {
+            return Err(CoreError::runtime(format!(
+                "multiplicity violation on {} ({} side)",
+                r.name,
+                domain.class(r.from).name
+            )));
+        }
+        let _ = Multiplicity::Many; // multiplicities consumed above
+        self.links[assoc.index()].push((fa, fb));
+        Ok(())
+    }
+
+    /// Removes a link.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instances are not related across `assoc`.
+    pub fn unrelate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()> {
+        let links = &mut self.links[assoc.index()];
+        let before = links.len();
+        links.retain(|(x, y)| !((*x == a && *y == b) || (*x == b && *y == a)));
+        if links.len() == before {
+            return Err(CoreError::runtime("instances are not related"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtuml_core::builder::DomainBuilder;
+    use xtuml_core::model::Multiplicity;
+    use xtuml_core::value::DataType;
+
+    fn domain() -> Domain {
+        let mut d = DomainBuilder::new("t");
+        d.class("A").attr("x", DataType::Int);
+        d.class("B").attr("y", DataType::Bool);
+        d.association("R1", "A", Multiplicity::One, "B", Multiplicity::Many);
+        d.association("R2", "A", Multiplicity::ZeroOne, "B", Multiplicity::ZeroOne);
+        d.build().unwrap()
+    }
+
+    #[test]
+    fn create_read_write_delete() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a = s.create(&d, ClassId::new(0));
+        assert!(s.is_alive(a));
+        assert_eq!(s.attr_read(a, AttrId::new(0)).unwrap(), Value::Int(0));
+        s.attr_write(&d, a, AttrId::new(0), Value::Int(9)).unwrap();
+        assert_eq!(s.attr_read(a, AttrId::new(0)).unwrap(), Value::Int(9));
+        s.delete(a).unwrap();
+        assert!(!s.is_alive(a));
+        assert!(s.attr_read(a, AttrId::new(0)).is_err());
+        assert!(s.delete(a).is_err());
+    }
+
+    #[test]
+    fn attr_write_type_checked() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a = s.create(&d, ClassId::new(0));
+        assert!(s
+            .attr_write(&d, a, AttrId::new(0), Value::Bool(true))
+            .is_err());
+    }
+
+    #[test]
+    fn relate_and_navigate_both_directions() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a = s.create(&d, ClassId::new(0));
+        let b1 = s.create(&d, ClassId::new(1));
+        let b2 = s.create(&d, ClassId::new(1));
+        let r1 = d.assoc_id("R1").unwrap();
+        // Argument order must not matter.
+        s.relate(&d, a, b1, r1).unwrap();
+        s.relate(&d, b2, a, r1).unwrap();
+        assert_eq!(s.related(a, r1).unwrap(), vec![b1, b2]);
+        assert_eq!(s.related(b1, r1).unwrap(), vec![a]);
+        s.unrelate(b1, a, r1).unwrap();
+        assert_eq!(s.related(a, r1).unwrap(), vec![b2]);
+        assert!(s.unrelate(a, b1, r1).is_err());
+    }
+
+    #[test]
+    fn multiplicity_enforced() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a1 = s.create(&d, ClassId::new(0));
+        let a2 = s.create(&d, ClassId::new(0));
+        let b = s.create(&d, ClassId::new(1));
+        let r1 = d.assoc_id("R1").unwrap();
+        // R1: A side is One — a B instance may link to at most one A.
+        s.relate(&d, a1, b, r1).unwrap();
+        assert!(s.relate(&d, a2, b, r1).is_err());
+        // R2: both sides ZeroOne.
+        let r2 = d.assoc_id("R2").unwrap();
+        let b2 = s.create(&d, ClassId::new(1));
+        s.relate(&d, a1, b2, r2).unwrap();
+        assert!(s.relate(&d, a1, b, r2).is_err());
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a = s.create(&d, ClassId::new(0));
+        let b = s.create(&d, ClassId::new(1));
+        let r1 = d.assoc_id("R1").unwrap();
+        s.relate(&d, a, b, r1).unwrap();
+        assert!(s.relate(&d, a, b, r1).is_err());
+    }
+
+    #[test]
+    fn wrong_class_pair_rejected() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a1 = s.create(&d, ClassId::new(0));
+        let a2 = s.create(&d, ClassId::new(0));
+        let r1 = d.assoc_id("R1").unwrap();
+        assert!(s.relate(&d, a1, a2, r1).is_err());
+    }
+
+    #[test]
+    fn delete_cleans_links() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a = s.create(&d, ClassId::new(0));
+        let b = s.create(&d, ClassId::new(1));
+        let r1 = d.assoc_id("R1").unwrap();
+        s.relate(&d, a, b, r1).unwrap();
+        s.delete(b).unwrap();
+        assert_eq!(s.related(a, r1).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn proxies_have_class_but_no_attrs() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let p = s.create_proxy(ClassId::new(1));
+        assert!(s.is_proxy(p));
+        assert_eq!(s.class_of(p).unwrap(), ClassId::new(1));
+        let err = s.attr_read(p, AttrId::new(0)).unwrap_err();
+        assert!(err.to_string().contains("cross-partition"));
+        // Proxies are invisible to select and counts...
+        assert!(s.instances_of(ClassId::new(1)).is_empty());
+        assert_eq!(s.live_count(), 0);
+        // ...but navigable: links may touch them.
+        let a = s.create(&d, ClassId::new(0));
+        assert!(!s.is_proxy(a));
+        let r1 = d.assoc_id("R1").unwrap();
+        s.relate(&d, a, p, r1).unwrap();
+        assert_eq!(s.related(a, r1).unwrap(), vec![p]);
+    }
+
+    #[test]
+    fn live_count_and_instances_of() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a1 = s.create(&d, ClassId::new(0));
+        let _b = s.create(&d, ClassId::new(1));
+        let a2 = s.create(&d, ClassId::new(0));
+        assert_eq!(s.live_count(), 3);
+        assert_eq!(s.instances_of(ClassId::new(0)), vec![a1, a2]);
+        s.delete(a1).unwrap();
+        assert_eq!(s.instances_of(ClassId::new(0)), vec![a2]);
+    }
+}

@@ -1,0 +1,379 @@
+//! Execution traces.
+//!
+//! A trace records everything a run did; the **observable** projection —
+//! signals generated to external actors, plus bridge calls — is what the
+//! paper's "formal test cases" check, and what the verification layer
+//! compares between the abstract model and any partitioned implementation.
+
+use std::fmt;
+use xtuml_core::ids::{ActorId, ClassId, EventId, InstId, StateId};
+use xtuml_core::model::Domain;
+use xtuml_core::value::Value;
+
+/// One entry of a full execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An instance was created.
+    Create {
+        /// Simulation time of the creation.
+        time: u64,
+        /// The new instance.
+        inst: InstId,
+        /// Its class.
+        class: ClassId,
+    },
+    /// An instance was deleted.
+    Delete {
+        /// Simulation time of the deletion.
+        time: u64,
+        /// The deleted instance.
+        inst: InstId,
+    },
+    /// A signal was dispatched to an instance (a run-to-completion step).
+    Dispatch {
+        /// Simulation time of the dispatch.
+        time: u64,
+        /// Receiving instance.
+        inst: InstId,
+        /// Sender (`None` for external stimuli and timer deliveries).
+        from: Option<InstId>,
+        /// The event.
+        event: EventId,
+        /// Send-sequence number of the envelope (global, monotonically
+        /// increasing at send time) — used by the causality checker.
+        seq: u64,
+        /// State before the transition.
+        from_state: StateId,
+        /// State after the transition (same as `from_state` for ignores).
+        to_state: StateId,
+    },
+    /// An event arrived that the state machine ignores (declared ignore).
+    Ignored {
+        /// Simulation time.
+        time: u64,
+        /// Receiving instance.
+        inst: InstId,
+        /// The event.
+        event: EventId,
+    },
+    /// An event was dropped in non-strict mode (undeclared pair).
+    Dropped {
+        /// Simulation time.
+        time: u64,
+        /// Receiving instance.
+        inst: InstId,
+        /// The event.
+        event: EventId,
+    },
+    /// A signal left the domain towards an actor — **observable**.
+    ActorSignal {
+        /// Simulation time.
+        time: u64,
+        /// Destination actor.
+        actor: ActorId,
+        /// Actor name (denormalised so observable traces are
+        /// platform-independent).
+        actor_name: String,
+        /// Event name.
+        event_name: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// A synchronous bridge call — **observable**.
+    BridgeCall {
+        /// Simulation time.
+        time: u64,
+        /// Actor name.
+        actor_name: String,
+        /// Function name.
+        func: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+}
+
+/// One observable output: a signal to an actor or a bridge call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservableEvent {
+    /// Actor name.
+    pub actor: String,
+    /// Event or function name.
+    pub event: String,
+    /// Arguments.
+    pub args: Vec<Value>,
+}
+
+impl fmt::Display for ObservableEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}(", self.actor, self.event)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// The entries, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// The observable projection: actor signals and bridge calls, in
+    /// order.
+    pub fn observable(&self) -> Vec<ObservableEvent> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ActorSignal {
+                    actor_name,
+                    event_name,
+                    args,
+                    ..
+                } => Some(ObservableEvent {
+                    actor: actor_name.clone(),
+                    event: event_name.clone(),
+                    args: args.clone(),
+                }),
+                TraceEvent::BridgeCall {
+                    actor_name,
+                    func,
+                    args,
+                    ..
+                } => Some(ObservableEvent {
+                    actor: actor_name.clone(),
+                    event: func.clone(),
+                    args: args.clone(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of dispatches (run-to-completion steps) in the trace.
+    pub fn dispatch_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dispatch { .. }))
+            .count()
+    }
+
+    /// Renders the full trace as a human-readable log, resolving ids to
+    /// names against the domain. A debugging aid; the observable
+    /// projection is what verification compares.
+    pub fn render(&self, domain: &Domain) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Create { time, inst, class } => {
+                    let _ = writeln!(
+                        out,
+                        "[{time:>6}] create {inst} : {}",
+                        domain.class(*class).name
+                    );
+                }
+                TraceEvent::Delete { time, inst } => {
+                    let _ = writeln!(out, "[{time:>6}] delete {inst}");
+                }
+                TraceEvent::Dispatch {
+                    time,
+                    inst,
+                    from,
+                    event,
+                    from_state,
+                    to_state,
+                    ..
+                } => {
+                    // The receiving class is recoverable only through the
+                    // creation record; scan backwards for it.
+                    let class = self.events.iter().find_map(|c| match c {
+                        TraceEvent::Create { inst: i, class, .. } if i == inst => Some(*class),
+                        _ => None,
+                    });
+                    let (ev_name, s0, s1) = match class {
+                        Some(c) => {
+                            let cls = domain.class(c);
+                            let machine = cls.state_machine.as_ref();
+                            (
+                                cls.events[event.index()].name.clone(),
+                                machine.map_or(from_state.to_string(), |m| {
+                                    m.state(*from_state).name.clone()
+                                }),
+                                machine.map_or(to_state.to_string(), |m| {
+                                    m.state(*to_state).name.clone()
+                                }),
+                            )
+                        }
+                        None => (
+                            event.to_string(),
+                            from_state.to_string(),
+                            to_state.to_string(),
+                        ),
+                    };
+                    let from_s = from.map_or("<env>".to_owned(), |f| f.to_string());
+                    let _ = writeln!(
+                        out,
+                        "[{time:>6}] {from_s} -> {inst} : {ev_name} ({s0} -> {s1})"
+                    );
+                }
+                TraceEvent::Ignored { time, inst, event } => {
+                    let _ = writeln!(out, "[{time:>6}] {inst} ignored {event}");
+                }
+                TraceEvent::Dropped { time, inst, event } => {
+                    let _ = writeln!(out, "[{time:>6}] {inst} DROPPED {event}");
+                }
+                TraceEvent::ActorSignal {
+                    time,
+                    actor_name,
+                    event_name,
+                    args,
+                    ..
+                } => {
+                    let _ = write!(out, "[{time:>6}] >> {actor_name}.{event_name}(");
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            let _ = write!(out, ", ");
+                        }
+                        let _ = write!(out, "{a}");
+                    }
+                    let _ = writeln!(out, ")");
+                }
+                TraceEvent::BridgeCall {
+                    time,
+                    actor_name,
+                    func,
+                    args,
+                } => {
+                    let _ = write!(out, "[{time:>6}] :: {actor_name}::{func}(");
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            let _ = write!(out, ", ");
+                        }
+                        let _ = write!(out, "{a}");
+                    }
+                    let _ = writeln!(out, ")");
+                }
+            }
+        }
+        out
+    }
+
+    /// Counts causality violations: for each (sender, receiver) pair, the
+    /// dispatch order must match the send order (send-sequence numbers
+    /// strictly increasing). With the event rules on this is always zero;
+    /// E5 ablations make it positive.
+    pub fn causality_violations(&self) -> usize {
+        use std::collections::BTreeMap;
+        let mut last_seq: BTreeMap<(InstId, InstId), u64> = BTreeMap::new();
+        let mut violations = 0;
+        for e in &self.events {
+            if let TraceEvent::Dispatch {
+                inst,
+                from: Some(from),
+                seq,
+                ..
+            } = e
+            {
+                let key = (*from, *inst);
+                if let Some(prev) = last_seq.get(&key) {
+                    if *seq < *prev {
+                        violations += 1;
+                    }
+                }
+                let entry = last_seq.entry(key).or_insert(0);
+                *entry = (*entry).max(*seq);
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatch(from: u32, to: u32, seq: u64) -> TraceEvent {
+        TraceEvent::Dispatch {
+            time: 0,
+            inst: InstId::new(to),
+            from: Some(InstId::new(from)),
+            event: EventId::new(0),
+            seq,
+            from_state: StateId::new(0),
+            to_state: StateId::new(0),
+        }
+    }
+
+    #[test]
+    fn observable_filters_and_orders() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Create {
+            time: 0,
+            inst: InstId::new(0),
+            class: ClassId::new(0),
+        });
+        t.push(TraceEvent::ActorSignal {
+            time: 1,
+            actor: ActorId::new(0),
+            actor_name: "OUT".into(),
+            event_name: "done".into(),
+            args: vec![Value::Int(1)],
+        });
+        t.push(TraceEvent::BridgeCall {
+            time: 2,
+            actor_name: "LOG".into(),
+            func: "info".into(),
+            args: vec![Value::from("x")],
+        });
+        let obs = t.observable();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].actor, "OUT");
+        assert_eq!(obs[1].event, "info");
+        assert_eq!(obs[0].to_string(), "OUT.done(1)");
+    }
+
+    #[test]
+    fn causality_clean_when_ordered() {
+        let mut t = Trace::new();
+        t.push(dispatch(0, 1, 1));
+        t.push(dispatch(0, 1, 2));
+        t.push(dispatch(2, 1, 5));
+        t.push(dispatch(0, 1, 3));
+        assert_eq!(t.causality_violations(), 0);
+    }
+
+    #[test]
+    fn causality_violation_detected() {
+        let mut t = Trace::new();
+        t.push(dispatch(0, 1, 2));
+        t.push(dispatch(0, 1, 1)); // arrived after a later send: violation
+        assert_eq!(t.causality_violations(), 1);
+    }
+
+    #[test]
+    fn dispatch_count() {
+        let mut t = Trace::new();
+        t.push(dispatch(0, 1, 1));
+        t.push(TraceEvent::Delete {
+            time: 0,
+            inst: InstId::new(0),
+        });
+        assert_eq!(t.dispatch_count(), 1);
+    }
+}

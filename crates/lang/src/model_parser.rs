@@ -1,0 +1,371 @@
+//! Parser for model files (`domain ... ;` declarations).
+//!
+//! Declaration parsing reuses the core lexer and hands action bodies to
+//! the core action parser with the declared actor names in scope. Because
+//! actors may be declared after the classes that signal them, parsing is
+//! two-pass: a cheap token scan collects actor names first.
+
+use std::collections::BTreeSet;
+use xtuml_core::builder::{ActorBuilder, ClassBuilder, DomainBuilder};
+use xtuml_core::error::{CoreError, Result};
+use xtuml_core::lex::{lex, Spanned, Tok};
+use xtuml_core::model::{Domain, Multiplicity};
+use xtuml_core::parse::Parser;
+use xtuml_core::value::{DataType, Value};
+
+/// Parses a complete model file into a validated [`Domain`].
+///
+/// # Errors
+///
+/// Returns lexical, syntax, resolution, structural-validation or type
+/// errors — a domain returned by this function is ready to execute.
+pub fn parse_domain(src: &str) -> Result<Domain> {
+    let toks = lex(src)?;
+    let actors = scan_actor_names(&toks);
+    let mut p = Parser::with_actors(&toks, actors);
+
+    p.expect_kw("domain")?;
+    let name = p.expect_ident()?;
+    p.expect(&Tok::Semi)?;
+
+    let mut builder = DomainBuilder::new(&name);
+    loop {
+        if p.eat_kw("class") {
+            let name = p.expect_ident()?;
+            parse_class(&mut p, builder.class(&name))?;
+        } else if p.eat_kw("actor") {
+            let name = p.expect_ident()?;
+            parse_actor(&mut p, builder.actor(&name))?;
+        } else if p.eat_kw("assoc") {
+            parse_assoc(&mut p, &mut builder)?;
+        } else if p.peek() == &Tok::Eof {
+            break;
+        } else {
+            return Err(CoreError::Parse {
+                pos: p.pos(),
+                msg: format!("expected `class`, `actor` or `assoc`, found {}", p.peek()),
+            });
+        }
+    }
+    builder.build()
+}
+
+/// First pass: find every `actor <Name>` pair in the token stream.
+fn scan_actor_names(toks: &[Spanned]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for w in toks.windows(2) {
+        if let (Tok::Ident(kw), Tok::Ident(name)) = (&w[0].tok, &w[1].tok) {
+            if kw == "actor" {
+                names.insert(name.clone());
+            }
+        }
+    }
+    names
+}
+
+fn parse_type(p: &mut Parser<'_>) -> Result<DataType> {
+    let name = p.expect_ident()?;
+    match name.as_str() {
+        "bool" => Ok(DataType::Bool),
+        "int" => Ok(DataType::Int),
+        "real" => Ok(DataType::Real),
+        "string" => Ok(DataType::Str),
+        other => Err(CoreError::Parse {
+            pos: p.pos(),
+            msg: format!(
+                "unknown type `{other}` (attribute and parameter types must be scalar: bool, int, real, string)"
+            ),
+        }),
+    }
+}
+
+fn parse_literal(p: &mut Parser<'_>) -> Result<Value> {
+    let neg = p.eat(&Tok::Minus);
+    match p.next() {
+        Tok::Int(v) => Ok(Value::Int(if neg { -v } else { v })),
+        Tok::Real(v) => Ok(Value::Real(if neg { -v } else { v })),
+        Tok::Str(s) if !neg => Ok(Value::Str(s)),
+        Tok::Ident(w) if w == "true" && !neg => Ok(Value::Bool(true)),
+        Tok::Ident(w) if w == "false" && !neg => Ok(Value::Bool(false)),
+        other => Err(CoreError::Parse {
+            pos: p.pos(),
+            msg: format!("expected literal default value, found {other}"),
+        }),
+    }
+}
+
+fn parse_params(p: &mut Parser<'_>) -> Result<Vec<(String, DataType)>> {
+    p.expect(&Tok::LParen)?;
+    let mut params = Vec::new();
+    if p.peek() != &Tok::RParen {
+        loop {
+            let name = p.expect_ident()?;
+            p.expect(&Tok::Colon)?;
+            let ty = parse_type(p)?;
+            params.push((name, ty));
+            if !p.eat(&Tok::Comma) {
+                break;
+            }
+        }
+    }
+    p.expect(&Tok::RParen)?;
+    Ok(params)
+}
+
+fn parse_class(p: &mut Parser<'_>, cb: &mut ClassBuilder) -> Result<()> {
+    p.expect(&Tok::LBrace)?;
+    loop {
+        if p.eat_kw("attr") {
+            let name = p.expect_ident()?;
+            p.expect(&Tok::Colon)?;
+            let ty = parse_type(p)?;
+            if p.eat(&Tok::Assign) {
+                let v = parse_literal(p)?;
+                if v.data_type() != ty {
+                    return Err(CoreError::Parse {
+                        pos: p.pos(),
+                        msg: format!("default value type {} != declared {ty}", v.data_type()),
+                    });
+                }
+                cb.attr_default(&name, ty, v);
+            } else {
+                cb.attr(&name, ty);
+            }
+            p.expect(&Tok::Semi)?;
+        } else if p.eat_kw("event") {
+            let name = p.expect_ident()?;
+            let params = parse_params(p)?;
+            let refs: Vec<(&str, DataType)> =
+                params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            cb.event(&name, &refs);
+            p.expect(&Tok::Semi)?;
+        } else if p.eat_kw("initial") {
+            let name = p.expect_ident()?;
+            cb.initial(&name);
+            p.expect(&Tok::Semi)?;
+        } else if p.eat_kw("state") {
+            let name = p.expect_ident()?;
+            let block = p.parse_braced_block()?;
+            cb.state_block(&name, block);
+        } else if p.eat_kw("on") {
+            let from = p.expect_ident()?;
+            p.expect(&Tok::Colon)?;
+            let event = p.expect_ident()?;
+            if p.eat(&Tok::Arrow) {
+                let to = p.expect_ident()?;
+                cb.transition(&from, &event, &to);
+            } else if p.eat_kw("ignore") {
+                cb.ignore(&from, &event);
+            } else {
+                return Err(CoreError::Parse {
+                    pos: p.pos(),
+                    msg: format!("expected `->` or `ignore`, found {}", p.peek()),
+                });
+            }
+            p.expect(&Tok::Semi)?;
+        } else if p.eat(&Tok::RBrace) {
+            return Ok(());
+        } else {
+            return Err(CoreError::Parse {
+                pos: p.pos(),
+                msg: format!(
+                    "expected `attr`, `event`, `initial`, `state`, `on` or `}}`, found {}",
+                    p.peek()
+                ),
+            });
+        }
+    }
+}
+
+fn parse_actor(p: &mut Parser<'_>, ab: &mut ActorBuilder) -> Result<()> {
+    p.expect(&Tok::LBrace)?;
+    loop {
+        if p.eat_kw("signal") {
+            let name = p.expect_ident()?;
+            let params = parse_params(p)?;
+            let refs: Vec<(&str, DataType)> =
+                params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            ab.event(&name, &refs);
+            p.expect(&Tok::Semi)?;
+        } else if p.eat_kw("func") {
+            let name = p.expect_ident()?;
+            let params = parse_params(p)?;
+            let ret = if p.eat(&Tok::Arrow) {
+                Some(parse_type(p)?)
+            } else {
+                None
+            };
+            let refs: Vec<(&str, DataType)> =
+                params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            ab.func(&name, &refs, ret);
+            p.expect(&Tok::Semi)?;
+        } else if p.eat(&Tok::RBrace) {
+            return Ok(());
+        } else {
+            return Err(CoreError::Parse {
+                pos: p.pos(),
+                msg: format!("expected `signal`, `func` or `}}`, found {}", p.peek()),
+            });
+        }
+    }
+}
+
+fn parse_mult(p: &mut Parser<'_>) -> Result<Multiplicity> {
+    let word = p.expect_ident()?;
+    match word.as_str() {
+        "one" => Ok(Multiplicity::One),
+        "maybe" => Ok(Multiplicity::ZeroOne),
+        "many" => Ok(Multiplicity::Many),
+        other => Err(CoreError::Parse {
+            pos: p.pos(),
+            msg: format!("expected multiplicity `one`, `maybe` or `many`, found `{other}`"),
+        }),
+    }
+}
+
+fn parse_assoc(p: &mut Parser<'_>, builder: &mut DomainBuilder) -> Result<()> {
+    // assoc R1: From one -- To many;
+    let name = p.expect_ident()?;
+    p.expect(&Tok::Colon)?;
+    let from = p.expect_ident()?;
+    let from_mult = parse_mult(p)?;
+    p.expect(&Tok::DashDash)?;
+    let to = p.expect_ident()?;
+    let to_mult = parse_mult(p)?;
+    p.expect(&Tok::Semi)?;
+    builder.association(&name, &from, from_mult, &to, to_mult);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLINKER: &str = r#"
+domain Blinker;
+
+actor ENV {
+    signal blinked(count: int);
+    func now() -> int;
+    func info(msg: string);
+}
+
+class Led {
+    attr on: bool;
+    attr blinks: int = 0;
+
+    event Toggle();
+    event SetRate(hz: int);
+
+    initial Off;
+
+    state Off {
+        self.on = false;
+    }
+    state On {
+        self.on = true;
+        self.blinks = self.blinks + 1;
+        gen blinked(self.blinks) to ENV;
+    }
+
+    on Off: Toggle -> On;
+    on On: Toggle -> Off;
+    on Off: SetRate ignore;
+}
+
+class Board {
+    attr name: string = "b0";
+}
+
+assoc R1: Board one -- Led many;
+"#;
+
+    #[test]
+    fn parses_full_model() {
+        let d = parse_domain(BLINKER).unwrap();
+        assert_eq!(d.name, "Blinker");
+        assert_eq!(d.classes.len(), 2);
+        assert_eq!(d.actors.len(), 1);
+        assert_eq!(d.associations.len(), 1);
+        let led = d.class(d.class_id("Led").unwrap());
+        assert_eq!(led.attributes.len(), 2);
+        assert_eq!(led.events.len(), 2);
+        let m = led.state_machine.as_ref().unwrap();
+        assert_eq!(m.states.len(), 2);
+        assert_eq!(m.transitions.len(), 3);
+        let board = d.class(d.class_id("Board").unwrap());
+        assert!(board.state_machine.is_none());
+        assert_eq!(board.attributes[0].default, Value::Str("b0".into()));
+        let env = d.actor(d.actor_id("ENV").unwrap());
+        assert_eq!(env.events.len(), 1);
+        assert_eq!(env.funcs.len(), 2);
+        assert_eq!(env.funcs[0].ret, Some(DataType::Int));
+        assert_eq!(env.funcs[1].ret, None);
+    }
+
+    #[test]
+    fn actor_declared_after_class_still_resolves() {
+        let src = r#"
+domain D;
+class C {
+    event E();
+    initial S;
+    state S { gen ping() to OUT; }
+    on S: E -> S;
+}
+actor OUT { signal ping(); }
+"#;
+        let d = parse_domain(src).unwrap();
+        assert_eq!(d.actors.len(), 1);
+    }
+
+    #[test]
+    fn negative_default_values() {
+        let src = "domain D; class C { attr x: int = -5; attr y: real = -2.5; }";
+        let d = parse_domain(src).unwrap();
+        let c = d.class(d.class_id("C").unwrap());
+        assert_eq!(c.attributes[0].default, Value::Int(-5));
+        assert_eq!(c.attributes[1].default, Value::Real(-2.5));
+    }
+
+    #[test]
+    fn default_type_mismatch_rejected() {
+        assert!(parse_domain("domain D; class C { attr x: int = true; }").is_err());
+    }
+
+    #[test]
+    fn nonscalar_attr_type_rejected() {
+        assert!(parse_domain("domain D; class C { attr x: Lamp; }").is_err());
+    }
+
+    #[test]
+    fn junk_at_top_level_rejected() {
+        assert!(parse_domain("domain D; junk").is_err());
+    }
+
+    #[test]
+    fn missing_transition_arrow_rejected() {
+        let src = "domain D; class C { event E(); initial S; state S { } on S: E 5; }";
+        assert!(parse_domain(src).is_err());
+    }
+
+    #[test]
+    fn semantic_errors_surface() {
+        // Transition references an unknown state.
+        let src = "domain D; class C { event E(); initial S; state S { } on S: E -> T; }";
+        assert!(parse_domain(src).is_err());
+        // Action type error.
+        let src =
+            "domain D; class C { attr n: int; event E(); initial S; state S { self.n = true; } on S: E -> S; }";
+        assert!(parse_domain(src).is_err());
+    }
+
+    #[test]
+    fn multiplicities_parse() {
+        let src = "domain D; class A { } class B { } assoc R1: A maybe -- B many;";
+        let d = parse_domain(src).unwrap();
+        assert_eq!(d.associations[0].from_mult, Multiplicity::ZeroOne);
+        assert_eq!(d.associations[0].to_mult, Multiplicity::Many);
+        assert!(parse_domain("domain D; class A { } assoc R1: A two -- A one;").is_err());
+    }
+}

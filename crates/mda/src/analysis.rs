@@ -1,0 +1,268 @@
+//! Static analysis of action blocks for the mapping rules.
+//!
+//! The model compiler needs to know, per class: which classes its actions
+//! *create*, *delete*, *select* or *relate* (these must be
+//! partition-local), and which `(target class, event)` pairs it *signals*
+//! (these define the interface channels when the target is remote).
+//!
+//! Signal targets are resolved by a lightweight class-inference over
+//! instance-valued expressions. The action language restricts
+//! instance-typed values to `self`, `create`/`select`/`foreach` bindings,
+//! association navigation and `any(...)` — attributes and event
+//! parameters are scalars — so the inference is *complete*: a target whose
+//! class cannot be inferred is a malformed block, reported as an error.
+
+use crate::{MdaError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+use xtuml_core::action::{Block, Expr, GenTarget, Stmt};
+use xtuml_core::ids::{ClassId, EventId};
+use xtuml_core::model::Domain;
+use xtuml_core::value::UnOp;
+
+/// What one class's actions do to the rest of the domain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassUsage {
+    /// Classes instantiated via `create`.
+    pub creates: BTreeSet<ClassId>,
+    /// Classes whose populations are queried via `select`.
+    pub selects: BTreeSet<ClassId>,
+    /// Classes whose instances are deleted (where inferable).
+    pub deletes: BTreeSet<ClassId>,
+    /// Classes related/unrelated at runtime (where inferable).
+    pub relates: BTreeSet<ClassId>,
+    /// Signals sent to instances: `(target class, event)`.
+    pub sends: BTreeSet<(ClassId, EventId)>,
+}
+
+/// Analyses every state action of `class`.
+///
+/// # Errors
+///
+/// Returns [`MdaError::Mapping`] if a signal target's class cannot be
+/// statically inferred (not expressible through the surface language, but
+/// possible with hand-built ASTs).
+pub fn analyze_class(domain: &Domain, class: ClassId) -> Result<ClassUsage> {
+    let mut usage = ClassUsage::default();
+    let c = domain.class(class);
+    if let Some(machine) = &c.state_machine {
+        for state in &machine.states {
+            let mut env: BTreeMap<String, ClassId> = BTreeMap::new();
+            walk_block(domain, class, &state.action, &mut env, &mut usage).map_err(|e| {
+                MdaError::mapping(format!("class {}, state {}: {e}", c.name, state.name))
+            })?;
+        }
+    }
+    Ok(usage)
+}
+
+/// Infers the class of an instance-valued expression, if any.
+fn infer(
+    domain: &Domain,
+    self_class: ClassId,
+    env: &BTreeMap<String, ClassId>,
+    expr: &Expr,
+) -> Option<ClassId> {
+    match expr {
+        Expr::SelfRef => Some(self_class),
+        Expr::Var(name) => env.get(name).copied(),
+        Expr::Nav(_, class_name, _) => domain.class_id(class_name).ok(),
+        Expr::Unary(UnOp::Any, inner) => infer(domain, self_class, env, inner),
+        Expr::Selected => None, // select target recorded separately
+        _ => None,
+    }
+}
+
+fn walk_block(
+    domain: &Domain,
+    self_class: ClassId,
+    block: &Block,
+    env: &mut BTreeMap<String, ClassId>,
+    usage: &mut ClassUsage,
+) -> Result<(), String> {
+    for stmt in &block.stmts {
+        walk_stmt(domain, self_class, stmt, env, usage)?;
+    }
+    Ok(())
+}
+
+fn walk_stmt(
+    domain: &Domain,
+    self_class: ClassId,
+    stmt: &Stmt,
+    env: &mut BTreeMap<String, ClassId>,
+    usage: &mut ClassUsage,
+) -> Result<(), String> {
+    match stmt {
+        Stmt::Create { var, class, .. } => {
+            if let Ok(id) = domain.class_id(class) {
+                usage.creates.insert(id);
+                env.insert(var.clone(), id);
+            }
+        }
+        Stmt::Delete { expr, .. } => {
+            if let Some(id) = infer(domain, self_class, env, expr) {
+                usage.deletes.insert(id);
+            }
+        }
+        Stmt::SelectAny { var, class, .. } | Stmt::SelectMany { var, class, .. } => {
+            if let Ok(id) = domain.class_id(class) {
+                usage.selects.insert(id);
+                env.insert(var.clone(), id);
+            }
+        }
+        Stmt::Relate { a, b, .. } | Stmt::Unrelate { a, b, .. } => {
+            for e in [a, b] {
+                if let Some(id) = infer(domain, self_class, env, e) {
+                    usage.relates.insert(id);
+                }
+            }
+        }
+        Stmt::Generate {
+            event,
+            target: GenTarget::Inst(texpr),
+            ..
+        } => {
+            // A bare non-bound variable as target resolves to an actor at
+            // run time; only instance-directed sends define channels.
+            let is_actor_fallback = matches!(texpr, Expr::Var(name)
+                if !env.contains_key(name) && domain.actor_id(name).is_ok());
+            if !is_actor_fallback {
+                let Some(target) = infer(domain, self_class, env, texpr) else {
+                    return Err(format!(
+                        "cannot statically resolve the class of signal target `{texpr}` \
+                         for event `{event}`"
+                    ));
+                };
+                if let Some(ev) = domain.class(target).event_id(event) {
+                    usage.sends.insert((target, ev));
+                }
+            }
+        }
+        Stmt::Generate { .. } => {} // actor-directed: observable, no channel
+        Stmt::Assign { lhs, expr, .. } => {
+            if let xtuml_core::action::LValue::Var(name) = lhs {
+                if let Some(id) = infer(domain, self_class, env, expr) {
+                    env.insert(name.clone(), id);
+                }
+            }
+        }
+        Stmt::If {
+            arms, otherwise, ..
+        } => {
+            for (_, body) in arms {
+                walk_block(domain, self_class, body, env, usage)?;
+            }
+            if let Some(body) = otherwise {
+                walk_block(domain, self_class, body, env, usage)?;
+            }
+        }
+        Stmt::While { body, .. } => walk_block(domain, self_class, body, env, usage)?,
+        Stmt::ForEach { var, set, body, .. } => {
+            if let Some(id) = infer(domain, self_class, env, set) {
+                env.insert(var.clone(), id);
+            }
+            walk_block(domain, self_class, body, env, usage)?;
+        }
+        Stmt::Cancel { .. }
+        | Stmt::Break { .. }
+        | Stmt::Continue { .. }
+        | Stmt::Return { .. }
+        | Stmt::ExprStmt { .. } => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtuml_core::builder::DomainBuilder;
+    use xtuml_core::model::Multiplicity;
+    use xtuml_core::value::DataType;
+
+    fn domain() -> Domain {
+        let mut b = DomainBuilder::new("d");
+        b.actor("OUT").event("done", &[]);
+        b.class("Worker")
+            .event("Go", &[])
+            .state("Idle", "")
+            .state(
+                "Busy",
+                "l = create Lamp;\n\
+                 relate self to l across R1;\n\
+                 select many ls from Lamp;\n\
+                 foreach x in ls { gen Lit() to x; }\n\
+                 peer = any(self -> Helper[R2]);\n\
+                 gen Assist(3) to peer;\n\
+                 gen done() to OUT;\n\
+                 delete l;",
+            )
+            .initial("Idle")
+            .transition("Idle", "Go", "Busy");
+        b.class("Lamp")
+            .event("Lit", &[])
+            .state("Off", "")
+            .initial("Off")
+            .transition("Off", "Lit", "Off");
+        b.class("Helper")
+            .event("Assist", &[("n", DataType::Int)])
+            .state("S", "")
+            .initial("S")
+            .transition("S", "Assist", "S");
+        b.association(
+            "R1",
+            "Worker",
+            Multiplicity::One,
+            "Lamp",
+            Multiplicity::Many,
+        );
+        b.association(
+            "R2",
+            "Worker",
+            Multiplicity::One,
+            "Helper",
+            Multiplicity::Many,
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn collects_all_usage_kinds() {
+        let d = domain();
+        let worker = d.class_id("Worker").unwrap();
+        let lamp = d.class_id("Lamp").unwrap();
+        let helper = d.class_id("Helper").unwrap();
+        let u = analyze_class(&d, worker).unwrap();
+        assert!(u.creates.contains(&lamp));
+        assert!(u.selects.contains(&lamp));
+        assert!(u.deletes.contains(&lamp));
+        assert!(u.relates.contains(&worker) && u.relates.contains(&lamp));
+        let lit = d.class(lamp).event_id("Lit").unwrap();
+        let assist = d.class(helper).event_id("Assist").unwrap();
+        assert!(u.sends.contains(&(lamp, lit)));
+        assert!(u.sends.contains(&(helper, assist)));
+        // Actor signal creates no instance-send entry.
+        assert_eq!(u.sends.len(), 2);
+    }
+
+    #[test]
+    fn passive_class_has_empty_usage() {
+        let d = domain();
+        let lamp = d.class_id("Lamp").unwrap();
+        let u = analyze_class(&d, lamp).unwrap();
+        assert!(u.creates.is_empty() && u.sends.is_empty());
+    }
+
+    #[test]
+    fn self_sends_resolve_to_own_class() {
+        let mut b = DomainBuilder::new("d");
+        b.class("C")
+            .event("E", &[])
+            .state("S", "gen E() to self;")
+            .initial("S")
+            .transition("S", "E", "S");
+        let d = b.build().unwrap();
+        let c = d.class_id("C").unwrap();
+        let u = analyze_class(&d, c).unwrap();
+        assert!(u.sends.contains(&(c, EventId::new(0))));
+    }
+}

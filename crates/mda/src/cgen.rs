@@ -1,0 +1,553 @@
+//! C code generation for the software partition.
+//!
+//! Emits one translation unit in the style of a classic xtUML model
+//! compiler's generated code: instance structs, event enums, marshalled
+//! event payload unions, one dispatch function per class (a `switch` over
+//! `(state, event)`), action bodies translated statement-by-statement, a
+//! priority dispatch loop, and the **generated bus driver** whose register
+//! offsets come from the shared interface spec (this is the half of the
+//! "generated interface" the software links against).
+//!
+//! The text is what a downstream embedded build would compile; within
+//! this reproduction it is validated by golden tests and size metrics
+//! (experiment E6), while the *executable* software partition
+//! ([`crate::swpart`]) is the same lowering interpreted directly.
+
+use crate::compiler::PlatformParams;
+use crate::interface::InterfaceSpec;
+use crate::partition::{Partition, Side};
+use std::fmt::Write as _;
+use xtuml_core::action::{Block, Expr, GenTarget, LValue, Stmt};
+use xtuml_core::ids::ClassId;
+use xtuml_core::model::{Class, Domain, TransitionTarget};
+use xtuml_core::value::{BinOp, DataType, UnOp, Value};
+use xtuml_cosim::RegisterFile;
+
+fn c_type(ty: DataType) -> &'static str {
+    match ty {
+        DataType::Bool => "bool",
+        DataType::Int => "int64_t",
+        DataType::Real => "double",
+        DataType::Str => "const char *",
+        DataType::Inst(_) => "xtuml_inst_t",
+        DataType::Set(_) => "xtuml_set_t",
+    }
+}
+
+fn c_literal(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => format!("INT64_C({i})"),
+        Value::Real(r) => format!("{r:?}"),
+        Value::Str(s) => format!("{s:?}"),
+        Value::Inst(..) => "XTUML_NO_INST".to_owned(),
+        Value::Set(..) => "xtuml_set_empty()".to_owned(),
+    }
+}
+
+fn c_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => c_literal(v),
+        Expr::Var(n) => n.clone(),
+        Expr::SelfRef => "self".to_owned(),
+        Expr::Selected => "selected".to_owned(),
+        Expr::Param(n) => format!("evt->{n}"),
+        Expr::Attr(base, n) => format!("{}->{n}", c_expr(base)),
+        Expr::Nav(base, class, assoc) => {
+            format!("xtuml_nav({}, CLASS_{class}, {assoc})", c_expr(base))
+        }
+        Expr::Unary(op, e) => match op {
+            UnOp::Neg => format!("(-{})", c_expr(e)),
+            UnOp::Not => format!("(!{})", c_expr(e)),
+            UnOp::Cardinality => format!("xtuml_cardinality({})", c_expr(e)),
+            UnOp::Empty => format!("xtuml_is_empty({})", c_expr(e)),
+            UnOp::NotEmpty => format!("(!xtuml_is_empty({}))", c_expr(e)),
+            UnOp::Any => format!("xtuml_any({})", c_expr(e)),
+            UnOp::ToInt => format!("(int64_t)({})", c_expr(e)),
+            UnOp::ToReal => format!("(double)({})", c_expr(e)),
+            UnOp::ToStr => format!("xtuml_to_string({})", c_expr(e)),
+        },
+        Expr::Binary(op, a, b) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {o} {})", c_expr(a), c_expr(b))
+        }
+        Expr::BridgeCall(actor, func, args) => {
+            let mut s = format!("{actor}_{func}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&c_expr(a));
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+fn c_block(out: &mut String, block: &Block, indent: usize) {
+    for stmt in &block.stmts {
+        c_stmt(out, stmt, indent);
+    }
+}
+
+fn c_stmt(out: &mut String, stmt: &Stmt, indent: usize) {
+    let pad = "    ".repeat(indent);
+    match stmt {
+        Stmt::Assign { lhs, expr, .. } => {
+            let l = match lhs {
+                LValue::Var(n) => n.clone(),
+                LValue::Attr(base, n) => format!("{}->{n}", c_expr(base)),
+            };
+            let _ = writeln!(out, "{pad}{l} = {};", c_expr(expr));
+        }
+        Stmt::Create { var, class, .. } => {
+            let _ = writeln!(out, "{pad}{var} = xtuml_create(CLASS_{class});");
+        }
+        Stmt::Delete { expr, .. } => {
+            let _ = writeln!(out, "{pad}xtuml_delete({});", c_expr(expr));
+        }
+        Stmt::SelectAny {
+            var, class, filter, ..
+        } => match filter {
+            None => {
+                let _ = writeln!(out, "{pad}{var} = xtuml_select_any(CLASS_{class}, NULL);");
+            }
+            Some(f) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{var} = XTUML_SELECT_ANY_WHERE(CLASS_{class}, selected, {});",
+                    c_expr(f)
+                );
+            }
+        },
+        Stmt::SelectMany {
+            var, class, filter, ..
+        } => match filter {
+            None => {
+                let _ = writeln!(out, "{pad}{var} = xtuml_select_many(CLASS_{class}, NULL);");
+            }
+            Some(f) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{var} = XTUML_SELECT_MANY_WHERE(CLASS_{class}, selected, {});",
+                    c_expr(f)
+                );
+            }
+        },
+        Stmt::Relate { a, b, assoc, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}xtuml_relate({}, {}, {assoc});",
+                c_expr(a),
+                c_expr(b)
+            );
+        }
+        Stmt::Unrelate { a, b, assoc, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}xtuml_unrelate({}, {}, {assoc});",
+                c_expr(a),
+                c_expr(b)
+            );
+        }
+        Stmt::Generate {
+            event,
+            args,
+            target,
+            delay,
+            ..
+        } => {
+            let args_s: Vec<String> = args.iter().map(c_expr).collect();
+            let arglist = if args_s.is_empty() {
+                String::new()
+            } else {
+                format!(", {}", args_s.join(", "))
+            };
+            match (target, delay) {
+                (GenTarget::Actor(a), _) => {
+                    let _ = writeln!(out, "{pad}xtuml_signal_actor_{a}_{event}(0{arglist});");
+                }
+                (GenTarget::Inst(t), None) => {
+                    let _ = writeln!(out, "{pad}xtuml_gen(EVT_{event}, {}{arglist});", c_expr(t));
+                }
+                (GenTarget::Inst(t), Some(d)) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}xtuml_gen_delayed(EVT_{event}, {}, {}{arglist});",
+                        c_expr(t),
+                        c_expr(d)
+                    );
+                }
+            }
+        }
+        Stmt::Cancel { event, .. } => {
+            let _ = writeln!(out, "{pad}xtuml_cancel(EVT_{event}, self);");
+        }
+        Stmt::If {
+            arms, otherwise, ..
+        } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                let kw = if i == 0 { "if" } else { "} else if" };
+                let _ = writeln!(out, "{pad}{kw} ({}) {{", c_expr(cond));
+                c_block(out, body, indent + 1);
+            }
+            if let Some(body) = otherwise {
+                let _ = writeln!(out, "{pad}}} else {{");
+                c_block(out, body, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", c_expr(cond));
+            c_block(out, body, indent + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::ForEach { var, set, body, .. } => {
+            let _ = writeln!(out, "{pad}XTUML_FOREACH({var}, {}) {{", c_expr(set));
+            c_block(out, body, indent + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Break { .. } => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        Stmt::Continue { .. } => {
+            let _ = writeln!(out, "{pad}continue;");
+        }
+        Stmt::Return { .. } => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            let _ = writeln!(out, "{pad}{};", c_expr(expr));
+        }
+    }
+}
+
+fn gen_class(out: &mut String, domain: &Domain, class: &Class) {
+    let _ = writeln!(out, "/* ---- class {} ---- */", class.name);
+    let _ = writeln!(out, "typedef struct {} {{", class.name);
+    let _ = writeln!(out, "    xtuml_inst_header_t hdr;");
+    for a in &class.attributes {
+        let _ = writeln!(out, "    {} {};", c_type(a.ty), a.name);
+    }
+    let _ = writeln!(out, "}} {};\n", class.name);
+
+    if class.events.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "enum {}_event {{", class.name);
+    for e in &class.events {
+        let _ = writeln!(out, "    EVT_{},", e.name);
+    }
+    let _ = writeln!(out, "}};\n");
+
+    let Some(machine) = &class.state_machine else {
+        return;
+    };
+    let _ = writeln!(out, "enum {}_state {{", class.name);
+    for s in &machine.states {
+        let _ = writeln!(out, "    ST_{}_{},", class.name, s.name);
+    }
+    let _ = writeln!(out, "}};\n");
+
+    // Entry action per state.
+    for s in &machine.states {
+        let _ = writeln!(
+            out,
+            "static void {}_enter_{}({} *self, const xtuml_event_t *evt) {{",
+            class.name, s.name, class.name
+        );
+        let _ = writeln!(out, "    (void)evt;");
+        c_block(out, &s.action, 1);
+        let _ = writeln!(out, "}}\n");
+    }
+
+    // Dispatch: switch over (state, event).
+    let _ = writeln!(
+        out,
+        "void {}_dispatch({} *self, const xtuml_event_t *evt) {{",
+        class.name, class.name
+    );
+    let _ = writeln!(out, "    switch (self->hdr.state) {{");
+    for (si, s) in machine.states.iter().enumerate() {
+        let _ = writeln!(out, "    case ST_{}_{}:", class.name, s.name);
+        let _ = writeln!(out, "        switch (evt->kind) {{");
+        for t in &machine.transitions {
+            if t.from.index() != si {
+                continue;
+            }
+            let ev = &class.events[t.event.index()].name;
+            match t.target {
+                TransitionTarget::To(to) => {
+                    let to_name = &machine.state(to).name;
+                    let _ = writeln!(out, "        case EVT_{ev}:");
+                    let _ = writeln!(
+                        out,
+                        "            self->hdr.state = ST_{}_{to_name};",
+                        class.name
+                    );
+                    let _ = writeln!(
+                        out,
+                        "            {}_enter_{to_name}(self, evt);",
+                        class.name
+                    );
+                    let _ = writeln!(out, "            break;");
+                }
+                TransitionTarget::Ignore => {
+                    let _ = writeln!(out, "        case EVT_{ev}: /* ignore */ break;");
+                }
+                TransitionTarget::CantHappen => {}
+            }
+        }
+        let _ = writeln!(
+            out,
+            "        default: xtuml_cant_happen(\"{}\", self->hdr.state, evt->kind);",
+            class.name
+        );
+        let _ = writeln!(out, "        }}");
+        let _ = writeln!(out, "        break;");
+    }
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}\n");
+    let _ = domain;
+}
+
+fn gen_driver(out: &mut String, domain: &Domain, iface: &InterfaceSpec) {
+    let _ = writeln!(
+        out,
+        "/* ==== GENERATED BUS DRIVER — single source: interface spec ==== */"
+    );
+    let _ = writeln!(out, "#define XTUML_RX_STATUS  0x{:03X}u", 0x100);
+    let _ = writeln!(out, "#define XTUML_RX_CHANNEL 0x{:03X}u", 0x101);
+    let _ = writeln!(out, "#define XTUML_RX_DATA0   0x{:03X}u", 0x102);
+    let _ = writeln!(out, "#define XTUML_RX_POP     0x{:03X}u\n", 0x10F);
+    for ch in &iface.channels {
+        let class = &domain.class(ch.target_class).name;
+        let event = &domain.class(ch.target_class).events[ch.event.index()].name;
+        let _ = writeln!(
+            out,
+            "/* channel {}: {} {}.{} ({} payload word(s)) */",
+            ch.id, ch.dir, class, event, ch.payload_words
+        );
+        let _ = writeln!(out, "#define CH_{}_{} {}u", class, event, ch.id);
+        if ch.dir == xtuml_cosim::Direction::SwToHw {
+            let _ = writeln!(
+                out,
+                "static void send_{class}_{event}(xtuml_inst_t to, const uint32_t *w) {{"
+            );
+            for word in 0..ch.payload_words {
+                let addr = RegisterFile::tx_data_addr(ch.id, word);
+                let src = if word == 0 {
+                    "(uint32_t)to".to_owned()
+                } else {
+                    format!("w[{}]", word - 1)
+                };
+                let _ = writeln!(out, "    mmio_write(0x{addr:03X}u, {src});");
+            }
+            let bell = RegisterFile::tx_doorbell_addr(ch.id);
+            let _ = writeln!(out, "    mmio_write(0x{bell:03X}u, 1u); /* doorbell */");
+            let _ = writeln!(out, "}}\n");
+        }
+    }
+    let _ = writeln!(out, "void xtuml_bus_poll(void) {{");
+    let _ = writeln!(out, "    while (mmio_read(XTUML_RX_STATUS) != 0u) {{");
+    let _ = writeln!(out, "        uint32_t ch = mmio_read(XTUML_RX_CHANNEL);");
+    let _ = writeln!(out, "        switch (ch) {{");
+    for ch in &iface.channels {
+        if ch.dir != xtuml_cosim::Direction::HwToSw {
+            continue;
+        }
+        let class = &domain.class(ch.target_class).name;
+        let event = &domain.class(ch.target_class).events[ch.event.index()].name;
+        let _ = writeln!(out, "        case CH_{class}_{event}:");
+        let _ = writeln!(out, "            xtuml_rx_deliver_{class}_{event}();");
+        let _ = writeln!(out, "            break;");
+    }
+    let _ = writeln!(out, "        default: xtuml_bus_fault(ch);");
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "        mmio_write(XTUML_RX_POP, 1u);");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}\n");
+}
+
+/// Generates the software partition's C translation unit.
+pub fn generate_c(
+    domain: &Domain,
+    partition: &Partition,
+    iface: &InterfaceSpec,
+    params: &PlatformParams,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* Generated by the xtuml model compiler — DO NOT EDIT.\n\
+         \x20* Domain: {}\n\
+         \x20* Software partition ({} class(es)); CPU {} kHz.\n\
+         \x20*/",
+        domain.name,
+        partition.sw_count(),
+        params.cpu_khz
+    );
+    out.push_str("#include <stdint.h>\n#include <stdbool.h>\n#include \"xtuml_rt.h\"\n\n");
+
+    // Class ids and association ids shared with the runtime.
+    for (i, c) in domain.classes.iter().enumerate() {
+        let _ = writeln!(out, "#define CLASS_{} {}u", c.name, i);
+    }
+    for (i, a) in domain.associations.iter().enumerate() {
+        let _ = writeln!(out, "#define {} {}u", a.name, i);
+    }
+    out.push('\n');
+
+    // Actor (bridge) prototypes.
+    for actor in &domain.actors {
+        for f in &actor.funcs {
+            let ret = f.ret.map_or("void", c_type);
+            let params_s: Vec<String> = f
+                .params
+                .iter()
+                .map(|(n, t)| format!("{} {n}", c_type(*t)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "extern {ret} {}_{}({});",
+                actor.name,
+                f.name,
+                if params_s.is_empty() {
+                    "void".to_owned()
+                } else {
+                    params_s.join(", ")
+                }
+            );
+        }
+    }
+    out.push('\n');
+
+    for (ci, class) in domain.classes.iter().enumerate() {
+        if partition.side(ClassId::new(ci as u32)) == Side::Sw {
+            gen_class(&mut out, domain, class);
+        }
+    }
+
+    gen_driver(&mut out, domain, iface);
+
+    let _ = writeln!(out, "void xtuml_main_loop(void) {{");
+    let _ = writeln!(out, "    for (;;) {{");
+    let _ = writeln!(out, "        xtuml_bus_poll();");
+    let _ = writeln!(out, "        xtuml_timers_poll();");
+    let _ = writeln!(out, "        xtuml_dispatch_one(); /* priority, RTC */");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtuml_core::builder::DomainBuilder;
+    use xtuml_core::marks::MarkSet;
+    use xtuml_core::model::Multiplicity;
+
+    fn domain() -> Domain {
+        let mut b = DomainBuilder::new("gen");
+        b.actor("LOG").func("info", &[("msg", DataType::Str)], None);
+        b.class("Ctrl")
+            .attr("n", DataType::Int)
+            .event("Go", &[("k", DataType::Int)])
+            .state("Idle", "")
+            .state(
+                "Run",
+                "self.n = rcvd.k;\n\
+                 if (self.n > 3) { self.n = 3; } else { self.n = self.n + 1; }\n\
+                 while (self.n > 0) { self.n = self.n - 1; }\n\
+                 LOG::info(\"done\");\n\
+                 f = any(self -> Filt[R1]);\n\
+                 gen Work(self.n, true) to f;\n\
+                 gen Go(1) to self after 10;",
+            )
+            .initial("Idle")
+            .transition("Idle", "Go", "Run")
+            .transition("Run", "Go", "Run");
+        b.class("Filt")
+            .event("Work", &[("n", DataType::Int), ("f", DataType::Bool)])
+            .state("W", "")
+            .state("X", "c = any(self -> Ctrl[R1]); gen Go(rcvd.n) to c;")
+            .initial("W")
+            .transition("W", "Work", "X")
+            .transition("X", "Work", "X");
+        b.association("R1", "Ctrl", Multiplicity::One, "Filt", Multiplicity::One);
+        b.build().unwrap()
+    }
+
+    fn compile_split() -> String {
+        let d = domain();
+        let mut m = MarkSet::new();
+        m.mark_hardware("Filt");
+        let design = crate::ModelCompiler::new().compile(&d, &m).unwrap();
+        design.c_code
+    }
+
+    #[test]
+    fn generated_c_contains_structs_enums_dispatch() {
+        let c = compile_split();
+        assert!(c.contains("typedef struct Ctrl {"));
+        assert!(c.contains("int64_t n;"));
+        assert!(c.contains("enum Ctrl_event {"));
+        assert!(c.contains("EVT_Go,"));
+        assert!(c.contains("enum Ctrl_state {"));
+        assert!(c.contains("void Ctrl_dispatch(Ctrl *self, const xtuml_event_t *evt)"));
+        assert!(c.contains("xtuml_cant_happen"));
+    }
+
+    #[test]
+    fn hardware_classes_are_not_in_the_c() {
+        let c = compile_split();
+        assert!(!c.contains("typedef struct Filt {"));
+        assert!(!c.contains("Filt_dispatch"));
+    }
+
+    #[test]
+    fn actions_translate_to_c_statements() {
+        let c = compile_split();
+        assert!(c.contains("self->n = evt->k;"));
+        assert!(c.contains("if ((self->n > INT64_C(3))) {"));
+        assert!(c.contains("while ((self->n > INT64_C(0))) {"));
+        assert!(c.contains("LOG_info(\"done\");"));
+        assert!(c.contains("xtuml_gen_delayed(EVT_Go, self, INT64_C(10), INT64_C(1));"));
+    }
+
+    #[test]
+    fn driver_uses_generated_register_map() {
+        let c = compile_split();
+        assert!(c.contains("GENERATED BUS DRIVER"));
+        assert!(c.contains("#define CH_Filt_Work"));
+        assert!(c.contains("static void send_Filt_Work"));
+        assert!(c.contains("doorbell"));
+        assert!(c.contains("xtuml_bus_poll"));
+        assert!(c.contains("case CH_Ctrl_Go:"));
+    }
+
+    #[test]
+    fn homogeneous_sw_has_no_tx_channels() {
+        let d = domain();
+        let design = crate::ModelCompiler::new()
+            .compile(&d, &MarkSet::new())
+            .unwrap();
+        assert!(!design.c_code.contains("static void send_"));
+        assert!(design.c_code.contains("typedef struct Filt {"));
+    }
+}

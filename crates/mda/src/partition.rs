@@ -1,0 +1,157 @@
+//! The hardware/software partition, derived from marks.
+
+use std::collections::BTreeSet;
+use xtuml_core::ids::ClassId;
+use xtuml_core::marks::MarkSet;
+use xtuml_core::model::Domain;
+
+/// Which implementation technology a class is mapped to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// The software partition (generated C on the CPU model).
+    Sw,
+    /// The hardware partition (generated VHDL on the RTL model).
+    Hw,
+}
+
+impl Side {
+    /// The other side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Sw => Side::Hw,
+            Side::Hw => Side::Sw,
+        }
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Side::Sw => write!(f, "software"),
+            Side::Hw => write!(f, "hardware"),
+        }
+    }
+}
+
+/// The partition of a domain's classes, derived purely from the
+/// `isHardware` marks — the model itself is untouched (paper §3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    sides: Vec<Side>, // index = ClassId
+    hw: BTreeSet<ClassId>,
+    sw: BTreeSet<ClassId>,
+}
+
+impl Partition {
+    /// Derives the partition: a class is hardware iff marked
+    /// `isHardware = true`; everything else (including passive classes)
+    /// defaults to software.
+    pub fn from_marks(domain: &Domain, marks: &MarkSet) -> Partition {
+        let mut sides = Vec::with_capacity(domain.classes.len());
+        let mut hw = BTreeSet::new();
+        let mut sw = BTreeSet::new();
+        for (i, class) in domain.classes.iter().enumerate() {
+            let id = ClassId::new(i as u32);
+            let side = if marks.is_hardware(&class.name) {
+                hw.insert(id);
+                Side::Hw
+            } else {
+                sw.insert(id);
+                Side::Sw
+            };
+            sides.push(side);
+        }
+        Partition { sides, hw, sw }
+    }
+
+    /// The side a class is mapped to.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a class id from a different domain.
+    pub fn side(&self, class: ClassId) -> Side {
+        self.sides[class.index()]
+    }
+
+    /// Classes mapped to hardware, ascending.
+    pub fn hw_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.hw.iter().copied()
+    }
+
+    /// Classes mapped to software, ascending.
+    pub fn sw_classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.sw.iter().copied()
+    }
+
+    /// Number of hardware classes.
+    pub fn hw_count(&self) -> usize {
+        self.hw.len()
+    }
+
+    /// Number of software classes.
+    pub fn sw_count(&self) -> usize {
+        self.sw.len()
+    }
+
+    /// True when the whole domain lives on one side (no bridge needed).
+    pub fn is_homogeneous(&self) -> bool {
+        self.hw.is_empty() || self.sw.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtuml_core::builder::DomainBuilder;
+
+    fn domain() -> Domain {
+        let mut b = DomainBuilder::new("d");
+        b.class("A");
+        b.class("B");
+        b.class("C");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn default_is_all_software() {
+        let d = domain();
+        let p = Partition::from_marks(&d, &MarkSet::new());
+        assert_eq!(p.sw_count(), 3);
+        assert_eq!(p.hw_count(), 0);
+        assert!(p.is_homogeneous());
+        assert_eq!(p.side(ClassId::new(0)), Side::Sw);
+    }
+
+    #[test]
+    fn marks_move_classes() {
+        let d = domain();
+        let mut m = MarkSet::new();
+        m.mark_hardware("B");
+        let p = Partition::from_marks(&d, &m);
+        assert_eq!(p.side(d.class_id("B").unwrap()), Side::Hw);
+        assert_eq!(p.side(d.class_id("A").unwrap()), Side::Sw);
+        assert!(!p.is_homogeneous());
+        assert_eq!(p.hw_classes().count(), 1);
+    }
+
+    #[test]
+    fn repartition_is_only_a_mark_change() {
+        let d = domain();
+        let mut m = MarkSet::new();
+        m.mark_hardware("A");
+        let p1 = Partition::from_marks(&d, &m);
+        m.toggle_hardware("A");
+        m.mark_hardware("C");
+        let p2 = Partition::from_marks(&d, &m);
+        assert_ne!(p1, p2);
+        assert_eq!(p2.side(d.class_id("A").unwrap()), Side::Sw);
+        assert_eq!(p2.side(d.class_id("C").unwrap()), Side::Hw);
+    }
+
+    #[test]
+    fn side_other() {
+        assert_eq!(Side::Hw.other(), Side::Sw);
+        assert_eq!(Side::Sw.other(), Side::Hw);
+        assert_eq!(Side::Hw.to_string(), "hardware");
+    }
+}

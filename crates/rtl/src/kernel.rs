@@ -1,0 +1,500 @@
+//! The delta-cycle simulation kernel.
+//!
+//! One global clock, VHDL-style two-phase evaluation: signal writes are
+//! *scheduled* and applied between delta cycles; processes sensitive to a
+//! changed signal re-evaluate until the net list stabilises. Each call to
+//! [`RtlKernel::tick`] simulates one full clock cycle (rising edge,
+//! settle, falling edge, settle).
+
+use crate::logic::Logic;
+use crate::vcd::VcdRecorder;
+use crate::vector::LogicVector;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a signal in the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub u32);
+
+impl SignalId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Errors from the RTL kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlError {
+    /// The delta loop did not converge within the iteration limit —
+    /// a combinational oscillation (e.g. an unclocked inverter loop).
+    DeltaOscillation {
+        /// Simulation cycle at which the oscillation was detected.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::DeltaOscillation { cycle } => {
+                write!(f, "delta-cycle oscillation at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+/// A hardware process: evaluated whenever a signal in its sensitivity
+/// list changes. Clocked processes put the clock in their sensitivity
+/// list and gate their body on [`SignalCtx::rising_edge`].
+pub trait Process {
+    /// The signals that wake this process.
+    fn sensitivity(&self) -> Vec<SignalId>;
+    /// Evaluates the process; reads current values, schedules writes.
+    fn eval(&mut self, ctx: &mut SignalCtx<'_>);
+}
+
+/// The view of the signal state handed to an evaluating process.
+pub struct SignalCtx<'k> {
+    current: &'k [LogicVector],
+    previous: &'k [LogicVector],
+    scheduled: &'k mut BTreeMap<SignalId, LogicVector>,
+}
+
+impl SignalCtx<'_> {
+    /// Current value of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different kernel.
+    pub fn read(&self, id: SignalId) -> &LogicVector {
+        &self.current[id.index()]
+    }
+
+    /// Schedules a new value, visible from the next delta cycle (VHDL
+    /// signal-assignment semantics). The last write in a delta wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the signal's declared width.
+    pub fn set(&mut self, id: SignalId, value: LogicVector) {
+        assert_eq!(
+            value.width(),
+            self.current[id.index()].width(),
+            "signal width mismatch on {id}"
+        );
+        self.scheduled.insert(id, value);
+    }
+
+    /// True when the signal transitioned 0 → 1 in the update that woke
+    /// this process.
+    pub fn rising_edge(&self, id: SignalId) -> bool {
+        let prev = &self.previous[id.index()];
+        let cur = &self.current[id.index()];
+        prev.width() == 1 && cur.width() == 1 && prev.get(0) == Logic::L0 && cur.get(0) == Logic::L1
+    }
+}
+
+/// Maximum delta cycles per settle phase before declaring oscillation.
+const DELTA_LIMIT: usize = 1_000;
+
+/// A single-clock synchronous RTL simulation. See the crate-level example.
+pub struct RtlKernel {
+    names: Vec<String>,
+    current: Vec<LogicVector>,
+    previous: Vec<LogicVector>,
+    sens_map: Vec<Vec<usize>>, // signal -> process indices
+    processes: Vec<Box<dyn Process>>,
+    clk: SignalId,
+    cycle: u64,
+    deltas: u64,
+    elaborated: bool,
+    vcd: Option<VcdRecorder>,
+}
+
+impl fmt::Debug for RtlKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RtlKernel")
+            .field("signals", &self.names.len())
+            .field("processes", &self.processes.len())
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for RtlKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RtlKernel {
+    /// Creates a kernel with the global clock signal pre-declared.
+    pub fn new() -> RtlKernel {
+        let mut k = RtlKernel {
+            names: Vec::new(),
+            current: Vec::new(),
+            previous: Vec::new(),
+            sens_map: Vec::new(),
+            processes: Vec::new(),
+            clk: SignalId(0),
+            cycle: 0,
+            deltas: 0,
+            elaborated: false,
+            vcd: None,
+        };
+        let clk = k.add_signal("clk", LogicVector::bit(Logic::L0));
+        k.clk = clk;
+        k
+    }
+
+    /// The global clock signal.
+    pub fn clock(&self) -> SignalId {
+        self.clk
+    }
+
+    /// Declares a signal with an initial value; returns its id.
+    pub fn add_signal(&mut self, name: &str, init: LogicVector) -> SignalId {
+        let id = SignalId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.current.push(init.clone());
+        self.previous.push(init);
+        self.sens_map.push(Vec::new());
+        id
+    }
+
+    /// Registers a process; it is evaluated once immediately at time zero
+    /// on its next wake (VHDL elaboration runs every process once — here
+    /// the first clock edge performs that role for clocked processes).
+    pub fn add_process(&mut self, p: impl Process + 'static) {
+        let idx = self.processes.len();
+        for s in p.sensitivity() {
+            self.sens_map[s.index()].push(idx);
+        }
+        self.processes.push(Box::new(p));
+    }
+
+    /// Enables VCD waveform recording for all signals.
+    pub fn enable_vcd(&mut self) {
+        self.vcd = Some(VcdRecorder::new(self.names.clone()));
+    }
+
+    /// The recorded VCD text, if recording was enabled.
+    pub fn vcd_text(&self) -> Option<String> {
+        self.vcd.as_ref().map(VcdRecorder::render)
+    }
+
+    /// Current value of a signal (between cycles).
+    pub fn peek(&self, id: SignalId) -> &LogicVector {
+        &self.current[id.index()]
+    }
+
+    /// Forces a signal (testbench poke); takes effect immediately and
+    /// wakes sensitive processes on the next settle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn poke(&mut self, id: SignalId, value: LogicVector) {
+        assert_eq!(
+            value.width(),
+            self.current[id.index()].width(),
+            "signal width mismatch on {id}"
+        );
+        self.previous[id.index()] = self.current[id.index()].clone();
+        self.current[id.index()] = value;
+    }
+
+    /// Completed clock cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total delta evaluations performed (a simulation-effort metric).
+    pub fn delta_count(&self) -> u64 {
+        self.deltas
+    }
+
+    /// Runs every process once and settles — VHDL elaboration. Called
+    /// automatically by the first [`RtlKernel::tick`]; call it explicitly
+    /// before poking a testbench that relies on combinational outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::DeltaOscillation`] if combinational logic does
+    /// not settle.
+    pub fn elaborate(&mut self) -> Result<(), RtlError> {
+        if self.elaborated {
+            return Ok(());
+        }
+        self.elaborated = true;
+        let mut scheduled: BTreeMap<SignalId, LogicVector> = BTreeMap::new();
+        for p in &mut self.processes {
+            self.deltas += 1;
+            let mut ctx = SignalCtx {
+                current: &self.current,
+                previous: &self.previous,
+                scheduled: &mut scheduled,
+            };
+            p.eval(&mut ctx);
+        }
+        let mut changed = Vec::new();
+        for (id, value) in scheduled {
+            if self.current[id.index()] != value {
+                self.previous[id.index()] = self.current[id.index()].clone();
+                self.current[id.index()] = value;
+                changed.push(id);
+            }
+        }
+        self.settle(changed)
+    }
+
+    /// Runs one full clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::DeltaOscillation`] if combinational logic does
+    /// not settle.
+    pub fn tick(&mut self) -> Result<(), RtlError> {
+        self.elaborate()?;
+        self.drive_clock(Logic::L1)?;
+        self.drive_clock(Logic::L0)?;
+        self.cycle += 1;
+        if let Some(v) = &mut self.vcd {
+            v.sample(self.cycle, &self.current);
+        }
+        Ok(())
+    }
+
+    /// Runs `n` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RtlKernel::tick`].
+    pub fn run_cycles(&mut self, n: u64) -> Result<(), RtlError> {
+        for _ in 0..n {
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    fn drive_clock(&mut self, level: Logic) -> Result<(), RtlError> {
+        self.previous[self.clk.index()] = self.current[self.clk.index()].clone();
+        self.current[self.clk.index()] = LogicVector::bit(level);
+        self.settle(vec![self.clk])
+    }
+
+    /// Delta loop: evaluate processes sensitive to `changed`, apply their
+    /// scheduled writes, repeat until stable.
+    fn settle(&mut self, mut changed: Vec<SignalId>) -> Result<(), RtlError> {
+        for _ in 0..DELTA_LIMIT {
+            if changed.is_empty() {
+                return Ok(());
+            }
+            // Wake set: processes sensitive to any changed signal.
+            let mut wake: Vec<usize> = changed
+                .iter()
+                .flat_map(|s| self.sens_map[s.index()].iter().copied())
+                .collect();
+            wake.sort_unstable();
+            wake.dedup();
+
+            let mut scheduled: BTreeMap<SignalId, LogicVector> = BTreeMap::new();
+            for pi in wake {
+                self.deltas += 1;
+                let mut ctx = SignalCtx {
+                    current: &self.current,
+                    previous: &self.previous,
+                    scheduled: &mut scheduled,
+                };
+                self.processes[pi].eval(&mut ctx);
+            }
+
+            changed.clear();
+            for (id, value) in scheduled {
+                if self.current[id.index()] != value {
+                    self.previous[id.index()] = self.current[id.index()].clone();
+                    self.current[id.index()] = value;
+                    changed.push(id);
+                }
+            }
+        }
+        Err(RtlError::DeltaOscillation { cycle: self.cycle })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CounterProc {
+        clk: SignalId,
+        q: SignalId,
+        en: SignalId,
+    }
+    impl Process for CounterProc {
+        fn sensitivity(&self) -> Vec<SignalId> {
+            vec![self.clk]
+        }
+        fn eval(&mut self, ctx: &mut SignalCtx<'_>) {
+            if ctx.rising_edge(self.clk) && ctx.read(self.en).to_u64() == Some(1) {
+                let q = ctx.read(self.q).to_u64().unwrap_or(0);
+                ctx.set(self.q, LogicVector::from_u64((q + 1) & 0xFF, 8));
+            }
+        }
+    }
+
+    /// Combinational: y = not a (sensitive to a).
+    struct InvProc {
+        a: SignalId,
+        y: SignalId,
+    }
+    impl Process for InvProc {
+        fn sensitivity(&self) -> Vec<SignalId> {
+            vec![self.a]
+        }
+        fn eval(&mut self, ctx: &mut SignalCtx<'_>) {
+            let v = ctx.read(self.a).not();
+            ctx.set(self.y, v);
+        }
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut k = RtlKernel::new();
+        let clk = k.clock();
+        let q = k.add_signal("q", LogicVector::zeros(8));
+        let en = k.add_signal("en", LogicVector::from_u64(1, 1));
+        k.add_process(CounterProc { clk, q, en });
+        k.run_cycles(10).unwrap();
+        assert_eq!(k.peek(q).to_u64(), Some(10));
+        k.poke(en, LogicVector::zeros(1));
+        k.run_cycles(5).unwrap();
+        assert_eq!(k.peek(q).to_u64(), Some(10));
+        assert_eq!(k.cycle(), 15);
+    }
+
+    #[test]
+    fn combinational_chain_settles_within_one_cycle() {
+        // a -> inv -> b -> inv -> c : c follows a after deltas, within the
+        // same clock tick.
+        let mut k = RtlKernel::new();
+        let a = k.add_signal("a", LogicVector::zeros(1));
+        let b = k.add_signal("b", LogicVector::zeros(1));
+        let c = k.add_signal("c", LogicVector::zeros(1));
+        k.add_process(InvProc { a, y: b });
+        k.add_process(InvProc { a: b, y: c });
+        k.elaborate().unwrap();
+        // a=0 ⇒ b = not a = 1 ⇒ c = not b = 0 after elaboration settles.
+        assert_eq!(k.peek(b).to_u64(), Some(1), "elaboration settles chain");
+        assert_eq!(k.peek(c).to_u64(), Some(0), "elaboration settles chain");
+        k.poke(a, LogicVector::from_u64(1, 1));
+        // Manually settle by ticking once (clock edge wakes nothing here,
+        // but poke + settle happens through tick's settle of clk; the inv
+        // chain is driven by `a` which changed before the tick).
+        // Directly exercise settle via a tick after poking: processes
+        // sensitive to `a` must run.
+        k.settle(vec![a]).unwrap();
+        assert_eq!(k.peek(b).to_u64(), Some(0));
+        assert_eq!(k.peek(c).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn oscillation_is_detected() {
+        // y = not y : unclocked feedback loop.
+        struct SelfInv {
+            y: SignalId,
+        }
+        impl Process for SelfInv {
+            fn sensitivity(&self) -> Vec<SignalId> {
+                vec![self.y]
+            }
+            fn eval(&mut self, ctx: &mut SignalCtx<'_>) {
+                let v = ctx.read(self.y).not();
+                ctx.set(self.y, v);
+            }
+        }
+        let mut k = RtlKernel::new();
+        let y = k.add_signal("y", LogicVector::zeros(1));
+        k.add_process(SelfInv { y });
+        let err = k.settle(vec![y]).unwrap_err();
+        assert!(matches!(err, RtlError::DeltaOscillation { .. }));
+    }
+
+    #[test]
+    fn writes_are_delta_delayed() {
+        // A process that reads its own output sees the old value during
+        // the delta in which it writes.
+        struct Swap {
+            clk: SignalId,
+            a: SignalId,
+            b: SignalId,
+        }
+        impl Process for Swap {
+            fn sensitivity(&self) -> Vec<SignalId> {
+                vec![self.clk]
+            }
+            fn eval(&mut self, ctx: &mut SignalCtx<'_>) {
+                if ctx.rising_edge(self.clk) {
+                    // Classic two-signal swap: both reads happen before
+                    // either write lands.
+                    let a = ctx.read(self.a).clone();
+                    let b = ctx.read(self.b).clone();
+                    ctx.set(self.a, b);
+                    ctx.set(self.b, a);
+                }
+            }
+        }
+        let mut k = RtlKernel::new();
+        let clk = k.clock();
+        let a = k.add_signal("a", LogicVector::from_u64(3, 4));
+        let b = k.add_signal("b", LogicVector::from_u64(12, 4));
+        k.add_process(Swap { clk, a, b });
+        k.tick().unwrap();
+        assert_eq!(k.peek(a).to_u64(), Some(12));
+        assert_eq!(k.peek(b).to_u64(), Some(3));
+        k.tick().unwrap();
+        assert_eq!(k.peek(a).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn delta_count_tracks_effort() {
+        let mut k = RtlKernel::new();
+        let clk = k.clock();
+        let q = k.add_signal("q", LogicVector::zeros(8));
+        let en = k.add_signal("en", LogicVector::from_u64(1, 1));
+        k.add_process(CounterProc { clk, q, en });
+        k.run_cycles(3).unwrap();
+        assert!(k.delta_count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn poke_wrong_width_panics() {
+        let mut k = RtlKernel::new();
+        let a = k.add_signal("a", LogicVector::zeros(4));
+        k.poke(a, LogicVector::zeros(8));
+    }
+
+    #[test]
+    fn vcd_recording_produces_header_and_samples() {
+        let mut k = RtlKernel::new();
+        let clk = k.clock();
+        let q = k.add_signal("q", LogicVector::zeros(8));
+        let en = k.add_signal("en", LogicVector::from_u64(1, 1));
+        k.add_process(CounterProc { clk, q, en });
+        k.enable_vcd();
+        k.run_cycles(3).unwrap();
+        let vcd = k.vcd_text().unwrap();
+        assert!(vcd.contains("$var"));
+        assert!(vcd.contains("q"));
+        assert!(vcd.contains("#1"));
+    }
+}

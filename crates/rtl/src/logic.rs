@@ -1,0 +1,184 @@
+//! Four-valued logic, IEEE-1164 style (restricted to the four values that
+//! matter for behavioural simulation: `0`, `1`, `X`, `Z`).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A single logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Logic {
+    /// Strong low.
+    #[default]
+    L0,
+    /// Strong high.
+    L1,
+    /// Unknown.
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// Constructs from a boolean.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::L1
+        } else {
+            Logic::L0
+        }
+    }
+
+    /// `Some(bool)` for driven values, `None` for `X`/`Z`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::L0 => Some(false),
+            Logic::L1 => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// True if the value is `0` or `1`.
+    pub fn is_defined(self) -> bool {
+        matches!(self, Logic::L0 | Logic::L1)
+    }
+
+    /// Bus resolution: combines two drivers of one net (IEEE-1164
+    /// `resolved` restricted to our four values). `Z` yields to anything;
+    /// conflicting strong drivers resolve to `X`.
+    pub fn resolve(self, other: Logic) -> Logic {
+        use Logic::*;
+        match (self, other) {
+            (Z, v) | (v, Z) => v,
+            (a, b) if a == b => a,
+            _ => X,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        match self {
+            Logic::L0 => Logic::L1,
+            Logic::L1 => Logic::L0,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl BitAnd for Logic {
+    type Output = Logic;
+    fn bitand(self, rhs: Logic) -> Logic {
+        use Logic::*;
+        match (self, rhs) {
+            (L0, _) | (_, L0) => L0,
+            (L1, L1) => L1,
+            _ => X,
+        }
+    }
+}
+
+impl BitOr for Logic {
+    type Output = Logic;
+    fn bitor(self, rhs: Logic) -> Logic {
+        use Logic::*;
+        match (self, rhs) {
+            (L1, _) | (_, L1) => L1,
+            (L0, L0) => L0,
+            _ => X,
+        }
+    }
+}
+
+impl BitXor for Logic {
+    type Output = Logic;
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::L0 => '0',
+            Logic::L1 => '1',
+            Logic::X => 'X',
+            Logic::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true), L1);
+        assert_eq!(Logic::from_bool(false), L0);
+        assert_eq!(L1.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+        assert_eq!(Z.to_bool(), None);
+    }
+
+    #[test]
+    fn and_truth_table() {
+        // 0 dominates even against X/Z.
+        assert_eq!(L0 & X, L0);
+        assert_eq!(Z & L0, L0);
+        assert_eq!(L1 & L1, L1);
+        assert_eq!(L1 & X, X);
+        assert_eq!(Z & Z, X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(L1 | X, L1);
+        assert_eq!(Z | L1, L1);
+        assert_eq!(L0 | L0, L0);
+        assert_eq!(L0 | X, X);
+    }
+
+    #[test]
+    fn xor_and_not() {
+        assert_eq!(L1 ^ L0, L1);
+        assert_eq!(L1 ^ L1, L0);
+        assert_eq!(L1 ^ X, X);
+        assert_eq!(!L0, L1);
+        assert_eq!(!X, X);
+        assert_eq!(!Z, X);
+    }
+
+    #[test]
+    fn resolution() {
+        assert_eq!(Z.resolve(L1), L1);
+        assert_eq!(L0.resolve(Z), L0);
+        assert_eq!(L0.resolve(L0), L0);
+        assert_eq!(L0.resolve(L1), X);
+        assert_eq!(X.resolve(L1), X);
+        assert_eq!(Z.resolve(Z), Z);
+    }
+
+    #[test]
+    fn resolution_is_commutative_and_associative() {
+        let vals = [L0, L1, X, Z];
+        for a in vals {
+            for b in vals {
+                assert_eq!(a.resolve(b), b.resolve(a));
+                for c in vals {
+                    assert_eq!(a.resolve(b).resolve(c), a.resolve(b.resolve(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{L0}{L1}{X}{Z}"), "01XZ");
+    }
+}

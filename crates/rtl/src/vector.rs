@@ -1,0 +1,274 @@
+//! Logic vectors: fixed-width buses of [`Logic`] values.
+//!
+//! Arithmetic follows VHDL `numeric_std` unsigned semantics: if any
+//! operand bit is undefined (`X`/`Z`) the whole result is `X`; otherwise
+//! the operation is modulo 2^width of the left operand.
+
+use crate::logic::Logic;
+use std::fmt;
+
+/// A fixed-width bus, bit 0 = least significant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicVector {
+    bits: Vec<Logic>,
+}
+
+impl LogicVector {
+    /// All-zeros vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zeros(width: usize) -> LogicVector {
+        assert!(width > 0, "vector width must be nonzero");
+        LogicVector {
+            bits: vec![Logic::L0; width],
+        }
+    }
+
+    /// All-`X` vector of the given width (the power-on value of an
+    /// uninitialised register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn unknown(width: usize) -> LogicVector {
+        assert!(width > 0, "vector width must be nonzero");
+        LogicVector {
+            bits: vec![Logic::X; width],
+        }
+    }
+
+    /// Builds a vector from the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    pub fn from_u64(value: u64, width: usize) -> LogicVector {
+        assert!(width > 0 && width <= 64, "width must be 1..=64");
+        LogicVector {
+            bits: (0..width)
+                .map(|i| Logic::from_bool((value >> i) & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Single-bit vector from a logic level.
+    pub fn bit(v: Logic) -> LogicVector {
+        LogicVector { bits: vec![v] }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bit at `i` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get(&self, i: usize) -> Logic {
+        self.bits[i]
+    }
+
+    /// Replaces the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set(&mut self, i: usize, v: Logic) {
+        self.bits[i] = v;
+    }
+
+    /// True if every bit is `0` or `1`.
+    pub fn is_defined(&self) -> bool {
+        self.bits.iter().all(|b| b.is_defined())
+    }
+
+    /// Interprets the vector as an unsigned integer; `None` if any bit is
+    /// undefined or the width exceeds 64.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.bits.len() > 64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            match b.to_bool() {
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Unsigned addition modulo 2^width (self's width). Undefined inputs
+    /// poison the result to all-`X`.
+    pub fn add(&self, rhs: &LogicVector) -> LogicVector {
+        self.arith(rhs, u64::wrapping_add)
+    }
+
+    /// Unsigned subtraction modulo 2^width.
+    pub fn sub(&self, rhs: &LogicVector) -> LogicVector {
+        self.arith(rhs, u64::wrapping_sub)
+    }
+
+    fn arith(&self, rhs: &LogicVector, f: fn(u64, u64) -> u64) -> LogicVector {
+        match (self.to_u64(), rhs.to_u64()) {
+            (Some(a), Some(b)) => {
+                let w = self.width();
+                let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+                LogicVector::from_u64(f(a, b) & mask, w)
+            }
+            _ => LogicVector::unknown(self.width()),
+        }
+    }
+
+    /// Bitwise AND (widths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn and(&self, rhs: &LogicVector) -> LogicVector {
+        self.zip(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR (widths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn or(&self, rhs: &LogicVector) -> LogicVector {
+        self.zip(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR (widths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn xor(&self, rhs: &LogicVector) -> LogicVector {
+        self.zip(rhs, |a, b| a ^ b)
+    }
+
+    fn zip(&self, rhs: &LogicVector, f: fn(Logic, Logic) -> Logic) -> LogicVector {
+        assert_eq!(self.width(), rhs.width(), "width mismatch");
+        LogicVector {
+            bits: self
+                .bits
+                .iter()
+                .zip(&rhs.bits)
+                .map(|(a, b)| f(*a, *b))
+                .collect(),
+        }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> LogicVector {
+        LogicVector {
+            bits: self.bits.iter().map(|b| !*b).collect(),
+        }
+    }
+
+    /// Zero-extends or truncates to a new width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn resize(&self, width: usize) -> LogicVector {
+        assert!(width > 0, "vector width must be nonzero");
+        let mut bits = self.bits.clone();
+        bits.resize(width, Logic::L0);
+        bits.truncate(width);
+        LogicVector { bits }
+    }
+}
+
+impl fmt::Display for LogicVector {
+    /// MSB-first, VHDL literal style: `"0110"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"")?;
+        for b in self.bits.iter().rev() {
+            write!(f, "{b}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<bool> for LogicVector {
+    fn from(b: bool) -> LogicVector {
+        LogicVector::bit(Logic::from_bool(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_round_trip() {
+        let v = LogicVector::from_u64(0b1011, 4);
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.to_u64(), Some(0b1011));
+        assert_eq!(v.get(0), Logic::L1);
+        assert_eq!(v.get(2), Logic::L0);
+        assert_eq!(v.to_string(), "\"1011\"");
+    }
+
+    #[test]
+    fn unknown_poisons_to_u64() {
+        let mut v = LogicVector::from_u64(3, 4);
+        v.set(2, Logic::X);
+        assert_eq!(v.to_u64(), None);
+        assert!(!v.is_defined());
+    }
+
+    #[test]
+    fn add_sub_wrap_at_width() {
+        let a = LogicVector::from_u64(0xF, 4);
+        let one = LogicVector::from_u64(1, 4);
+        assert_eq!(a.add(&one).to_u64(), Some(0));
+        assert_eq!(LogicVector::zeros(4).sub(&one).to_u64(), Some(0xF));
+    }
+
+    #[test]
+    fn arithmetic_with_x_is_all_x() {
+        let mut a = LogicVector::from_u64(1, 4);
+        a.set(0, Logic::X);
+        let b = LogicVector::from_u64(1, 4);
+        let r = a.add(&b);
+        assert!(!r.is_defined());
+        assert_eq!(r.width(), 4);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = LogicVector::from_u64(0b1100, 4);
+        let b = LogicVector::from_u64(0b1010, 4);
+        assert_eq!(a.and(&b).to_u64(), Some(0b1000));
+        assert_eq!(a.or(&b).to_u64(), Some(0b1110));
+        assert_eq!(a.xor(&b).to_u64(), Some(0b0110));
+        assert_eq!(a.not().to_u64(), Some(0b0011));
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let v = LogicVector::from_u64(0b101, 3);
+        assert_eq!(v.resize(5).to_u64(), Some(0b101));
+        assert_eq!(v.resize(2).to_u64(), Some(0b01));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = LogicVector::zeros(2).and(&LogicVector::zeros(3));
+    }
+
+    #[test]
+    fn full_width_64() {
+        let v = LogicVector::from_u64(u64::MAX, 64);
+        assert_eq!(v.to_u64(), Some(u64::MAX));
+        assert_eq!(v.add(&LogicVector::from_u64(1, 64)).to_u64(), Some(0));
+    }
+}

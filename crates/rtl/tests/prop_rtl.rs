@@ -1,0 +1,139 @@
+//! Property tests for the RTL substrate: vector arithmetic against a u64
+//! reference model, logic-algebra laws, FIFO behaviour against a
+//! `VecDeque` reference, and a counter in the kernel against closed-form
+//! arithmetic.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use xtuml_rtl::{Logic, LogicVector, Process, RtlKernel, SignalCtx, SignalId, SyncFifo};
+
+fn logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![
+        Just(Logic::L0),
+        Just(Logic::L1),
+        Just(Logic::X),
+        Just(Logic::Z)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Defined-vector arithmetic agrees with masked u64 arithmetic.
+    #[test]
+    fn prop_vector_add_sub_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let va = LogicVector::from_u64(a & mask, w);
+        let vb = LogicVector::from_u64(b & mask, w);
+        prop_assert_eq!(va.add(&vb).to_u64(), Some((a & mask).wrapping_add(b & mask) & mask));
+        prop_assert_eq!(va.sub(&vb).to_u64(), Some((a & mask).wrapping_sub(b & mask) & mask));
+    }
+
+    /// Bitwise ops agree with u64 bitwise ops.
+    #[test]
+    fn prop_vector_bitwise_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let va = LogicVector::from_u64(a & mask, w);
+        let vb = LogicVector::from_u64(b & mask, w);
+        prop_assert_eq!(va.and(&vb).to_u64(), Some(a & b & mask));
+        prop_assert_eq!(va.or(&vb).to_u64(), Some((a | b) & mask));
+        prop_assert_eq!(va.xor(&vb).to_u64(), Some((a ^ b) & mask));
+        prop_assert_eq!(va.not().to_u64(), Some(!a & mask));
+    }
+
+    /// Any X bit poisons arithmetic to an undefined result of the same
+    /// width.
+    #[test]
+    fn prop_x_poisons_arithmetic(a in any::<u64>(), bit in 0usize..16, w in 16usize..=32) {
+        let mut va = LogicVector::from_u64(a, w);
+        va.set(bit, Logic::X);
+        let vb = LogicVector::from_u64(1, w);
+        let r = va.add(&vb);
+        prop_assert_eq!(r.width(), w);
+        prop_assert_eq!(r.to_u64(), None);
+    }
+
+    /// Logic AND/OR are commutative, associative and idempotent; De
+    /// Morgan holds on defined values.
+    #[test]
+    fn prop_logic_algebra(a in logic(), b in logic(), c in logic()) {
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!((a & b) & c, a & (b & c));
+        prop_assert_eq!((a | b) | c, a | (b | c));
+        prop_assert_eq!(a & a, if a == Logic::Z { Logic::X } else { a });
+        if a.is_defined() && b.is_defined() {
+            prop_assert_eq!(!(a & b), !a | !b);
+            prop_assert_eq!(!(a | b), !a & !b);
+        }
+    }
+
+    /// The FIFO agrees with a bounded VecDeque reference model under an
+    /// arbitrary push/pop sequence.
+    #[test]
+    fn prop_fifo_matches_reference(
+        depth in 1usize..8,
+        ops in proptest::collection::vec(prop_oneof![(0u32..100).prop_map(Some), Just(None)], 0..64),
+    ) {
+        let mut fifo = SyncFifo::new(depth);
+        let mut reference: VecDeque<u32> = VecDeque::new();
+        let mut overflows = 0u64;
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let accepted = fifo.push(v);
+                    if reference.len() < depth {
+                        prop_assert!(accepted);
+                        reference.push_back(v);
+                    } else {
+                        prop_assert!(!accepted);
+                        overflows += 1;
+                    }
+                }
+                None => {
+                    prop_assert_eq!(fifo.pop(), reference.pop_front());
+                }
+            }
+            prop_assert_eq!(fifo.len(), reference.len());
+            prop_assert_eq!(fifo.is_empty(), reference.is_empty());
+            prop_assert_eq!(fifo.is_full(), reference.len() == depth);
+            prop_assert_eq!(fifo.front(), reference.front());
+        }
+        prop_assert_eq!(fifo.overflows(), overflows);
+    }
+
+    /// A clocked counter in the kernel counts exactly the cycles run,
+    /// regardless of how the run is split into segments.
+    #[test]
+    fn prop_kernel_counter_counts_cycles(segments in proptest::collection::vec(0u64..20, 1..6)) {
+        struct Counter { clk: SignalId, q: SignalId }
+        impl Process for Counter {
+            fn sensitivity(&self) -> Vec<SignalId> { vec![self.clk] }
+            fn eval(&mut self, ctx: &mut SignalCtx<'_>) {
+                if ctx.rising_edge(self.clk) {
+                    let q = ctx.read(self.q).to_u64().unwrap_or(0);
+                    ctx.set(self.q, LogicVector::from_u64(q.wrapping_add(1), 32));
+                }
+            }
+        }
+        let mut k = RtlKernel::new();
+        let clk = k.clock();
+        let q = k.add_signal("q", LogicVector::zeros(32));
+        k.add_process(Counter { clk, q });
+        let mut total = 0u64;
+        for n in segments {
+            k.run_cycles(n).unwrap();
+            total += n;
+            prop_assert_eq!(k.peek(q).to_u64(), Some(total & 0xFFFF_FFFF));
+            prop_assert_eq!(k.cycle(), total);
+        }
+    }
+
+    /// Resolution forms a commutative monoid with identity Z.
+    #[test]
+    fn prop_resolution_monoid(a in logic(), b in logic()) {
+        prop_assert_eq!(a.resolve(Logic::Z), a);
+        prop_assert_eq!(Logic::Z.resolve(a), a);
+        prop_assert_eq!(a.resolve(b), b.resolve(a));
+    }
+}

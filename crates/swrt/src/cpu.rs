@@ -1,0 +1,125 @@
+//! CPU cycle accounting.
+//!
+//! The generated software's cost model is deliberately coarse: every
+//! primitive action step costs a configurable number of CPU cycles
+//! (default [`Cpu::DEFAULT_CYCLES_PER_STEP`]), every dispatch has a fixed
+//! overhead. What matters for the paper's claims is not absolute accuracy
+//! but that the software partition runs on a *clocked* platform whose
+//! speed differs from the hardware's, so partition choices have visible
+//! performance consequences.
+
+/// A single-core CPU clock model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cpu {
+    khz: u64,
+    cycles: u64,
+    cycles_per_step: u64,
+    dispatch_overhead: u64,
+}
+
+impl Cpu {
+    /// Default cost of one interpreted action step, in CPU cycles.
+    pub const DEFAULT_CYCLES_PER_STEP: u64 = 12;
+    /// Default fixed cost of one event dispatch (queue pop, state lookup).
+    pub const DEFAULT_DISPATCH_OVERHEAD: u64 = 40;
+
+    /// Creates a CPU clocked at `khz` kilohertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `khz` is zero.
+    pub fn new(khz: u64) -> Cpu {
+        assert!(khz > 0, "CPU clock must be nonzero");
+        Cpu {
+            khz,
+            cycles: 0,
+            cycles_per_step: Self::DEFAULT_CYCLES_PER_STEP,
+            dispatch_overhead: Self::DEFAULT_DISPATCH_OVERHEAD,
+        }
+    }
+
+    /// Overrides the per-step cost (for calibration experiments).
+    pub fn set_cycles_per_step(&mut self, c: u64) {
+        self.cycles_per_step = c;
+    }
+
+    /// The clock rate in kHz.
+    pub fn khz(&self) -> u64 {
+        self.khz
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Consumes raw cycles.
+    pub fn consume(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Consumes the cost of `steps` interpreted action steps plus one
+    /// dispatch overhead; returns the cycles charged.
+    pub fn charge_dispatch(&mut self, steps: u64) -> u64 {
+        let c = self.dispatch_overhead + steps * self.cycles_per_step;
+        self.cycles += c;
+        c
+    }
+
+    /// Elapsed time in microseconds at the configured clock rate.
+    pub fn micros(&self) -> u64 {
+        // cycles / (khz * 1000) seconds = cycles * 1000 / khz µs.
+        self.cycles * 1000 / self.khz
+    }
+
+    /// Converts a cycle count at this CPU's clock into microseconds.
+    pub fn cycles_to_micros(&self, cycles: u64) -> u64 {
+        cycles * 1000 / self.khz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accounting() {
+        let mut cpu = Cpu::new(1_000); // 1 MHz
+        cpu.consume(500);
+        assert_eq!(cpu.cycles(), 500);
+        assert_eq!(cpu.micros(), 500);
+    }
+
+    #[test]
+    fn dispatch_charging() {
+        let mut cpu = Cpu::new(100_000);
+        let charged = cpu.charge_dispatch(10);
+        assert_eq!(
+            charged,
+            Cpu::DEFAULT_DISPATCH_OVERHEAD + 10 * Cpu::DEFAULT_CYCLES_PER_STEP
+        );
+        assert_eq!(cpu.cycles(), charged);
+    }
+
+    #[test]
+    fn custom_step_cost() {
+        let mut cpu = Cpu::new(100_000);
+        cpu.set_cycles_per_step(1);
+        assert_eq!(cpu.charge_dispatch(5), Cpu::DEFAULT_DISPATCH_OVERHEAD + 5);
+    }
+
+    #[test]
+    fn faster_clock_means_less_time() {
+        let mut slow = Cpu::new(1_000);
+        let mut fast = Cpu::new(100_000);
+        slow.consume(10_000);
+        fast.consume(10_000);
+        assert!(slow.micros() > fast.micros());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_clock_panics() {
+        let _ = Cpu::new(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # xtuml-swrt — the embedded software runtime model
+//!
+//! The software half of the toolchain. The paper's model compiler emits C
+//! for an embedded target; this crate implements the *runtime architecture*
+//! that generated C executes on — a CPU cycle model ([`Cpu`]), a
+//! priority-scheduled run-to-completion event queue ([`Scheduler`]), a
+//! software timer wheel ([`TimerWheel`]) and the memory-mapped I/O trait
+//! ([`Mmio`]) through which the generated driver talks to the hardware
+//! partition.
+//!
+//! The architecture mirrors what xtUML model compilers actually generate:
+//! a single dispatch loop pops the highest-priority pending event and runs
+//! the receiving instance's state action to completion; actions cost
+//! cycles; the CPU clock converts cycles to time so the co-simulation can
+//! align the software partition with the hardware clock.
+//!
+//! ```
+//! use xtuml_swrt::{Cpu, Scheduler};
+//!
+//! let mut cpu = Cpu::new(100_000); // 100 MHz
+//! let mut sched: Scheduler<&str> = Scheduler::new();
+//! sched.post(1, "low");
+//! sched.post(0, "high");      // numerically lower = more urgent
+//! sched.post(1, "low2");
+//! assert_eq!(sched.pop().unwrap().payload, "high");
+//! assert_eq!(sched.pop().unwrap().payload, "low");
+//! assert_eq!(sched.pop().unwrap().payload, "low2");
+//! cpu.consume(250);
+//! assert_eq!(cpu.cycles(), 250);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod cpu;
+pub mod mmio;
+pub mod sched;
+pub mod timer;
+
+pub use cpu::Cpu;
+pub use mmio::Mmio;
+pub use sched::{Job, Scheduler};
+pub use timer::TimerWheel;

@@ -1,0 +1,155 @@
+//! The run-to-completion event scheduler of the generated software.
+//!
+//! A strict-priority queue: the dispatch loop always pops the pending job
+//! with the numerically lowest priority value; jobs of equal priority are
+//! served FIFO (which is what preserves per-pair signal order inside the
+//! software partition).
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A queued unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job<P> {
+    /// Priority; lower value = more urgent.
+    pub priority: u8,
+    /// Monotonic enqueue sequence (global across priorities).
+    pub seq: u64,
+    /// Caller-defined payload.
+    pub payload: P,
+}
+
+/// Strict-priority, FIFO-within-priority scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler<P> {
+    queues: BTreeMap<u8, VecDeque<Job<P>>>,
+    seq: u64,
+    len: usize,
+    /// High-water mark across all queues.
+    max_backlog: usize,
+}
+
+impl<P> Default for Scheduler<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Scheduler<P> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Scheduler<P> {
+        Scheduler {
+            queues: BTreeMap::new(),
+            seq: 0,
+            len: 0,
+            max_backlog: 0,
+        }
+    }
+
+    /// Enqueues a job at the given priority; returns its sequence number.
+    pub fn post(&mut self, priority: u8, payload: P) -> u64 {
+        self.seq += 1;
+        self.queues.entry(priority).or_default().push_back(Job {
+            priority,
+            seq: self.seq,
+            payload,
+        });
+        self.len += 1;
+        self.max_backlog = self.max_backlog.max(self.len);
+        self.seq
+    }
+
+    /// Pops the most urgent pending job.
+    pub fn pop(&mut self) -> Option<Job<P>> {
+        let (&prio, _) = self.queues.iter().find(|(_, q)| !q.is_empty())?;
+        let job = self.queues.get_mut(&prio)?.pop_front()?;
+        self.len -= 1;
+        Some(job)
+    }
+
+    /// Pending job count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Highest backlog observed (dimensioning data for queue-depth marks).
+    pub fn max_backlog(&self) -> usize {
+        self.max_backlog
+    }
+
+    /// Drops every pending job matching the predicate; returns how many
+    /// were removed (used when an instance is deleted).
+    pub fn drop_matching(&mut self, mut pred: impl FnMut(&P) -> bool) -> usize {
+        let mut removed = 0;
+        for q in self.queues.values_mut() {
+            let before = q.len();
+            q.retain(|j| !pred(&j.payload));
+            removed += before - q.len();
+        }
+        self.len -= removed;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_fifo() {
+        let mut s = Scheduler::new();
+        s.post(2, "c1");
+        s.post(0, "a1");
+        s.post(1, "b1");
+        s.post(0, "a2");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|j| j.payload)).collect();
+        assert_eq!(order, vec!["a1", "a2", "b1", "c1"]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_are_global_and_monotonic() {
+        let mut s = Scheduler::new();
+        let s1 = s.post(5, ());
+        let s2 = s.post(0, ());
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn backlog_high_water_mark() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.post(0, i);
+        }
+        for _ in 0..5 {
+            s.pop();
+        }
+        s.post(0, 99);
+        assert_eq!(s.max_backlog(), 10);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn drop_matching_removes_and_recounts() {
+        let mut s = Scheduler::new();
+        for i in 0..6 {
+            s.post((i % 2) as u8, i);
+        }
+        let removed = s.drop_matching(|p| *p % 3 == 0);
+        assert_eq!(removed, 2); // 0 and 3
+        assert_eq!(s.len(), 4);
+        let left: Vec<i32> = std::iter::from_fn(|| s.pop().map(|j| j.payload)).collect();
+        // Priority 0 (even payloads) drains first, then priority 1.
+        assert_eq!(left, vec![2, 4, 1, 5]);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.pop().is_none());
+    }
+}

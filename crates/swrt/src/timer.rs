@@ -1,0 +1,122 @@
+//! A software timer wheel.
+//!
+//! Generated software arms timers for `gen ... after n;` signals; the
+//! wheel releases them when the CPU clock passes their deadline. Deadlines
+//! are in CPU cycles; ties release in arm order.
+
+/// A pending timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry<P> {
+    deadline: u64,
+    seq: u64,
+    payload: P,
+}
+
+/// Deadline-ordered timer store.
+#[derive(Debug, Clone)]
+pub struct TimerWheel<P> {
+    entries: Vec<Entry<P>>,
+    seq: u64,
+}
+
+impl<P> Default for TimerWheel<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> TimerWheel<P> {
+    /// Creates an empty wheel.
+    pub fn new() -> TimerWheel<P> {
+        TimerWheel {
+            entries: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Arms a timer for `deadline` (absolute cycles).
+    pub fn arm(&mut self, deadline: u64, payload: P) {
+        self.seq += 1;
+        self.entries.push(Entry {
+            deadline,
+            seq: self.seq,
+            payload,
+        });
+    }
+
+    /// Releases every timer with `deadline <= now`, in (deadline, arm)
+    /// order.
+    pub fn pop_due(&mut self, now: u64) -> Vec<P> {
+        let mut due: Vec<Entry<P>> = Vec::new();
+        let mut keep: Vec<Entry<P>> = Vec::new();
+        for e in self.entries.drain(..) {
+            if e.deadline <= now {
+                due.push(e);
+            } else {
+                keep.push(e);
+            }
+        }
+        self.entries = keep;
+        due.sort_by_key(|e| (e.deadline, e.seq));
+        due.into_iter().map(|e| e.payload).collect()
+    }
+
+    /// Cancels timers matching the predicate; returns how many.
+    pub fn cancel_matching(&mut self, mut pred: impl FnMut(&P) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| !pred(&e.payload));
+        before - self.entries.len()
+    }
+
+    /// The earliest pending deadline.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.entries.iter().map(|e| e.deadline).min()
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_in_deadline_then_arm_order() {
+        let mut w = TimerWheel::new();
+        w.arm(20, "late");
+        w.arm(10, "early1");
+        w.arm(10, "early2");
+        assert_eq!(w.next_deadline(), Some(10));
+        assert_eq!(w.pop_due(5), Vec::<&str>::new());
+        assert_eq!(w.pop_due(10), vec!["early1", "early2"]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_due(100), vec!["late"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_matching_removes() {
+        let mut w = TimerWheel::new();
+        w.arm(10, 1);
+        w.arm(20, 2);
+        w.arm(30, 1);
+        assert_eq!(w.cancel_matching(|p| *p == 1), 2);
+        assert_eq!(w.pop_due(100), vec![2]);
+    }
+
+    #[test]
+    fn empty_wheel_behaviour() {
+        let mut w: TimerWheel<()> = TimerWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+        assert!(w.pop_due(1_000).is_empty());
+    }
+}

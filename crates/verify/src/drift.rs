@@ -1,0 +1,270 @@
+//! Experiment E1: interface drift under parallel hand-maintenance.
+//!
+//! The paper's motivation (§1): *"it is common for the hardware and
+//! software teams to work a specification in parallel. Invariably, the
+//! two components do not mesh properly."* This module makes that claim
+//! measurable. An interface is a list of fields (name, width, offset). An
+//! *evolution step* mutates the specification (add a field, widen a
+//! field, remove a field). In the **manual flow**, the hardware and
+//! software teams each apply the step to *their own copy* — and each,
+//! independently, misses the memo with some probability. In the
+//! **generated flow**, both copies are regenerated from the single
+//! specification (paper §4), so they cannot diverge.
+//!
+//! The mismatch count between the two copies over time is the E1 metric.
+
+use xtuml_exec::sched::SplitMix64;
+
+/// One field of the evolving interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Field {
+    id: u32,
+    width: u32,
+    offset: u32,
+}
+
+/// A team's copy of the interface.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Copy_ {
+    fields: Vec<Field>,
+}
+
+impl Copy_ {
+    fn relayout(&mut self) {
+        let mut off = 0;
+        for f in &mut self.fields {
+            f.offset = off;
+            off += f.width;
+        }
+    }
+
+    fn apply(&mut self, step: &Step) {
+        match step {
+            Step::Add { id, width } => {
+                self.fields.push(Field {
+                    id: *id,
+                    width: *width,
+                    offset: 0,
+                });
+            }
+            Step::Widen { id, width } => {
+                if let Some(f) = self.fields.iter_mut().find(|f| f.id == *id) {
+                    f.width = *width;
+                }
+            }
+            Step::Remove { id } => {
+                self.fields.retain(|f| f.id != *id);
+            }
+        }
+        self.relayout();
+    }
+
+    /// Fields that disagree with `other` (missing, extra, or differing in
+    /// width/offset).
+    fn mismatches(&self, other: &Copy_) -> usize {
+        let mut count = 0;
+        for f in &self.fields {
+            match other.fields.iter().find(|g| g.id == f.id) {
+                None => count += 1,
+                Some(g) if g.width != f.width || g.offset != f.offset => count += 1,
+                Some(_) => {}
+            }
+        }
+        for g in &other.fields {
+            if !self.fields.iter().any(|f| f.id == g.id) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+/// A specification evolution step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    Add { id: u32, width: u32 },
+    Widen { id: u32, width: u32 },
+    Remove { id: u32 },
+}
+
+/// Configuration of a drift simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Number of specification evolution steps.
+    pub steps: usize,
+    /// Probability (0.0–1.0) that a team misses one step's memo.
+    pub miss_probability: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            steps: 50,
+            miss_probability: 0.05,
+            seed: 1,
+        }
+    }
+}
+
+/// The outcome of one drift simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftReport {
+    /// Mismatch count after each evolution step.
+    pub mismatches_over_time: Vec<usize>,
+}
+
+impl DriftReport {
+    /// Mismatch count at the end of the run.
+    pub fn final_mismatches(&self) -> usize {
+        self.mismatches_over_time.last().copied().unwrap_or(0)
+    }
+
+    /// First step at which the halves stopped meshing, if ever.
+    pub fn first_divergence(&self) -> Option<usize> {
+        self.mismatches_over_time.iter().position(|m| *m > 0)
+    }
+}
+
+fn gen_steps(cfg: &DriftConfig, rng: &mut SplitMix64) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let mut next_id = 0u32;
+    let mut live: Vec<u32> = Vec::new();
+    for _ in 0..cfg.steps {
+        let choice = if live.is_empty() { 0 } else { rng.below(3) };
+        match choice {
+            0 => {
+                let id = next_id;
+                next_id += 1;
+                live.push(id);
+                steps.push(Step::Add {
+                    id,
+                    width: 8 << rng.below(3),
+                });
+            }
+            1 => {
+                let id = live[rng.below(live.len())];
+                steps.push(Step::Widen {
+                    id,
+                    width: 8 << rng.below(4),
+                });
+            }
+            _ => {
+                let idx = rng.below(live.len());
+                let id = live.swap_remove(idx);
+                steps.push(Step::Remove { id });
+            }
+        }
+    }
+    steps
+}
+
+fn missed(cfg: &DriftConfig, rng: &mut SplitMix64) -> bool {
+    (rng.next_u64() as f64 / u64::MAX as f64) < cfg.miss_probability
+}
+
+/// Simulates the manual flow: two teams, two copies, missed memos.
+pub fn simulate_manual_flow(cfg: &DriftConfig) -> DriftReport {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let steps = gen_steps(cfg, &mut rng);
+    let mut hw = Copy_::default();
+    let mut sw = Copy_::default();
+    let mut series = Vec::with_capacity(steps.len());
+    for step in &steps {
+        if !missed(cfg, &mut rng) {
+            hw.apply(step);
+        }
+        if !missed(cfg, &mut rng) {
+            sw.apply(step);
+        }
+        series.push(hw.mismatches(&sw));
+    }
+    DriftReport {
+        mismatches_over_time: series,
+    }
+}
+
+/// Simulates the generated flow: both copies regenerated from the single
+/// specification after every step — structurally incapable of diverging.
+pub fn simulate_generated_flow(cfg: &DriftConfig) -> DriftReport {
+    let mut rng = SplitMix64::new(cfg.seed);
+    let steps = gen_steps(cfg, &mut rng);
+    let mut spec = Copy_::default();
+    let mut series = Vec::with_capacity(steps.len());
+    for step in &steps {
+        spec.apply(step);
+        // Both halves are projections of `spec`; regenerate and compare.
+        let hw = spec.clone();
+        let sw = spec.clone();
+        series.push(hw.mismatches(&sw));
+    }
+    DriftReport {
+        mismatches_over_time: series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_flow_never_diverges() {
+        let cfg = DriftConfig {
+            steps: 200,
+            miss_probability: 0.3,
+            seed: 7,
+        };
+        let r = simulate_generated_flow(&cfg);
+        assert_eq!(r.final_mismatches(), 0);
+        assert_eq!(r.first_divergence(), None);
+        assert_eq!(r.mismatches_over_time.len(), 200);
+    }
+
+    #[test]
+    fn manual_flow_diverges_with_misses() {
+        let cfg = DriftConfig {
+            steps: 200,
+            miss_probability: 0.1,
+            seed: 7,
+        };
+        let r = simulate_manual_flow(&cfg);
+        assert!(r.first_divergence().is_some());
+        assert!(r.final_mismatches() > 0);
+    }
+
+    #[test]
+    fn manual_flow_with_perfect_teams_stays_in_sync() {
+        let cfg = DriftConfig {
+            steps: 100,
+            miss_probability: 0.0,
+            seed: 3,
+        };
+        let r = simulate_manual_flow(&cfg);
+        assert_eq!(r.final_mismatches(), 0);
+    }
+
+    #[test]
+    fn drift_grows_with_miss_probability() {
+        let total = |p: f64| -> usize {
+            // Average over seeds to smooth the comparison.
+            (0..8)
+                .map(|seed| {
+                    simulate_manual_flow(&DriftConfig {
+                        steps: 120,
+                        miss_probability: p,
+                        seed,
+                    })
+                    .final_mismatches()
+                })
+                .sum()
+        };
+        assert!(total(0.25) > total(0.02));
+    }
+
+    #[test]
+    fn reports_are_deterministic_per_seed() {
+        let cfg = DriftConfig::default();
+        assert_eq!(simulate_manual_flow(&cfg), simulate_manual_flow(&cfg));
+    }
+}

@@ -1,0 +1,160 @@
+//! Observable-trace equivalence.
+//!
+//! Two implementations of one model are behaviourally equivalent when
+//! every external actor observes the **same ordered sequence of
+//! signals**. Global interleaving across different actors is platform
+//! freedom (the model compiler "may do any manner it chooses so long as
+//! the defined behavior is preserved"), so the comparison is per actor.
+
+use std::collections::BTreeMap;
+use xtuml_exec::ObservableEvent;
+
+/// One divergence between two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// The actor whose view diverged.
+    pub actor: String,
+    /// Index into that actor's sequence.
+    pub index: usize,
+    /// What the reference (model) produced, if anything.
+    pub expected: Option<ObservableEvent>,
+    /// What the implementation produced, if anything.
+    pub actual: Option<ObservableEvent>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "actor {}[{}]: expected {}, got {}",
+            self.actor,
+            self.index,
+            self.expected
+                .as_ref()
+                .map_or("<nothing>".to_owned(), ToString::to_string),
+            self.actual
+                .as_ref()
+                .map_or("<nothing>".to_owned(), ToString::to_string),
+        )
+    }
+}
+
+/// The result of an equivalence check.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EquivReport {
+    /// All divergences found (empty = equivalent).
+    pub divergences: Vec<Divergence>,
+    /// Events compared (effort metric).
+    pub compared: usize,
+}
+
+impl EquivReport {
+    /// True when the traces are per-actor equivalent.
+    pub fn is_equivalent(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+fn by_actor(trace: &[ObservableEvent]) -> BTreeMap<&str, Vec<&ObservableEvent>> {
+    let mut map: BTreeMap<&str, Vec<&ObservableEvent>> = BTreeMap::new();
+    for e in trace {
+        map.entry(e.actor.as_str()).or_default().push(e);
+    }
+    map
+}
+
+/// Compares two observable traces per actor.
+pub fn check_equivalence(expected: &[ObservableEvent], actual: &[ObservableEvent]) -> EquivReport {
+    let exp = by_actor(expected);
+    let act = by_actor(actual);
+    let mut report = EquivReport::default();
+    let actors: std::collections::BTreeSet<&str> = exp.keys().chain(act.keys()).copied().collect();
+    for actor in actors {
+        let empty = Vec::new();
+        let e_seq = exp.get(actor).unwrap_or(&empty);
+        let a_seq = act.get(actor).unwrap_or(&empty);
+        let n = e_seq.len().max(a_seq.len());
+        for i in 0..n {
+            report.compared += 1;
+            let e = e_seq.get(i).copied();
+            let a = a_seq.get(i).copied();
+            let same = match (e, a) {
+                (Some(x), Some(y)) => x.event == y.event && x.args == y.args,
+                _ => false,
+            };
+            if !same {
+                report.divergences.push(Divergence {
+                    actor: actor.to_owned(),
+                    index: i,
+                    expected: e.cloned(),
+                    actual: a.cloned(),
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtuml_core::value::Value;
+
+    fn ev(actor: &str, event: &str, v: i64) -> ObservableEvent {
+        ObservableEvent {
+            actor: actor.to_owned(),
+            event: event.to_owned(),
+            args: vec![Value::Int(v)],
+        }
+    }
+
+    #[test]
+    fn identical_traces_are_equivalent() {
+        let t = vec![ev("A", "x", 1), ev("B", "y", 2), ev("A", "x", 3)];
+        let r = check_equivalence(&t, &t);
+        assert!(r.is_equivalent());
+        assert_eq!(r.compared, 3);
+    }
+
+    #[test]
+    fn cross_actor_interleaving_is_free() {
+        let a = vec![ev("A", "x", 1), ev("B", "y", 2)];
+        let b = vec![ev("B", "y", 2), ev("A", "x", 1)];
+        assert!(check_equivalence(&a, &b).is_equivalent());
+    }
+
+    #[test]
+    fn per_actor_reorder_is_a_divergence() {
+        let a = vec![ev("A", "x", 1), ev("A", "x", 2)];
+        let b = vec![ev("A", "x", 2), ev("A", "x", 1)];
+        let r = check_equivalence(&a, &b);
+        assert!(!r.is_equivalent());
+        assert_eq!(r.divergences.len(), 2);
+    }
+
+    #[test]
+    fn missing_and_extra_events_reported() {
+        let a = vec![ev("A", "x", 1), ev("A", "x", 2)];
+        let b = vec![ev("A", "x", 1)];
+        let r = check_equivalence(&a, &b);
+        assert_eq!(r.divergences.len(), 1);
+        assert!(r.divergences[0].actual.is_none());
+        let r = check_equivalence(&b, &a);
+        assert!(r.divergences[0].expected.is_none());
+        assert!(r.divergences[0].to_string().contains("<nothing>"));
+    }
+
+    #[test]
+    fn different_args_diverge() {
+        let a = vec![ev("A", "x", 1)];
+        let b = vec![ev("A", "x", 9)];
+        assert!(!check_equivalence(&a, &b).is_equivalent());
+    }
+
+    #[test]
+    fn unknown_actor_on_either_side_diverges() {
+        let a = vec![ev("A", "x", 1)];
+        let b = vec![ev("A", "x", 1), ev("C", "z", 0)];
+        assert!(!check_equivalence(&a, &b).is_equivalent());
+    }
+}

@@ -1,0 +1,59 @@
+//! A model compiler that fails to preserve the event rules is *caught*
+//! by the verification layer — the flip side of the paper's "so long as
+//! the defined behavior is preserved" licence.
+
+use xtuml_core::builder::pipeline_domain;
+use xtuml_core::marks::MarkSet;
+use xtuml_exec::SchedPolicy;
+use xtuml_mda::{CompilerOptions, ModelCompiler};
+use xtuml_verify::{check_equivalence, run_compiled, run_model, TestCase};
+
+/// A partition where ordered tokens cross the bridge: Stage0 in hardware
+/// feeds Stage1 in software, so hw→sw bridge delivery order is load-
+/// bearing for the SINK sequence.
+fn setup() -> (xtuml_core::Domain, MarkSet, TestCase) {
+    let domain = pipeline_domain(2).unwrap();
+    let mut marks = MarkSet::new();
+    marks.mark_hardware("Stage0");
+    let tc = TestCase::pipeline(2, 6);
+    (domain, marks, tc)
+}
+
+#[test]
+fn stock_mapping_preserves_behaviour() {
+    let (domain, marks, tc) = setup();
+    let model = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    let design = ModelCompiler::new().compile(&domain, &marks).unwrap();
+    let impl_trace = run_compiled(&design, &tc).unwrap();
+    assert!(check_equivalence(&model, &impl_trace).is_equivalent());
+}
+
+#[test]
+fn scrambling_mapping_is_detected_as_inequivalent() {
+    let (domain, marks, tc) = setup();
+    let model = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    let broken = ModelCompiler::with_options(CompilerOptions {
+        scramble_bridge_rx: true,
+    });
+    let design = broken.compile(&domain, &marks).unwrap();
+    let impl_trace = run_compiled(&design, &tc).unwrap();
+    let report = check_equivalence(&model, &impl_trace);
+    assert!(
+        !report.is_equivalent(),
+        "the scrambled mapping must corrupt the SINK sequence"
+    );
+    // The generated *text* is unaffected — the bug is in the runtime
+    // mapping, which is exactly why executable verification matters.
+    let stock = ModelCompiler::new().compile(&domain, &marks).unwrap();
+    assert_eq!(stock.c_code, design.c_code);
+}
+
+#[test]
+fn scramble_option_is_off_by_default() {
+    assert_eq!(
+        CompilerOptions::default(),
+        CompilerOptions {
+            scramble_bridge_rx: false
+        }
+    );
+}

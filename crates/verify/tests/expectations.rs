@@ -1,0 +1,81 @@
+//! Tests for formal test-case expectations: "formal test cases can be
+//! executed against the model to verify that requirements have been
+//! properly met" (paper §2) — and re-executed unchanged against every
+//! partitioned implementation.
+
+use xtuml_core::builder::pipeline_domain;
+use xtuml_core::marks::MarkSet;
+use xtuml_core::value::Value;
+use xtuml_exec::SchedPolicy;
+use xtuml_verify::{check_expectations, run_compiled, run_model, TestCase};
+
+fn expected_pipeline_case() -> TestCase {
+    let mut tc = TestCase::pipeline(3, 3);
+    // Requirement: each stage except the last increments the token, so
+    // fed values 0,1,2 emerge as 2,3,4 — in order.
+    tc.expect("SINK", "out", vec![Value::Int(2)]);
+    tc.expect("SINK", "out", vec![Value::Int(3)]);
+    tc.expect("SINK", "out", vec![Value::Int(4)]);
+    tc
+}
+
+#[test]
+fn model_meets_its_requirements() {
+    let domain = pipeline_domain(3).unwrap();
+    let tc = expected_pipeline_case();
+    let obs = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    let report = check_expectations(&tc, &obs);
+    assert!(report.is_equivalent(), "{:?}", report.divergences);
+}
+
+#[test]
+fn same_requirements_hold_on_a_partitioned_implementation() {
+    let domain = pipeline_domain(3).unwrap();
+    let tc = expected_pipeline_case();
+    let mut marks = MarkSet::new();
+    marks.mark_hardware("Stage0");
+    marks.mark_hardware("Stage2");
+    let design = xtuml_mda::ModelCompiler::new()
+        .compile(&domain, &marks)
+        .unwrap();
+    let obs = run_compiled(&design, &tc).unwrap();
+    let report = check_expectations(&tc, &obs);
+    assert!(report.is_equivalent(), "{:?}", report.divergences);
+}
+
+#[test]
+fn unmet_requirement_is_reported() {
+    let domain = pipeline_domain(2).unwrap();
+    let mut tc = TestCase::pipeline(2, 1);
+    tc.expect("SINK", "out", vec![Value::Int(99)]); // wrong payload
+    tc.expect("SINK", "out", vec![Value::Int(2)]); // extra expectation
+    let obs = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    let report = check_expectations(&tc, &obs);
+    assert_eq!(report.divergences.len(), 2);
+}
+
+#[test]
+fn wildcard_arguments_accept_any_payload() {
+    let domain = pipeline_domain(2).unwrap();
+    let mut tc = TestCase::pipeline(2, 2);
+    tc.expect_any_args("SINK", "out");
+    tc.expect_any_args("SINK", "out");
+    let obs = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    assert!(check_expectations(&tc, &obs).is_equivalent());
+    // ...but the event name must still match.
+    let mut tc2 = TestCase::pipeline(2, 1);
+    tc2.expect_any_args("SINK", "bogus");
+    let obs = run_model(&domain, SchedPolicy::default(), &tc2).unwrap();
+    assert!(!check_expectations(&tc2, &obs).is_equivalent());
+}
+
+#[test]
+fn unexpected_extra_output_is_a_divergence() {
+    let domain = pipeline_domain(2).unwrap();
+    let mut tc = TestCase::pipeline(2, 2);
+    tc.expect("SINK", "out", vec![Value::Int(1)]); // second output unexpected
+    let obs = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    let report = check_expectations(&tc, &obs);
+    assert_eq!(report.divergences.len(), 1);
+    assert!(report.divergences[0].expected.is_none());
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a tiny Executable UML model in Rust, execute it
+//! against a scripted scenario, and print the observable trace.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xtuml::core::builder::DomainBuilder;
+use xtuml::core::value::{DataType, Value};
+use xtuml::exec::Simulation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Model: a turnstile with coin/push signals and an audit actor.
+    let mut b = DomainBuilder::new("turnstile");
+    b.actor("AUDIT")
+        .event("passed", &[("count", DataType::Int)])
+        .event("rejected", &[]);
+    b.class("Turnstile")
+        .attr("passes", DataType::Int)
+        .event("Coin", &[])
+        .event("Push", &[])
+        .state("Locked", "")
+        .state("Unlocked", "")
+        .state(
+            "Passing",
+            "self.passes = self.passes + 1;\n\
+             gen passed(self.passes) to AUDIT;",
+        )
+        .state("Rejecting", "gen rejected() to AUDIT;")
+        .initial("Locked")
+        .transition("Locked", "Coin", "Unlocked")
+        .transition("Locked", "Push", "Rejecting")
+        .transition("Rejecting", "Coin", "Unlocked")
+        .transition("Rejecting", "Push", "Rejecting")
+        .transition("Unlocked", "Push", "Passing")
+        .transition("Passing", "Coin", "Unlocked")
+        .transition("Passing", "Push", "Rejecting")
+        .ignore("Unlocked", "Coin");
+    let domain = b.build()?;
+    println!(
+        "model `{}` validated: {} class(es)",
+        domain.name,
+        domain.classes.len()
+    );
+
+    // 2. Execute a scenario against the model — no implementation
+    //    anywhere in sight (paper §2).
+    let mut sim = Simulation::new(&domain);
+    let t = sim.create("Turnstile")?;
+    for (time, event) in [
+        (0, "Push"), // rejected
+        (1, "Coin"),
+        (2, "Push"), // pass 1
+        (3, "Coin"),
+        (4, "Push"), // pass 2
+        (5, "Push"), // rejected
+    ] {
+        sim.inject(time, t, event, vec![])?;
+    }
+    sim.run_to_quiescence()?;
+
+    // 3. Inspect results.
+    println!("final state : {}", sim.state_name(t)?);
+    println!("passes      : {}", sim.attr(t, "passes")?);
+    println!("observable trace:");
+    for ev in sim.trace().observable() {
+        println!("  {ev}");
+    }
+    assert_eq!(sim.attr(t, "passes")?, Value::Int(2));
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! A pedestrian-crossing traffic controller: two signal heads and a
+//! button, coordinated purely by signals and timers — then partitioned
+//! with the signal heads in hardware and the controller in software, and
+//! verified equivalent.
+//!
+//! ```text
+//! cargo run --example traffic_lights
+//! ```
+
+use xtuml::core::builder::DomainBuilder;
+use xtuml::core::marks::MarkSet;
+use xtuml::core::value::{DataType, Value};
+use xtuml::core::Multiplicity;
+use xtuml::exec::SchedPolicy;
+use xtuml::mda::ModelCompiler;
+use xtuml::verify::{check_equivalence, run_compiled, run_model, TestCase};
+
+fn model() -> xtuml::core::Domain {
+    let mut b = DomainBuilder::new("crossing");
+    b.actor("STREET")
+        .event("cars_go", &[])
+        .event("cars_stop", &[])
+        .event("walk", &[])
+        .event("dont_walk", &[]);
+
+    // The controller sequences the phases with timers.
+    b.class("Controller")
+        .attr("requests", DataType::Int)
+        .event("ButtonPressed", &[])
+        .event("PhaseDone", &[])
+        .state("CarsGreen", "")
+        .state(
+            "Requested",
+            "self.requests = self.requests + 1;\n\
+             gen PhaseDone() to self after 2000;",
+        )
+        .state(
+            "CarsYellow",
+            "h = any(self -> Head[R1]);\n\
+             gen ShowYellow() to h;\n\
+             gen PhaseDone() to self after 1000;",
+        )
+        .state(
+            "Walk",
+            "h = any(self -> Head[R1]);\n\
+             gen ShowRed() to h;\n\
+             gen walk() to STREET;\n\
+             gen PhaseDone() to self after 5000;",
+        )
+        .state(
+            "BackToCars",
+            "gen dont_walk() to STREET;\n\
+             h = any(self -> Head[R1]);\n\
+             gen ShowGreen() to h;",
+        )
+        .initial("CarsGreen")
+        .transition("CarsGreen", "ButtonPressed", "Requested")
+        .transition("Requested", "PhaseDone", "CarsYellow")
+        .transition("CarsYellow", "PhaseDone", "Walk")
+        .transition("Walk", "PhaseDone", "BackToCars")
+        .transition("BackToCars", "ButtonPressed", "Requested")
+        .ignore("Requested", "ButtonPressed")
+        .ignore("CarsYellow", "ButtonPressed")
+        .ignore("Walk", "ButtonPressed");
+
+    // The signal head drives the street-facing lamps.
+    b.class("Head")
+        .attr("changes", DataType::Int)
+        .event("ShowGreen", &[])
+        .event("ShowYellow", &[])
+        .event("ShowRed", &[])
+        .state("Green", "")
+        .state(
+            "Yellow",
+            "self.changes = self.changes + 1;\ngen cars_stop() to STREET;",
+        )
+        .state("Red", "self.changes = self.changes + 1;")
+        .state(
+            "GreenAgain",
+            "self.changes = self.changes + 1;\ngen cars_go() to STREET;",
+        )
+        .initial("Green")
+        .transition("Green", "ShowYellow", "Yellow")
+        .transition("Yellow", "ShowRed", "Red")
+        .transition("Red", "ShowGreen", "GreenAgain")
+        .transition("GreenAgain", "ShowYellow", "Yellow");
+
+    b.association(
+        "R1",
+        "Controller",
+        Multiplicity::One,
+        "Head",
+        Multiplicity::One,
+    );
+    b.build().expect("crossing model is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let domain = model();
+    let mut tc = TestCase::new("one-crossing");
+    let ctrl = tc.create("Controller");
+    let head = tc.create("Head");
+    tc.relate(ctrl, head, "R1");
+    tc.inject(0, ctrl, "ButtonPressed", vec![]);
+    tc.inject(100, ctrl, "ButtonPressed", vec![]); // debounced by ignore
+
+    let model_trace = run_model(&domain, SchedPolicy::default(), &tc)?;
+    println!("model trace ({} observable events):", model_trace.len());
+    for ev in &model_trace {
+        println!("  {ev}");
+    }
+
+    // The street-facing signal head belongs in hardware; the sequencing
+    // policy stays in software.
+    let mut marks = MarkSet::new();
+    marks.mark_hardware("Head");
+    let design = ModelCompiler::new().compile(&domain, &marks)?;
+    println!(
+        "\npartitioned: {} channel(s); C {} lines; VHDL {} lines",
+        design.interface.channels.len(),
+        design.c_lines(),
+        design.vhdl_lines()
+    );
+
+    let impl_trace = run_compiled(&design, &tc)?;
+    let report = check_equivalence(&model_trace, &impl_trace);
+    println!("equivalent to the model: {}", report.is_equivalent());
+    assert!(report.is_equivalent(), "{:?}", report.divergences);
+
+    // The expected street choreography.
+    let street: Vec<&str> = model_trace.iter().map(|e| e.event.as_str()).collect();
+    assert_eq!(street, ["cars_stop", "walk", "dont_walk", "cars_go"]);
+    let _ = Value::Int(0);
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! The `xtuml` command-line tool. See `xtuml::cli` for the subcommands.
+
+use std::process::ExitCode;
+use xtuml::cli;
+
+fn usage() -> String {
+    "usage:\n\
+     \x20 xtuml check     <model.xtuml>\n\
+     \x20 xtuml print     <model.xtuml>\n\
+     \x20 xtuml interface <model.xtuml> <marks.marks>\n\
+     \x20 xtuml compile   <model.xtuml> <marks.marks> [out_dir]\n\
+     \x20 xtuml run       <model.xtuml> <script.stim>\n"
+        .to_owned()
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("check") => {
+            let model = read(it.next().ok_or_else(usage)?)?;
+            print!("{}", cli::cmd_check(&model).map_err(|e| e.to_string())?);
+        }
+        Some("print") => {
+            let model = read(it.next().ok_or_else(usage)?)?;
+            print!("{}", cli::cmd_print(&model).map_err(|e| e.to_string())?);
+        }
+        Some("interface") => {
+            let model = read(it.next().ok_or_else(usage)?)?;
+            let marks = read(it.next().ok_or_else(usage)?)?;
+            print!(
+                "{}",
+                cli::cmd_interface(&model, &marks).map_err(|e| e.to_string())?
+            );
+        }
+        Some("compile") => {
+            let model = read(it.next().ok_or_else(usage)?)?;
+            let marks = read(it.next().ok_or_else(usage)?)?;
+            let out_dir = it.next().unwrap_or(".");
+            for (name, text) in cli::cmd_compile(&model, &marks).map_err(|e| e.to_string())? {
+                let path = std::path::Path::new(out_dir).join(&name);
+                std::fs::write(&path, text).map_err(|e| format!("cannot write {name}: {e}"))?;
+                println!("wrote {}", path.display());
+            }
+        }
+        Some("run") => {
+            let model = read(it.next().ok_or_else(usage)?)?;
+            let script = read(it.next().ok_or_else(usage)?)?;
+            print!(
+                "{}",
+                cli::cmd_run(&model, &script).map_err(|e| e.to_string())?
+            );
+        }
+        _ => return Err(usage()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The `xtuml` command-line tool, as testable library functions.
+//!
+//! Subcommands:
+//!
+//! * `check <model.xtuml>` — parse, validate and summarise a model;
+//! * `print <model.xtuml>` — re-emit the model in canonical form;
+//! * `interface <model.xtuml> <marks.marks>` — show the generated
+//!   channel table and register map;
+//! * `compile <model.xtuml> <marks.marks> [out_dir]` — run the model
+//!   compiler and write `<domain>.c` / `<domain>.vhd`;
+//! * `run <model.xtuml> <script.stim>` — execute a stimulus script
+//!   against the abstract model and print the observable trace.
+//!
+//! The stimulus script format is line-oriented:
+//!
+//! ```text
+//! create oven Oven          # bind name `oven` to a new Oven instance
+//! relate oven lamp R1       # link two bound instances
+//! at 100 oven Start 3       # inject Start(3) at time 100
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use xtuml_core::marks::MarkSet;
+use xtuml_core::model::Domain;
+use xtuml_core::value::Value;
+use xtuml_exec::Simulation;
+use xtuml_lang::{parse_domain, parse_marks, print_domain};
+use xtuml_mda::ModelCompiler;
+
+/// A CLI failure, rendered to stderr by the binary.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<xtuml_core::CoreError> for CliError {
+    fn from(e: xtuml_core::CoreError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+impl From<xtuml_mda::MdaError> for CliError {
+    fn from(e: xtuml_mda::MdaError) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+/// `check`: parse + validate, return a summary.
+///
+/// # Errors
+///
+/// Returns parse/validation diagnostics.
+pub fn cmd_check(model_src: &str) -> Result<String, CliError> {
+    let domain = parse_domain(model_src)?;
+    let machines = domain
+        .classes
+        .iter()
+        .filter(|c| c.state_machine.is_some())
+        .count();
+    let states: usize = domain
+        .classes
+        .iter()
+        .filter_map(|c| c.state_machine.as_ref())
+        .map(|m| m.states.len())
+        .sum();
+    let transitions: usize = domain
+        .classes
+        .iter()
+        .filter_map(|c| c.state_machine.as_ref())
+        .map(|m| m.transitions.len())
+        .sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "domain {}: OK", domain.name);
+    let _ = writeln!(
+        out,
+        "  {} class(es) ({} with state machines), {} actor(s), {} association(s)",
+        domain.classes.len(),
+        machines,
+        domain.actors.len(),
+        domain.associations.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {} state(s), {} transition(s), {} action statement(s)",
+        states,
+        transitions,
+        domain.action_weight()
+    );
+    Ok(out)
+}
+
+/// `print`: canonical form.
+///
+/// # Errors
+///
+/// Returns parse/validation diagnostics.
+pub fn cmd_print(model_src: &str) -> Result<String, CliError> {
+    let domain = parse_domain(model_src)?;
+    Ok(print_domain(&domain))
+}
+
+/// `interface`: the generated channel table.
+///
+/// # Errors
+///
+/// Returns parse, mark-mismatch and mapping diagnostics.
+pub fn cmd_interface(model_src: &str, marks_src: &str) -> Result<String, CliError> {
+    let (domain, marks) = load(model_src, marks_src)?;
+    let design = ModelCompiler::new().compile(&domain, &marks)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "generated interface for {} ({} hw / {} sw classes):",
+        domain.name,
+        design.partition.hw_count(),
+        design.partition.sw_count()
+    );
+    if design.interface.channels.is_empty() {
+        let _ = writeln!(out, "  (homogeneous partition: no channels)");
+    }
+    for ch in &design.interface.channels {
+        let class = &domain.class(ch.target_class).name;
+        let event = &domain.class(ch.target_class).events[ch.event.index()].name;
+        let _ = writeln!(
+            out,
+            "  channel {:>2}  {}  {}.{}  [{} word(s)]",
+            ch.id, ch.dir, class, event, ch.payload_words
+        );
+    }
+    Ok(out)
+}
+
+/// `compile`: generated C and VHDL texts, keyed by suggested file name.
+///
+/// # Errors
+///
+/// Returns parse, mark-mismatch and mapping diagnostics.
+pub fn cmd_compile(model_src: &str, marks_src: &str) -> Result<Vec<(String, String)>, CliError> {
+    let (domain, marks) = load(model_src, marks_src)?;
+    let design = ModelCompiler::new().compile(&domain, &marks)?;
+    Ok(vec![
+        (format!("{}.c", domain.name), design.c_code),
+        (format!("{}.vhd", domain.name), design.vhdl_code),
+        (format!("{}_icd.md", domain.name), design.icd),
+    ])
+}
+
+/// `run`: execute a stimulus script against the abstract model.
+///
+/// # Errors
+///
+/// Returns parse, script and execution diagnostics.
+pub fn cmd_run(model_src: &str, script_src: &str) -> Result<String, CliError> {
+    let domain = parse_domain(model_src)?;
+    let mut sim = Simulation::new(&domain);
+    let mut names: BTreeMap<String, xtuml_core::ids::InstId> = BTreeMap::new();
+
+    for (lineno, raw) in script_src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let verb = words.next().unwrap_or("");
+        let fail = |msg: String| CliError(format!("script line {}: {msg}", lineno + 1));
+        match verb {
+            "create" => {
+                let name = words.next().ok_or_else(|| fail("missing name".into()))?;
+                let class = words.next().ok_or_else(|| fail("missing class".into()))?;
+                let inst = sim.create(class).map_err(|e| fail(e.to_string()))?;
+                names.insert(name.to_owned(), inst);
+            }
+            "relate" => {
+                let a = words
+                    .next()
+                    .ok_or_else(|| fail("missing instance".into()))?;
+                let b = words
+                    .next()
+                    .ok_or_else(|| fail("missing instance".into()))?;
+                let assoc = words.next().ok_or_else(|| fail("missing assoc".into()))?;
+                let ia = *names.get(a).ok_or_else(|| fail(format!("unknown `{a}`")))?;
+                let ib = *names.get(b).ok_or_else(|| fail(format!("unknown `{b}`")))?;
+                sim.relate(ia, ib, assoc).map_err(|e| fail(e.to_string()))?;
+            }
+            "at" => {
+                let time: u64 = words
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| fail("bad time".into()))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| fail("missing instance".into()))?;
+                let event = words.next().ok_or_else(|| fail("missing event".into()))?;
+                let inst = *names
+                    .get(name)
+                    .ok_or_else(|| fail(format!("unknown `{name}`")))?;
+                let args: Vec<Value> = words
+                    .map(parse_arg)
+                    .collect::<Result<_, String>>()
+                    .map_err(fail)?;
+                sim.inject(time, inst, event, args)
+                    .map_err(|e| fail(e.to_string()))?;
+            }
+            other => return Err(fail(format!("unknown verb `{other}`"))),
+        }
+    }
+
+    sim.run_to_quiescence()?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ran to quiescence at t={} ({} dispatches)",
+        sim.now(),
+        sim.trace().dispatch_count()
+    );
+    for ev in sim.trace().observable() {
+        let _ = writeln!(out, "{ev}");
+    }
+    Ok(out)
+}
+
+fn parse_arg(word: &str) -> Result<Value, String> {
+    if word == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if word == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Ok(i) = word.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(r) = word.parse::<f64>() {
+        return Ok(Value::Real(r));
+    }
+    if word.starts_with('"') && word.ends_with('"') && word.len() >= 2 {
+        return Ok(Value::Str(word[1..word.len() - 1].to_owned()));
+    }
+    Err(format!("cannot parse argument `{word}`"))
+}
+
+fn load(model_src: &str, marks_src: &str) -> Result<(Domain, MarkSet), CliError> {
+    let domain = parse_domain(model_src)?;
+    let (marks_for, marks) = parse_marks(marks_src)?;
+    if marks_for != domain.name {
+        return Err(CliError(format!(
+            "mark file targets domain `{marks_for}`, model is `{}`",
+            domain.name
+        )));
+    }
+    Ok((domain, marks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = "domain D;\n\
+        actor OUT { signal done(v: int); }\n\
+        class C { attr n: int; event E(v: int); initial S;\n\
+        state S { } state T { self.n = rcvd.v; gen done(self.n) to OUT; }\n\
+        on S: E -> T; on T: E -> T; }";
+
+    #[test]
+    fn check_summarises() {
+        let out = cmd_check(MODEL).unwrap();
+        assert!(out.contains("domain D: OK"));
+        assert!(out.contains("1 class(es)"));
+        assert!(out.contains("2 state(s)"));
+    }
+
+    #[test]
+    fn check_reports_errors() {
+        assert!(cmd_check("domain D; class C { initial X; }").is_err());
+    }
+
+    #[test]
+    fn print_is_canonical() {
+        let printed = cmd_print(MODEL).unwrap();
+        let again = cmd_print(&printed).unwrap();
+        assert_eq!(printed, again);
+    }
+
+    #[test]
+    fn interface_reports_channels() {
+        let marks = "marks for D;\nmark class C isHardware = true;\n";
+        let out = cmd_interface(MODEL, marks).unwrap();
+        assert!(out.contains("1 hw / 0 sw"));
+        // C's events are only ever sent by the environment → no channels.
+        assert!(out.contains("no channels"));
+    }
+
+    #[test]
+    fn interface_rejects_mismatched_marks() {
+        let err = cmd_interface(MODEL, "marks for Other;").unwrap_err();
+        assert!(err.to_string().contains("targets domain"));
+    }
+
+    #[test]
+    fn compile_emits_c_vhdl_and_icd() {
+        let files = cmd_compile(MODEL, "marks for D;").unwrap();
+        assert_eq!(files.len(), 3);
+        assert_eq!(files[0].0, "D.c");
+        assert!(files[0].1.contains("#include"));
+        assert_eq!(files[1].0, "D.vhd");
+        assert!(files[1].1.contains("library ieee;"));
+        assert_eq!(files[2].0, "D_icd.md");
+        assert!(files[2].1.contains("Interface Control Document"));
+    }
+
+    #[test]
+    fn run_executes_script() {
+        let script = "\
+# bind and stimulate
+create c C
+at 0 c E 41
+at 1 c E 42
+";
+        let out = cmd_run(MODEL, script).unwrap();
+        assert!(out.contains("OUT.done(41)"));
+        assert!(out.contains("OUT.done(42)"));
+    }
+
+    #[test]
+    fn run_script_errors_have_line_numbers() {
+        let err = cmd_run(MODEL, "create c C\nat x c E\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = cmd_run(MODEL, "explode\n").unwrap_err();
+        assert!(err.to_string().contains("unknown verb"));
+    }
+
+    #[test]
+    fn arg_parsing() {
+        assert_eq!(parse_arg("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_arg("-3").unwrap(), Value::Int(-3));
+        assert_eq!(parse_arg("2.5").unwrap(), Value::Real(2.5));
+        assert_eq!(parse_arg("\"hi\"").unwrap(), Value::Str("hi".into()));
+        assert!(parse_arg("@").is_err());
+    }
+}

@@ -1,0 +1,21 @@
+#![doc = include_str!("../README.md")]
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub use xtuml_core as core;
+pub use xtuml_cosim as cosim;
+pub use xtuml_exec as exec;
+pub use xtuml_lang as lang;
+pub use xtuml_mda as mda;
+pub use xtuml_rtl as rtl;
+pub use xtuml_swrt as swrt;
+pub use xtuml_verify as verify;
+
+pub mod cli;
+
+/// Commonly used items for quick starts.
+pub mod prelude {
+    pub use xtuml_core::builder::DomainBuilder;
+    pub use xtuml_core::marks::{ElemRef, MarkSet};
+    pub use xtuml_core::value::{DataType, Value};
+    pub use xtuml_core::Domain;
+}

@@ -1,0 +1,94 @@
+//! Experiment E1 as a test: generated interfaces cannot drift; manual
+//! ones invariably do (paper §1: "Invariably, the two components do not
+//! mesh properly").
+
+use xtuml::verify::drift::{simulate_generated_flow, simulate_manual_flow, DriftConfig};
+
+#[test]
+fn generated_interfaces_never_mismatch() {
+    for seed in 0..32 {
+        for p in [0.0, 0.05, 0.25, 0.5] {
+            let r = simulate_generated_flow(&DriftConfig {
+                steps: 150,
+                miss_probability: p,
+                seed,
+            });
+            assert_eq!(r.final_mismatches(), 0, "seed {seed}, p {p}");
+            assert_eq!(r.first_divergence(), None);
+        }
+    }
+}
+
+#[test]
+fn manual_interfaces_invariably_drift() {
+    // "Invariably": with a realistic miss rate and enough evolution steps,
+    // every seed eventually diverges.
+    let mut diverged = 0;
+    for seed in 0..32 {
+        let r = simulate_manual_flow(&DriftConfig {
+            steps: 300,
+            miss_probability: 0.1,
+            seed,
+        });
+        diverged += usize::from(r.first_divergence().is_some());
+    }
+    assert_eq!(diverged, 32, "all seeds must diverge at this rate");
+}
+
+#[test]
+fn drift_monotone_in_miss_probability_on_average() {
+    let mean = |p: f64| -> f64 {
+        (0..16)
+            .map(|seed| {
+                simulate_manual_flow(&DriftConfig {
+                    steps: 150,
+                    miss_probability: p,
+                    seed,
+                })
+                .final_mismatches() as f64
+            })
+            .sum::<f64>()
+            / 16.0
+    };
+    let low = mean(0.02);
+    let mid = mean(0.1);
+    let high = mean(0.3);
+    assert!(low <= mid + 1.0, "low {low} vs mid {mid}");
+    assert!(mid <= high + 1.0, "mid {mid} vs high {high}");
+    assert!(high > low, "drift must grow overall: {low} vs {high}");
+}
+
+#[test]
+fn generated_interface_is_structurally_single_sourced() {
+    // The toolchain analogue of E1: the C text, the VHDL text and the
+    // executable bridge all print/derive from one InterfaceSpec — check
+    // the channel ids agree everywhere.
+    use xtuml::core::builder::pipeline_domain;
+    use xtuml::core::marks::MarkSet;
+    use xtuml::mda::ModelCompiler;
+
+    let domain = pipeline_domain(4).unwrap();
+    let mut marks = MarkSet::new();
+    marks.mark_hardware("Stage1");
+    marks.mark_hardware("Stage3");
+    let design = ModelCompiler::new().compile(&domain, &marks).unwrap();
+
+    for ch in &design.interface.channels {
+        let class = &domain.class(ch.target_class).name;
+        let event = &domain.class(ch.target_class).events[ch.event.index()].name;
+        let c_define = format!("#define CH_{class}_{event} {}u", ch.id);
+        assert!(
+            design.c_code.contains(&c_define),
+            "C driver missing `{c_define}`"
+        );
+        let vhdl_const = format!("constant CH_{class}_{event} : natural := {};", ch.id);
+        assert!(
+            design.vhdl_code.contains(&vhdl_const),
+            "VHDL bridge missing `{vhdl_const}`"
+        );
+    }
+    let cfg = design
+        .interface
+        .to_bridge_config(design.params.fifo_depth, design.params.bus_latency);
+    assert_eq!(cfg.channels.len(), design.interface.channels.len());
+}

@@ -1,0 +1,151 @@
+//! Experiment E5 as tests: the §2 event rules are exactly what preserves
+//! cause-and-effect; ablating either rule breaks observable behaviour.
+
+use xtuml::core::builder::DomainBuilder;
+use xtuml::core::value::DataType;
+use xtuml::core::Domain;
+use xtuml::exec::{SchedPolicy, Simulation};
+
+/// A sender bursts ordered messages at a receiver that records the last
+/// payload seen.
+fn burst_domain(n: usize) -> Domain {
+    let mut b = DomainBuilder::new("burst");
+    b.actor("SINK").event("last", &[("k", DataType::Int)]);
+    b.class("Recv")
+        .attr("last", DataType::Int)
+        .event("Msg", &[("k", DataType::Int)])
+        .event("Report", &[])
+        .state("Idle", "")
+        .state("Got", "self.last = rcvd.k;")
+        .state("Reported", "gen last(self.last) to SINK;")
+        .initial("Idle")
+        .transition("Idle", "Msg", "Got")
+        .transition("Got", "Msg", "Got")
+        .transition("Got", "Report", "Reported")
+        .transition("Reported", "Msg", "Got")
+        .ignore("Idle", "Report");
+    b.class("Send")
+        .event("Go", &[])
+        .state("Idle", "")
+        .state(
+            "Burst",
+            &format!(
+                "select any r from Recv;\n\
+                 k = 0;\n\
+                 while (k < {n}) {{ gen Msg(k) to r; k = k + 1; }}\n\
+                 gen Report() to r;"
+            ),
+        )
+        .initial("Idle")
+        .transition("Idle", "Go", "Burst");
+    b.build().unwrap()
+}
+
+fn run(domain: &Domain, policy: SchedPolicy) -> (usize, i64) {
+    let mut sim = Simulation::with_policy(domain, policy);
+    let _r = sim.create("Recv").unwrap();
+    let s = sim.create("Send").unwrap();
+    sim.inject(0, s, "Go", vec![]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    let violations = sim.trace().causality_violations();
+    let last = sim
+        .trace()
+        .observable()
+        .first()
+        .map(|e| e.args[0].as_int().unwrap())
+        .unwrap_or(-1);
+    (violations, last)
+}
+
+#[test]
+fn rules_on_is_causal_for_every_seed() {
+    let d = burst_domain(30);
+    for seed in 0..24 {
+        let (violations, last) = run(&d, SchedPolicy::seeded(seed));
+        assert_eq!(violations, 0, "seed {seed}");
+        // With FIFO pair order, the last message processed before Report
+        // is always the final one of the burst.
+        assert_eq!(last, 29, "seed {seed}");
+    }
+}
+
+#[test]
+fn pair_order_ablation_violates_causality_and_changes_behaviour() {
+    let d = burst_domain(30);
+    let mut any_violation = false;
+    let mut any_wrong_output = false;
+    for seed in 0..24 {
+        let policy = SchedPolicy {
+            pair_order: false,
+            ..SchedPolicy::seeded(seed)
+        };
+        let (violations, last) = run(&d, policy);
+        any_violation |= violations > 0;
+        any_wrong_output |= last != 29;
+    }
+    assert!(any_violation, "reordering must be detected in the trace");
+    assert!(
+        any_wrong_output,
+        "reordering must corrupt the observable output"
+    );
+}
+
+#[test]
+fn self_priority_ablation_changes_observable_behaviour() {
+    // A state machine that queues work to itself and must finish it
+    // before reacting to external queries.
+    let mut b = DomainBuilder::new("selfy");
+    b.actor("SINK").event("answer", &[("v", DataType::Int)]);
+    b.class("Worker")
+        .attr("acc", DataType::Int)
+        .event("Kick", &[])
+        .event("Step", &[("v", DataType::Int)])
+        .event("Query", &[])
+        .state("Idle", "")
+        .state(
+            "Kicked",
+            "gen Step(1) to self;\n\
+             gen Step(2) to self;\n\
+             gen Step(4) to self;",
+        )
+        .state("Stepping", "self.acc = self.acc + rcvd.v;")
+        .state("Answering", "gen answer(self.acc) to SINK;")
+        .initial("Idle")
+        .transition("Idle", "Kick", "Kicked")
+        .transition("Kicked", "Step", "Stepping")
+        .transition("Stepping", "Step", "Stepping")
+        .transition("Kicked", "Query", "Answering")
+        .transition("Stepping", "Query", "Answering")
+        .transition("Answering", "Step", "Stepping")
+        .ignore("Answering", "Query");
+    let d = b.build().unwrap();
+
+    let run = |policy: SchedPolicy| -> i64 {
+        let mut sim = Simulation::with_policy(&d, policy);
+        let w = sim.create("Worker").unwrap();
+        sim.inject(0, w, "Kick", vec![]).unwrap();
+        sim.inject(0, w, "Query", vec![]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        sim.trace().observable()[0].args[0].as_int().unwrap()
+    };
+
+    // Rules on: the self-queued Steps are consumed before the external
+    // Query, so the answer is always the full sum.
+    for seed in 0..16 {
+        assert_eq!(run(SchedPolicy::seeded(seed)), 7, "seed {seed}");
+    }
+
+    // Ablated: the Query can preempt pending self-work.
+    let mut any_early_answer = false;
+    for seed in 0..16 {
+        let v = run(SchedPolicy {
+            self_priority: false,
+            ..SchedPolicy::seeded(seed)
+        });
+        any_early_answer |= v != 7;
+    }
+    assert!(
+        any_early_answer,
+        "ablating self-priority must let the query jump the queue"
+    );
+}

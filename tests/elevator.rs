@@ -1,0 +1,114 @@
+//! Integration test over the shipped `models/elevator.xtuml`: dynamic
+//! instance creation/deletion (`Job` objects), `select ... where` over
+//! live populations, timers, and a hardware-markable door motor.
+
+use xtuml::core::marks::MarkSet;
+use xtuml::core::value::Value;
+use xtuml::exec::{SchedPolicy, Simulation};
+use xtuml::lang::parse_domain;
+use xtuml::verify::{check_equivalence, run_compiled, run_model, TestCase};
+
+fn model() -> xtuml::core::Domain {
+    let src = include_str!("../models/elevator.xtuml");
+    parse_domain(src).expect("elevator model parses and validates")
+}
+
+fn test_case() -> TestCase {
+    let mut tc = TestCase::new("two-calls-one-car");
+    let bank = tc.create("Bank");
+    let car = tc.create("Car");
+    let motor = tc.create("DoorMotor");
+    tc.relate(bank, car, "R1");
+    tc.relate(car, motor, "R2");
+    // First call is served immediately; the second arrives while the car
+    // is busy, gets queued, and is served on CarFreed.
+    tc.inject(0, bank, "Call", vec![Value::Int(3)]);
+    tc.inject(10, bank, "Call", vec![Value::Int(1)]);
+    tc
+}
+
+#[test]
+fn elevator_serves_both_calls_in_the_model() {
+    let domain = model();
+    let tc = test_case();
+    let obs = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    let arrived: Vec<(i64, i64)> = obs
+        .iter()
+        .filter(|e| e.event == "arrived")
+        .map(|e| (e.args[0].as_int().unwrap(), e.args[1].as_int().unwrap()))
+        .collect();
+    assert_eq!(arrived, vec![(0, 3), (0, 1)]);
+    // The second call found the car busy.
+    assert_eq!(obs.iter().filter(|e| e.event == "queued").count(), 1);
+}
+
+#[test]
+fn jobs_are_created_and_deleted_at_runtime() {
+    let domain = model();
+    let mut sim = Simulation::new(&domain);
+    let bank = sim.create("Bank").unwrap();
+    let car = sim.create("Car").unwrap();
+    let motor = sim.create("DoorMotor").unwrap();
+    sim.relate(bank, car, "R1").unwrap();
+    sim.relate(car, motor, "R2").unwrap();
+    sim.inject(0, bank, "Call", vec![Value::Int(2)]).unwrap();
+    sim.inject(10, bank, "Call", vec![Value::Int(5)]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    // Both Jobs were served and deleted.
+    let job_class = domain.class_id("Job").unwrap();
+    assert!(sim.store().instances_of(job_class).is_empty());
+    // Creation/deletion visible in the full trace.
+    let rendered = sim.trace().render(&domain);
+    assert!(rendered.contains("create I3 : Job"));
+    assert!(rendered.contains("delete I3"));
+    assert_eq!(sim.attr(car, "idle").unwrap(), Value::Bool(true));
+    assert_eq!(sim.attr(motor, "cycles").unwrap(), Value::Int(2));
+}
+
+#[test]
+fn door_motor_can_move_to_hardware() {
+    let domain = model();
+    let tc = test_case();
+    let model_trace = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+
+    let mut marks = MarkSet::new();
+    marks.mark_hardware("DoorMotor");
+    let design = xtuml::mda::ModelCompiler::new()
+        .compile(&domain, &marks)
+        .unwrap();
+    // Exactly Open (sw→hw) and DoorShut (hw→sw) cross the boundary.
+    assert_eq!(design.interface.channels.len(), 2);
+    let impl_trace = run_compiled(&design, &tc).unwrap();
+    let report = check_equivalence(&model_trace, &impl_trace);
+    assert!(report.is_equivalent(), "{:?}", report.divergences);
+}
+
+#[test]
+fn bank_car_and_job_must_stay_together() {
+    // Bank selects Jobs and Cars; Car deletes Jobs: marking any of them
+    // to a different side than the others is a mapping error.
+    let domain = model();
+    for lone in ["Bank", "Car", "Job"] {
+        let mut marks = MarkSet::new();
+        marks.mark_hardware(lone);
+        let err = xtuml::mda::ModelCompiler::new()
+            .compile(&domain, &marks)
+            .unwrap_err();
+        assert!(
+            matches!(err, xtuml::mda::MdaError::Mapping { .. }),
+            "marking only {lone} hardware must be rejected, got: {err}"
+        );
+    }
+    // Moving the whole cluster (plus the motor) to hardware is fine.
+    let mut marks = MarkSet::new();
+    for c in ["Bank", "Car", "Job", "DoorMotor"] {
+        marks.mark_hardware(c);
+    }
+    let tc = test_case();
+    let model_trace = run_model(&domain, SchedPolicy::default(), &tc).unwrap();
+    let design = xtuml::mda::ModelCompiler::new()
+        .compile(&domain, &marks)
+        .unwrap();
+    let impl_trace = run_compiled(&design, &tc).unwrap();
+    assert!(check_equivalence(&model_trace, &impl_trace).is_equivalent());
+}

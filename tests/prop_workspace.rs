@@ -1,0 +1,98 @@
+//! Workspace-level property tests: random models and random partitions
+//! preserve behaviour; the textual format round-trips; the mark algebra
+//! behaves.
+
+use proptest::prelude::*;
+use xtuml::core::builder::pipeline_domain;
+use xtuml::core::marks::{ElemRef, MarkSet, MarkValue};
+use xtuml::exec::SchedPolicy;
+use xtuml::lang::{parse_domain, print_domain};
+use xtuml::verify::{check_equivalence, run_model, verify_partition, TestCase};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any partition of any small pipeline preserves observable behaviour.
+    #[test]
+    fn prop_partition_invariance(stages in 1usize..5, mask in 0u32..32, feeds in 1usize..5) {
+        let mask = mask & ((1 << stages) - 1);
+        let domain = pipeline_domain(stages).unwrap();
+        let tc = TestCase::pipeline(stages, feeds);
+        let mut marks = MarkSet::new();
+        for k in 0..stages {
+            if mask & (1 << k) != 0 {
+                marks.mark_hardware(&format!("Stage{k}"));
+            }
+        }
+        let report = verify_partition(&domain, &marks, &tc).unwrap();
+        prop_assert!(report.is_equivalent(), "{:?}", report.divergences);
+    }
+
+    /// The model interpreter is deterministic per seed and confluent for
+    /// the pipeline across seeds.
+    #[test]
+    fn prop_seed_determinism(stages in 1usize..5, feeds in 1usize..6, seed in 0u64..1000) {
+        let domain = pipeline_domain(stages).unwrap();
+        let tc = TestCase::pipeline(stages, feeds);
+        let a = run_model(&domain, SchedPolicy::seeded(seed), &tc).unwrap();
+        let b = run_model(&domain, SchedPolicy::seeded(seed), &tc).unwrap();
+        prop_assert_eq!(&a, &b);
+        let c = run_model(&domain, SchedPolicy::seeded(seed.wrapping_add(1)), &tc).unwrap();
+        prop_assert!(check_equivalence(&a, &c).is_equivalent());
+    }
+
+    /// Printing any generated pipeline model and reparsing yields the
+    /// same model.
+    #[test]
+    fn prop_model_print_parse_roundtrip(stages in 1usize..7) {
+        let domain = pipeline_domain(stages).unwrap();
+        let printed = print_domain(&domain);
+        let reparsed = parse_domain(&printed).unwrap();
+        prop_assert_eq!(domain, reparsed);
+    }
+
+    /// Mark-set diff is a metric-like edit distance: zero iff equal,
+    /// symmetric.
+    #[test]
+    fn prop_markset_diff(
+        keys in proptest::collection::vec("[a-z]{1,6}", 0..6),
+        vals in proptest::collection::vec(-5i64..5, 0..6),
+    ) {
+        let mut a = MarkSet::new();
+        for (k, v) in keys.iter().zip(&vals) {
+            a.set(ElemRef::class("C"), k.clone(), MarkValue::Int(*v));
+        }
+        let b = a.clone();
+        prop_assert_eq!(a.diff_count(&b), 0);
+        let mut c = a.clone();
+        c.set(ElemRef::class("C"), "extra", true);
+        prop_assert_eq!(a.diff_count(&c), 1);
+        prop_assert_eq!(c.diff_count(&a), 1);
+    }
+
+    /// Injecting the same stimuli in any order produces the same model
+    /// trace (stimuli are time-sorted internally).
+    #[test]
+    fn prop_stimulus_order_irrelevant(perm_seed in 0u64..100) {
+        let domain = pipeline_domain(2).unwrap();
+        let mut tc1 = TestCase::pipeline(2, 0);
+        let mut times: Vec<u64> = (0..5).collect();
+        // Deterministic permutation from the seed.
+        let mut s = perm_seed;
+        for i in (1..times.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            times.swap(i, j);
+        }
+        for t in &times {
+            tc1.inject(*t, 0, "Feed", vec![xtuml::core::Value::Int(*t as i64)]);
+        }
+        let mut tc2 = TestCase::pipeline(2, 0);
+        for t in 0..5u64 {
+            tc2.inject(t, 0, "Feed", vec![xtuml::core::Value::Int(t as i64)]);
+        }
+        let a = run_model(&domain, SchedPolicy::default(), &tc1).unwrap();
+        let b = run_model(&domain, SchedPolicy::default(), &tc2).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
