@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 CI gate: everything here runs offline (no network, no external
+# crates — property tests and criterion benches are feature-gated off).
+set -eux
+
+cargo fmt --all -- --check
+cargo clippy --workspace -- -D warnings
+cargo build --release --workspace
+cargo test -q --workspace

@@ -2,22 +2,29 @@
 //!
 //! The paper's model compiler "may [implement the model] any manner it
 //! chooses so long as the defined behavior is preserved" (§4). We make the
-//! *defined behaviour* a single reusable artifact: this module evaluates
-//! action blocks against the [`ActionHost`] trait, and every execution
-//! platform in the workspace — the abstract model interpreter
-//! (`xtuml-exec`), the generated-hardware FSMs (`xtuml-mda` lowering onto
-//! `xtuml-rtl`) and the generated-software tasks (`xtuml-mda` lowering onto
-//! `xtuml-swrt`) — implements `ActionHost` over its own object store and
-//! signal transport. Behavioural equivalence across partitions then reduces
-//! to the hosts' transport semantics, which is exactly what the
-//! verification layer checks.
+//! *defined behaviour* a single reusable artifact: this module executes
+//! compiled action blocks (see [`code`](crate::code)) against the
+//! [`ActionHost`] trait, and every execution platform in the workspace —
+//! the abstract model interpreter (`xtuml-exec`), the generated-hardware
+//! FSMs (`xtuml-mda` lowering onto `xtuml-rtl`) and the generated-software
+//! tasks (`xtuml-mda` lowering onto `xtuml-swrt`) — implements
+//! `ActionHost` over its own object store and signal transport.
+//! Behavioural equivalence across partitions then reduces to the hosts'
+//! transport semantics, which is exactly what the verification layer
+//! checks.
+//!
+//! Actions execute from the slot-resolved IR, not the AST: variables live
+//! in a dense frame (`Vec<Option<Value>>`), attributes/associations/events
+//! are pre-resolved ids, so the per-dispatch cost is a plain tree walk
+//! with no name lookups. Fuel accounting is unchanged from the AST
+//! evaluator — one unit per statement and per expression node — so the
+//! substrates' cost models see identical step counts.
 
-use crate::action::{Block, Expr, GenTarget, LValue, Stmt};
+use crate::code::{CAction, CExpr, CStmt, Slot};
 use crate::error::{CoreError, Result};
 use crate::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
 use crate::model::Domain;
 use crate::value::{apply_binop, apply_unop, Value};
-use std::collections::BTreeMap;
 
 /// The services an execution platform provides to running actions.
 ///
@@ -73,6 +80,36 @@ pub trait ActionHost {
     ///
     /// Fails on dangling references.
     fn related(&self, inst: InstId, assoc: AssocId) -> Result<Vec<InstId>>;
+
+    /// Visits all live instances of a class in creation order without
+    /// materialising a `Vec`. Hosts backed by an indexed store should
+    /// override this (and [`ActionHost::first_instance_of`] /
+    /// [`ActionHost::related_each`]) with allocation-free walks; the
+    /// default delegates to [`ActionHost::instances_of`].
+    fn each_instance(&self, class: ClassId, f: &mut dyn FnMut(InstId)) {
+        for inst in self.instances_of(class) {
+            f(inst);
+        }
+    }
+
+    /// The first live instance of a class in creation order, if any
+    /// (unfiltered `select any`).
+    fn first_instance_of(&self, class: ClassId) -> Option<InstId> {
+        self.instances_of(class).first().copied()
+    }
+
+    /// Visits the instances linked to `inst` across `assoc`, in link
+    /// order, without materialising a `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    fn related_each(&self, inst: InstId, assoc: AssocId, f: &mut dyn FnMut(InstId)) -> Result<()> {
+        for t in self.related(inst, assoc)? {
+            f(t);
+        }
+        Ok(())
+    }
 
     /// Creates a link.
     ///
@@ -168,10 +205,11 @@ pub const DEFAULT_FUEL: u64 = 1_000_000;
 pub struct ExecCtx {
     /// The instance whose state action is running.
     pub self_inst: InstId,
-    /// Parameters of the event that triggered the transition.
-    pub params: BTreeMap<String, Value>,
-    /// Local variables (function-scoped, created on first assignment).
-    pub locals: BTreeMap<String, Value>,
+    /// Static class of `self_inst` (from the compiled action).
+    pub self_class: ClassId,
+    /// The execution frame: event parameters in the leading slots, locals
+    /// after them. `None` marks a slot not yet assigned.
+    pub frame: Vec<Option<Value>>,
     /// Candidate binding for `selected` inside `where` clauses.
     selected: Option<Value>,
     /// Primitive-step counter (statements + expression nodes); the
@@ -182,18 +220,39 @@ pub struct ExecCtx {
 }
 
 impl ExecCtx {
-    /// Creates a context for `self_inst` with the given event parameters.
-    pub fn new(self_inst: InstId, params: BTreeMap<String, Value>) -> ExecCtx {
+    /// Creates a context sized for `action`, with all slots unassigned.
+    pub fn new(self_inst: InstId, action: &CAction) -> ExecCtx {
+        ExecCtx::with_frame(self_inst, action.self_class, vec![None; action.frame_len()])
+    }
+
+    /// Creates a context over a caller-provided frame, allowing hot
+    /// dispatch loops to reuse one frame allocation across steps. The
+    /// frame must already be sized to the action's
+    /// [`frame_len`](CAction::frame_len).
+    pub fn with_frame(
+        self_inst: InstId,
+        self_class: ClassId,
+        frame: Vec<Option<Value>>,
+    ) -> ExecCtx {
         ExecCtx {
             self_inst,
-            params,
-            locals: BTreeMap::new(),
+            self_class,
+            frame,
             selected: None,
             steps: 0,
             fuel: DEFAULT_FUEL,
         }
     }
 
+    /// Fills the leading parameter slots from the triggering event's
+    /// arguments.
+    pub fn bind_args<I: IntoIterator<Item = Value>>(&mut self, args: I) {
+        for (slot, v) in args.into_iter().enumerate() {
+            self.frame[slot] = Some(v);
+        }
+    }
+
+    #[inline(always)]
     fn burn(&mut self, n: u64) -> Result<()> {
         self.steps += n;
         if self.fuel < n {
@@ -206,17 +265,21 @@ impl ExecCtx {
     }
 }
 
-/// Executes a block to completion against `host`.
+/// Executes a compiled action to completion against `host`.
 ///
 /// Returns the outcome and leaves the accumulated step count in
 /// `ctx.steps` (the substrates' cost models read it).
 ///
 /// # Errors
 ///
-/// Propagates name-resolution and runtime errors ([`CoreError::Runtime`],
-/// [`CoreError::Unresolved`]) from the statements executed.
-pub fn run_block<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, block: &Block) -> Result<Outcome> {
-    match exec_block(host, ctx, block)? {
+/// Propagates runtime errors ([`CoreError::Runtime`]) and unbound-slot
+/// reads ([`CoreError::Unresolved`]) from the statements executed.
+pub fn run_code<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    action: &CAction,
+) -> Result<Outcome> {
+    match exec_stmts(host, ctx, action, &action.code)? {
         Flow::Returned => Ok(Outcome::Returned),
         Flow::Broke | Flow::Continued => {
             Err(CoreError::runtime("`break`/`continue` outside of a loop"))
@@ -225,9 +288,14 @@ pub fn run_block<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, block: &Block) 
     }
 }
 
-fn exec_block<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, block: &Block) -> Result<Flow> {
-    for stmt in &block.stmts {
-        match exec_stmt(host, ctx, stmt)? {
+fn exec_stmts<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    action: &CAction,
+    stmts: &[CStmt],
+) -> Result<Flow> {
+    for stmt in stmts {
+        match exec_stmt(host, ctx, action, stmt)? {
             Flow::Normal => {}
             other => return Ok(other),
         }
@@ -235,105 +303,137 @@ fn exec_block<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, block: &Block) -> 
     Ok(Flow::Normal)
 }
 
-fn exec_stmt<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, stmt: &Stmt) -> Result<Flow> {
+fn exec_stmt<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    action: &CAction,
+    stmt: &CStmt,
+) -> Result<Flow> {
     ctx.burn(1)?;
     match stmt {
-        Stmt::Assign { lhs, expr, .. } => {
-            let v = eval(host, ctx, expr)?;
-            match lhs {
-                LValue::Var(name) => {
-                    ctx.locals.insert(name.clone(), v);
-                }
-                LValue::Attr(base, attr) => {
-                    let base_v = eval(host, ctx, base)?;
-                    let inst = base_v.as_inst()?;
-                    let class = host.class_of(inst)?;
-                    let attr_id = resolve_attr(host.domain(), class, attr)?;
-                    host.attr_write(inst, attr_id, v)?;
-                }
-            }
+        CStmt::AssignSlot { slot, expr } => {
+            let v = eval(host, ctx, action, expr)?;
+            ctx.frame[*slot] = Some(v);
             Ok(Flow::Normal)
         }
-        Stmt::Create { var, class, .. } => {
-            let class_id = host.domain().class_id(class)?;
-            let inst = host.create(class_id)?;
-            ctx.locals
-                .insert(var.clone(), Value::Inst(class_id, Some(inst)));
+        CStmt::AssignAttr { base, attr, expr } => {
+            let v = eval(host, ctx, action, expr)?;
+            // Same `self.x` fast path as `CExpr::Attr` in [`eval`].
+            let inst = if matches!(base, CExpr::SelfRef) {
+                ctx.burn(1)?;
+                ctx.self_inst
+            } else {
+                eval(host, ctx, action, base)?.as_inst()?
+            };
+            host.attr_write(inst, *attr, v)?;
             Ok(Flow::Normal)
         }
-        Stmt::Delete { expr, .. } => {
-            let inst = eval(host, ctx, expr)?.as_inst()?;
+        CStmt::Create { slot, class } => {
+            let inst = host.create(*class)?;
+            ctx.frame[*slot] = Some(Value::Inst(*class, Some(inst)));
+            Ok(Flow::Normal)
+        }
+        CStmt::Delete { expr } => {
+            let inst = eval(host, ctx, action, expr)?.as_inst()?;
             host.delete(inst)?;
             Ok(Flow::Normal)
         }
-        Stmt::SelectAny {
-            var, class, filter, ..
+        CStmt::SelectAny {
+            slot,
+            class,
+            filter,
         } => {
-            let class_id = host.domain().class_id(class)?;
-            let matched = select_instances(host, ctx, class_id, filter.as_ref(), true)?;
-            let v = Value::Inst(class_id, matched.first().copied());
-            ctx.locals.insert(var.clone(), v);
+            let picked = match filter {
+                None => {
+                    let first = host.first_instance_of(*class);
+                    if first.is_some() {
+                        ctx.burn(1)?;
+                    }
+                    first
+                }
+                Some(f) => select_first(host, ctx, action, *class, f)?,
+            };
+            ctx.frame[*slot] = Some(Value::Inst(*class, picked));
             Ok(Flow::Normal)
         }
-        Stmt::SelectMany {
-            var, class, filter, ..
+        CStmt::SelectMany {
+            slot,
+            class,
+            filter,
         } => {
-            let class_id = host.domain().class_id(class)?;
-            let matched = select_instances(host, ctx, class_id, filter.as_ref(), false)?;
-            ctx.locals
-                .insert(var.clone(), Value::Set(class_id, matched));
+            let matched = match filter {
+                None => {
+                    let all = host.instances_of(*class);
+                    ctx.burn(all.len() as u64)?;
+                    all
+                }
+                Some(f) => select_filtered(host, ctx, action, *class, f)?,
+            };
+            ctx.frame[*slot] = Some(Value::Set(*class, matched));
             Ok(Flow::Normal)
         }
-        Stmt::Relate { a, b, assoc, .. } => {
-            let ia = eval(host, ctx, a)?.as_inst()?;
-            let ib = eval(host, ctx, b)?.as_inst()?;
-            let assoc_id = host.domain().assoc_id(assoc)?;
-            host.relate(ia, ib, assoc_id)?;
+        CStmt::Relate { a, b, assoc } => {
+            let ia = eval(host, ctx, action, a)?.as_inst()?;
+            let ib = eval(host, ctx, action, b)?.as_inst()?;
+            host.relate(ia, ib, *assoc)?;
             Ok(Flow::Normal)
         }
-        Stmt::Unrelate { a, b, assoc, .. } => {
-            let ia = eval(host, ctx, a)?.as_inst()?;
-            let ib = eval(host, ctx, b)?.as_inst()?;
-            let assoc_id = host.domain().assoc_id(assoc)?;
-            host.unrelate(ia, ib, assoc_id)?;
+        CStmt::Unrelate { a, b, assoc } => {
+            let ia = eval(host, ctx, action, a)?.as_inst()?;
+            let ib = eval(host, ctx, action, b)?.as_inst()?;
+            host.unrelate(ia, ib, *assoc)?;
             Ok(Flow::Normal)
         }
-        Stmt::Generate {
+        CStmt::GenInst {
             event,
             args,
             target,
             delay,
-            ..
         } => {
-            let arg_vals: Vec<Value> = args
-                .iter()
-                .map(|a| eval(host, ctx, a))
-                .collect::<Result<_>>()?;
-            exec_generate(host, ctx, event, arg_vals, target, delay.as_ref())
-        }
-        Stmt::Cancel { event, .. } => {
-            let class = host.class_of(ctx.self_inst)?;
-            let event_id = resolve_event(host.domain(), class, event)?;
-            host.cancel_delayed(ctx.self_inst, event_id)?;
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(host, ctx, action, a)?);
+            }
+            let to = eval(host, ctx, action, target)?.as_inst()?;
+            match delay {
+                None => host.send(ctx.self_inst, to, *event, vals)?,
+                Some(d) => {
+                    let ticks = eval(host, ctx, action, d)?.as_int()?;
+                    if ticks < 0 {
+                        return Err(CoreError::runtime("negative signal delay"));
+                    }
+                    host.send_delayed(ctx.self_inst, to, *event, vals, ticks)?;
+                }
+            }
             Ok(Flow::Normal)
         }
-        Stmt::If {
-            arms, otherwise, ..
-        } => {
+        CStmt::GenActor { actor, event, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(host, ctx, action, a)?);
+            }
+            host.send_actor(ctx.self_inst, *actor, *event, vals)?;
+            Ok(Flow::Normal)
+        }
+        CStmt::Cancel { event } => {
+            host.cancel_delayed(ctx.self_inst, *event)?;
+            Ok(Flow::Normal)
+        }
+        CStmt::If { arms, otherwise } => {
             for (cond, body) in arms {
-                if eval(host, ctx, cond)?.as_bool()? {
-                    return exec_block(host, ctx, body);
+                if eval(host, ctx, action, cond)?.as_bool()? {
+                    return exec_stmts(host, ctx, action, body);
                 }
             }
             if let Some(body) = otherwise {
-                return exec_block(host, ctx, body);
+                return exec_stmts(host, ctx, action, body);
             }
             Ok(Flow::Normal)
         }
-        Stmt::While { cond, body, .. } => {
-            while eval(host, ctx, cond)?.as_bool()? {
+        CStmt::While { cond, body } => {
+            while eval(host, ctx, action, cond)?.as_bool()? {
                 ctx.burn(1)?;
-                match exec_block(host, ctx, body)? {
+                match exec_stmts(host, ctx, action, body)? {
                     Flow::Broke => break,
                     Flow::Returned => return Ok(Flow::Returned),
                     Flow::Normal | Flow::Continued => {}
@@ -341,8 +441,8 @@ fn exec_stmt<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, stmt: &Stmt) -> Res
             }
             Ok(Flow::Normal)
         }
-        Stmt::ForEach { var, set, body, .. } => {
-            let set_v = eval(host, ctx, set)?;
+        CStmt::ForEach { slot, set, body } => {
+            let set_v = eval(host, ctx, action, set)?;
             let Value::Set(class, items) = set_v else {
                 return Err(CoreError::runtime(format!(
                     "foreach needs a set, got {}",
@@ -351,9 +451,8 @@ fn exec_stmt<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, stmt: &Stmt) -> Res
             };
             for item in items {
                 ctx.burn(1)?;
-                ctx.locals
-                    .insert(var.clone(), Value::Inst(class, Some(item)));
-                match exec_block(host, ctx, body)? {
+                ctx.frame[*slot] = Some(Value::Inst(class, Some(item)));
+                match exec_stmts(host, ctx, action, body)? {
                     Flow::Broke => break,
                     Flow::Returned => return Ok(Flow::Returned),
                     Flow::Normal | Flow::Continued => {}
@@ -361,230 +460,157 @@ fn exec_stmt<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, stmt: &Stmt) -> Res
             }
             Ok(Flow::Normal)
         }
-        Stmt::Break { .. } => Ok(Flow::Broke),
-        Stmt::Continue { .. } => Ok(Flow::Continued),
-        Stmt::Return { .. } => Ok(Flow::Returned),
-        Stmt::ExprStmt { expr, .. } => {
-            eval(host, ctx, expr)?;
+        CStmt::Break => Ok(Flow::Broke),
+        CStmt::Continue => Ok(Flow::Continued),
+        CStmt::Return => Ok(Flow::Returned),
+        CStmt::ExprStmt(expr) => {
+            eval(host, ctx, action, expr)?;
             Ok(Flow::Normal)
         }
     }
 }
 
-fn exec_generate<H: ActionHost>(
+/// `select any … where f`: first candidate passing the filter.
+fn select_first<H: ActionHost>(
     host: &mut H,
     ctx: &mut ExecCtx,
-    event: &str,
-    args: Vec<Value>,
-    target: &GenTarget,
-    delay: Option<&Expr>,
-) -> Result<Flow> {
-    // Resolve dynamic actor fallback: a bare variable in target position
-    // that is not a local but names an actor is an actor send (used when
-    // blocks are parsed without declaration context).
-    let actor_target: Option<ActorId> = match target {
-        GenTarget::Actor(name) => Some(host.domain().actor_id(name)?),
-        GenTarget::Inst(Expr::Var(name)) if !ctx.locals.contains_key(name) => {
-            host.domain().actor_id(name).ok()
-        }
-        GenTarget::Inst(_) => None,
-    };
-
-    if let Some(actor) = actor_target {
-        if delay.is_some() {
-            return Err(CoreError::runtime(
-                "`after` is only valid for instance-directed signals",
-            ));
-        }
-        let event_id = host
-            .domain()
-            .actor(actor)
-            .event_id(event)
-            .ok_or_else(|| CoreError::unresolved("actor event", event))?;
-        check_arity(
-            &host.domain().actor(actor).events[event_id.index()].params,
-            &args,
-            event,
-        )?;
-        host.send_actor(ctx.self_inst, actor, event_id, args)?;
-        return Ok(Flow::Normal);
-    }
-
-    let GenTarget::Inst(target_expr) = target else {
-        unreachable!("actor targets handled above");
-    };
-    let target_v = eval(host, ctx, target_expr)?;
-    let to = target_v.as_inst()?;
-    let class = host.class_of(to)?;
-    let event_id = resolve_event(host.domain(), class, event)?;
-    check_arity(
-        &host.domain().class(class).events[event_id.index()].params,
-        &args,
-        event,
-    )?;
-    match delay {
-        None => host.send(ctx.self_inst, to, event_id, args)?,
-        Some(d) => {
-            let ticks = eval(host, ctx, d)?.as_int()?;
-            if ticks < 0 {
-                return Err(CoreError::runtime("negative signal delay"));
-            }
-            host.send_delayed(ctx.self_inst, to, event_id, args, ticks)?;
-        }
-    }
-    Ok(Flow::Normal)
-}
-
-fn check_arity(
-    params: &[(String, crate::value::DataType)],
-    args: &[Value],
-    event: &str,
-) -> Result<()> {
-    if params.len() != args.len() {
-        return Err(CoreError::runtime(format!(
-            "event `{event}` takes {} argument(s), got {}",
-            params.len(),
-            args.len()
-        )));
-    }
-    Ok(())
-}
-
-fn select_instances<H: ActionHost>(
-    host: &mut H,
-    ctx: &mut ExecCtx,
+    action: &CAction,
     class: ClassId,
-    filter: Option<&Expr>,
-    first_only: bool,
-) -> Result<Vec<InstId>> {
-    let candidates = host.instances_of(class);
-    let mut out = Vec::new();
-    for inst in candidates {
+    filter: &CExpr,
+) -> Result<Option<InstId>> {
+    // The filter needs `&mut host`, so candidates must be materialised
+    // before evaluation (the host cannot be borrowed while iterating it).
+    for inst in host.instances_of(class) {
         ctx.burn(1)?;
-        let keep = match filter {
-            None => true,
-            Some(f) => {
-                let saved = ctx.selected.replace(Value::Inst(class, Some(inst)));
-                let r = eval(host, ctx, f)?.as_bool();
-                ctx.selected = saved;
-                r?
-            }
-        };
-        if keep {
+        let saved = ctx.selected.replace(Value::Inst(class, Some(inst)));
+        let keep = eval(host, ctx, action, filter).and_then(|v| v.as_bool());
+        ctx.selected = saved;
+        if keep? {
+            return Ok(Some(inst));
+        }
+    }
+    Ok(None)
+}
+
+/// `select many … where f`: all candidates passing the filter.
+fn select_filtered<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    action: &CAction,
+    class: ClassId,
+    filter: &CExpr,
+) -> Result<Vec<InstId>> {
+    let mut out = Vec::new();
+    for inst in host.instances_of(class) {
+        ctx.burn(1)?;
+        let saved = ctx.selected.replace(Value::Inst(class, Some(inst)));
+        let keep = eval(host, ctx, action, filter).and_then(|v| v.as_bool());
+        ctx.selected = saved;
+        if keep? {
             out.push(inst);
-            if first_only {
-                break;
-            }
         }
     }
     Ok(out)
 }
 
-fn resolve_attr(domain: &Domain, class: ClassId, name: &str) -> Result<AttrId> {
-    domain
-        .class(class)
-        .attr_id(name)
-        .ok_or_else(|| CoreError::Unresolved {
-            kind: "attribute",
-            name: format!("{}.{name}", domain.class(class).name),
-        })
+fn unbound_slot(action: &CAction, slot: Slot) -> CoreError {
+    let kind = if slot < action.layout.params() {
+        "event parameter"
+    } else {
+        "variable"
+    };
+    CoreError::unresolved(kind, action.layout.name(slot).to_owned())
 }
 
-fn resolve_event(domain: &Domain, class: ClassId, name: &str) -> Result<EventId> {
-    domain
-        .class(class)
-        .event_id(name)
-        .ok_or_else(|| CoreError::Unresolved {
-            kind: "event",
-            name: format!("{}.{name}", domain.class(class).name),
-        })
-}
-
-/// Evaluates an expression.
+/// Evaluates a compiled expression.
 ///
 /// # Errors
 ///
-/// Propagates runtime and resolution errors.
-pub fn eval<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, expr: &Expr) -> Result<Value> {
+/// Propagates runtime and unbound-slot errors.
+pub fn eval<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    action: &CAction,
+    expr: &CExpr,
+) -> Result<Value> {
     ctx.burn(1)?;
     match expr {
-        Expr::Lit(v) => Ok(v.clone()),
-        Expr::Var(name) => ctx
-            .locals
-            .get(name)
-            .cloned()
-            .ok_or_else(|| CoreError::unresolved("variable", name.clone())),
-        Expr::SelfRef => {
-            let class = host.class_of(ctx.self_inst)?;
-            Ok(Value::Inst(class, Some(ctx.self_inst)))
-        }
-        Expr::Selected => ctx
+        CExpr::Lit(v) => Ok(v.clone()),
+        CExpr::Slot(slot) => ctx.frame[*slot]
+            .clone()
+            .ok_or_else(|| unbound_slot(action, *slot)),
+        CExpr::SelfRef => Ok(Value::Inst(ctx.self_class, Some(ctx.self_inst))),
+        CExpr::Selected => ctx
             .selected
             .clone()
             .ok_or_else(|| CoreError::runtime("`selected` used outside a `where` clause")),
-        Expr::Param(name) => ctx
-            .params
-            .get(name)
-            .cloned()
-            .ok_or_else(|| CoreError::unresolved("event parameter", name.clone())),
-        Expr::Attr(base, name) => {
-            let base_v = eval(host, ctx, base)?;
-            let inst = base_v.as_inst()?;
-            let class = host.class_of(inst)?;
-            let attr = resolve_attr(host.domain(), class, name)?;
-            host.attr_read(inst, attr)
+        CExpr::Attr(base, attr) => {
+            // `self.x` is the dominant shape: burn the base node's step
+            // without materialising a `Value::Inst` round trip.
+            let inst = if matches!(base.as_ref(), CExpr::SelfRef) {
+                ctx.burn(1)?;
+                ctx.self_inst
+            } else {
+                eval(host, ctx, action, base)?.as_inst()?
+            };
+            host.attr_read(inst, *attr)
         }
-        Expr::Nav(base, class_name, assoc_name) => {
-            let base_v = eval(host, ctx, base)?;
-            let assoc = host.domain().assoc_id(assoc_name)?;
-            let want = host.domain().class_id(class_name)?;
-            let sources: Vec<InstId> = match base_v {
-                Value::Inst(_, Some(i)) => vec![i],
-                Value::Inst(_, None) => vec![],
-                Value::Set(_, items) => items,
+        CExpr::Nav {
+            base,
+            assoc,
+            target,
+        } => {
+            let base_v = eval(host, ctx, action, base)?;
+            let mut out: Vec<InstId> = Vec::new();
+            let mut visit = |src: InstId, host: &H| {
+                host.related_each(src, *assoc, &mut |t| {
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                })
+            };
+            match base_v {
+                Value::Inst(_, Some(i)) => visit(i, host)?,
+                Value::Inst(_, None) => {}
+                Value::Set(_, items) => {
+                    for src in items {
+                        visit(src, host)?;
+                    }
+                }
                 other => {
                     return Err(CoreError::runtime(format!(
                         "cannot navigate from {}",
                         other.data_type()
                     )))
                 }
-            };
-            let mut out: Vec<InstId> = Vec::new();
-            for src in sources {
-                let src_class = host.class_of(src)?;
-                let target_class = host.domain().nav_target(assoc, src_class)?;
-                if target_class != want {
-                    return Err(CoreError::runtime(format!(
-                        "association {assoc_name} from {} reaches {}, not {}",
-                        host.domain().class(src_class).name,
-                        host.domain().class(target_class).name,
-                        class_name
-                    )));
-                }
-                for t in host.related(src, assoc)? {
-                    if !out.contains(&t) {
-                        out.push(t);
-                    }
-                }
             }
-            Ok(Value::Set(want, out))
+            Ok(Value::Set(*target, out))
         }
-        Expr::Unary(op, e) => {
-            let v = eval(host, ctx, e)?;
+        CExpr::Unary(op, e) => {
+            // Slot operands are read by reference: `any(set)` must not
+            // clone the whole set to pick one element. Burn the step the
+            // slot read would have burned.
+            if let CExpr::Slot(slot) = e.as_ref() {
+                ctx.burn(1)?;
+                let v = ctx.frame[*slot]
+                    .as_ref()
+                    .ok_or_else(|| unbound_slot(action, *slot))?;
+                return apply_unop(*op, v);
+            }
+            let v = eval(host, ctx, action, e)?;
             apply_unop(*op, &v)
         }
-        Expr::Binary(op, a, b) => {
-            let va = eval(host, ctx, a)?;
-            let vb = eval(host, ctx, b)?;
+        CExpr::Binary(op, a, b) => {
+            let va = eval(host, ctx, action, a)?;
+            let vb = eval(host, ctx, action, b)?;
             apply_binop(*op, &va, &vb)
         }
-        Expr::BridgeCall(actor, func, args) => {
-            let actor_id = host.domain().actor_id(actor)?;
-            let vals: Vec<Value> = args
-                .iter()
-                .map(|a| eval(host, ctx, a))
-                .collect::<Result<_>>()?;
-            host.bridge_call(actor_id, func, vals)
+        CExpr::Bridge { actor, func, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(host, ctx, action, a)?);
+            }
+            host.bridge_call(*actor, func, vals)
         }
     }
 }
@@ -592,6 +618,7 @@ pub fn eval<H: ActionHost>(host: &mut H, ctx: &mut ExecCtx, expr: &Expr) -> Resu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::code::compile_block;
     use crate::model::{Actor, Attribute, Class, EventDecl};
     use crate::parse::parse_block;
     use crate::value::DataType;
@@ -700,6 +727,7 @@ mod tests {
             event: EventId,
             args: Vec<Value>,
         ) -> Result<()> {
+            self.check_live(to)?;
             self.sent.push((from, to, event, args));
             Ok(())
         }
@@ -790,11 +818,34 @@ mod tests {
         d
     }
 
-    fn run(host: &mut MiniHost, self_inst: InstId, src: &str) -> Result<ExecCtx> {
+    /// A compiled-and-executed block plus its final frame, with name-based
+    /// access for assertions.
+    #[derive(Debug)]
+    struct Run {
+        action: CAction,
+        ctx: ExecCtx,
+    }
+
+    impl Run {
+        fn local(&self, name: &str) -> Value {
+            let slot = self
+                .action
+                .layout
+                .slot(name)
+                .unwrap_or_else(|| panic!("no slot for `{name}`"));
+            self.ctx.frame[slot]
+                .clone()
+                .unwrap_or_else(|| panic!("`{name}` never assigned"))
+        }
+    }
+
+    fn run(host: &mut MiniHost, self_inst: InstId, src: &str) -> Result<Run> {
         let block = parse_block(src).unwrap();
-        let mut ctx = ExecCtx::new(self_inst, BTreeMap::new());
-        run_block(host, &mut ctx, &block)?;
-        Ok(ctx)
+        let self_class = host.class_of(self_inst)?;
+        let action = compile_block(&host.domain, self_class, &[], &block)?;
+        let mut ctx = ExecCtx::new(self_inst, &action);
+        run_code(host, &mut ctx, &action)?;
+        Ok(Run { action, ctx })
     }
 
     fn host_with_counter() -> (MiniHost, InstId) {
@@ -813,7 +864,7 @@ mod tests {
     #[test]
     fn create_select_delete() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(
+        let r = run(
             &mut h,
             i,
             "a = create Lamp; b = create Lamp;\n\
@@ -824,14 +875,14 @@ mod tests {
              m = cardinality(rest);",
         )
         .unwrap();
-        assert_eq!(ctx.locals["n"], Value::Int(2));
-        assert_eq!(ctx.locals["m"], Value::Int(1));
+        assert_eq!(r.local("n"), Value::Int(2));
+        assert_eq!(r.local("m"), Value::Int(1));
     }
 
     #[test]
     fn select_with_where() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(
+        let r = run(
             &mut h,
             i,
             "a = create Lamp; b = create Lamp;\n\
@@ -841,8 +892,8 @@ mod tests {
              lit_found = not_empty(lit);",
         )
         .unwrap();
-        assert_eq!(ctx.locals["lit_found"], Value::Bool(true));
-        let Value::Inst(_, Some(lit)) = ctx.locals["lit"] else {
+        assert_eq!(r.local("lit_found"), Value::Bool(true));
+        let Value::Inst(_, Some(lit)) = r.local("lit") else {
             panic!("lit should be bound")
         };
         assert_eq!(h.attr_read(lit, AttrId::new(0)).unwrap(), Value::Bool(true));
@@ -851,14 +902,14 @@ mod tests {
     #[test]
     fn select_any_empty_binds_empty_ref() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(&mut h, i, "select any l from Lamp; e = empty(l);").unwrap();
-        assert_eq!(ctx.locals["e"], Value::Bool(true));
+        let r = run(&mut h, i, "select any l from Lamp; e = empty(l);").unwrap();
+        assert_eq!(r.local("e"), Value::Bool(true));
     }
 
     #[test]
     fn relate_navigate_unrelate() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(
+        let r = run(
             &mut h,
             i,
             "a = create Lamp; b = create Lamp;\n\
@@ -870,8 +921,8 @@ mod tests {
              m = cardinality(self -> Lamp[R1]);",
         )
         .unwrap();
-        assert_eq!(ctx.locals["n"], Value::Int(2));
-        assert_eq!(ctx.locals["m"], Value::Int(1));
+        assert_eq!(r.local("n"), Value::Int(2));
+        assert_eq!(r.local("m"), Value::Int(1));
     }
 
     #[test]
@@ -906,7 +957,7 @@ mod tests {
     }
 
     #[test]
-    fn wrong_arity_is_runtime_error() {
+    fn wrong_arity_is_an_error() {
         let (mut h, i) = host_with_counter();
         assert!(run(&mut h, i, "gen Set() to self;").is_err());
         assert!(run(&mut h, i, "gen done() to ENV;").is_err());
@@ -915,7 +966,7 @@ mod tests {
     #[test]
     fn control_flow_loops() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(
+        let r = run(
             &mut h,
             i,
             "total = 0; k = 0;\n\
@@ -926,44 +977,74 @@ mod tests {
              foreach l in all { count = count + 1; if (count == 2) { break; } }",
         )
         .unwrap();
-        assert_eq!(ctx.locals["total"], Value::Int(1 + 2 + 4 + 5));
-        assert_eq!(ctx.locals["count"], Value::Int(2));
+        assert_eq!(r.local("total"), Value::Int(1 + 2 + 4 + 5));
+        assert_eq!(r.local("count"), Value::Int(2));
     }
 
     #[test]
     fn return_stops_block() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(&mut h, i, "x = 1; return; x = 2;").unwrap();
-        assert_eq!(ctx.locals["x"], Value::Int(1));
+        let r = run(&mut h, i, "x = 1; return; x = 2;").unwrap();
+        assert_eq!(r.local("x"), Value::Int(1));
     }
 
     #[test]
     fn runaway_loop_exhausts_fuel() {
         let (mut h, i) = host_with_counter();
         let block = parse_block("while (true) { x = 1; }").unwrap();
-        let mut ctx = ExecCtx::new(i, BTreeMap::new());
+        let action = compile_block(&h.domain, ClassId::new(0), &[], &block).unwrap();
+        let mut ctx = ExecCtx::new(i, &action);
         ctx.fuel = 1000;
-        let err = run_block(&mut h, &mut ctx, &block).unwrap_err();
+        let err = run_code(&mut h, &mut ctx, &action).unwrap_err();
         assert!(err.to_string().contains("fuel"));
     }
 
     #[test]
     fn bridge_call_reaches_host() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(&mut h, i, "ENV::info(\"hi\"); r = ENV::info(\"a\");").unwrap();
+        let r = run(&mut h, i, "ENV::info(\"hi\"); r = ENV::info(\"a\");").unwrap();
         assert_eq!(h.log.len(), 2);
-        assert_eq!(ctx.locals["r"], Value::Int(1));
+        assert_eq!(r.local("r"), Value::Int(1));
     }
 
     #[test]
     fn event_params_via_rcvd() {
         let (mut h, i) = host_with_counter();
         let block = parse_block("self.n = rcvd.v * 2;").unwrap();
-        let mut params = BTreeMap::new();
-        params.insert("v".to_string(), Value::Int(21));
-        let mut ctx = ExecCtx::new(i, params);
-        run_block(&mut h, &mut ctx, &block).unwrap();
+        let action = compile_block(
+            &h.domain,
+            ClassId::new(0),
+            &[("v".to_owned(), DataType::Int)],
+            &block,
+        )
+        .unwrap();
+        let mut ctx = ExecCtx::new(i, &action);
+        ctx.bind_args([Value::Int(21)]);
+        run_code(&mut h, &mut ctx, &action).unwrap();
         assert_eq!(h.attr_read(i, AttrId::new(0)).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn unbound_param_read_is_resolution_error() {
+        let (mut h, i) = host_with_counter();
+        let block = parse_block("self.n = rcvd.v * 2;").unwrap();
+        let action = compile_block(
+            &h.domain,
+            ClassId::new(0),
+            &[("v".to_owned(), DataType::Int)],
+            &block,
+        )
+        .unwrap();
+        // No arguments bound: the parameter slot stays empty.
+        let mut ctx = ExecCtx::new(i, &action);
+        let err = run_code(&mut h, &mut ctx, &action).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Unresolved {
+                kind: "event parameter",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -986,11 +1067,32 @@ mod tests {
     }
 
     #[test]
+    fn use_before_assignment_is_a_runtime_resolution_error() {
+        // Flow-insensitive compilation allocates the slot, but reading it
+        // before any assignment executed must still fail, as the
+        // name-resolving evaluator did.
+        let (mut h, i) = host_with_counter();
+        let err = run(
+            &mut h,
+            i,
+            "if (false) { x = 1; }\n\
+             y = x + 1;",
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Unresolved {
+                kind: "variable",
+                ..
+            }
+        ));
+    }
+
+    #[test]
     fn steps_are_counted() {
         let (mut h, i) = host_with_counter();
-        let ctx = run(&mut h, i, "x = 1;").unwrap();
-        // one statement + two expression nodes (literal, implicit?) — at
-        // minimum the statement and the literal burn fuel.
-        assert!(ctx.steps >= 2);
+        let r = run(&mut h, i, "x = 1;").unwrap();
+        // one statement + the literal expression node at minimum.
+        assert!(r.ctx.steps >= 2);
     }
 }

@@ -43,6 +43,7 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod action;
 pub mod builder;
+pub mod code;
 pub mod error;
 pub mod ids;
 pub mod interp;

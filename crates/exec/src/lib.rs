@@ -43,7 +43,7 @@
 //! sim.inject(0, c, "Bump", vec![])?;
 //! sim.inject(1, c, "Bump", vec![])?;
 //! sim.run_to_quiescence()?;
-//! let outs = sim.trace().observable();
+//! let outs = sim.trace().observable(&domain);
 //! assert_eq!(outs.len(), 2);
 //! assert_eq!(outs[1].args, vec![Value::Int(2)]);
 //! # Ok::<(), xtuml_core::CoreError>(())

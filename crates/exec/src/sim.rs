@@ -8,24 +8,34 @@
 //! the destination state's actions to completion. Time advances by one
 //! tick per consumed signal and jumps forward when only timers or future
 //! stimuli remain.
+//!
+//! The dispatch hot path is allocation-light by design: state actions are
+//! pre-compiled to slot-resolved code ([`CompiledProgram`]) at
+//! construction, the set of ready instances is maintained incrementally
+//! instead of rescanned per step, signal payloads are shared
+//! (`Rc<[Value]>`) rather than cloned per delivery, and one frame buffer
+//! is recycled across dispatches.
 
 use crate::sched::{SchedPolicy, SplitMix64};
 use crate::store::ObjectStore;
 use crate::trace::{Trace, TraceEvent};
-use std::collections::{BTreeMap, VecDeque};
-use xtuml_core::action::Block;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::rc::Rc;
+use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result};
 use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
 use xtuml_core::interp::{self, ActionHost, ExecCtx};
 use xtuml_core::model::{Domain, TransitionTarget};
 use xtuml_core::value::Value;
 
-/// A queued signal.
+/// A queued signal. Argument payloads are reference-counted so fan-out
+/// (timers, stimuli, trace records) shares one allocation.
 #[derive(Debug, Clone)]
 struct Envelope {
     from: Option<InstId>,
     event: EventId,
-    args: Vec<Value>,
+    args: Rc<[Value]>,
     seq: u64,
 }
 
@@ -50,7 +60,7 @@ struct TimerEntry {
     from: InstId,
     to: InstId,
     event: EventId,
-    args: Vec<Value>,
+    args: Rc<[Value]>,
 }
 
 #[derive(Debug, Clone)]
@@ -59,7 +69,29 @@ struct Stimulus {
     seq: u64,
     to: InstId,
     event: EventId,
-    args: Vec<Value>,
+    args: Rc<[Value]>,
+}
+
+// Stimuli live in a min-heap keyed by (time, seq); `seq` is globally
+// unique, so the order is total and matches the old sorted delivery.
+impl PartialEq for Stimulus {
+    fn eq(&self, other: &Stimulus) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+
+impl Eq for Stimulus {}
+
+impl PartialOrd for Stimulus {
+    fn partial_cmp(&self, other: &Stimulus) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Stimulus {
+    fn cmp(&self, other: &Stimulus) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
 }
 
 /// Handler invoked for bridge calls on a given actor.
@@ -68,10 +100,19 @@ pub type BridgeFn = Box<dyn FnMut(&str, &[Value]) -> Result<Value>>;
 /// An executing Executable UML model. See the crate-level example.
 pub struct Simulation<'d> {
     domain: &'d Domain,
+    /// Slot-resolved action code, compiled once at construction.
+    program: Rc<CompiledProgram>,
     store: ObjectStore,
     queues: Vec<InstQueues>,
+    /// Instances with at least one queued signal, kept sorted ascending by
+    /// id so the scheduler's random pick indexes the same candidate list
+    /// the old per-step scan produced.
+    ready: Vec<InstId>,
+    /// Membership mirror of `ready`, indexed by instance.
+    in_ready: Vec<bool>,
     timers: Vec<TimerEntry>,
-    stimuli: Vec<Stimulus>,
+    /// Pending external stimuli, min-heap ordered by `(time, seq)`.
+    stimuli: BinaryHeap<Reverse<Stimulus>>,
     now: u64,
     send_seq: u64,
     policy: SchedPolicy,
@@ -80,6 +121,8 @@ pub struct Simulation<'d> {
     bridges: BTreeMap<ActorId, BridgeFn>,
     dropped: u64,
     max_steps: u64,
+    /// Recycled execution frame: taken by each dispatch, returned after.
+    frame_buf: Vec<Option<Value>>,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -103,10 +146,13 @@ impl<'d> Simulation<'d> {
     pub fn with_policy(domain: &'d Domain, policy: SchedPolicy) -> Simulation<'d> {
         Simulation {
             domain,
+            program: Rc::new(CompiledProgram::new(domain)),
             store: ObjectStore::new(domain.associations.len()),
             queues: Vec::new(),
+            ready: Vec::new(),
+            in_ready: Vec::new(),
             timers: Vec::new(),
-            stimuli: Vec::new(),
+            stimuli: BinaryHeap::new(),
             now: 0,
             send_seq: 0,
             policy,
@@ -115,6 +161,7 @@ impl<'d> Simulation<'d> {
             bridges: BTreeMap::new(),
             dropped: 0,
             max_steps: 10_000_000,
+            frame_buf: Vec::new(),
         }
     }
 
@@ -216,13 +263,13 @@ impl<'d> Simulation<'d> {
             )));
         }
         self.send_seq += 1;
-        self.stimuli.push(Stimulus {
+        self.stimuli.push(Reverse(Stimulus {
             time,
             seq: self.send_seq,
             to: inst,
             event: event_id,
-            args,
-        });
+            args: Rc::from(args),
+        }));
         Ok(())
     }
 
@@ -310,14 +357,13 @@ impl<'d> Simulation<'d> {
     pub fn step(&mut self) -> Result<bool> {
         loop {
             self.deliver_due();
-            let ready = self.ready_instances();
-            if ready.is_empty() {
+            if self.ready.is_empty() {
                 // Jump to the next timer/stimulus moment, if any.
                 let next = self
                     .timers
                     .iter()
                     .map(|t| t.deadline)
-                    .chain(self.stimuli.iter().map(|s| s.time))
+                    .chain(self.stimuli.peek().map(|Reverse(s)| s.time))
                     .min();
                 match next {
                     Some(t) if t > self.now => {
@@ -328,28 +374,51 @@ impl<'d> Simulation<'d> {
                     None => return Ok(false),
                 }
             }
-            let pick = ready[self.rng.below(ready.len())];
+            let pick = self.ready[self.rng.below(self.ready.len())];
             let env = self.pop_envelope(pick);
+            if self.queues[pick.index()].is_empty() {
+                self.unmark_ready(pick);
+            }
             self.dispatch(pick, env)?;
             self.now += 1;
             return Ok(true);
         }
     }
 
-    /// Moves due stimuli and timers into instance queues.
+    /// Moves due stimuli and timers into instance queues, in `(time, seq)`
+    /// order.
     fn deliver_due(&mut self) {
         let now = self.now;
-        // (time, seq, to, from, event, args)
-        type Due = (u64, u64, InstId, Option<InstId>, EventId, Vec<Value>);
-        let mut due: Vec<Due> = Vec::new();
-        self.stimuli.retain(|s| {
-            if s.time <= now {
-                due.push((s.time, s.seq, s.to, None, s.event, s.args.clone()));
-                false
-            } else {
-                true
+        if !self.timers.iter().any(|t| t.deadline <= now) {
+            // Fast path (no due timer — in particular, pure signal
+            // traffic): heap pops already come out in (time, seq) order,
+            // the exact order the old collect-and-sort produced, because
+            // `seq` is globally unique across timers and stimuli.
+            while self.stimuli.peek().is_some_and(|Reverse(s)| s.time <= now) {
+                let Reverse(s) = self.stimuli.pop().expect("peeked above");
+                if !self.store.is_alive(s.to) {
+                    continue; // instance died while the stimulus was in flight
+                }
+                self.enqueue(
+                    s.to,
+                    Envelope {
+                        from: None,
+                        event: s.event,
+                        args: s.args,
+                        seq: s.seq,
+                    },
+                );
             }
-        });
+            return;
+        }
+        // General path: merge due timers and due stimuli by (time, seq).
+        // (time, seq, to, from, event, args)
+        type Due = (u64, u64, InstId, Option<InstId>, EventId, Rc<[Value]>);
+        let mut due: Vec<Due> = Vec::new();
+        while self.stimuli.peek().is_some_and(|Reverse(s)| s.time <= now) {
+            let Reverse(s) = self.stimuli.pop().expect("peeked above");
+            due.push((s.time, s.seq, s.to, None, s.event, s.args));
+        }
         self.timers.retain(|t| {
             if t.deadline <= now {
                 due.push((
@@ -358,7 +427,7 @@ impl<'d> Simulation<'d> {
                     t.to,
                     Some(t.from),
                     t.event,
-                    t.args.clone(),
+                    Rc::clone(&t.args),
                 ));
                 false
             } else {
@@ -391,15 +460,27 @@ impl<'d> Simulation<'d> {
         } else {
             q.main_q.push_back(env);
         }
+        self.mark_ready(to);
     }
 
-    fn ready_instances(&self) -> Vec<InstId> {
-        self.queues
-            .iter()
-            .enumerate()
-            .filter(|(i, q)| !q.is_empty() && self.store.is_alive(InstId::new(*i as u32)))
-            .map(|(i, _)| InstId::new(i as u32))
-            .collect()
+    /// Inserts `inst` into the sorted ready list if not already present.
+    /// Only live instances reach here: every enqueue path checks liveness
+    /// first, and deletion clears the queues and unmarks.
+    fn mark_ready(&mut self, inst: InstId) {
+        if !self.in_ready[inst.index()] {
+            self.in_ready[inst.index()] = true;
+            let at = self.ready.partition_point(|&r| r < inst);
+            self.ready.insert(at, inst);
+        }
+    }
+
+    fn unmark_ready(&mut self, inst: InstId) {
+        if self.in_ready[inst.index()] {
+            self.in_ready[inst.index()] = false;
+            let at = self.ready.partition_point(|&r| r < inst);
+            debug_assert_eq!(self.ready.get(at), Some(&inst));
+            self.ready.remove(at);
+        }
     }
 
     fn pop_envelope(&mut self, inst: InstId) -> Envelope {
@@ -445,7 +526,7 @@ impl<'d> Simulation<'d> {
             )));
         };
         let from_state = self.store.state_of(inst)?;
-        match machine.dispatch(from_state, env.event) {
+        match self.program.target(class, from_state, env.event) {
             TransitionTarget::To(to_state) => {
                 self.store.set_state(inst, to_state)?;
                 self.trace.push(TraceEvent::Dispatch {
@@ -457,23 +538,21 @@ impl<'d> Simulation<'d> {
                     from_state,
                     to_state,
                 });
-                let params: BTreeMap<String, Value> = c.events[env.event.index()]
-                    .params
-                    .iter()
-                    .map(|(n, _)| n.clone())
-                    .zip(env.args)
-                    .collect();
-                // The block borrow comes from the domain ('d), not self.
-                let block: &'d Block = &self
-                    .domain
-                    .class(class)
-                    .state_machine
-                    .as_ref()
-                    .expect("checked above")
-                    .state(to_state)
-                    .action;
-                let mut ctx = ExecCtx::new(inst, params);
-                interp::run_block(self, &mut ctx, block)?;
+                // Clone the program handle so the action borrow does not
+                // pin `self` (which the interpreter needs mutably).
+                let program = Rc::clone(&self.program);
+                let action = program.action(class, to_state, env.event).ok_or_else(|| {
+                    CoreError::runtime("internal: dispatched pair has no compiled action")
+                })??;
+                // Recycle one frame allocation across all dispatches.
+                let mut frame = std::mem::take(&mut self.frame_buf);
+                frame.clear();
+                frame.resize(action.frame_len(), None);
+                let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                ctx.bind_args(env.args.iter().cloned());
+                let run = interp::run_code(self, &mut ctx, action);
+                self.frame_buf = std::mem::take(&mut ctx.frame);
+                run?;
                 Ok(())
             }
             TransitionTarget::Ignore => {
@@ -513,6 +592,7 @@ impl ActionHost for Simulation<'_> {
     fn create(&mut self, class: ClassId) -> Result<InstId> {
         let inst = self.store.create(self.domain, class);
         self.queues.push(InstQueues::default());
+        self.in_ready.push(false);
         debug_assert_eq!(self.queues.len() - 1, inst.index());
         self.trace.push(TraceEvent::Create {
             time: self.now,
@@ -525,6 +605,7 @@ impl ActionHost for Simulation<'_> {
     fn delete(&mut self, inst: InstId) -> Result<()> {
         self.store.delete(inst)?;
         self.queues[inst.index()] = InstQueues::default();
+        self.unmark_ready(inst);
         self.timers.retain(|t| t.to != inst);
         self.trace.push(TraceEvent::Delete {
             time: self.now,
@@ -553,6 +634,19 @@ impl ActionHost for Simulation<'_> {
         self.store.related(inst, assoc)
     }
 
+    fn each_instance(&self, class: ClassId, f: &mut dyn FnMut(InstId)) {
+        self.store.instances_iter(class).for_each(f);
+    }
+
+    fn first_instance_of(&self, class: ClassId) -> Option<InstId> {
+        self.store.first_instance_of(class)
+    }
+
+    fn related_each(&self, inst: InstId, assoc: AssocId, f: &mut dyn FnMut(InstId)) -> Result<()> {
+        self.store.related_iter(inst, assoc)?.for_each(f);
+        Ok(())
+    }
+
     fn relate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> Result<()> {
         self.store.relate(self.domain, a, b, assoc)
     }
@@ -567,7 +661,7 @@ impl ActionHost for Simulation<'_> {
         let env = Envelope {
             from: Some(from),
             event,
-            args,
+            args: Rc::from(args),
             seq: self.send_seq,
         };
         self.enqueue(to, env);
@@ -581,13 +675,11 @@ impl ActionHost for Simulation<'_> {
         event: EventId,
         args: Vec<Value>,
     ) -> Result<()> {
-        let a = self.domain.actor(actor);
         self.trace.push(TraceEvent::ActorSignal {
             time: self.now,
             actor,
-            actor_name: a.name.clone(),
-            event_name: a.events[event.index()].name.clone(),
-            args,
+            event,
+            args: Rc::from(args),
         });
         Ok(())
     }
@@ -608,7 +700,7 @@ impl ActionHost for Simulation<'_> {
             from,
             to,
             event,
-            args,
+            args: Rc::from(args),
         });
         Ok(())
     }
@@ -624,12 +716,11 @@ impl ActionHost for Simulation<'_> {
             .func(func)
             .ok_or_else(|| CoreError::unresolved("bridge function", func))?;
         let ret_ty = decl.ret;
-        let actor_name = a.name.clone();
         self.trace.push(TraceEvent::BridgeCall {
             time: self.now,
-            actor_name: actor_name.clone(),
+            actor,
             func: func.to_owned(),
-            args: args.clone(),
+            args: Rc::from(args.as_slice()),
         });
         if let Some(handler) = self.bridges.get_mut(&actor) {
             return handler(func, &args);
@@ -678,7 +769,7 @@ mod tests {
         sim.run_to_quiescence().unwrap();
         assert_eq!(sim.attr(c, "n").unwrap(), Value::Int(1));
         assert_eq!(sim.state_name(c).unwrap(), "Bumping");
-        let obs = sim.trace().observable();
+        let obs = sim.trace().observable(&d);
         assert_eq!(obs.len(), 3);
         assert_eq!(obs[0].args, vec![Value::Int(1)]);
         assert_eq!(obs[1].args, vec![Value::Int(2)]);
@@ -763,7 +854,7 @@ mod tests {
         let t = sim.create("T").unwrap();
         sim.inject(0, t, "Arm", vec![]).unwrap();
         sim.run_to_quiescence().unwrap();
-        let obs = sim.trace().observable();
+        let obs = sim.trace().observable(&d);
         assert_eq!(obs.len(), 2);
         assert_eq!(obs[0].args, vec![Value::Int(1)]);
         assert_eq!(obs[1].args, vec![Value::Int(2)]);
@@ -792,7 +883,7 @@ mod tests {
         sim.inject(0, t, "Arm", vec![]).unwrap();
         sim.inject(1, t, "Disarm", vec![]).unwrap();
         sim.run_to_quiescence().unwrap();
-        assert!(sim.trace().observable().is_empty());
+        assert!(sim.trace().observable(&d).is_empty());
         assert_eq!(sim.state_name(t).unwrap(), "Safe");
     }
 
@@ -823,7 +914,7 @@ mod tests {
         sim.inject(0, w, "Go", vec![]).unwrap();
         sim.inject(0, w, "Next", vec![]).unwrap();
         sim.run_to_quiescence().unwrap();
-        let obs = sim.trace().observable();
+        let obs = sim.trace().observable(&d);
         let order: Vec<i64> = obs.iter().map(|o| o.args[0].as_int().unwrap()).collect();
         assert_eq!(order, vec![1, 2], "self event must be consumed first");
     }
@@ -854,8 +945,8 @@ mod tests {
         // deterministic pipeline (it is confluent).
         let t3 = run(99);
         assert_eq!(
-            t1.observable(),
-            t3.observable(),
+            t1.observable(&d),
+            t3.observable(&d),
             "pipeline output is interleaving-independent"
         );
     }
@@ -953,7 +1044,7 @@ mod tests {
         let k = sim.create("Killer").unwrap();
         sim.inject(0, k, "Go", vec![]).unwrap();
         sim.run_to_quiescence().unwrap();
-        assert!(sim.trace().observable().is_empty());
+        assert!(sim.trace().observable(&d).is_empty());
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl ObjectStore {
         self.instances.get(inst.index()).is_some_and(|i| i.proxy)
     }
 
+    #[inline]
     fn get(&self, inst: InstId) -> Result<&Instance> {
         match self.instances.get(inst.index()) {
             Some(i) if i.alive => Ok(i),
@@ -93,6 +94,7 @@ impl ObjectStore {
         }
     }
 
+    #[inline]
     fn get_mut(&mut self, inst: InstId) -> Result<&mut Instance> {
         match self.instances.get_mut(inst.index()) {
             Some(i) if i.alive => Ok(i),
@@ -126,6 +128,7 @@ impl ObjectStore {
     /// # Errors
     ///
     /// Fails on dangling references.
+    #[inline]
     pub fn class_of(&self, inst: InstId) -> Result<ClassId> {
         Ok(self.get(inst)?.class)
     }
@@ -135,6 +138,7 @@ impl ObjectStore {
     /// # Errors
     ///
     /// Fails on dangling references.
+    #[inline]
     pub fn state_of(&self, inst: InstId) -> Result<StateId> {
         Ok(self.get(inst)?.state)
     }
@@ -155,6 +159,7 @@ impl ObjectStore {
     ///
     /// Fails on dangling references or proxy instances (which own no
     /// attributes).
+    #[inline]
     pub fn attr_read(&self, inst: InstId, attr: AttrId) -> Result<Value> {
         let i = self.get(inst)?;
         i.attrs.get(attr.index()).cloned().ok_or_else(|| {
@@ -199,16 +204,26 @@ impl ObjectStore {
         }
     }
 
-    /// All live, locally-owned instances of `class`, in creation order.
-    /// Proxies are excluded: `select` must only see the partition's own
-    /// population.
-    pub fn instances_of(&self, class: ClassId) -> Vec<InstId> {
+    /// All live, locally-owned instances of `class`, in creation order,
+    /// without materialising a `Vec`. Proxies are excluded: `select` must
+    /// only see the partition's own population.
+    pub fn instances_iter(&self, class: ClassId) -> impl Iterator<Item = InstId> + '_ {
         self.instances
             .iter()
             .enumerate()
-            .filter(|(_, i)| i.alive && !i.proxy && i.class == class)
+            .filter(move |(_, i)| i.alive && !i.proxy && i.class == class)
             .map(|(k, _)| InstId::new(k as u32))
-            .collect()
+    }
+
+    /// All live, locally-owned instances of `class`, in creation order.
+    pub fn instances_of(&self, class: ClassId) -> Vec<InstId> {
+        self.instances_iter(class).collect()
+    }
+
+    /// The first live, locally-owned instance of `class` in creation
+    /// order, if any (the unfiltered `select any`).
+    pub fn first_instance_of(&self, class: ClassId) -> Option<InstId> {
+        self.instances_iter(class).next()
     }
 
     /// Total number of live instances (proxies excluded).
@@ -219,25 +234,36 @@ impl ObjectStore {
             .count()
     }
 
+    /// Instances linked to `inst` across `assoc`, in link order, without
+    /// materialising a `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    pub fn related_iter(
+        &self,
+        inst: InstId,
+        assoc: AssocId,
+    ) -> Result<impl Iterator<Item = InstId> + '_> {
+        self.get(inst)?;
+        Ok(self.links[assoc.index()].iter().filter_map(move |(a, b)| {
+            if *a == inst {
+                Some(*b)
+            } else if *b == inst {
+                Some(*a)
+            } else {
+                None
+            }
+        }))
+    }
+
     /// Instances linked to `inst` across `assoc`, in link order.
     ///
     /// # Errors
     ///
     /// Fails on dangling references.
     pub fn related(&self, inst: InstId, assoc: AssocId) -> Result<Vec<InstId>> {
-        self.get(inst)?;
-        Ok(self.links[assoc.index()]
-            .iter()
-            .filter_map(|(a, b)| {
-                if *a == inst {
-                    Some(*b)
-                } else if *b == inst {
-                    Some(*a)
-                } else {
-                    None
-                }
-            })
-            .collect())
+        Ok(self.related_iter(inst, assoc)?.collect())
     }
 
     /// Creates a link, enforcing multiplicity upper bounds.
@@ -437,6 +463,31 @@ mod tests {
         let r1 = d.assoc_id("R1").unwrap();
         s.relate(&d, a, p, r1).unwrap();
         assert_eq!(s.related(a, r1).unwrap(), vec![p]);
+    }
+
+    #[test]
+    fn iterator_variants_match_vec_variants() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a = s.create(&d, ClassId::new(0));
+        let b1 = s.create(&d, ClassId::new(1));
+        let b2 = s.create(&d, ClassId::new(1));
+        let r1 = d.assoc_id("R1").unwrap();
+        s.relate(&d, a, b1, r1).unwrap();
+        s.relate(&d, a, b2, r1).unwrap();
+        assert_eq!(
+            s.instances_iter(ClassId::new(1)).collect::<Vec<_>>(),
+            s.instances_of(ClassId::new(1))
+        );
+        assert_eq!(s.first_instance_of(ClassId::new(1)), Some(b1));
+        assert_eq!(s.first_instance_of(ClassId::new(0)), Some(a));
+        assert_eq!(
+            s.related_iter(a, r1).unwrap().collect::<Vec<_>>(),
+            s.related(a, r1).unwrap()
+        );
+        s.delete(b1).unwrap();
+        assert_eq!(s.first_instance_of(ClassId::new(1)), Some(b2));
+        assert!(s.related_iter(b1, r1).is_err());
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! signals generated to external actors, plus bridge calls — is what the
 //! paper's "formal test cases" check, and what the verification layer
 //! compares between the abstract model and any partitioned implementation.
+//!
+//! Trace events store **ids**, not names: recording an event on the
+//! dispatch hot path costs no string clones. Names are resolved against
+//! the [`Domain`] only when a trace is rendered or projected.
 
 use std::fmt;
+use std::rc::Rc;
 use xtuml_core::ids::{ActorId, ClassId, EventId, InstId, StateId};
 use xtuml_core::model::Domain;
 use xtuml_core::value::Value;
@@ -71,24 +76,21 @@ pub enum TraceEvent {
         time: u64,
         /// Destination actor.
         actor: ActorId,
-        /// Actor name (denormalised so observable traces are
-        /// platform-independent).
-        actor_name: String,
-        /// Event name.
-        event_name: String,
-        /// Arguments.
-        args: Vec<Value>,
+        /// The actor event.
+        event: EventId,
+        /// Arguments (shared, not cloned per record).
+        args: Rc<[Value]>,
     },
     /// A synchronous bridge call — **observable**.
     BridgeCall {
         /// Simulation time.
         time: u64,
-        /// Actor name.
-        actor_name: String,
-        /// Function name.
+        /// The actor providing the function.
+        actor: ActorId,
+        /// Function name (bridge functions have no id space).
         func: String,
         /// Arguments.
-        args: Vec<Value>,
+        args: Rc<[Value]>,
     },
 }
 
@@ -135,30 +137,27 @@ impl Trace {
     }
 
     /// The observable projection: actor signals and bridge calls, in
-    /// order.
-    pub fn observable(&self) -> Vec<ObservableEvent> {
+    /// order, with ids resolved to names against the domain.
+    pub fn observable(&self, domain: &Domain) -> Vec<ObservableEvent> {
         self.events
             .iter()
             .filter_map(|e| match e {
                 TraceEvent::ActorSignal {
-                    actor_name,
-                    event_name,
-                    args,
-                    ..
-                } => Some(ObservableEvent {
-                    actor: actor_name.clone(),
-                    event: event_name.clone(),
-                    args: args.clone(),
-                }),
+                    actor, event, args, ..
+                } => {
+                    let a = domain.actor(*actor);
+                    Some(ObservableEvent {
+                        actor: a.name.clone(),
+                        event: a.events[event.index()].name.clone(),
+                        args: args.to_vec(),
+                    })
+                }
                 TraceEvent::BridgeCall {
-                    actor_name,
-                    func,
-                    args,
-                    ..
+                    actor, func, args, ..
                 } => Some(ObservableEvent {
-                    actor: actor_name.clone(),
+                    actor: domain.actor(*actor).name.clone(),
                     event: func.clone(),
-                    args: args.clone(),
+                    args: args.to_vec(),
                 }),
                 _ => None,
             })
@@ -240,12 +239,17 @@ impl Trace {
                 }
                 TraceEvent::ActorSignal {
                     time,
-                    actor_name,
-                    event_name,
+                    actor,
+                    event,
                     args,
-                    ..
                 } => {
-                    let _ = write!(out, "[{time:>6}] >> {actor_name}.{event_name}(");
+                    let a_decl = domain.actor(*actor);
+                    let _ = write!(
+                        out,
+                        "[{time:>6}] >> {}.{}(",
+                        a_decl.name,
+                        a_decl.events[event.index()].name
+                    );
                     for (i, a) in args.iter().enumerate() {
                         if i > 0 {
                             let _ = write!(out, ", ");
@@ -256,11 +260,11 @@ impl Trace {
                 }
                 TraceEvent::BridgeCall {
                     time,
-                    actor_name,
+                    actor,
                     func,
                     args,
                 } => {
-                    let _ = write!(out, "[{time:>6}] :: {actor_name}::{func}(");
+                    let _ = write!(out, "[{time:>6}] :: {}::{func}(", domain.actor(*actor).name);
                     for (i, a) in args.iter().enumerate() {
                         if i > 0 {
                             let _ = write!(out, ", ");
@@ -322,6 +326,12 @@ mod tests {
 
     #[test]
     fn observable_filters_and_orders() {
+        use xtuml_core::builder::DomainBuilder;
+        use xtuml_core::value::DataType;
+        let mut b = DomainBuilder::new("t");
+        b.actor("OUT").event("done", &[("v", DataType::Int)]);
+        b.actor("LOG").func("info", &[("msg", DataType::Str)], None);
+        let d = b.build().unwrap();
         let mut t = Trace::new();
         t.push(TraceEvent::Create {
             time: 0,
@@ -331,17 +341,16 @@ mod tests {
         t.push(TraceEvent::ActorSignal {
             time: 1,
             actor: ActorId::new(0),
-            actor_name: "OUT".into(),
-            event_name: "done".into(),
-            args: vec![Value::Int(1)],
+            event: EventId::new(0),
+            args: Rc::from(vec![Value::Int(1)]),
         });
         t.push(TraceEvent::BridgeCall {
             time: 2,
-            actor_name: "LOG".into(),
+            actor: ActorId::new(1),
             func: "info".into(),
-            args: vec![Value::from("x")],
+            args: Rc::from(vec![Value::from("x")]),
         });
-        let obs = t.observable();
+        let obs = t.observable(&d);
         assert_eq!(obs.len(), 2);
         assert_eq!(obs[0].actor, "OUT");
         assert_eq!(obs[1].event, "info");

@@ -1,0 +1,146 @@
+//! Determinism and golden-trace regression tests.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Seed determinism**: for a fixed model and [`SchedPolicy`] seed the
+//!    rendered trace is byte-identical across runs — and across internal
+//!    rewrites of the scheduler (the incremental ready set must present
+//!    the same candidate order as the old per-step scan).
+//! 2. **Render stability**: the golden files were captured before trace
+//!    events switched from embedded name strings to ids; id-based events
+//!    must render to exactly the same text.
+//!
+//! Regenerate goldens with:
+//! `GOLDEN_BLESS=1 cargo test -p xtuml-exec --test determinism`
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use xtuml_core::builder::{pipeline_domain, DomainBuilder};
+use xtuml_core::ids::InstId;
+use xtuml_core::model::Domain;
+use xtuml_core::value::{DataType, Value};
+use xtuml_exec::{SchedPolicy, Simulation};
+
+/// Renders the full trace plus the observable projection as one string.
+fn snapshot(sim: &Simulation, domain: &Domain) -> String {
+    let mut out = sim.trace().render(domain);
+    out.push_str("--- observable ---\n");
+    for o in sim.trace().observable(domain) {
+        let _ = writeln!(out, "{o}");
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden file, or rewrites the
+/// file when `GOLDEN_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {}; regenerate with GOLDEN_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "trace diverged from golden {name}; if the change is intentional \
+         regenerate with GOLDEN_BLESS=1"
+    );
+}
+
+/// Runs the 4-stage pipeline workload under the given seed and snapshots
+/// the trace.
+fn pipeline_snapshot(seed: u64) -> String {
+    let d = pipeline_domain(4).unwrap();
+    let mut sim = Simulation::with_policy(&d, SchedPolicy::seeded(seed));
+    let insts: Vec<InstId> = (0..4)
+        .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+        .collect();
+    for k in 0..3 {
+        sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+            .unwrap();
+    }
+    for i in 0..8 {
+        sim.inject(i, insts[0], "Feed", vec![Value::Int(i as i64)])
+            .unwrap();
+    }
+    sim.run_to_quiescence().unwrap();
+    snapshot(&sim, &d)
+}
+
+/// A model exercising every trace-event kind: creates, deletes, timers,
+/// an ignored event, actor signals, and bridge calls.
+fn kitchen_sink_snapshot(seed: u64) -> String {
+    let mut b = DomainBuilder::new("sink");
+    b.actor("OUT").event("done", &[("v", DataType::Int)]).func(
+        "log",
+        &[("v", DataType::Int)],
+        None,
+    );
+    b.class("Worker")
+        .attr("n", DataType::Int)
+        .event("Go", &[("v", DataType::Int)])
+        .event("Tick", &[])
+        .event("Stop", &[])
+        .state("Idle", "")
+        .state(
+            "Busy",
+            "self.n = rcvd.v;\n\
+             OUT::log(self.n);\n\
+             gen Tick() to self after 5;",
+        )
+        .state(
+            "Winding",
+            "gen done(self.n) to OUT;\n\
+             gen Stop() to self;",
+        )
+        .state("Gone", "delete self;")
+        .initial("Idle")
+        .transition("Idle", "Go", "Busy")
+        .transition("Busy", "Tick", "Winding")
+        .transition("Winding", "Stop", "Gone")
+        .ignore("Busy", "Go");
+    let d = b.build().unwrap();
+    let mut sim = Simulation::with_policy(&d, SchedPolicy::seeded(seed));
+    let w1 = sim.create("Worker").unwrap();
+    let w2 = sim.create("Worker").unwrap();
+    sim.inject(0, w1, "Go", vec![Value::Int(10)]).unwrap();
+    sim.inject(0, w2, "Go", vec![Value::Int(20)]).unwrap();
+    sim.inject(1, w1, "Go", vec![Value::Int(99)]).unwrap(); // ignored in Busy
+    sim.run_to_quiescence().unwrap();
+    snapshot(&sim, &d)
+}
+
+#[test]
+fn pipeline_trace_matches_golden_for_fixed_seeds() {
+    for seed in [1u64, 42] {
+        check_golden(
+            &format!("pipeline_seed{seed}.txt"),
+            &pipeline_snapshot(seed),
+        );
+    }
+}
+
+#[test]
+fn kitchen_sink_trace_matches_golden() {
+    check_golden("kitchen_sink_seed7.txt", &kitchen_sink_snapshot(7));
+}
+
+#[test]
+fn same_seed_reruns_are_byte_identical() {
+    assert_eq!(pipeline_snapshot(9), pipeline_snapshot(9));
+    assert_eq!(kitchen_sink_snapshot(9), kitchen_sink_snapshot(9));
+}

@@ -11,7 +11,8 @@
 
 use crate::partition::{Partition, Side};
 use crate::{MdaError, Result};
-use std::collections::BTreeMap;
+use std::rc::Rc;
+use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result as CoreResult};
 use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
 use xtuml_core::interp::{self, ActionHost, ExecCtx};
@@ -59,6 +60,9 @@ pub(crate) struct Effects {
 /// The per-partition execution state shared by both lowerings.
 pub(crate) struct PCore<'d> {
     pub domain: &'d Domain,
+    /// Slot-resolved action code shared with the abstract interpreter's
+    /// representation: both substrates execute identical compiled blocks.
+    pub program: Rc<CompiledProgram>,
     pub side: Side,
     pub partition: Partition,
     pub store: ObjectStore,
@@ -81,6 +85,7 @@ impl<'d> PCore<'d> {
     ) -> PCore<'d> {
         PCore {
             domain,
+            program: Rc::new(CompiledProgram::new(domain)),
             side,
             partition,
             store: ObjectStore::new(domain.associations.len()),
@@ -110,25 +115,16 @@ impl<'d> PCore<'d> {
             )));
         };
         let from_state = self.store.state_of(to)?;
-        match machine.dispatch(from_state, event) {
+        match self.program.target(class, from_state, event) {
             TransitionTarget::To(to_state) => {
                 self.store.set_state(to, to_state)?;
-                let params: BTreeMap<String, Value> = c.events[event.index()]
-                    .params
-                    .iter()
-                    .map(|(n, _)| n.clone())
-                    .zip(args)
-                    .collect();
-                let block = &self
-                    .domain
-                    .class(class)
-                    .state_machine
-                    .as_ref()
-                    .expect("checked above")
-                    .state(to_state)
-                    .action;
-                let mut ctx = ExecCtx::new(to, params);
-                interp::run_block(self, &mut ctx, block)?;
+                let program = Rc::clone(&self.program);
+                let action = program.action(class, to_state, event).ok_or_else(|| {
+                    CoreError::runtime("internal: dispatched pair has no compiled action")
+                })??;
+                let mut ctx = ExecCtx::new(to, action);
+                ctx.bind_args(args);
+                interp::run_code(self, &mut ctx, action)?;
                 Ok(ctx.steps)
             }
             TransitionTarget::Ignore => Ok(1),
@@ -208,6 +204,24 @@ impl ActionHost for PCore<'_> {
 
     fn related(&self, inst: InstId, assoc: AssocId) -> CoreResult<Vec<InstId>> {
         self.store.related(inst, assoc)
+    }
+
+    fn each_instance(&self, class: ClassId, f: &mut dyn FnMut(InstId)) {
+        self.store.instances_iter(class).for_each(f);
+    }
+
+    fn first_instance_of(&self, class: ClassId) -> Option<InstId> {
+        self.store.first_instance_of(class)
+    }
+
+    fn related_each(
+        &self,
+        inst: InstId,
+        assoc: AssocId,
+        f: &mut dyn FnMut(InstId),
+    ) -> CoreResult<()> {
+        self.store.related_iter(inst, assoc)?.for_each(f);
+        Ok(())
     }
 
     fn relate(&mut self, a: InstId, b: InstId, assoc: AssocId) -> CoreResult<()> {

@@ -32,7 +32,7 @@ pub fn run_model(
         sim.inject(s.time, insts[s.inst], &s.event, s.args.clone())?;
     }
     sim.run_to_quiescence()?;
-    Ok(sim.trace().observable())
+    Ok(sim.trace().observable(domain))
 }
 
 /// Executes a test case on a compiled (partitioned, co-simulated)

@@ -95,13 +95,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("final state  : {}", sim.state_name(oven)?);
     println!("seconds done : {}", sim.attr(oven, "cooked")?);
     println!("observable trace:");
-    for ev in sim.trace().observable() {
+    for ev in sim.trace().observable(&domain) {
         println!("  {ev}");
     }
 
     assert_eq!(sim.state_name(oven)?, "Ticking");
     assert_eq!(sim.attr(oven, "cooked")?, Value::Int(3));
-    let obs = sim.trace().observable();
+    let obs = sim.trace().observable(&domain);
     assert!(obs
         .iter()
         .any(|e| e.actor == "KITCHEN" && e.event == "food_ready"));

@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("final state : {}", sim.state_name(t)?);
     println!("passes      : {}", sim.attr(t, "passes")?);
     println!("observable trace:");
-    for ev in sim.trace().observable() {
+    for ev in sim.trace().observable(&domain) {
         println!("  {ev}");
     }
     assert_eq!(sim.attr(t, "passes")?, Value::Int(2));

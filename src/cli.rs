@@ -220,7 +220,7 @@ pub fn cmd_run(model_src: &str, script_src: &str) -> Result<String, CliError> {
         sim.now(),
         sim.trace().dispatch_count()
     );
-    for ev in sim.trace().observable() {
+    for ev in sim.trace().observable(&domain) {
         let _ = writeln!(out, "{ev}");
     }
     Ok(out)

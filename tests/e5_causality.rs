@@ -50,7 +50,7 @@ fn run(domain: &Domain, policy: SchedPolicy) -> (usize, i64) {
     let violations = sim.trace().causality_violations();
     let last = sim
         .trace()
-        .observable()
+        .observable(domain)
         .first()
         .map(|e| e.args[0].as_int().unwrap())
         .unwrap_or(-1);
@@ -126,7 +126,7 @@ fn self_priority_ablation_changes_observable_behaviour() {
         sim.inject(0, w, "Kick", vec![]).unwrap();
         sim.inject(0, w, "Query", vec![]).unwrap();
         sim.run_to_quiescence().unwrap();
-        sim.trace().observable()[0].args[0].as_int().unwrap()
+        sim.trace().observable(&d)[0].args[0].as_int().unwrap()
     };
 
     // Rules on: the self-queued Steps are consumed before the external
