@@ -7,3 +7,16 @@ cargo fmt --all -- --check
 cargo clippy --workspace -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
+
+# Lint gate: every shipped model must be free of deny-level (error)
+# diagnostics. Warnings are allowed — some shipped models demonstrate
+# them on purpose; models/lints/* are deliberately buggy fixtures and are
+# covered by the golden tests instead.
+for model in models/*.xtuml; do
+    marks="${model%.xtuml}.marks"
+    if [ -f "$marks" ]; then
+        cargo run --quiet --release -- lint "$model" "$marks"
+    else
+        cargo run --quiet --release -- lint "$model"
+    fi
+done

@@ -237,6 +237,23 @@ impl DomainBuilder {
     /// unresolved names, duplicate declarations, structural validation
     /// failures or type errors.
     pub fn build(self) -> Result<Domain> {
+        let domain = self.build_unvalidated()?;
+        validate::validate(&domain)?;
+        Ok(domain)
+    }
+
+    /// Like [`DomainBuilder::build`], but stops after name resolution and
+    /// transition-table indexing, **without** running
+    /// [`validate::validate`]. Lint drivers use this so that structural
+    /// and type findings can be *accumulated* over the whole model
+    /// (via [`validate::validate_into`]) instead of bailing at the first.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors in action text, unresolved names in
+    /// transitions/associations and duplicate top-level names — defects
+    /// that leave no coherent model to lint.
+    pub fn build_unvalidated(self) -> Result<Domain> {
         let mut domain = Domain::new(self.name);
         let actor_names: std::collections::BTreeSet<String> =
             self.actors.iter().map(|a| a.name.clone()).collect();
@@ -283,7 +300,6 @@ impl DomainBuilder {
             });
         }
         domain.reindex()?;
-        validate::validate(&domain)?;
         Ok(domain)
     }
 }

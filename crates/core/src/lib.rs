@@ -44,10 +44,12 @@
 pub mod action;
 pub mod builder;
 pub mod code;
+pub mod diag;
 pub mod error;
 pub mod ids;
 pub mod interp;
 pub mod lex;
+pub mod lint;
 pub mod marks;
 pub mod model;
 pub mod parse;

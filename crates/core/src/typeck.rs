@@ -6,6 +6,11 @@
 //! its first (textual) binding and every later use and rebinding must
 //! agree. `select any` binds `inst<C>`, `select many` binds `set<C>`,
 //! `foreach` binds the element type of the iterated set.
+//!
+//! The checker *accumulates*: each statement is checked independently and
+//! every error is reported through a sink ([`check_block_into`]), so one
+//! bad statement does not hide the rest of the block. [`check_block`] is
+//! the fail-fast wrapper that returns only the first error.
 
 use crate::action::{Block, Expr, GenTarget, LValue, Stmt};
 use crate::error::{CoreError, Pos, Result};
@@ -37,6 +42,32 @@ pub fn check_block(
     params: &[(String, DataType)],
     block: &Block,
 ) -> Result<()> {
+    let mut first: Option<CoreError> = None;
+    check_block_into(domain, self_class, params, block, &mut |_, err| {
+        if first.is_none() {
+            first = Some(err);
+        }
+    });
+    match first {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Type-checks an action block, reporting **every** error through `sink`
+/// as `(statement position, error)` pairs instead of stopping at the
+/// first. Statements after a failing one are still checked (a failed
+/// binding leaves the variable unbound, so some follow-on errors may be
+/// cascades); `if`/`while` bodies are checked even when the condition is
+/// ill-typed, while a `foreach` body is skipped when its header fails
+/// (the loop variable's type is unknowable).
+pub fn check_block_into(
+    domain: &Domain,
+    self_class: ClassId,
+    params: &[(String, DataType)],
+    block: &Block,
+    sink: &mut dyn FnMut(Pos, CoreError),
+) {
     let mut env = Env {
         domain,
         self_class,
@@ -45,7 +76,7 @@ pub fn check_block(
         selected: None,
         in_loop: 0,
     };
-    check_stmts(&mut env, block)
+    check_stmts(&mut env, block, sink);
 }
 
 fn terr(pos: Pos, msg: impl Into<String>) -> CoreError {
@@ -55,11 +86,72 @@ fn terr(pos: Pos, msg: impl Into<String>) -> CoreError {
     }
 }
 
-fn check_stmts(env: &mut Env<'_>, block: &Block) -> Result<()> {
+fn check_stmts(env: &mut Env<'_>, block: &Block, sink: &mut dyn FnMut(Pos, CoreError)) {
     for stmt in &block.stmts {
-        check_stmt(env, stmt)?;
+        check_stmt(env, stmt, sink);
     }
-    Ok(())
+}
+
+/// Checks one statement, recursing into nested blocks with recovery.
+fn check_stmt(env: &mut Env<'_>, stmt: &Stmt, sink: &mut dyn FnMut(Pos, CoreError)) {
+    let pos = stmt.pos();
+    match stmt {
+        Stmt::If {
+            arms, otherwise, ..
+        } => {
+            for (cond, body) in arms {
+                match type_of(env, cond, pos) {
+                    Ok(DataType::Bool) => {}
+                    Ok(cty) => sink(
+                        pos,
+                        terr(pos, format!("`if` condition must be bool, got {cty}")),
+                    ),
+                    Err(e) => sink(pos, e),
+                }
+                check_stmts(env, body, sink);
+            }
+            if let Some(body) = otherwise {
+                check_stmts(env, body, sink);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            match type_of(env, cond, pos) {
+                Ok(DataType::Bool) => {}
+                Ok(cty) => sink(
+                    pos,
+                    terr(pos, format!("`while` condition must be bool, got {cty}")),
+                ),
+                Err(e) => sink(pos, e),
+            }
+            env.in_loop += 1;
+            check_stmts(env, body, sink);
+            env.in_loop -= 1;
+        }
+        Stmt::ForEach { var, set, body, .. } => {
+            let header = (|| {
+                let sty = type_of(env, set, pos)?;
+                let DataType::Set(class) = sty else {
+                    return Err(terr(pos, format!("`foreach` needs a set, got {sty}")));
+                };
+                bind(env, pos, var, DataType::Inst(class))
+            })();
+            match header {
+                // The loop variable's type is unknown: checking the body
+                // would only produce cascading unresolved-variable noise.
+                Err(e) => sink(pos, e),
+                Ok(()) => {
+                    env.in_loop += 1;
+                    check_stmts(env, body, sink);
+                    env.in_loop -= 1;
+                }
+            }
+        }
+        other => {
+            if let Err(e) = check_simple_stmt(env, other) {
+                sink(pos, e);
+            }
+        }
+    }
 }
 
 fn bind(env: &mut Env<'_>, pos: Pos, name: &str, ty: DataType) -> Result<()> {
@@ -79,7 +171,9 @@ fn bind(env: &mut Env<'_>, pos: Pos, name: &str, ty: DataType) -> Result<()> {
     }
 }
 
-fn check_stmt(env: &mut Env<'_>, stmt: &Stmt) -> Result<()> {
+/// Checks a statement with no nested blocks; control flow is handled by
+/// [`check_stmt`].
+fn check_simple_stmt(env: &mut Env<'_>, stmt: &Stmt) -> Result<()> {
     let pos = stmt.pos();
     match stmt {
         Stmt::Assign { lhs, expr, .. } => {
@@ -261,44 +355,8 @@ fn check_stmt(env: &mut Env<'_>, stmt: &Stmt) -> Result<()> {
             }
             Ok(())
         }
-        Stmt::If {
-            arms, otherwise, ..
-        } => {
-            for (cond, body) in arms {
-                let cty = type_of(env, cond, pos)?;
-                if cty != DataType::Bool {
-                    return Err(terr(pos, format!("`if` condition must be bool, got {cty}")));
-                }
-                check_stmts(env, body)?;
-            }
-            if let Some(body) = otherwise {
-                check_stmts(env, body)?;
-            }
-            Ok(())
-        }
-        Stmt::While { cond, body, .. } => {
-            let cty = type_of(env, cond, pos)?;
-            if cty != DataType::Bool {
-                return Err(terr(
-                    pos,
-                    format!("`while` condition must be bool, got {cty}"),
-                ));
-            }
-            env.in_loop += 1;
-            let r = check_stmts(env, body);
-            env.in_loop -= 1;
-            r
-        }
-        Stmt::ForEach { var, set, body, .. } => {
-            let sty = type_of(env, set, pos)?;
-            let DataType::Set(class) = sty else {
-                return Err(terr(pos, format!("`foreach` needs a set, got {sty}")));
-            };
-            bind(env, pos, var, DataType::Inst(class))?;
-            env.in_loop += 1;
-            let r = check_stmts(env, body);
-            env.in_loop -= 1;
-            r
+        Stmt::If { .. } | Stmt::While { .. } | Stmt::ForEach { .. } => {
+            unreachable!("control flow handled by check_stmt")
         }
         Stmt::Break { .. } | Stmt::Continue { .. } => {
             if env.in_loop == 0 {
@@ -731,6 +789,53 @@ mod tests {
             check("cancel Bogus;"),
             Err(CoreError::Unresolved { .. })
         ));
+    }
+
+    #[test]
+    fn accumulates_multiple_independent_errors() {
+        let d = domain();
+        let block = parse_block(
+            "self.n = true;\n\
+             self.bogus = 1;\n\
+             gen Set() to self;\n\
+             self.n = 1;",
+        )
+        .unwrap();
+        let mut errs: Vec<(Pos, CoreError)> = Vec::new();
+        check_block_into(
+            &d,
+            ClassId::new(0),
+            &[("v".into(), DataType::Int)],
+            &block,
+            &mut |pos, e| errs.push((pos, e)),
+        );
+        assert_eq!(errs.len(), 3, "got: {errs:?}");
+        assert!(matches!(errs[0].1, CoreError::Type { .. }));
+        assert!(matches!(errs[1].1, CoreError::Unresolved { .. }));
+        assert!(matches!(errs[2].1, CoreError::Type { .. }));
+        // Each error carries its own statement's position.
+        assert_eq!(errs[0].0.line, 1);
+        assert_eq!(errs[1].0.line, 2);
+        assert_eq!(errs[2].0.line, 3);
+    }
+
+    #[test]
+    fn recovery_inside_and_after_control_flow() {
+        // The `if` condition is ill-typed, yet errors inside the body and
+        // after the whole statement are still found; the foreach header
+        // failure skips only its own body.
+        let d = domain();
+        let block = parse_block(
+            "if (1) { self.n = false; }\n\
+             foreach x in self { x.on = 1; }\n\
+             self.n = \"s\";",
+        )
+        .unwrap();
+        let mut errs: Vec<(Pos, CoreError)> = Vec::new();
+        check_block_into(&d, ClassId::new(0), &[], &block, &mut |pos, e| {
+            errs.push((pos, e));
+        });
+        assert_eq!(errs.len(), 4, "got: {errs:?}");
     }
 
     #[test]

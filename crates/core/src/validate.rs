@@ -12,9 +12,15 @@
 //!    type-checked once for every event that can enter it (the `rcvd`
 //!    parameters differ per event), plus once with no parameters if it is
 //!    an initial state that actions can also enter via creation;
-//! 5. unreachable-state detection (returned as warnings, not errors).
+//! 5. unreachable-state detection (`X0005`, returned as warnings).
+//!
+//! Every check *accumulates*: [`validate_into`] reports all findings into
+//! a [`Diagnostics`] sink with source spans resolved through a
+//! [`SourceMap`], while [`validate`] keeps the historical fail-fast
+//! contract (first error, warnings on success).
 
-use crate::error::{CoreError, Result};
+use crate::diag::{Code, Diagnostic, Diagnostics, SourceMap};
+use crate::error::{CoreError, Pos, Result};
 use crate::ids::{ClassId, StateId};
 use crate::model::{Class, Domain, TransitionTarget};
 use crate::typeck;
@@ -24,122 +30,228 @@ use std::collections::{BTreeMap, BTreeSet};
 /// A non-fatal finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Warning {
+    /// The stable lint code (e.g. [`Code::UnreachableState`]).
+    pub code: Code,
+    /// Source position of the offending element; [`Pos::UNKNOWN`] when
+    /// validated without a source map.
+    pub pos: Pos,
     /// Human-readable description.
     pub msg: String,
+}
+
+/// An error-level finding: the historical [`CoreError`] (what
+/// [`validate`] returns) paired with its diagnostic form (what
+/// [`validate_into`] emits).
+struct Finding {
+    error: CoreError,
+    diag: Diagnostic,
 }
 
 /// Validates a domain; returns warnings on success.
 ///
 /// # Errors
 ///
-/// Returns the first structural or type error found.
+/// Returns the first structural or type error found (in model order —
+/// every error is still *detected*; see [`validate_into`] to get all of
+/// them).
 pub fn validate(domain: &Domain) -> Result<Vec<Warning>> {
+    let (mut findings, warnings) = validate_impl(domain, &SourceMap::new());
+    if findings.is_empty() {
+        Ok(warnings)
+    } else {
+        Err(findings.remove(0).error)
+    }
+}
+
+/// Validates a domain, accumulating **every** finding (errors and
+/// warnings) into `diags`, with positions resolved through `spans`.
+pub fn validate_into(domain: &Domain, spans: &SourceMap, diags: &mut Diagnostics) {
+    let (findings, warnings) = validate_impl(domain, spans);
+    for f in findings {
+        diags.push(f.diag);
+    }
+    for w in warnings {
+        diags.push(Diagnostic::new(w.code, w.pos, w.msg));
+    }
+}
+
+fn validate_impl(domain: &Domain, spans: &SourceMap) -> (Vec<Finding>, Vec<Warning>) {
+    let mut findings = Vec::new();
     let mut warnings = Vec::new();
     for (ci, class) in domain.classes.iter().enumerate() {
         let class_id = ClassId::new(ci as u32);
-        check_attr_defaults(class)?;
+        check_attr_defaults(class, spans, &mut findings);
         if let Some(machine) = &class.state_machine {
-            check_machine_structure(domain, class, machine)?;
-            check_state_actions(domain, class_id, class, machine)?;
-            warn_unreachable(class, machine, &mut warnings);
+            let before = findings.len();
+            check_machine_structure(class, machine, spans, &mut findings);
+            // Action checks index states/events by id; skip them when the
+            // machine's structure is broken rather than panic.
+            if findings.len() == before {
+                check_state_actions(domain, class_id, class, machine, spans, &mut findings);
+                warn_unreachable(class, machine, spans, &mut warnings);
+            }
         }
     }
     for assoc in &domain.associations {
         if assoc.from.index() >= domain.classes.len() || assoc.to.index() >= domain.classes.len() {
-            return Err(CoreError::validate(format!(
-                "association {} references a missing class",
-                assoc.name
-            )));
-        }
-    }
-    Ok(warnings)
-}
-
-fn check_attr_defaults(class: &Class) -> Result<()> {
-    let mut seen = BTreeSet::new();
-    for attr in &class.attributes {
-        if !seen.insert(attr.name.as_str()) {
-            return Err(CoreError::Duplicate {
-                kind: "attribute",
-                name: format!("{}.{}", class.name, attr.name),
+            let msg = format!("association {} references a missing class", assoc.name);
+            findings.push(Finding {
+                error: CoreError::validate(msg.clone()),
+                diag: Diagnostic::new(
+                    Code::UnresolvedReference,
+                    spans.get(&SourceMap::assoc_key(&assoc.name)),
+                    msg,
+                )
+                .with_element(format!("association {}", assoc.name)),
             });
         }
+    }
+    (findings, warnings)
+}
+
+fn check_attr_defaults(class: &Class, spans: &SourceMap, findings: &mut Vec<Finding>) {
+    let mut seen = BTreeSet::new();
+    for attr in &class.attributes {
+        let pos = spans.get(&SourceMap::attr_key(&class.name, &attr.name));
+        if !seen.insert(attr.name.as_str()) {
+            let name = format!("{}.{}", class.name, attr.name);
+            findings.push(Finding {
+                error: CoreError::Duplicate {
+                    kind: "attribute",
+                    name: name.clone(),
+                },
+                diag: Diagnostic::new(
+                    Code::DuplicateDefinition,
+                    pos,
+                    format!("duplicate attribute `{name}`"),
+                )
+                .with_element(format!("class {}", class.name)),
+            });
+            continue;
+        }
         if attr.default.data_type() != attr.ty {
-            return Err(CoreError::validate(format!(
+            let msg = format!(
                 "attribute {}.{} declared {} but default is {}",
                 class.name,
                 attr.name,
                 attr.ty,
                 attr.default.data_type()
-            )));
+            );
+            findings.push(Finding {
+                error: CoreError::validate(msg.clone()),
+                diag: Diagnostic::new(Code::BadDefault, pos, msg)
+                    .with_element(format!("class {}", class.name)),
+            });
         }
     }
     let mut seen_ev = BTreeSet::new();
     for ev in &class.events {
         if !seen_ev.insert(ev.name.as_str()) {
-            return Err(CoreError::Duplicate {
-                kind: "event",
-                name: format!("{}.{}", class.name, ev.name),
+            let name = format!("{}.{}", class.name, ev.name);
+            findings.push(Finding {
+                error: CoreError::Duplicate {
+                    kind: "event",
+                    name: name.clone(),
+                },
+                diag: Diagnostic::new(
+                    Code::DuplicateDefinition,
+                    spans.get(&SourceMap::event_key(&class.name, &ev.name)),
+                    format!("duplicate event `{name}`"),
+                )
+                .with_element(format!("class {}", class.name)),
             });
         }
     }
-    Ok(())
 }
 
 fn check_machine_structure(
-    _domain: &Domain,
     class: &Class,
     machine: &crate::model::StateMachine,
-) -> Result<()> {
+    spans: &SourceMap,
+    findings: &mut Vec<Finding>,
+) {
+    let class_pos = spans.get(&SourceMap::class_key(&class.name));
+    let element = format!("class {}", class.name);
+    fn structural(findings: &mut Vec<Finding>, pos: Pos, element: &str, msg: String) {
+        findings.push(Finding {
+            error: CoreError::validate(msg.clone()),
+            diag: Diagnostic::new(Code::UnresolvedReference, pos, msg).with_element(element),
+        });
+    }
     if machine.states.is_empty() {
-        return Err(CoreError::validate(format!(
-            "class {} has a state machine with no states",
-            class.name
-        )));
+        structural(
+            findings,
+            class_pos,
+            &element,
+            format!("class {} has a state machine with no states", class.name),
+        );
+        return;
     }
     if machine.initial.index() >= machine.states.len() {
-        return Err(CoreError::validate(format!(
-            "class {} initial state out of range",
-            class.name
-        )));
+        structural(
+            findings,
+            class_pos,
+            &element,
+            format!("class {} initial state out of range", class.name),
+        );
+        return;
     }
     let mut seen = BTreeSet::new();
     for s in &machine.states {
         if !seen.insert(s.name.as_str()) {
-            return Err(CoreError::Duplicate {
-                kind: "state",
-                name: format!("{}.{}", class.name, s.name),
+            let name = format!("{}.{}", class.name, s.name);
+            findings.push(Finding {
+                error: CoreError::Duplicate {
+                    kind: "state",
+                    name: name.clone(),
+                },
+                diag: Diagnostic::new(
+                    Code::DuplicateDefinition,
+                    spans.get(&SourceMap::state_key(&class.name, &s.name)),
+                    format!("duplicate state `{name}`"),
+                )
+                .with_element(element.clone()),
             });
         }
     }
     for t in &machine.transitions {
         if t.from.index() >= machine.states.len() {
-            return Err(CoreError::validate(format!(
-                "class {}: transition from unknown state {}",
-                class.name, t.from
-            )));
+            structural(
+                findings,
+                class_pos,
+                &element,
+                format!(
+                    "class {}: transition from unknown state {}",
+                    class.name, t.from
+                ),
+            );
         }
         if t.event.index() >= class.events.len() {
-            return Err(CoreError::validate(format!(
-                "class {}: transition on unknown event {}",
-                class.name, t.event
-            )));
+            structural(
+                findings,
+                class_pos,
+                &element,
+                format!(
+                    "class {}: transition on unknown event {}",
+                    class.name, t.event
+                ),
+            );
         }
         if let TransitionTarget::To(s) = t.target {
             if s.index() >= machine.states.len() {
-                return Err(CoreError::validate(format!(
-                    "class {}: transition to unknown state {}",
-                    class.name, s
-                )));
+                structural(
+                    findings,
+                    class_pos,
+                    &element,
+                    format!("class {}: transition to unknown state {}", class.name, s),
+                );
             }
         }
     }
-    Ok(())
 }
 
 /// Maps each state to the set of events whose transitions enter it.
 fn inbound_events(
-    class: &Class,
     machine: &crate::model::StateMachine,
 ) -> BTreeMap<StateId, BTreeSet<crate::ids::EventId>> {
     let mut map: BTreeMap<StateId, BTreeSet<crate::ids::EventId>> = BTreeMap::new();
@@ -148,7 +260,6 @@ fn inbound_events(
             map.entry(s).or_default().insert(t.event);
         }
     }
-    let _ = class;
     map
 }
 
@@ -157,39 +268,84 @@ fn check_state_actions(
     class_id: ClassId,
     class: &Class,
     machine: &crate::model::StateMachine,
-) -> Result<()> {
-    let inbound = inbound_events(class, machine);
+    spans: &SourceMap,
+    findings: &mut Vec<Finding>,
+) {
+    let inbound = inbound_events(machine);
     for (si, state) in machine.states.iter().enumerate() {
         let sid = StateId::new(si as u32);
+        let element = format!("class {}, state {}", class.name, state.name);
+        // The same block is checked once per inbound event (the `rcvd`
+        // parameters differ); errors not involving `rcvd` would repeat, so
+        // deduplicate by position + message within the state.
+        let mut seen: BTreeSet<(u32, u32, String)> = BTreeSet::new();
+        let state_pos = spans.get(&SourceMap::state_key(&class.name, &state.name));
         let events = inbound.get(&sid);
         match events {
             Some(events) if !events.is_empty() => {
                 for ev in events {
+                    let ev_name = class.events[ev.index()].name.clone();
                     let params: Vec<(String, DataType)> = class.events[ev.index()].params.clone();
-                    typeck::check_block(domain, class_id, &params, &state.action).map_err(|e| {
-                        CoreError::validate(format!(
-                            "class {}, state {}, via event {}: {e}",
-                            class.name,
-                            state.name,
-                            class.events[ev.index()].name
-                        ))
-                    })?;
+                    typeck::check_block_into(
+                        domain,
+                        class_id,
+                        &params,
+                        &state.action,
+                        &mut |pos, e| {
+                            if !seen.insert((pos.line, pos.col, e.to_string())) {
+                                return;
+                            }
+                            let fallback = if pos.line == 0 { state_pos } else { pos };
+                            findings.push(Finding {
+                                error: CoreError::validate(format!(
+                                    "class {}, state {}, via event {}: {e}",
+                                    class.name, state.name, ev_name
+                                )),
+                                diag: Diagnostic::from_core_error(&e, fallback)
+                                    .with_element(element.clone())
+                                    .with_note(format!(
+                                        "while checking the entry action for event `{ev_name}`"
+                                    )),
+                            });
+                        },
+                    );
                 }
             }
             _ => {
                 // Entered only at creation (or never): check without params.
-                typeck::check_block(domain, class_id, &[], &state.action).map_err(|e| {
-                    CoreError::validate(format!("class {}, state {}: {e}", class.name, state.name))
-                })?;
+                typeck::check_block_into(domain, class_id, &[], &state.action, &mut |pos, e| {
+                    if !seen.insert((pos.line, pos.col, e.to_string())) {
+                        return;
+                    }
+                    let fallback = if pos.line == 0 { state_pos } else { pos };
+                    findings.push(Finding {
+                        error: CoreError::validate(format!(
+                            "class {}, state {}: {e}",
+                            class.name, state.name
+                        )),
+                        diag: Diagnostic::from_core_error(&e, fallback)
+                            .with_element(element.clone())
+                            .with_note("while checking the creation-entry action".to_owned()),
+                    });
+                });
             }
         }
     }
-    Ok(())
 }
 
+/// Flags states no transition chain from the initial state reaches.
+///
+/// Instances enter a machine **only** through its initial state — both
+/// `create` statements in actions and `create` stimuli place the new
+/// instance in `machine.initial` without running any transition — so
+/// seeding the reachability walk with the initial state alone is exact:
+/// the initial state itself is never flagged even with no inbound
+/// transition rows, and there is no other creation entry point that
+/// could make this walk under-approximate.
 fn warn_unreachable(
     class: &Class,
     machine: &crate::model::StateMachine,
+    spans: &SourceMap,
     warnings: &mut Vec<Warning>,
 ) {
     let mut reachable = BTreeSet::new();
@@ -211,6 +367,8 @@ fn warn_unreachable(
     for (si, state) in machine.states.iter().enumerate() {
         if !reachable.contains(&StateId::new(si as u32)) {
             warnings.push(Warning {
+                code: Code::UnreachableState,
+                pos: spans.get(&SourceMap::state_key(&class.name, &state.name)),
                 msg: format!("class {}: state {} is unreachable", class.name, state.name),
             });
         }
@@ -252,6 +410,25 @@ mod tests {
         let warnings = validate(&domain).unwrap();
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].msg.contains("Orphan"));
+        assert_eq!(warnings[0].code, Code::UnreachableState);
+        assert_eq!(warnings[0].pos, Pos::UNKNOWN); // no source map here
+    }
+
+    #[test]
+    fn initial_state_with_no_inbound_transitions_is_reachable() {
+        // Regression: instances enter via creation directly into the
+        // initial state, so a `Boot` state with no inbound transition
+        // rows must NOT be flagged unreachable.
+        let mut d = DomainBuilder::new("m");
+        d.class("C")
+            .event("E", &[])
+            .state("Boot", "")
+            .state("Run", "")
+            .initial("Boot")
+            .transition("Boot", "E", "Run")
+            .transition("Run", "E", "Run");
+        let domain = d.build().unwrap();
+        assert!(validate(&domain).unwrap().is_empty());
     }
 
     #[test]
@@ -269,6 +446,50 @@ mod tests {
         });
         domain.reindex().unwrap();
         assert!(validate(&domain).is_err());
+    }
+
+    #[test]
+    fn validate_into_accumulates_every_finding() {
+        // Two independent defects in two classes: a bad default and a
+        // duplicate attribute. Fail-fast `validate` reports one;
+        // `validate_into` reports both.
+        let mut domain = Domain::new("m");
+        domain.classes.push(MClass {
+            name: "A".into(),
+            attributes: vec![Attribute {
+                name: "x".into(),
+                ty: DataType::Int,
+                default: Value::Bool(true),
+            }],
+            events: vec![],
+            state_machine: None,
+        });
+        domain.classes.push(MClass {
+            name: "B".into(),
+            attributes: vec![
+                Attribute {
+                    name: "y".into(),
+                    ty: DataType::Int,
+                    default: Value::Int(0),
+                },
+                Attribute {
+                    name: "y".into(),
+                    ty: DataType::Int,
+                    default: Value::Int(0),
+                },
+            ],
+            events: vec![],
+            state_machine: None,
+        });
+        domain.reindex().unwrap();
+        assert!(validate(&domain).is_err());
+        let mut diags = Diagnostics::new();
+        validate_into(&domain, &SourceMap::new(), &mut diags);
+        assert_eq!(diags.len(), 2);
+        let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::BadDefault));
+        assert!(codes.contains(&Code::DuplicateDefinition));
+        assert!(diags.has_errors());
     }
 
     #[test]

@@ -66,6 +66,6 @@ mod marks_parser;
 mod model_parser;
 mod printer;
 
-pub use marks_parser::{parse_marks, print_marks};
-pub use model_parser::parse_domain;
+pub use marks_parser::{parse_marks, parse_marks_spanned, print_marks, MarkSpan};
+pub use model_parser::{parse_domain, parse_domain_for_lint};
 pub use printer::print_domain;

@@ -11,10 +11,21 @@
 //! mark actor ENV busLatency = 4;
 //! ```
 
-use xtuml_core::error::{CoreError, Result};
+use xtuml_core::error::{CoreError, Pos, Result};
 use xtuml_core::lex::{lex, Tok};
 use xtuml_core::marks::{ElemKind, ElemRef, MarkSet, MarkValue};
 use xtuml_core::parse::Parser;
+
+/// Where one mark was declared, for span-accurate mark lints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkSpan {
+    /// The marked element.
+    pub elem: ElemRef,
+    /// The mark key.
+    pub key: String,
+    /// Position of the `mark` keyword that declared it.
+    pub pos: Pos,
+}
 
 /// Parses a mark file; returns the target domain name and the marks.
 ///
@@ -24,6 +35,17 @@ use xtuml_core::parse::Parser;
 /// (mapping rules define which keys they understand), so unknown keys are
 /// not errors here.
 pub fn parse_marks(src: &str) -> Result<(String, MarkSet)> {
+    let (domain, marks, _spans) = parse_marks_spanned(src)?;
+    Ok((domain, marks))
+}
+
+/// Like [`parse_marks`], but also returns the position of every mark
+/// declaration so mark lints can point at the offending line.
+///
+/// # Errors
+///
+/// Returns lexical or syntax errors.
+pub fn parse_marks_spanned(src: &str) -> Result<(String, MarkSet, Vec<MarkSpan>)> {
     let toks = lex(src)?;
     let mut p = Parser::new(&toks);
     p.expect_kw("marks")?;
@@ -32,7 +54,9 @@ pub fn parse_marks(src: &str) -> Result<(String, MarkSet)> {
     p.expect(&Tok::Semi)?;
 
     let mut marks = MarkSet::new();
+    let mut spans = Vec::new();
     while p.peek() != &Tok::Eof {
+        let mark_pos = p.pos();
         p.expect_kw("mark")?;
         let kind = p.expect_ident()?;
         let elem = match kind.as_str() {
@@ -63,9 +87,14 @@ pub fn parse_marks(src: &str) -> Result<(String, MarkSet)> {
             }
         };
         p.expect(&Tok::Semi)?;
+        spans.push(MarkSpan {
+            elem: elem.clone(),
+            key: key.clone(),
+            pos: mark_pos,
+        });
         marks.set(elem, key, value);
     }
-    Ok((domain, marks))
+    Ok((domain, marks, spans))
 }
 
 /// Renders a mark set as a mark file for `domain`.
@@ -137,6 +166,17 @@ mark assoc R1 weight = -2;
     fn bad_value_rejected() {
         assert!(parse_marks("marks for D; mark class A k = ;").is_err());
         assert!(parse_marks("marks for D; mark class A k = -true;").is_err());
+    }
+
+    #[test]
+    fn spanned_parse_reports_mark_positions() {
+        let src = "marks for D;\nmark class A isHardware = true;\nmark domain cpuKhz = 5;\n";
+        let (_, _, spans) = parse_marks_spanned(src).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].elem, ElemRef::class("A"));
+        assert_eq!(spans[0].key, "isHardware");
+        assert_eq!(spans[0].pos.line, 2);
+        assert_eq!(spans[1].pos.line, 3);
     }
 
     #[test]

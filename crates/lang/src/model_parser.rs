@@ -7,6 +7,7 @@
 
 use std::collections::BTreeSet;
 use xtuml_core::builder::{ActorBuilder, ClassBuilder, DomainBuilder};
+use xtuml_core::diag::SourceMap;
 use xtuml_core::error::{CoreError, Result};
 use xtuml_core::lex::{lex, Spanned, Tok};
 use xtuml_core::model::{Domain, Multiplicity};
@@ -20,9 +21,31 @@ use xtuml_core::value::{DataType, Value};
 /// Returns lexical, syntax, resolution, structural-validation or type
 /// errors — a domain returned by this function is ready to execute.
 pub fn parse_domain(src: &str) -> Result<Domain> {
+    let (builder, _spans) = parse_to_builder(src)?;
+    builder.build()
+}
+
+/// Parses a model file for *linting*: name resolution and indexing run,
+/// but whole-model validation does **not** — structural and type findings
+/// are left for the caller to accumulate (via
+/// `xtuml_core::validate::validate_into`). Also returns the
+/// [`SourceMap`] of declaration positions so diagnostics can point at
+/// real source locations.
+///
+/// # Errors
+///
+/// Returns lexical, syntax and name-resolution errors — defects that
+/// leave no coherent model to lint.
+pub fn parse_domain_for_lint(src: &str) -> Result<(Domain, SourceMap)> {
+    let (builder, spans) = parse_to_builder(src)?;
+    Ok((builder.build_unvalidated()?, spans))
+}
+
+fn parse_to_builder(src: &str) -> Result<(DomainBuilder, SourceMap)> {
     let toks = lex(src)?;
     let actors = scan_actor_names(&toks);
     let mut p = Parser::with_actors(&toks, actors);
+    let mut spans = SourceMap::new();
 
     p.expect_kw("domain")?;
     let name = p.expect_ident()?;
@@ -31,13 +54,17 @@ pub fn parse_domain(src: &str) -> Result<Domain> {
     let mut builder = DomainBuilder::new(&name);
     loop {
         if p.eat_kw("class") {
+            let pos = p.pos();
             let name = p.expect_ident()?;
-            parse_class(&mut p, builder.class(&name))?;
+            spans.record(SourceMap::class_key(&name), pos);
+            parse_class(&mut p, builder.class(&name), &name, &mut spans)?;
         } else if p.eat_kw("actor") {
+            let pos = p.pos();
             let name = p.expect_ident()?;
+            spans.record(SourceMap::actor_key(&name), pos);
             parse_actor(&mut p, builder.actor(&name))?;
         } else if p.eat_kw("assoc") {
-            parse_assoc(&mut p, &mut builder)?;
+            parse_assoc(&mut p, &mut builder, &mut spans)?;
         } else if p.peek() == &Tok::Eof {
             break;
         } else {
@@ -47,7 +74,7 @@ pub fn parse_domain(src: &str) -> Result<Domain> {
             });
         }
     }
-    builder.build()
+    Ok((builder, spans))
 }
 
 /// First pass: find every `actor <Name>` pair in the token stream.
@@ -112,11 +139,18 @@ fn parse_params(p: &mut Parser<'_>) -> Result<Vec<(String, DataType)>> {
     Ok(params)
 }
 
-fn parse_class(p: &mut Parser<'_>, cb: &mut ClassBuilder) -> Result<()> {
+fn parse_class(
+    p: &mut Parser<'_>,
+    cb: &mut ClassBuilder,
+    class_name: &str,
+    spans: &mut SourceMap,
+) -> Result<()> {
     p.expect(&Tok::LBrace)?;
     loop {
         if p.eat_kw("attr") {
+            let pos = p.pos();
             let name = p.expect_ident()?;
+            spans.record(SourceMap::attr_key(class_name, &name), pos);
             p.expect(&Tok::Colon)?;
             let ty = parse_type(p)?;
             if p.eat(&Tok::Assign) {
@@ -133,7 +167,9 @@ fn parse_class(p: &mut Parser<'_>, cb: &mut ClassBuilder) -> Result<()> {
             }
             p.expect(&Tok::Semi)?;
         } else if p.eat_kw("event") {
+            let pos = p.pos();
             let name = p.expect_ident()?;
+            spans.record(SourceMap::event_key(class_name, &name), pos);
             let params = parse_params(p)?;
             let refs: Vec<(&str, DataType)> =
                 params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
@@ -144,13 +180,17 @@ fn parse_class(p: &mut Parser<'_>, cb: &mut ClassBuilder) -> Result<()> {
             cb.initial(&name);
             p.expect(&Tok::Semi)?;
         } else if p.eat_kw("state") {
+            let pos = p.pos();
             let name = p.expect_ident()?;
+            spans.record(SourceMap::state_key(class_name, &name), pos);
             let block = p.parse_braced_block()?;
             cb.state_block(&name, block);
         } else if p.eat_kw("on") {
+            let pos = p.pos();
             let from = p.expect_ident()?;
             p.expect(&Tok::Colon)?;
             let event = p.expect_ident()?;
+            spans.record(SourceMap::transition_key(class_name, &from, &event), pos);
             if p.eat(&Tok::Arrow) {
                 let to = p.expect_ident()?;
                 cb.transition(&from, &event, &to);
@@ -223,9 +263,15 @@ fn parse_mult(p: &mut Parser<'_>) -> Result<Multiplicity> {
     }
 }
 
-fn parse_assoc(p: &mut Parser<'_>, builder: &mut DomainBuilder) -> Result<()> {
+fn parse_assoc(
+    p: &mut Parser<'_>,
+    builder: &mut DomainBuilder,
+    spans: &mut SourceMap,
+) -> Result<()> {
     // assoc R1: From one -- To many;
+    let pos = p.pos();
     let name = p.expect_ident()?;
+    spans.record(SourceMap::assoc_key(&name), pos);
     p.expect(&Tok::Colon)?;
     let from = p.expect_ident()?;
     let from_mult = parse_mult(p)?;
@@ -358,6 +404,40 @@ actor OUT { signal ping(); }
         let src =
             "domain D; class C { attr n: int; event E(); initial S; state S { self.n = true; } on S: E -> S; }";
         assert!(parse_domain(src).is_err());
+    }
+
+    #[test]
+    fn lint_parse_records_declaration_spans() {
+        let (d, spans) = parse_domain_for_lint(BLINKER).unwrap();
+        assert_eq!(d.name, "Blinker");
+        // Line numbers follow declaration order in the BLINKER source.
+        let led = spans.get(&SourceMap::class_key("Led"));
+        assert!(led.line > 0, "class span missing");
+        let on_attr = spans.get(&SourceMap::attr_key("Led", "on"));
+        let toggle = spans.get(&SourceMap::event_key("Led", "Toggle"));
+        let off = spans.get(&SourceMap::state_key("Led", "Off"));
+        let row = spans.get(&SourceMap::transition_key("Led", "Off", "Toggle"));
+        let r1 = spans.get(&SourceMap::assoc_key("R1"));
+        let env = spans.get(&SourceMap::actor_key("ENV"));
+        for p in [on_attr, toggle, off, row, r1, env] {
+            assert!(p.line > 0, "span missing: {spans:?}");
+        }
+        assert!(led.line < on_attr.line);
+        assert!(on_attr.line < toggle.line);
+        assert!(toggle.line < off.line);
+        assert!(off.line < row.line);
+        assert!(env.line < led.line);
+    }
+
+    #[test]
+    fn lint_parse_skips_validation() {
+        // A type error in an action must NOT fail parse_domain_for_lint —
+        // it is the lint driver's job to report it with full accumulation.
+        let src =
+            "domain D; class C { attr n: int; event E(); initial S; state S { self.n = true; } on S: E -> S; }";
+        assert!(parse_domain(src).is_err());
+        let (d, _spans) = parse_domain_for_lint(src).unwrap();
+        assert_eq!(d.classes.len(), 1);
     }
 
     #[test]

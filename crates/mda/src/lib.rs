@@ -47,6 +47,7 @@ pub(crate) mod host;
 pub mod hw;
 pub mod icd;
 pub mod interface;
+pub mod lint;
 pub mod partition;
 pub mod swpart;
 pub mod system;

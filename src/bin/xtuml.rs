@@ -6,6 +6,8 @@ use xtuml::cli;
 fn usage() -> String {
     "usage:\n\
      \x20 xtuml check     <model.xtuml>\n\
+     \x20 xtuml lint      <model.xtuml> [marks.marks] [--format json]\n\
+     \x20                 [--deny <code|name|all>]... [--allow <code|name>]...\n\
      \x20 xtuml print     <model.xtuml>\n\
      \x20 xtuml interface <model.xtuml> <marks.marks>\n\
      \x20 xtuml compile   <model.xtuml> <marks.marks> [out_dir]\n\
@@ -22,8 +24,50 @@ fn real_main() -> Result<(), String> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("check") => {
-            let model = read(it.next().ok_or_else(usage)?)?;
-            print!("{}", cli::cmd_check(&model).map_err(|e| e.to_string())?);
+            let path = it.next().ok_or_else(usage)?;
+            let model = read(path)?;
+            print!(
+                "{}",
+                cli::cmd_check(path, &model).map_err(|e| e.to_string())?
+            );
+        }
+        Some("lint") => {
+            let mut paths: Vec<&str> = Vec::new();
+            let mut opts = cli::LintOptions::default();
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--format" => match rest.next() {
+                        Some("json") => opts.format = cli::LintFormat::Json,
+                        Some("human") => opts.format = cli::LintFormat::Human,
+                        _ => return Err("--format takes `human` or `json`".to_owned()),
+                    },
+                    "--deny" => opts
+                        .deny
+                        .push(rest.next().ok_or("--deny takes a lint code")?.to_owned()),
+                    "--allow" => opts
+                        .allow
+                        .push(rest.next().ok_or("--allow takes a lint code")?.to_owned()),
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag `{flag}`\n{}", usage()))
+                    }
+                    path => paths.push(path),
+                }
+            }
+            let (model_path, marks_path) = match paths.as_slice() {
+                [m] => (*m, None),
+                [m, k] => (*m, Some(*k)),
+                _ => return Err(usage()),
+            };
+            let model = read(model_path)?;
+            let marks_src = marks_path.map(read).transpose()?;
+            let marks = marks_path.zip(marks_src.as_deref());
+            let (report, deny_hit) =
+                cli::cmd_lint(model_path, &model, marks, &opts).map_err(|e| e.to_string())?;
+            print!("{report}");
+            if deny_hit {
+                return Err(String::new());
+            }
         }
         Some("print") => {
             let model = read(it.next().ok_or_else(usage)?)?;
@@ -64,7 +108,11 @@ fn main() -> ExitCode {
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("{msg}");
+            // An empty message means the report already went to stdout
+            // (lint with deny-level findings); only the exit code changes.
+            if !msg.is_empty() {
+                eprintln!("{msg}");
+            }
             ExitCode::FAILURE
         }
     }

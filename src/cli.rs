@@ -2,7 +2,11 @@
 //!
 //! Subcommands:
 //!
-//! * `check <model.xtuml>` — parse, validate and summarise a model;
+//! * `check <model.xtuml>` — parse, validate and summarise a model,
+//!   reporting *every* error with line/column, not just the first;
+//! * `lint <model.xtuml> [marks.marks]` — run the full static-analysis
+//!   suite (validation, dead-model, signal-race, signal-cycle and mark
+//!   lints) and render the findings in rustc style or as JSON;
 //! * `print <model.xtuml>` — re-emit the model in canonical form;
 //! * `interface <model.xtuml> <marks.marks>` — show the generated
 //!   channel table and register map;
@@ -21,11 +25,17 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use xtuml_core::diag::{Code, Diagnostic, Diagnostics, LintLevels};
+use xtuml_core::error::Pos;
 use xtuml_core::marks::MarkSet;
 use xtuml_core::model::Domain;
 use xtuml_core::value::Value;
+use xtuml_core::{lint, validate};
 use xtuml_exec::Simulation;
-use xtuml_lang::{parse_domain, parse_marks, print_domain};
+use xtuml_lang::{
+    parse_domain, parse_domain_for_lint, parse_marks, parse_marks_spanned, print_domain,
+};
+use xtuml_mda::lint::MarkSite;
 use xtuml_mda::ModelCompiler;
 
 /// A CLI failure, rendered to stderr by the binary.
@@ -54,11 +64,28 @@ impl From<xtuml_mda::MdaError> for CliError {
 
 /// `check`: parse + validate, return a summary.
 ///
+/// Unlike a fail-fast parse, `check` accumulates *every* validation
+/// finding — a single bad action block with three independent type errors
+/// produces three rendered diagnostics, each with its line and column.
+///
 /// # Errors
 ///
-/// Returns parse/validation diagnostics.
-pub fn cmd_check(model_src: &str) -> Result<String, CliError> {
-    let domain = parse_domain(model_src)?;
+/// Returns the rendered diagnostics (rustc style, with source snippets)
+/// when the model has any error-level finding.
+pub fn cmd_check(model_file: &str, model_src: &str) -> Result<String, CliError> {
+    let mut diags = Diagnostics::new();
+    let (domain, spans) = match parse_domain_for_lint(model_src) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            diags.push(Diagnostic::from_core_error(&e, Pos::UNKNOWN));
+            return Err(CliError(diags.render_human(&[(model_file, model_src)])));
+        }
+    };
+    validate::validate_into(&domain, &spans, &mut diags);
+    if diags.has_errors() {
+        diags.sort();
+        return Err(CliError(diags.render_human(&[(model_file, model_src)])));
+    }
     let machines = domain
         .classes
         .iter()
@@ -93,7 +120,130 @@ pub fn cmd_check(model_src: &str) -> Result<String, CliError> {
         transitions,
         domain.action_weight()
     );
+    if !diags.is_empty() {
+        diags.sort();
+        out.push_str(&diags.render_human(&[(model_file, model_src)]));
+    }
     Ok(out)
+}
+
+/// Output format for [`cmd_lint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintFormat {
+    /// Rustc-style rendering with source snippets.
+    #[default]
+    Human,
+    /// One machine-readable JSON document.
+    Json,
+}
+
+/// Options for [`cmd_lint`], mirroring the `lint` subcommand's flags.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Output format (`--format json`).
+    pub format: LintFormat,
+    /// Codes or lint names promoted to errors (`--deny X0010`,
+    /// `--deny signal-race`, `--deny all`).
+    pub deny: Vec<String>,
+    /// Codes or lint names suppressed entirely (`--allow X0009`).
+    pub allow: Vec<String>,
+}
+
+fn resolve_code(s: &str) -> Result<Code, CliError> {
+    Code::parse(s).ok_or_else(|| {
+        CliError(format!(
+            "unknown lint `{s}` (expected a code like X0010 or a name like signal-race)"
+        ))
+    })
+}
+
+/// `lint`: run the full static-analysis suite over a model (and its marks,
+/// when given) and render the findings.
+///
+/// Returns the rendered report plus a flag that is `true` when any
+/// error-level diagnostic remains after `--deny`/`--allow` promotion —
+/// the binary turns that flag into a failing exit code.
+///
+/// Parse failures are not a separate error path: they are rendered as a
+/// single diagnostic in the requested format, so `--format json` consumers
+/// never see free-form text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] only for unusable *options* (an unknown lint code
+/// in `--deny`/`--allow`).
+pub fn cmd_lint(
+    model_file: &str,
+    model_src: &str,
+    marks: Option<(&str, &str)>,
+    opts: &LintOptions,
+) -> Result<(String, bool), CliError> {
+    let mut levels = LintLevels::new();
+    for name in &opts.deny {
+        if name == "all" {
+            levels.deny_all();
+        } else {
+            levels.deny(resolve_code(name)?);
+        }
+    }
+    for name in &opts.allow {
+        levels.allow(resolve_code(name)?);
+    }
+
+    let mut diags = Diagnostics::new();
+    let mut sources: Vec<(&str, &str)> = vec![(model_file, model_src)];
+    match parse_domain_for_lint(model_src) {
+        Err(e) => diags.push(Diagnostic::from_core_error(&e, Pos::UNKNOWN)),
+        Ok((domain, spans)) => {
+            validate::validate_into(&domain, &spans, &mut diags);
+            lint::lint_domain(&domain, &spans, &mut diags);
+            if let Some((marks_file, marks_src)) = marks {
+                sources.push((marks_file, marks_src));
+                match parse_marks_spanned(marks_src) {
+                    Err(e) => {
+                        diags.push(
+                            Diagnostic::from_core_error(&e, Pos::UNKNOWN).in_file(marks_file),
+                        );
+                    }
+                    Ok((marks_for, _, _)) if marks_for != domain.name => {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::UnresolvedReference,
+                                Pos::UNKNOWN,
+                                format!(
+                                    "mark file targets domain `{marks_for}`, model is `{}`",
+                                    domain.name
+                                ),
+                            )
+                            .in_file(marks_file),
+                        );
+                    }
+                    Ok((_, mark_set, mark_spans)) => {
+                        let sites: Vec<MarkSite> = mark_spans
+                            .into_iter()
+                            .map(|s| MarkSite {
+                                elem: s.elem,
+                                key: s.key,
+                                pos: s.pos,
+                            })
+                            .collect();
+                        xtuml_mda::lint::lint_marks(
+                            &domain, &mark_set, &sites, marks_file, &spans, &mut diags,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    levels.apply(&mut diags);
+    diags.sort();
+    let deny_hit = diags.has_errors();
+    let rendered = match opts.format {
+        LintFormat::Human => diags.render_human(&sources),
+        LintFormat::Json => diags.render_json(model_file),
+    };
+    Ok((rendered, deny_hit))
 }
 
 /// `print`: canonical form.
@@ -269,7 +419,7 @@ mod tests {
 
     #[test]
     fn check_summarises() {
-        let out = cmd_check(MODEL).unwrap();
+        let out = cmd_check("m.xtuml", MODEL).unwrap();
         assert!(out.contains("domain D: OK"));
         assert!(out.contains("1 class(es)"));
         assert!(out.contains("2 state(s)"));
@@ -277,7 +427,40 @@ mod tests {
 
     #[test]
     fn check_reports_errors() {
-        assert!(cmd_check("domain D; class C { initial X; }").is_err());
+        assert!(cmd_check("m.xtuml", "domain D; class C { initial X; }").is_err());
+    }
+
+    #[test]
+    fn check_accumulates_every_error_with_positions() {
+        // One action block, three independent errors; the old fail-fast
+        // check stopped at the first.
+        let src = "domain D;\n\
+            class C { attr n: int; event E();\n\
+            initial S;\n\
+            state S {\n\
+            self.n = true;\n\
+            self.bogus = 1;\n\
+            self.n = \"s\";\n\
+            }\n\
+            on S: E -> S; }\n";
+        let err = cmd_check("m.xtuml", src).unwrap_err().to_string();
+        assert_eq!(err.matches("error[").count(), 3, "{err}");
+        assert!(err.contains("m.xtuml:5:"), "{err}");
+        assert!(err.contains("m.xtuml:6:"), "{err}");
+        assert!(err.contains("m.xtuml:7:"), "{err}");
+        assert!(err.contains("3 error(s)"), "{err}");
+    }
+
+    #[test]
+    fn check_renders_warnings_after_summary() {
+        let src = "domain D;\n\
+            class C { event E(); initial S;\n\
+            state S { } state Orphan { }\n\
+            on S: E -> S; }\n";
+        let out = cmd_check("m.xtuml", src).unwrap();
+        assert!(out.contains("domain D: OK"));
+        assert!(out.contains("warning[X0005]"), "{out}");
+        assert!(out.contains("Orphan"), "{out}");
     }
 
     #[test]
@@ -333,6 +516,105 @@ at 1 c E 42
         assert!(err.to_string().contains("line 2"));
         let err = cmd_run(MODEL, "explode\n").unwrap_err();
         assert!(err.to_string().contains("unknown verb"));
+    }
+
+    // A model that triggers X0006 (dead event) but nothing error-level.
+    const DEAD_EVENT_MODEL: &str = "domain D;\n\
+        class C { attr n: int; event E(); event Unused();\n\
+        initial S; state S { self.n = self.n + 1; }\n\
+        on S: E -> S; }\n";
+
+    #[test]
+    fn lint_reports_warnings_without_failing() {
+        let (out, deny_hit) =
+            cmd_lint("m.xtuml", DEAD_EVENT_MODEL, None, &LintOptions::default()).unwrap();
+        assert!(!deny_hit);
+        assert!(out.contains("warning[X0006]"), "{out}");
+        assert!(out.contains("m.xtuml:2:"), "{out}");
+    }
+
+    #[test]
+    fn lint_clean_model_reports_no_diagnostics() {
+        let (out, deny_hit) = cmd_lint("m.xtuml", MODEL, None, &LintOptions::default()).unwrap();
+        assert!(!deny_hit, "{out}");
+        assert!(out.contains("no diagnostics"), "{out}");
+    }
+
+    #[test]
+    fn lint_deny_promotes_and_allow_suppresses() {
+        let deny = LintOptions {
+            deny: vec!["dead-event".into()],
+            ..LintOptions::default()
+        };
+        let (out, deny_hit) = cmd_lint("m.xtuml", DEAD_EVENT_MODEL, None, &deny).unwrap();
+        assert!(deny_hit, "{out}");
+        assert!(out.contains("error[X0006]"), "{out}");
+
+        let allow = LintOptions {
+            allow: vec!["X0006".into()],
+            ..LintOptions::default()
+        };
+        let (out, deny_hit) = cmd_lint("m.xtuml", DEAD_EVENT_MODEL, None, &allow).unwrap();
+        assert!(!deny_hit);
+        assert!(out.contains("no diagnostics"), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_unknown_code() {
+        let opts = LintOptions {
+            deny: vec!["X9999".into()],
+            ..LintOptions::default()
+        };
+        let err = cmd_lint("m.xtuml", MODEL, None, &opts).unwrap_err();
+        assert!(err.to_string().contains("unknown lint"));
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let opts = LintOptions {
+            format: LintFormat::Json,
+            ..LintOptions::default()
+        };
+        let (out, _) = cmd_lint("m.xtuml", DEAD_EVENT_MODEL, None, &opts).unwrap();
+        assert!(out.contains("\"code\": \"X0006\""), "{out}");
+        assert!(out.contains("\"name\": \"dead-event\""), "{out}");
+        assert!(out.contains("\"file\": \"m.xtuml\""), "{out}");
+    }
+
+    #[test]
+    fn lint_parse_failure_is_a_rendered_diagnostic() {
+        let (out, deny_hit) =
+            cmd_lint("m.xtuml", "domain ???", None, &LintOptions::default()).unwrap();
+        assert!(deny_hit);
+        assert!(out.contains("error["), "{out}");
+    }
+
+    #[test]
+    fn lint_covers_marks() {
+        let marks = "marks for D;\nmark class Ghost isHardware = true;\n";
+        let (out, deny_hit) = cmd_lint(
+            "m.xtuml",
+            MODEL,
+            Some(("m.marks", marks)),
+            &LintOptions::default(),
+        )
+        .unwrap();
+        assert!(!deny_hit);
+        assert!(out.contains("warning[X0012]"), "{out}");
+        assert!(out.contains("m.marks:2:"), "{out}");
+    }
+
+    #[test]
+    fn lint_flags_mismatched_mark_domain() {
+        let (out, deny_hit) = cmd_lint(
+            "m.xtuml",
+            MODEL,
+            Some(("m.marks", "marks for Other;\n")),
+            &LintOptions::default(),
+        )
+        .unwrap();
+        assert!(deny_hit);
+        assert!(out.contains("targets domain `Other`"), "{out}");
     }
 
     #[test]

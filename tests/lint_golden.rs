@@ -1,0 +1,147 @@
+//! Golden-output tests for `xtuml lint`.
+//!
+//! Each deliberately-buggy fixture under `models/lints/` triggers exactly
+//! one lint family; the committed files under `tests/golden/` pin the
+//! rendered output byte-for-byte so any drift in codes, spans, messages or
+//! ordering fails loudly. Regenerate a golden by running
+//! `xtuml lint <fixture> [marks]` and committing the new output — after
+//! reading the diff.
+
+use xtuml::cli::{cmd_lint, LintFormat, LintOptions};
+
+fn lint(
+    model_path: &str,
+    model: &str,
+    marks: Option<(&str, &str)>,
+    opts: &LintOptions,
+) -> (String, bool) {
+    cmd_lint(model_path, model, marks, opts).expect("lint options are valid")
+}
+
+fn human(model_path: &str, model: &str, marks: Option<(&str, &str)>) -> (String, bool) {
+    lint(model_path, model, marks, &LintOptions::default())
+}
+
+#[test]
+fn race_fixture_matches_golden() {
+    let (out, deny_hit) = human(
+        "models/lints/race.xtuml",
+        include_str!("../models/lints/race.xtuml"),
+        None,
+    );
+    assert_eq!(out, include_str!("golden/race.txt"));
+    assert!(!deny_hit, "races are warnings by default");
+}
+
+#[test]
+fn dead_fixture_matches_golden() {
+    let (out, deny_hit) = human(
+        "models/lints/dead.xtuml",
+        include_str!("../models/lints/dead.xtuml"),
+        None,
+    );
+    assert_eq!(out, include_str!("golden/dead.txt"));
+    assert!(!deny_hit);
+}
+
+#[test]
+fn cycle_fixture_matches_golden() {
+    let (out, deny_hit) = human(
+        "models/lints/cycle.xtuml",
+        include_str!("../models/lints/cycle.xtuml"),
+        None,
+    );
+    assert_eq!(out, include_str!("golden/cycle.txt"));
+    assert!(!deny_hit);
+}
+
+#[test]
+fn marked_fixture_matches_golden_and_fails() {
+    let (out, deny_hit) = human(
+        "models/lints/marked.xtuml",
+        include_str!("../models/lints/marked.xtuml"),
+        Some((
+            "models/lints/marked.marks",
+            include_str!("../models/lints/marked.marks"),
+        )),
+    );
+    assert_eq!(out, include_str!("golden/marked.txt"));
+    assert!(deny_hit, "X0014 is an error: the lint run must fail");
+}
+
+#[test]
+fn doorbell_is_clean() {
+    let (out, deny_hit) = human(
+        "models/doorbell.xtuml",
+        include_str!("../models/doorbell.xtuml"),
+        Some((
+            "models/doorbell.marks",
+            include_str!("../models/doorbell.marks"),
+        )),
+    );
+    assert_eq!(out, include_str!("golden/doorbell.txt"));
+    assert!(!deny_hit);
+}
+
+#[test]
+fn doorbell_json_matches_golden() {
+    let opts = LintOptions {
+        format: LintFormat::Json,
+        ..LintOptions::default()
+    };
+    let (out, deny_hit) = lint(
+        "models/doorbell.xtuml",
+        include_str!("../models/doorbell.xtuml"),
+        Some((
+            "models/doorbell.marks",
+            include_str!("../models/doorbell.marks"),
+        )),
+        &opts,
+    );
+    assert_eq!(out, include_str!("golden/doorbell.json"));
+    assert!(!deny_hit);
+}
+
+#[test]
+fn dead_json_matches_golden() {
+    let opts = LintOptions {
+        format: LintFormat::Json,
+        ..LintOptions::default()
+    };
+    let (out, _) = lint(
+        "models/lints/dead.xtuml",
+        include_str!("../models/lints/dead.xtuml"),
+        None,
+        &opts,
+    );
+    assert_eq!(out, include_str!("golden/dead.json"));
+}
+
+#[test]
+fn deny_all_promotes_fixture_warnings_to_failures() {
+    let opts = LintOptions {
+        deny: vec!["all".into()],
+        ..LintOptions::default()
+    };
+    let (out, deny_hit) = lint(
+        "models/lints/race.xtuml",
+        include_str!("../models/lints/race.xtuml"),
+        None,
+        &opts,
+    );
+    assert!(deny_hit);
+    assert!(out.contains("error[X0010]"), "{out}");
+}
+
+#[test]
+fn elevator_warnings_do_not_fail_the_run() {
+    // The shipped elevator model has real (intentional) warnings; they
+    // must stay below the failure threshold so CI's lint gate passes.
+    let (out, deny_hit) = human(
+        "models/elevator.xtuml",
+        include_str!("../models/elevator.xtuml"),
+        None,
+    );
+    assert!(!deny_hit, "{out}");
+    assert!(out.contains("0 error(s)"), "{out}");
+}
