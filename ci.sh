@@ -20,3 +20,15 @@ for model in models/*.xtuml; do
         cargo run --quiet --release -- lint "$model"
     fi
 done
+
+# Fuzz-smoke gate: a fixed seed range of the conformance fuzzer must run
+# clean — reference interpreter, model interpreter and partitioned cosim
+# agree on every generated model — and the report must be byte-identical
+# across two runs (the whole pipeline is seed-deterministic). A non-zero
+# divergence count already fails via the exit code; the cmp catches any
+# nondeterminism that happens to produce the same verdict.
+mkdir -p target
+cargo run --quiet --release -- fuzz --seeds 200 > target/fuzz-smoke-1.txt
+cargo run --quiet --release -- fuzz --seeds 200 > target/fuzz-smoke-2.txt
+cmp target/fuzz-smoke-1.txt target/fuzz-smoke-2.txt
+grep -q 'divergences      : 0' target/fuzz-smoke-1.txt

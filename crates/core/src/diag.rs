@@ -316,6 +316,24 @@ impl Diagnostics {
         self.list.iter().filter(|d| d.severity == severity).count()
     }
 
+    /// Pins every diagnostic with an implicit file (`file: None`) to
+    /// `primary`, the model file's name.
+    ///
+    /// Without this, [`Diagnostics::sort`] orders by the *internal*
+    /// attribution — `None` sorts before every `Some(...)` — so findings
+    /// that render under the same file name can interleave differently
+    /// depending on which pass produced them. Call this before `sort`
+    /// whenever diagnostics from several files are mixed (e.g. model +
+    /// marks) and the output order must be a pure function of the
+    /// rendered (file, position, code) key.
+    pub fn resolve_files(&mut self, primary: &str) {
+        for d in &mut self.list {
+            if d.file.is_none() {
+                d.file = Some(primary.to_owned());
+            }
+        }
+    }
+
     /// Stable-sorts by file, position, then code, for deterministic output.
     pub fn sort(&mut self) {
         self.list.sort_by(|a, b| {

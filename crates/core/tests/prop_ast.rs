@@ -1,242 +1,280 @@
 //! Property tests for the action-language front end:
 //! * pretty-print → reparse is the identity on ASTs;
 //! * the lexer never panics on arbitrary input;
-//! * expression evaluation agrees with the type checker's verdicts for a
-//!   family of generated well-typed expressions.
+//! * the parser never panics on arbitrary input.
+//!
+//! Runs offline on the in-repo `xtuml-prop` harness; reproduce a failure
+//! with the `XTUML_PROP_SEED` value printed on panic.
 
-use proptest::prelude::*;
 use xtuml_core::action::{Block, Expr, GenTarget, LValue, Stmt};
 use xtuml_core::error::Pos;
 use xtuml_core::lex::lex;
 use xtuml_core::parse::{parse_block, parse_expr};
 use xtuml_core::value::{BinOp, UnOp, Value};
+use xtuml_prop::Gen;
 
 /// Variable names guaranteed not to collide with reserved words.
-fn var_name() -> impl Strategy<Value = String> {
-    (0u8..12).prop_map(|i| format!("v{i}"))
+fn var_name(g: &mut Gen) -> String {
+    format!("v{}", g.below(12))
 }
 
-fn class_name() -> impl Strategy<Value = String> {
-    (0u8..4).prop_map(|i| format!("Klass{i}"))
+fn class_name(g: &mut Gen) -> String {
+    format!("Klass{}", g.below(4))
 }
 
-fn event_name() -> impl Strategy<Value = String> {
-    (0u8..4).prop_map(|i| format!("Ev{i}"))
+fn event_name(g: &mut Gen) -> String {
+    format!("Ev{}", g.below(4))
 }
 
-fn assoc_name() -> impl Strategy<Value = String> {
-    (1u8..5).prop_map(|i| format!("R{i}"))
+fn assoc_name(g: &mut Gen) -> String {
+    format!("R{}", 1 + g.below(4))
 }
 
 /// Literals restricted to forms whose `Display` the parser accepts
 /// (non-negative numbers; escape-free strings).
-fn literal() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<bool>().prop_map(Value::Bool),
-        (0i64..1_000_000).prop_map(Value::Int),
-        (0i32..8000).prop_map(|i| Value::Real(f64::from(i) / 8.0)),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Str),
-    ]
+fn literal(g: &mut Gen) -> Value {
+    match g.below(4) {
+        0 => Value::Bool(g.flip()),
+        1 => Value::Int(g.int_in(0, 999_999)),
+        2 => Value::Real(g.int_in(0, 7999) as f64 / 8.0),
+        _ => {
+            let len = g.index(13);
+            let palette: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+            let mut s: String = (0..len).map(|_| *g.choose(&palette)).collect();
+            if g.flip() && !s.is_empty() {
+                s.insert(g.index(s.len()), ' ');
+            }
+            Value::Str(s)
+        }
+    }
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        literal().prop_map(Expr::Lit),
-        var_name().prop_map(Expr::Var),
-        Just(Expr::SelfRef),
-        var_name().prop_map(Expr::Param),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), var_name()).prop_map(|(b, n)| Expr::Attr(Box::new(b), n)),
-            (inner.clone(), class_name(), assoc_name()).prop_map(|(b, c, r)| Expr::Nav(
-                Box::new(b),
-                c,
-                r
-            )),
-            (
-                prop_oneof![
-                    Just(UnOp::Neg),
-                    Just(UnOp::Not),
-                    Just(UnOp::Cardinality),
-                    Just(UnOp::Empty),
-                    Just(UnOp::NotEmpty),
-                    Just(UnOp::Any),
-                    Just(UnOp::ToInt),
-                    Just(UnOp::ToReal),
-                    Just(UnOp::ToStr),
-                ],
-                inner.clone()
-            )
-                .prop_map(|(op, e)| Expr::Unary(op, Box::new(e))),
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::Rem),
-                    Just(BinOp::Eq),
-                    Just(BinOp::Ne),
-                    Just(BinOp::Lt),
-                    Just(BinOp::Le),
-                    Just(BinOp::Gt),
-                    Just(BinOp::Ge),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Expr::bin(op, a, b)),
-            (
-                class_name(),
-                var_name(),
-                proptest::collection::vec(inner, 0..3)
-            )
-                .prop_map(|(a, f, args)| Expr::BridgeCall(a, f, args)),
-        ]
-    })
+const UNOPS: [UnOp; 9] = [
+    UnOp::Neg,
+    UnOp::Not,
+    UnOp::Cardinality,
+    UnOp::Empty,
+    UnOp::NotEmpty,
+    UnOp::Any,
+    UnOp::ToInt,
+    UnOp::ToReal,
+    UnOp::ToStr,
+];
+
+const BINOPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::And,
+    BinOp::Or,
+];
+
+fn expr(g: &mut Gen, depth: usize) -> Expr {
+    if depth == 0 || g.ratio(1, 3) {
+        return match g.below(4) {
+            0 => Expr::Lit(literal(g)),
+            1 => Expr::Var(var_name(g)),
+            2 => Expr::SelfRef,
+            _ => Expr::Param(var_name(g)),
+        };
+    }
+    match g.below(5) {
+        0 => Expr::Attr(Box::new(expr(g, depth - 1)), var_name(g)),
+        1 => Expr::Nav(Box::new(expr(g, depth - 1)), class_name(g), assoc_name(g)),
+        2 => Expr::Unary(*g.choose(&UNOPS), Box::new(expr(g, depth - 1))),
+        3 => Expr::bin(*g.choose(&BINOPS), expr(g, depth - 1), expr(g, depth - 1)),
+        _ => {
+            let n = g.index(3);
+            let args = (0..n).map(|_| expr(g, depth - 1)).collect();
+            Expr::BridgeCall(class_name(g), var_name(g), args)
+        }
+    }
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
+fn block(g: &mut Gen, depth: usize, max_len: usize) -> Block {
+    let n = g.index(max_len + 1);
+    Block {
+        stmts: (0..n).map(|_| stmt(g, depth)).collect(),
+    }
+}
+
+fn stmt(g: &mut Gen, depth: usize) -> Stmt {
     let p = Pos::UNKNOWN;
-    let simple = prop_oneof![
-        (
-            prop_oneof![
-                var_name().prop_map(LValue::Var),
-                (var_name(), var_name()).prop_map(|(v, a)| LValue::Attr(Expr::Var(v), a)),
-            ],
-            expr()
-        )
-            .prop_map(move |(lhs, e)| Stmt::Assign {
-                lhs,
-                expr: e,
-                pos: p
-            }),
-        (var_name(), class_name()).prop_map(move |(var, class)| Stmt::Create {
-            var,
-            class,
-            pos: p
-        }),
-        expr().prop_map(move |e| Stmt::Delete { expr: e, pos: p }),
-        (var_name(), class_name(), proptest::option::of(expr())).prop_map(
-            move |(var, class, filter)| Stmt::SelectAny {
-                var,
-                class,
-                filter,
-                pos: p
-            }
-        ),
-        (var_name(), class_name(), proptest::option::of(expr())).prop_map(
-            move |(var, class, filter)| Stmt::SelectMany {
-                var,
-                class,
-                filter,
-                pos: p
-            }
-        ),
-        (expr(), expr(), assoc_name()).prop_map(move |(a, b, assoc)| Stmt::Relate {
-            a,
-            b,
-            assoc,
-            pos: p
-        }),
-        (expr(), expr(), assoc_name()).prop_map(move |(a, b, assoc)| Stmt::Unrelate {
-            a,
-            b,
-            assoc,
-            pos: p
-        }),
-        (
-            event_name(),
-            proptest::collection::vec(expr(), 0..3),
-            expr(),
-            proptest::option::of(expr())
-        )
-            .prop_map(move |(event, args, t, delay)| Stmt::Generate {
-                event,
-                args,
-                target: GenTarget::Inst(t),
-                delay,
-                pos: p,
-            }),
-        event_name().prop_map(move |event| Stmt::Cancel { event, pos: p }),
-        Just(Stmt::Break { pos: p }),
-        Just(Stmt::Continue { pos: p }),
-        Just(Stmt::Return { pos: p }),
-        (
-            class_name(),
-            var_name(),
-            proptest::collection::vec(expr(), 0..2)
-        )
-            .prop_map(move |(a, f, args)| Stmt::ExprStmt {
-                expr: Expr::BridgeCall(a, f, args),
-                pos: p,
-            }),
-    ];
-    simple.prop_recursive(2, 12, 3, move |inner| {
-        let block =
-            proptest::collection::vec(inner.clone(), 0..3).prop_map(|stmts| Block { stmts });
-        prop_oneof![
-            (
-                proptest::collection::vec((expr(), block.clone()), 1..3),
-                proptest::option::of(block.clone())
-            )
-                .prop_map(move |(arms, otherwise)| Stmt::If {
+    let structured = depth > 0 && g.ratio(1, 4);
+    if structured {
+        return match g.below(3) {
+            0 => {
+                let arms = (0..1 + g.index(2))
+                    .map(|_| (expr(g, 2), block(g, depth - 1, 2)))
+                    .collect();
+                let otherwise = if g.flip() {
+                    Some(block(g, depth - 1, 2))
+                } else {
+                    None
+                };
+                Stmt::If {
                     arms,
                     otherwise,
-                    pos: p
-                }),
-            (expr(), block.clone()).prop_map(move |(cond, body)| Stmt::While {
-                cond,
-                body,
-                pos: p
-            }),
-            (var_name(), expr(), block).prop_map(move |(var, set, body)| Stmt::ForEach {
-                var,
-                set,
-                body,
-                pos: p
-            }),
-        ]
-    })
+                    pos: p,
+                }
+            }
+            1 => Stmt::While {
+                cond: expr(g, 2),
+                body: block(g, depth - 1, 2),
+                pos: p,
+            },
+            _ => Stmt::ForEach {
+                var: var_name(g),
+                set: expr(g, 2),
+                body: block(g, depth - 1, 2),
+                pos: p,
+            },
+        };
+    }
+    match g.below(12) {
+        0 => {
+            let lhs = if g.flip() {
+                LValue::Var(var_name(g))
+            } else {
+                LValue::Attr(Expr::Var(var_name(g)), var_name(g))
+            };
+            Stmt::Assign {
+                lhs,
+                expr: expr(g, 2),
+                pos: p,
+            }
+        }
+        1 => Stmt::Create {
+            var: var_name(g),
+            class: class_name(g),
+            pos: p,
+        },
+        2 => Stmt::Delete {
+            expr: expr(g, 2),
+            pos: p,
+        },
+        3 => Stmt::SelectAny {
+            var: var_name(g),
+            class: class_name(g),
+            filter: if g.flip() { Some(expr(g, 2)) } else { None },
+            pos: p,
+        },
+        4 => Stmt::SelectMany {
+            var: var_name(g),
+            class: class_name(g),
+            filter: if g.flip() { Some(expr(g, 2)) } else { None },
+            pos: p,
+        },
+        5 => Stmt::Relate {
+            a: expr(g, 1),
+            b: expr(g, 1),
+            assoc: assoc_name(g),
+            pos: p,
+        },
+        6 => Stmt::Unrelate {
+            a: expr(g, 1),
+            b: expr(g, 1),
+            assoc: assoc_name(g),
+            pos: p,
+        },
+        7 => {
+            let n = g.index(3);
+            Stmt::Generate {
+                event: event_name(g),
+                args: (0..n).map(|_| expr(g, 1)).collect(),
+                target: GenTarget::Inst(expr(g, 1)),
+                delay: if g.flip() { Some(expr(g, 1)) } else { None },
+                pos: p,
+            }
+        }
+        8 => Stmt::Cancel {
+            event: event_name(g),
+            pos: p,
+        },
+        9 => Stmt::Break { pos: p },
+        10 => Stmt::Continue { pos: p },
+        _ => {
+            let n = g.index(2);
+            Stmt::ExprStmt {
+                expr: Expr::BridgeCall(
+                    class_name(g),
+                    var_name(g),
+                    (0..n).map(|_| expr(g, 1)).collect(),
+                ),
+                pos: p,
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Printable noise, mostly ASCII with occasional multi-byte characters.
+fn noise(g: &mut Gen, max_len: usize) -> String {
+    let len = g.index(max_len + 1);
+    (0..len)
+        .map(|_| {
+            if g.ratio(1, 8) {
+                *g.choose(&['é', 'λ', '→', '字', '𝕏', '~', '\t'])
+            } else {
+                char::from(0x20 + g.below(0x5F) as u8)
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn prop_expr_display_reparses(e in expr()) {
+#[test]
+fn prop_expr_display_reparses() {
+    xtuml_prop::run("expr_display_reparses", |g| {
+        let e = expr(g, 3);
         let printed = e.to_string();
         let reparsed = parse_expr(&printed)
             .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
-        prop_assert_eq!(e, reparsed, "printed: {}", printed);
-    }
+        assert_eq!(e, reparsed, "printed: {printed}");
+    });
+}
 
-    #[test]
-    fn prop_block_display_reparses(stmts in proptest::collection::vec(stmt(), 0..6)) {
-        let block = Block { stmts };
-        let printed = block.to_string();
-        let reparsed = parse_block(&printed)
-            .unwrap_or_else(|err| panic!("block failed to reparse: {err}\n{printed}"));
-        prop_assert_eq!(block, reparsed, "printed:\n{}", printed);
-    }
+#[test]
+fn prop_block_display_reparses() {
+    xtuml_prop::run("block_display_reparses", |g| {
+        let b = block(g, 2, 5);
+        let printed = b.to_string();
+        let reparsed =
+            parse_block(&printed).unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        assert_eq!(b, reparsed, "printed:\n{printed}");
+    });
+}
 
-    #[test]
-    fn prop_lexer_never_panics(src in "\\PC{0,60}") {
+#[test]
+fn prop_lexer_never_panics() {
+    xtuml_prop::run("lexer_never_panics", |g| {
+        let src = noise(g, 60);
         let _ = lex(&src); // must not panic, may err
-    }
+    });
+}
 
-    #[test]
-    fn prop_lexer_accepts_all_ascii_noise(bytes in proptest::collection::vec(32u8..127, 0..60)) {
-        let src: String = bytes.into_iter().map(char::from).collect();
+#[test]
+fn prop_lexer_accepts_all_ascii_noise() {
+    xtuml_prop::run("lexer_ascii_noise", |g| {
+        let len = g.index(61);
+        let src: String = (0..len)
+            .map(|_| char::from(32 + g.below(95) as u8))
+            .collect();
         let _ = lex(&src);
-    }
+    });
+}
 
-    #[test]
-    fn prop_parser_never_panics(src in "\\PC{0,60}") {
+#[test]
+fn prop_parser_never_panics() {
+    xtuml_prop::run("parser_never_panics", |g| {
+        let src = noise(g, 60);
         let _ = parse_block(&src);
         let _ = parse_expr(&src);
-    }
+    });
 }

@@ -1,9 +1,12 @@
 //! Property tests for the co-simulation substrate: the bridge never
 //! reorders or loses messages, the register file round-trips payloads,
 //! and the clock conserves CPU cycles exactly.
+//!
+//! Runs offline on the in-repo `xtuml-prop` harness; reproduce a failure
+//! with the `XTUML_PROP_SEED` value printed on panic.
 
-use proptest::prelude::*;
 use xtuml_cosim::{Bridge, BridgeConfig, BusMessage, ChannelSpec, CoClock, Direction};
+use xtuml_prop::Gen;
 use xtuml_swrt::Mmio;
 
 fn config(fifo_depth: usize, latency: u64) -> BridgeConfig {
@@ -25,17 +28,16 @@ fn config(fifo_depth: usize, latency: u64) -> BridgeConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every message sent is delivered exactly once, in send order, never
-    /// earlier than the configured latency.
-    #[test]
-    fn prop_bridge_delivers_everything_in_order(
-        latency in 0u64..8,
-        depth in 1usize..6,
-        sends in proptest::collection::vec((any::<bool>(), 0u32..1000), 0..40),
-    ) {
+/// Every message sent is delivered exactly once, in send order, never
+/// earlier than the configured latency.
+#[test]
+fn prop_bridge_delivers_everything_in_order() {
+    xtuml_prop::run("bridge_delivers_everything_in_order", |g| {
+        let latency = g.below(8);
+        let depth = 1 + g.index(5);
+        let sends: Vec<(bool, u32)> = (0..g.index(40))
+            .map(|_| (g.flip(), g.below(1000) as u32))
+            .collect();
         let mut bridge = Bridge::new(&config(depth, latency));
         let mut expect_hw: Vec<u32> = Vec::new();
         let mut expect_sw: Vec<u32> = Vec::new();
@@ -44,40 +46,62 @@ proptest! {
         let mut now = 0u64;
         for (to_hw, v) in &sends {
             if *to_hw {
-                bridge.sw_send(BusMessage { channel: 0, words: vec![*v] }, now).unwrap();
+                bridge
+                    .sw_send(
+                        BusMessage {
+                            channel: 0,
+                            words: vec![*v],
+                        },
+                        now,
+                    )
+                    .unwrap();
                 expect_hw.push(*v);
             } else {
-                bridge.hw_send(BusMessage { channel: 1, words: vec![*v] }, now).unwrap();
+                bridge
+                    .hw_send(
+                        BusMessage {
+                            channel: 1,
+                            words: vec![*v],
+                        },
+                        now,
+                    )
+                    .unwrap();
                 expect_sw.push(*v);
             }
             now += 1;
             bridge.advance(now);
-            // Nothing may arrive before its latency.
-            if latency > 1 {
-                // The message sent at now-1 is not due before now-1+latency.
-                // (Weaker check: at most the already-due prefix is out.)
+            while let Some(m) = bridge.hw_recv() {
+                got_hw.push(m.words[0]);
             }
-            while let Some(m) = bridge.hw_recv() { got_hw.push(m.words[0]); }
-            while let Some(m) = bridge.sw_recv() { got_sw.push(m.words[0]); }
+            while let Some(m) = bridge.sw_recv() {
+                got_sw.push(m.words[0]);
+            }
         }
         // Drain: keep advancing until idle.
         for _ in 0..(latency + sends.len() as u64 + 4) {
             now += 1;
             bridge.advance(now);
-            while let Some(m) = bridge.hw_recv() { got_hw.push(m.words[0]); }
-            while let Some(m) = bridge.sw_recv() { got_sw.push(m.words[0]); }
+            while let Some(m) = bridge.hw_recv() {
+                got_hw.push(m.words[0]);
+            }
+            while let Some(m) = bridge.sw_recv() {
+                got_sw.push(m.words[0]);
+            }
         }
-        prop_assert!(bridge.idle());
-        prop_assert_eq!(got_hw, expect_hw);
-        prop_assert_eq!(got_sw, expect_sw);
+        assert!(bridge.idle());
+        assert_eq!(got_hw, expect_hw);
+        assert_eq!(got_sw, expect_sw);
         let stats = bridge.stats();
-        prop_assert_eq!(stats.sw_to_hw + stats.hw_to_sw, sends.len() as u64);
-    }
+        assert_eq!(stats.sw_to_hw + stats.hw_to_sw, sends.len() as u64);
+    });
+}
 
-    /// The register-file MMIO view round-trips any staged payload through
-    /// a doorbell.
-    #[test]
-    fn prop_regfile_roundtrip(words in proptest::collection::vec(any::<u32>(), 1..=4)) {
+/// The register-file MMIO view round-trips any staged payload through a
+/// doorbell.
+#[test]
+fn prop_regfile_roundtrip() {
+    xtuml_prop::run("regfile_roundtrip", |g| {
+        let words: Vec<u32> = (0..1 + g.index(4)).map(|_| g.next_u64() as u32).collect();
         let cfg = BridgeConfig {
             channels: vec![ChannelSpec {
                 id: 0,
@@ -98,17 +122,22 @@ proptest! {
         }
         bridge.advance(0);
         let m = bridge.hw_recv().expect("delivered");
-        prop_assert_eq!(m.words, words);
-        prop_assert_eq!(rf.errors, 0);
-    }
+        assert_eq!(m.words, words);
+        assert_eq!(rf.errors, 0);
+    });
+}
 
-    /// The co-clock hands out exactly `cpu_khz * n / hw_khz` cycles over
-    /// any horizon, never losing a fractional cycle.
-    #[test]
-    fn prop_coclock_conserves_cycles(hw in 1u64..500, cpu in 1u64..500, n in 1u64..2000) {
+/// The co-clock hands out exactly `cpu_khz * n / hw_khz` cycles over any
+/// horizon, never losing a fractional cycle.
+#[test]
+fn prop_coclock_conserves_cycles() {
+    xtuml_prop::run("coclock_conserves_cycles", |g| {
+        let hw = 1 + g.below(499);
+        let cpu = 1 + g.below(499);
+        let n = 1 + g.below(1999);
         let mut clock = CoClock::new(hw, cpu);
         let total: u64 = (0..n).map(|_| clock.advance_hw_cycle()).sum();
-        prop_assert_eq!(total, cpu * n / hw);
-        prop_assert_eq!(clock.hw_cycles(), n);
-    }
+        assert_eq!(total, cpu * n / hw);
+        assert_eq!(clock.hw_cycles(), n);
+    });
 }

@@ -1,0 +1,219 @@
+//! Corpus artifacts: each fuzz case serializes to a
+//! `.xtuml`/`.marks`/`.stim` triple that the standard toolchain can
+//! consume (`xtuml run model.xtuml --marks m.marks stim.stim` replays a
+//! case byte-for-byte), plus load/replay helpers for the checked-in
+//! regression corpus.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use xtuml_core::value::Value;
+use xtuml_core::CoreError;
+use xtuml_lang::{print_domain, print_marks};
+use xtuml_verify::TestCase;
+
+use crate::spec::FuzzSpec;
+
+/// One serialized case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Base file name (no extension), e.g. `seed42-pair-order`.
+    pub name: String,
+    /// The model source (`.xtuml`).
+    pub model: String,
+    /// The mark file (`.marks`).
+    pub marks: String,
+    /// The stimulus script (`.stim`), in the CLI `run` grammar.
+    pub stim: String,
+}
+
+/// Serializes a spec into a corpus entry.
+///
+/// # Errors
+///
+/// Returns the lowering error if the spec no longer validates.
+pub fn entry(spec: &FuzzSpec, name: &str) -> Result<CorpusEntry, CoreError> {
+    let domain = spec.lower()?;
+    Ok(CorpusEntry {
+        name: name.to_owned(),
+        model: print_domain(&domain),
+        marks: print_marks(&domain.name, &spec.marks()),
+        stim: render_stim(&spec.testcase()),
+    })
+}
+
+/// Renders a test case in the CLI `run` stimulus grammar: `create`,
+/// `relate` and `at` lines with `i<ordinal>` instance names.
+pub fn render_stim(tc: &TestCase) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# conformance-fuzz case {}", tc.name);
+    for (i, class) in tc.creates.iter().enumerate() {
+        let _ = writeln!(out, "create i{i} {class}");
+    }
+    for (a, b, assoc) in &tc.relates {
+        let _ = writeln!(out, "relate i{a} i{b} {assoc}");
+    }
+    let mut stims = tc.stimuli.clone();
+    stims.sort_by_key(|s| s.time);
+    for s in &stims {
+        let _ = write!(out, "at {} i{} {}", s.time, s.inst, s.event);
+        for v in &s.args {
+            let _ = write!(out, " {v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_value(tok: &str) -> Result<Value, String> {
+    if tok == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if tok == "false" {
+        return Ok(Value::Bool(false));
+    }
+    tok.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unparseable stimulus argument `{tok}`"))
+}
+
+/// Parses a stimulus script back into a [`TestCase`].
+///
+/// Accepts the subset of the CLI `run` grammar the fuzzer emits
+/// (`create`/`relate`/`at` with int/bool arguments).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_stim(src: &str) -> Result<TestCase, String> {
+    let mut tc = TestCase::new("replay");
+    let mut names: Vec<String> = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| format!("stim line {}: {msg}", lineno + 1);
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks[0] {
+            "create" => {
+                if toks.len() != 3 {
+                    return Err(err("expected `create <name> <Class>`"));
+                }
+                names.push(toks[1].to_owned());
+                tc.create(toks[2]);
+            }
+            "relate" => {
+                if toks.len() != 4 {
+                    return Err(err("expected `relate <a> <b> <Rk>`"));
+                }
+                let a = names.iter().position(|n| n == toks[1]);
+                let b = names.iter().position(|n| n == toks[2]);
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        tc.relate(a, b, toks[3]);
+                    }
+                    _ => return Err(err("relate references an unknown instance")),
+                }
+            }
+            "at" => {
+                if toks.len() < 4 {
+                    return Err(err("expected `at <time> <name> <Event> [args..]`"));
+                }
+                let time: u64 = toks[1].parse().map_err(|_| err("bad time"))?;
+                let inst = names
+                    .iter()
+                    .position(|n| n == toks[2])
+                    .ok_or_else(|| err("unknown instance"))?;
+                let mut args = Vec::new();
+                for tok in &toks[4..] {
+                    args.push(parse_value(tok).map_err(|m| err(&m))?);
+                }
+                tc.inject(time, inst, toks[3], args);
+            }
+            other => return Err(err(&format!("unknown directive `{other}`"))),
+        }
+    }
+    Ok(tc)
+}
+
+/// Writes an entry's three files into `dir` (created if needed); returns
+/// the paths written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_entry(dir: &Path, e: &CorpusEntry) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (ext, content) in [("xtuml", &e.model), ("marks", &e.marks), ("stim", &e.stim)] {
+        let path = dir.join(format!("{}.{ext}", e.name));
+        fs::write(&path, content)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Loads every case (by `.xtuml` base name) from a corpus directory, in
+/// sorted order for determinism.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a `.xtuml` without its `.marks`/`.stim`
+/// siblings is reported as [`io::ErrorKind::NotFound`].
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "xtuml") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                names.push(stem.to_owned());
+            }
+        }
+    }
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            Ok(CorpusEntry {
+                model: fs::read_to_string(dir.join(format!("{name}.xtuml")))?,
+                marks: fs::read_to_string(dir.join(format!("{name}.marks")))?,
+                stim: fs::read_to_string(dir.join(format!("{name}.stim")))?,
+                name,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stim_round_trips() {
+        let mut tc = TestCase::new("replay");
+        tc.create("C0");
+        tc.create("C1");
+        tc.relate(0, 1, "R1");
+        tc.inject(3, 0, "Ev0", vec![Value::Int(-7), Value::Bool(true)]);
+        tc.inject(0, 0, "Ev1", vec![]);
+        let text = render_stim(&tc);
+        let back = parse_stim(&text).unwrap();
+        assert_eq!(back.creates, tc.creates);
+        assert_eq!(back.relates, tc.relates);
+        let mut sorted = tc.stimuli.clone();
+        sorted.sort_by_key(|s| s.time);
+        assert_eq!(back.stimuli, sorted);
+    }
+
+    #[test]
+    fn malformed_stim_lines_are_reported() {
+        assert!(parse_stim("create onlytwo").is_err());
+        assert!(parse_stim("relate a b R1").is_err());
+        assert!(parse_stim("at x i0 Ev").is_err());
+        assert!(parse_stim("create i0 C0\nat 0 i0 Ev frob").is_err());
+        assert!(parse_stim("banana").is_err());
+    }
+}

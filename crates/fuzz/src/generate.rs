@@ -1,0 +1,472 @@
+//! The case generator: one `u64` seed → one well-formed [`FuzzSpec`].
+//!
+//! Everything the generator emits is **confluent by construction**, so
+//! any legal schedule (interpreter, compiled frames, partitioned cosim)
+//! must produce identical per-actor traces and every divergence is a
+//! toolchain bug:
+//!
+//! * the class send graph is a forest pointing from lower to higher
+//!   indices — each class has at most one sender, so per-receiver FIFO
+//!   order is fixed by that sender's run-to-completion order;
+//! * exactly one instance per class, and each class emits observables
+//!   only to its own observer actor, so per-actor sequences have a
+//!   single source;
+//! * external stimuli target only forest roots;
+//! * transition tables are total (`CantHappen` is unreachable), actions
+//!   use wrapping `+ - *` on ints (no division — no traps), and all
+//!   loops are counter-bounded;
+//! * all data is `int`/`bool`, which marshal exactly across a
+//!   hardware/software boundary.
+
+use xtuml_core::action::{Block, Expr, GenTarget, LValue, Stmt};
+use xtuml_core::error::Pos;
+use xtuml_core::value::{BinOp, UnOp, Value};
+use xtuml_core::Multiplicity;
+use xtuml_prop::Gen;
+
+use crate::spec::{AssocSpec, ClassSpec, FuzzSpec, ScalarTy, StimSpec, TransSpec};
+
+const MULTS: [Multiplicity; 3] = [Multiplicity::One, Multiplicity::ZeroOne, Multiplicity::Many];
+
+fn scalar(g: &mut Gen) -> ScalarTy {
+    if g.flip() {
+        ScalarTy::Int
+    } else {
+        ScalarTy::Bool
+    }
+}
+
+/// What an action body may reference while being generated.
+struct Ctx<'a> {
+    /// `(attr name, type)` of the executing class.
+    attrs: &'a [(String, ScalarTy)],
+    /// Shared event signature — empty when `rcvd.*` is not allowed
+    /// (states with no inbound transition are never entered by an event).
+    params: &'a [(String, ScalarTy)],
+    /// Outgoing edges: `(assoc name, child class name, child event name,
+    /// child signature)`.
+    sends: &'a [(String, String, String, Vec<ScalarTy>)],
+    /// Observable events `(name, signature)` on the observer actor.
+    obs: &'a [(String, Vec<ScalarTy>)],
+    /// Observer actor name.
+    actor: &'a str,
+    /// Int-typed locals currently in scope.
+    locals: Vec<String>,
+    /// Fresh-name counter for locals.
+    next_local: usize,
+}
+
+/// An int literal in the parser's canonical form: the lexer has no
+/// negative literals, so `-9` must be `Neg(Lit(9))` for the printed text
+/// to reparse to the identical AST.
+fn int_lit(v: i64) -> Expr {
+    if v < 0 {
+        Expr::Unary(UnOp::Neg, Box::new(Expr::int(-v)))
+    } else {
+        Expr::int(v)
+    }
+}
+
+fn int_leaves(ctx: &Ctx<'_>) -> Vec<Expr> {
+    let mut leaves = Vec::new();
+    for (n, t) in ctx.attrs {
+        if *t == ScalarTy::Int {
+            leaves.push(Expr::Attr(Box::new(Expr::SelfRef), n.clone()));
+        }
+    }
+    for (n, t) in ctx.params {
+        if *t == ScalarTy::Int {
+            leaves.push(Expr::Param(n.clone()));
+        }
+    }
+    for v in &ctx.locals {
+        leaves.push(Expr::Var(v.clone()));
+    }
+    leaves
+}
+
+fn int_expr(g: &mut Gen, ctx: &Ctx<'_>, depth: usize) -> Expr {
+    if depth == 0 || g.ratio(2, 5) {
+        let leaves = int_leaves(ctx);
+        if !leaves.is_empty() && g.ratio(3, 5) {
+            return leaves[g.index(leaves.len())].clone();
+        }
+        return int_lit(g.int_in(-9, 9));
+    }
+    let op = *g.choose(&[BinOp::Add, BinOp::Sub, BinOp::Mul]);
+    Expr::Binary(
+        op,
+        Box::new(int_expr(g, ctx, depth - 1)),
+        Box::new(int_expr(g, ctx, depth - 1)),
+    )
+}
+
+fn bool_expr(g: &mut Gen, ctx: &Ctx<'_>, depth: usize) -> Expr {
+    if depth == 0 || g.ratio(1, 3) {
+        let mut leaves: Vec<Expr> = Vec::new();
+        for (n, t) in ctx.attrs {
+            if *t == ScalarTy::Bool {
+                leaves.push(Expr::Attr(Box::new(Expr::SelfRef), n.clone()));
+            }
+        }
+        for (n, t) in ctx.params {
+            if *t == ScalarTy::Bool {
+                leaves.push(Expr::Param(n.clone()));
+            }
+        }
+        if !leaves.is_empty() && g.ratio(1, 2) {
+            return leaves[g.index(leaves.len())].clone();
+        }
+        return Expr::bool(g.flip());
+    }
+    match g.below(4) {
+        0 => Expr::Unary(UnOp::Not, Box::new(bool_expr(g, ctx, depth - 1))),
+        1 => {
+            let op = *g.choose(&[BinOp::And, BinOp::Or]);
+            Expr::Binary(
+                op,
+                Box::new(bool_expr(g, ctx, depth - 1)),
+                Box::new(bool_expr(g, ctx, depth - 1)),
+            )
+        }
+        _ => {
+            let op = *g.choose(&[
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::Eq,
+                BinOp::Ne,
+            ]);
+            Expr::Binary(
+                op,
+                Box::new(int_expr(g, ctx, 1)),
+                Box::new(int_expr(g, ctx, 1)),
+            )
+        }
+    }
+}
+
+fn expr_of(g: &mut Gen, ctx: &Ctx<'_>, ty: ScalarTy, depth: usize) -> Expr {
+    match ty {
+        ScalarTy::Int => int_expr(g, ctx, depth),
+        ScalarTy::Bool => bool_expr(g, ctx, depth),
+    }
+}
+
+/// A side-effecting "simple" statement: attribute write, observable emit,
+/// or a signal to a child — the building block of both straight-line code
+/// and loop/branch bodies.
+fn simple_stmt(g: &mut Gen, ctx: &mut Ctx<'_>) -> Stmt {
+    let pos = Pos::default();
+    for _ in 0..3 {
+        match g.below(3) {
+            0 if !ctx.attrs.is_empty() => {
+                let (name, ty) = ctx.attrs[g.index(ctx.attrs.len())].clone();
+                return Stmt::Assign {
+                    lhs: LValue::Attr(Expr::SelfRef, name),
+                    expr: expr_of(g, ctx, ty, 2),
+                    pos,
+                };
+            }
+            1 if !ctx.sends.is_empty() => {
+                let (assoc, child, event, sig) = ctx.sends[g.index(ctx.sends.len())].clone();
+                let args = sig.iter().map(|t| expr_of(g, ctx, *t, 1)).collect();
+                let nav = Expr::Nav(Box::new(Expr::SelfRef), child, assoc);
+                return Stmt::Generate {
+                    event,
+                    args,
+                    target: GenTarget::Inst(Expr::Unary(UnOp::Any, Box::new(nav))),
+                    delay: None,
+                    pos,
+                };
+            }
+            _ if !ctx.obs.is_empty() => {
+                let (event, sig) = ctx.obs[g.index(ctx.obs.len())].clone();
+                let args = sig.iter().map(|t| expr_of(g, ctx, *t, 1)).collect();
+                return Stmt::Generate {
+                    event,
+                    args,
+                    target: GenTarget::Actor(ctx.actor.to_owned()),
+                    delay: None,
+                    pos,
+                };
+            }
+            _ => {}
+        }
+    }
+    // Always-available fallback: bind a fresh int local.
+    let name = format!("t{}", ctx.next_local);
+    ctx.next_local += 1;
+    let stmt = Stmt::Assign {
+        lhs: LValue::Var(name.clone()),
+        expr: int_expr(g, ctx, 1),
+        pos,
+    };
+    ctx.locals.push(name);
+    stmt
+}
+
+fn action_block(g: &mut Gen, ctx: &mut Ctx<'_>) -> Block {
+    let pos = Pos::default();
+    let mut stmts = Vec::new();
+    let n = 1 + g.index(4);
+    for _ in 0..n {
+        match g.below(6) {
+            0 => {
+                // Fresh int local, usable by later statements.
+                let name = format!("t{}", ctx.next_local);
+                ctx.next_local += 1;
+                stmts.push(Stmt::Assign {
+                    lhs: LValue::Var(name.clone()),
+                    expr: int_expr(g, ctx, 2),
+                    pos,
+                });
+                ctx.locals.push(name);
+            }
+            1 => {
+                let cond = bool_expr(g, ctx, 2);
+                let then: Vec<Stmt> = (0..1 + g.index(2)).map(|_| simple_stmt(g, ctx)).collect();
+                let otherwise = if g.flip() {
+                    Some(Block {
+                        stmts: (0..1 + g.index(2)).map(|_| simple_stmt(g, ctx)).collect(),
+                    })
+                } else {
+                    None
+                };
+                stmts.push(Stmt::If {
+                    arms: vec![(cond, Block { stmts: then })],
+                    otherwise,
+                    pos,
+                });
+            }
+            2 => {
+                // Counter-bounded loop: `t = 0; while (t < k) { t = t + 1; ... }`.
+                let name = format!("t{}", ctx.next_local);
+                ctx.next_local += 1;
+                stmts.push(Stmt::Assign {
+                    lhs: LValue::Var(name.clone()),
+                    expr: Expr::int(0),
+                    pos,
+                });
+                ctx.locals.push(name.clone());
+                let bound = 1 + g.index(3) as i64;
+                let mut body = vec![Stmt::Assign {
+                    lhs: LValue::Var(name.clone()),
+                    expr: Expr::Binary(
+                        BinOp::Add,
+                        Box::new(Expr::Var(name.clone())),
+                        Box::new(Expr::int(1)),
+                    ),
+                    pos,
+                }];
+                for _ in 0..1 + g.index(2) {
+                    body.push(simple_stmt(g, ctx));
+                }
+                stmts.push(Stmt::While {
+                    cond: Expr::Binary(
+                        BinOp::Lt,
+                        Box::new(Expr::Var(name)),
+                        Box::new(Expr::int(bound)),
+                    ),
+                    body: Block { stmts: body },
+                    pos,
+                });
+            }
+            _ => stmts.push(simple_stmt(g, ctx)),
+        }
+    }
+    Block { stmts }
+}
+
+/// Generates the fuzz case for one seed. Deterministic: the same seed
+/// always yields the same spec.
+pub fn generate(seed: u64) -> FuzzSpec {
+    let mut g = Gen::new(seed);
+    let n_classes = 1 + g.index(5);
+
+    // Send forest: class c > 0 gets a parent with high probability.
+    let mut assocs: Vec<AssocSpec> = Vec::new();
+    for c in 1..n_classes {
+        if g.ratio(4, 5) {
+            assocs.push(AssocSpec {
+                name: format!("R{}", assocs.len() + 1),
+                parent: g.index(c),
+                child: c,
+                parent_mult: *g.choose(&MULTS),
+                child_mult: *g.choose(&MULTS),
+            });
+        }
+    }
+
+    // Class skeletons first: signatures and tables are needed before any
+    // action body can reference a child class.
+    let mut classes: Vec<ClassSpec> = (0..n_classes)
+        .map(|i| {
+            let attrs = (0..g.index(3))
+                .map(|k| (format!("a{k}"), scalar(&mut g)))
+                .collect();
+            let params: Vec<(String, ScalarTy)> = (0..g.index(3))
+                .map(|k| (format!("p{k}"), scalar(&mut g)))
+                .collect();
+            let events: Vec<String> = (0..1 + g.index(3)).map(|k| format!("Ev{k}")).collect();
+            let obs = (0..1 + g.index(2))
+                .map(|k| {
+                    let sig = (0..g.index(3)).map(|_| scalar(&mut g)).collect();
+                    (format!("o{k}"), sig)
+                })
+                .collect();
+            let n_states = 1 + g.index(3);
+            let states = (0..n_states)
+                .map(|k| (format!("S{k}"), Block::new()))
+                .collect();
+            let transitions = (0..n_states)
+                .map(|_| {
+                    (0..events.len())
+                        .map(|_| {
+                            if g.ratio(7, 10) {
+                                TransSpec::To(g.index(n_states))
+                            } else {
+                                TransSpec::Ignore
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            ClassSpec {
+                name: format!("C{i}"),
+                actor: format!("O{i}"),
+                attrs,
+                params,
+                events,
+                obs,
+                states,
+                transitions,
+                hardware: g.flip(),
+            }
+        })
+        .collect();
+
+    // Action bodies. `rcvd.*` is only legal in states an event can enter.
+    for i in 0..n_classes {
+        let sends: Vec<(String, String, String, Vec<ScalarTy>)> = assocs
+            .iter()
+            .filter(|a| a.parent == i)
+            .flat_map(|a| {
+                let child = &classes[a.child];
+                child.events.iter().map(move |ev| {
+                    (
+                        a.name.clone(),
+                        child.name.clone(),
+                        ev.clone(),
+                        child.params.iter().map(|(_, t)| *t).collect(),
+                    )
+                })
+            })
+            .collect();
+        let inbound: Vec<bool> = (0..classes[i].states.len())
+            .map(|s| {
+                classes[i]
+                    .transitions
+                    .iter()
+                    .flatten()
+                    .any(|t| *t == TransSpec::To(s))
+            })
+            .collect();
+        let this = classes[i].clone();
+        for (s, entered) in inbound.iter().enumerate() {
+            let empty: [(String, ScalarTy); 0] = [];
+            let mut ctx = Ctx {
+                attrs: &this.attrs,
+                params: if *entered { &this.params } else { &empty },
+                sends: &sends,
+                obs: &this.obs,
+                actor: &this.actor,
+                locals: Vec::new(),
+                next_local: 0,
+            };
+            classes[i].states[s].1 = action_block(&mut g, &mut ctx);
+        }
+    }
+
+    // Stimuli: external signals to forest roots only.
+    let roots: Vec<usize> = (0..n_classes)
+        .filter(|c| assocs.iter().all(|a| a.child != *c))
+        .collect();
+    let stimuli = (0..g.index(7))
+        .map(|_| {
+            let class = roots[g.index(roots.len())];
+            let c = &classes[class];
+            StimSpec {
+                time: g.below(10),
+                class,
+                event: c.events[g.index(c.events.len())].clone(),
+                args: c
+                    .params
+                    .iter()
+                    .map(|(_, t)| match t {
+                        ScalarTy::Int => Value::Int(g.int_in(-20, 20)),
+                        ScalarTy::Bool => Value::Bool(g.flip()),
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    FuzzSpec {
+        seed,
+        classes,
+        assocs,
+        stimuli,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(generate(seed), generate(seed));
+        }
+    }
+
+    #[test]
+    fn generated_specs_lower_and_validate() {
+        for seed in 0..50 {
+            let spec = generate(seed);
+            let domain = spec
+                .lower()
+                .unwrap_or_else(|e| panic!("seed {seed}: generated spec failed validation: {e}"));
+            assert!(!domain.classes.is_empty());
+        }
+    }
+
+    #[test]
+    fn send_graph_is_a_forward_forest() {
+        for seed in 0..50 {
+            let spec = generate(seed);
+            for a in &spec.assocs {
+                assert!(a.parent < a.child, "seed {seed}: edge must point forward");
+            }
+            for c in 0..spec.classes.len() {
+                let senders = spec.assocs.iter().filter(|a| a.child == c).count();
+                assert!(senders <= 1, "seed {seed}: class {c} has {senders} senders");
+            }
+        }
+    }
+
+    #[test]
+    fn stimuli_target_roots_only() {
+        for seed in 0..50 {
+            let spec = generate(seed);
+            for s in &spec.stimuli {
+                assert!(
+                    spec.assocs.iter().all(|a| a.child != s.class),
+                    "seed {seed}: stimulus targets a non-root"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Differential execution of one case across the three executors, plus
+//! the invariant oracles.
+//!
+//! Executor line-up:
+//!
+//! 1. the **reference interpreter** ([`crate::refinterp`]) — naive AST
+//!    walker, independent of all production machinery;
+//! 2. the **model interpreter** (`xtuml-exec`, compiled frames);
+//! 3. the **partitioned co-simulation** (`xtuml-mda` compile +
+//!    hardware/software substrates over the bus bridge).
+//!
+//! Before any execution, the case round-trips through the textual
+//! toolchain (printer → parser for model, marks and stimulus script) and
+//! the *reparsed* artifacts are what actually run — so the fuzzer
+//! exercises the language layer end-to-end on every case.
+
+use xtuml_core::marks::MarkSet;
+use xtuml_core::Domain;
+use xtuml_exec::{ObservableEvent, SchedPolicy, Simulation, TraceEvent};
+use xtuml_lang::{parse_domain, parse_marks, print_domain, print_marks};
+use xtuml_mda::ModelCompiler;
+use xtuml_verify::{check_equivalence, run_compiled, EquivReport, TestCase};
+
+use crate::corpus::{parse_stim, render_stim};
+use crate::refinterp::run_reference;
+use crate::spec::FuzzSpec;
+
+/// Test-only fault injection: which event rule the model-interpreter run
+/// deliberately breaks. Used to prove the differential oracle actually
+/// catches scheduler bugs (and to exercise the shrinker on real
+/// divergences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ablation {
+    /// No fault: all executors follow the defined semantics.
+    #[default]
+    None,
+    /// Break per-pair send order in the model interpreter (signals
+    /// between a sender–receiver pair may be consumed out of order).
+    PairOrder,
+}
+
+impl Ablation {
+    /// The scheduling policy the model-interpreter executor runs under.
+    pub fn policy(self) -> SchedPolicy {
+        match self {
+            Ablation::None => SchedPolicy::default(),
+            Ablation::PairOrder => SchedPolicy {
+                pair_order: false,
+                ..SchedPolicy::default()
+            },
+        }
+    }
+
+    /// Parses a CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized spelling.
+    pub fn parse(s: &str) -> Result<Ablation, String> {
+        match s {
+            "none" => Ok(Ablation::None),
+            "pair-order" => Ok(Ablation::PairOrder),
+            other => Err(format!(
+                "unknown ablation `{other}` (expected `none` or `pair-order`)"
+            )),
+        }
+    }
+}
+
+/// Aggregate effort counters for a passing case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseStats {
+    /// Transitions taken by the model interpreter.
+    pub dispatches: u64,
+    /// Observable signals emitted (per executor; they agree on a pass).
+    pub observables: u64,
+    /// Events compared across the three executor pairs.
+    pub compared: u64,
+}
+
+/// The verdict on one case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseOutcome {
+    /// All oracles passed.
+    Pass(CaseStats),
+    /// The spec no longer lowers to a valid domain (only reachable for
+    /// shrunk specs; generated specs validate by construction).
+    BuildError(String),
+    /// A printer→parser round trip changed the model, marks or stimuli.
+    RoundTrip(String),
+    /// An executor failed outright.
+    ExecError {
+        /// Which executor (`reference`, `interpreter`, `compiler`, `cosim`).
+        executor: &'static str,
+        /// Its error.
+        error: String,
+    },
+    /// An invariant oracle failed (causality, lost signals, drops).
+    OracleFailure(String),
+    /// Two executors disagree on some actor's observable sequence.
+    Divergence {
+        /// Which executor pair (e.g. `interpreter-vs-reference`).
+        pair: &'static str,
+        /// The per-actor divergences.
+        report: EquivReport,
+    },
+}
+
+impl CaseOutcome {
+    /// True for anything other than a pass.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, CaseOutcome::Pass(_))
+    }
+
+    /// Coarse failure class; the shrinker only accepts reductions that
+    /// keep the class unchanged.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CaseOutcome::Pass(_) => "pass",
+            CaseOutcome::BuildError(_) => "build-error",
+            CaseOutcome::RoundTrip(_) => "round-trip",
+            CaseOutcome::ExecError { .. } => "exec-error",
+            CaseOutcome::OracleFailure(_) => "oracle",
+            CaseOutcome::Divergence { .. } => "divergence",
+        }
+    }
+
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        match self {
+            CaseOutcome::Pass(s) => format!("pass ({} dispatches)", s.dispatches),
+            CaseOutcome::BuildError(e) => format!("build error: {e}"),
+            CaseOutcome::RoundTrip(e) => format!("round-trip mismatch: {e}"),
+            CaseOutcome::ExecError { executor, error } => format!("{executor} failed: {error}"),
+            CaseOutcome::OracleFailure(e) => format!("oracle failure: {e}"),
+            CaseOutcome::Divergence { pair, report } => {
+                let first = report
+                    .divergences
+                    .first()
+                    .map_or_else(String::new, ToString::to_string);
+                format!("{pair} divergence: {first}")
+            }
+        }
+    }
+}
+
+struct ExecRun {
+    observables: Vec<ObservableEvent>,
+    dispatches: u64,
+    ignored: u64,
+    dropped: u64,
+    causality_violations: u64,
+}
+
+fn run_interpreter(domain: &Domain, policy: SchedPolicy, tc: &TestCase) -> Result<ExecRun, String> {
+    let mut sim = Simulation::with_policy(domain, policy);
+    let mut handles = Vec::with_capacity(tc.creates.len());
+    for class in &tc.creates {
+        handles.push(sim.create(class).map_err(|e| e.to_string())?);
+    }
+    for (a, b, assoc) in &tc.relates {
+        sim.relate(handles[*a], handles[*b], assoc)
+            .map_err(|e| e.to_string())?;
+    }
+    let mut stims = tc.stimuli.clone();
+    stims.sort_by_key(|s| s.time);
+    for s in &stims {
+        sim.inject(s.time, handles[s.inst], &s.event, s.args.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    sim.run_to_quiescence().map_err(|e| e.to_string())?;
+    let trace = sim.trace();
+    Ok(ExecRun {
+        observables: trace.observable(domain),
+        dispatches: trace.dispatch_count() as u64,
+        ignored: trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Ignored { .. }))
+            .count() as u64,
+        dropped: sim.dropped_events(),
+        causality_violations: trace.causality_violations() as u64,
+    })
+}
+
+/// Runs one case (already parsed) through all three executors and every
+/// oracle. This is the entry point corpus replay shares with the
+/// seed-driven path.
+pub fn run_case(
+    domain: &Domain,
+    marks: &MarkSet,
+    tc: &TestCase,
+    ablation: Ablation,
+) -> CaseOutcome {
+    // Executor 1: the independent reference interpreter.
+    let (ref_obs, ref_stats) = match run_reference(domain, tc) {
+        Ok(r) => r,
+        Err(error) => {
+            return CaseOutcome::ExecError {
+                executor: "reference",
+                error,
+            }
+        }
+    };
+
+    // Executor 2: the model interpreter (compiled frames), possibly with
+    // an injected scheduler fault.
+    let interp = match run_interpreter(domain, ablation.policy(), tc) {
+        Ok(r) => r,
+        Err(error) => {
+            return CaseOutcome::ExecError {
+                executor: "interpreter",
+                error,
+            }
+        }
+    };
+
+    // Executor 3: compile under marks, co-simulate.
+    let design = match ModelCompiler::new().compile(domain, marks) {
+        Ok(d) => d,
+        Err(e) => {
+            return CaseOutcome::ExecError {
+                executor: "compiler",
+                error: e.to_string(),
+            }
+        }
+    };
+    let cosim_obs = match run_compiled(&design, tc) {
+        Ok(o) => o,
+        Err(e) => {
+            return CaseOutcome::ExecError {
+                executor: "cosim",
+                error: e.to_string(),
+            }
+        }
+    };
+
+    // Pairwise per-actor trace equivalence, reference as the `expected`
+    // side where it participates.
+    let mut compared = 0u64;
+    for (pair, expected, actual) in [
+        ("interpreter-vs-reference", &ref_obs, &interp.observables),
+        ("cosim-vs-reference", &ref_obs, &cosim_obs),
+        ("cosim-vs-interpreter", &interp.observables, &cosim_obs),
+    ] {
+        let report = check_equivalence(expected, actual);
+        compared += report.compared as u64;
+        if !report.is_equivalent() {
+            return CaseOutcome::Divergence { pair, report };
+        }
+    }
+
+    // Invariant oracles — only meaningful when no fault is injected (a
+    // broken pair-order rule legitimately produces causality violations).
+    if ablation == Ablation::None {
+        if interp.causality_violations != 0 {
+            return CaseOutcome::OracleFailure(format!(
+                "{} causality violations in the interpreter trace",
+                interp.causality_violations
+            ));
+        }
+        if interp.dropped != 0 {
+            return CaseOutcome::OracleFailure(format!(
+                "{} dropped events in the interpreter",
+                interp.dropped
+            ));
+        }
+        // No lost signals: both implementations must consume the same
+        // number of events (each event ends as a dispatch or an ignore).
+        let ref_consumed = ref_stats.dispatches + ref_stats.ignored;
+        let interp_consumed = interp.dispatches + interp.ignored;
+        if ref_consumed != interp_consumed {
+            return CaseOutcome::OracleFailure(format!(
+                "lost signals: reference consumed {ref_consumed}, interpreter {interp_consumed}"
+            ));
+        }
+    }
+
+    CaseOutcome::Pass(CaseStats {
+        dispatches: interp.dispatches,
+        observables: ref_obs.len() as u64,
+        compared,
+    })
+}
+
+/// Runs one spec end-to-end: lower, round-trip every textual artifact,
+/// then [`run_case`] on the **reparsed** model.
+pub fn run_spec(spec: &FuzzSpec, ablation: Ablation) -> CaseOutcome {
+    let domain = match spec.lower() {
+        Ok(d) => d,
+        Err(e) => return CaseOutcome::BuildError(e.to_string()),
+    };
+
+    // Model text round trip.
+    let printed = print_domain(&domain);
+    let reparsed = match parse_domain(&printed) {
+        Ok(d) => d,
+        Err(e) => return CaseOutcome::RoundTrip(format!("model failed to reparse: {e}")),
+    };
+    if reparsed != domain {
+        return CaseOutcome::RoundTrip("model reparsed to a different domain".to_owned());
+    }
+
+    // Marks round trip.
+    let marks = spec.marks();
+    let marks_text = print_marks(&domain.name, &marks);
+    match parse_marks(&marks_text) {
+        Ok((name, reparsed_marks)) => {
+            if name != domain.name || reparsed_marks.diff_count(&marks) != 0 {
+                return CaseOutcome::RoundTrip("marks reparsed to a different set".to_owned());
+            }
+        }
+        Err(e) => return CaseOutcome::RoundTrip(format!("marks failed to reparse: {e}")),
+    }
+
+    // Stimulus-script round trip (compares time-sorted stimuli — the
+    // script serializes in delivery order).
+    let tc = spec.testcase();
+    match parse_stim(&render_stim(&tc)) {
+        Ok(back) => {
+            let mut sorted = tc.stimuli.clone();
+            sorted.sort_by_key(|s| s.time);
+            if back.creates != tc.creates || back.relates != tc.relates || back.stimuli != sorted {
+                return CaseOutcome::RoundTrip("stimulus script reparsed differently".to_owned());
+            }
+        }
+        Err(e) => return CaseOutcome::RoundTrip(format!("stimulus script failed to reparse: {e}")),
+    }
+
+    run_case(&reparsed, &marks, &tc, ablation)
+}
+
+/// Replays serialized corpus artifacts (see [`crate::corpus`]).
+///
+/// # Errors
+///
+/// Returns a description when any artifact fails to parse or the mark
+/// file names a different domain.
+pub fn replay(
+    model: &str,
+    marks: &str,
+    stim: &str,
+    ablation: Ablation,
+) -> Result<CaseOutcome, String> {
+    let domain = parse_domain(model).map_err(|e| format!("model: {e}"))?;
+    let (marks_domain, markset) = parse_marks(marks).map_err(|e| format!("marks: {e}"))?;
+    if marks_domain != domain.name {
+        return Err(format!(
+            "mark file is for domain `{marks_domain}`, model is `{}`",
+            domain.name
+        ));
+    }
+    let tc = parse_stim(stim)?;
+    Ok(run_case(&domain, &markset, &tc, ablation))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    #[test]
+    fn ablation_spellings() {
+        assert_eq!(Ablation::parse("none").unwrap(), Ablation::None);
+        assert_eq!(Ablation::parse("pair-order").unwrap(), Ablation::PairOrder);
+        assert!(Ablation::parse("frobnicate").is_err());
+        assert!(!Ablation::PairOrder.policy().pair_order);
+        assert!(Ablation::None.policy().pair_order);
+    }
+
+    #[test]
+    fn first_seeds_pass_all_oracles() {
+        for seed in 0..10 {
+            let outcome = run_spec(&generate(seed), Ablation::None);
+            assert!(!outcome.is_failure(), "seed {seed}: {}", outcome.describe());
+        }
+    }
+
+    #[test]
+    fn outcome_classes_are_stable() {
+        let outcome = run_spec(&generate(0), Ablation::None);
+        assert_eq!(outcome.class(), "pass");
+        assert!(outcome.describe().starts_with("pass"));
+    }
+}

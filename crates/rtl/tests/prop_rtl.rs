@@ -2,79 +2,106 @@
 //! reference model, logic-algebra laws, FIFO behaviour against a
 //! `VecDeque` reference, and a counter in the kernel against closed-form
 //! arithmetic.
+//!
+//! Runs offline on the in-repo `xtuml-prop` harness; reproduce a failure
+//! with the `XTUML_PROP_SEED` value printed on panic.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
+use xtuml_prop::Gen;
 use xtuml_rtl::{Logic, LogicVector, Process, RtlKernel, SignalCtx, SignalId, SyncFifo};
 
-fn logic() -> impl Strategy<Value = Logic> {
-    prop_oneof![
-        Just(Logic::L0),
-        Just(Logic::L1),
-        Just(Logic::X),
-        Just(Logic::Z)
-    ]
+const LOGICS: [Logic; 4] = [Logic::L0, Logic::L1, Logic::X, Logic::Z];
+
+fn logic(g: &mut Gen) -> Logic {
+    *g.choose(&LOGICS)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Defined-vector arithmetic agrees with masked u64 arithmetic.
-    #[test]
-    fn prop_vector_add_sub_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+/// Defined-vector arithmetic agrees with masked u64 arithmetic.
+#[test]
+fn prop_vector_add_sub_matches_u64() {
+    xtuml_prop::run("vector_add_sub_matches_u64", |g| {
+        let (a, b) = (g.next_u64(), g.next_u64());
+        let w = 1 + g.index(64);
         let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
         let va = LogicVector::from_u64(a & mask, w);
         let vb = LogicVector::from_u64(b & mask, w);
-        prop_assert_eq!(va.add(&vb).to_u64(), Some((a & mask).wrapping_add(b & mask) & mask));
-        prop_assert_eq!(va.sub(&vb).to_u64(), Some((a & mask).wrapping_sub(b & mask) & mask));
-    }
+        assert_eq!(
+            va.add(&vb).to_u64(),
+            Some((a & mask).wrapping_add(b & mask) & mask)
+        );
+        assert_eq!(
+            va.sub(&vb).to_u64(),
+            Some((a & mask).wrapping_sub(b & mask) & mask)
+        );
+    });
+}
 
-    /// Bitwise ops agree with u64 bitwise ops.
-    #[test]
-    fn prop_vector_bitwise_matches_u64(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+/// Bitwise ops agree with u64 bitwise ops.
+#[test]
+fn prop_vector_bitwise_matches_u64() {
+    xtuml_prop::run("vector_bitwise_matches_u64", |g| {
+        let (a, b) = (g.next_u64(), g.next_u64());
+        let w = 1 + g.index(64);
         let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
         let va = LogicVector::from_u64(a & mask, w);
         let vb = LogicVector::from_u64(b & mask, w);
-        prop_assert_eq!(va.and(&vb).to_u64(), Some(a & b & mask));
-        prop_assert_eq!(va.or(&vb).to_u64(), Some((a | b) & mask));
-        prop_assert_eq!(va.xor(&vb).to_u64(), Some((a ^ b) & mask));
-        prop_assert_eq!(va.not().to_u64(), Some(!a & mask));
-    }
+        assert_eq!(va.and(&vb).to_u64(), Some(a & b & mask));
+        assert_eq!(va.or(&vb).to_u64(), Some((a | b) & mask));
+        assert_eq!(va.xor(&vb).to_u64(), Some((a ^ b) & mask));
+        assert_eq!(va.not().to_u64(), Some(!a & mask));
+    });
+}
 
-    /// Any X bit poisons arithmetic to an undefined result of the same
-    /// width.
-    #[test]
-    fn prop_x_poisons_arithmetic(a in any::<u64>(), bit in 0usize..16, w in 16usize..=32) {
+/// Any X bit poisons arithmetic to an undefined result of the same width.
+#[test]
+fn prop_x_poisons_arithmetic() {
+    xtuml_prop::run("x_poisons_arithmetic", |g| {
+        let a = g.next_u64();
+        let bit = g.index(16);
+        let w = 16 + g.index(17);
         let mut va = LogicVector::from_u64(a, w);
         va.set(bit, Logic::X);
         let vb = LogicVector::from_u64(1, w);
         let r = va.add(&vb);
-        prop_assert_eq!(r.width(), w);
-        prop_assert_eq!(r.to_u64(), None);
-    }
+        assert_eq!(r.width(), w);
+        assert_eq!(r.to_u64(), None);
+    });
+}
 
-    /// Logic AND/OR are commutative, associative and idempotent; De
-    /// Morgan holds on defined values.
-    #[test]
-    fn prop_logic_algebra(a in logic(), b in logic(), c in logic()) {
-        prop_assert_eq!(a & b, b & a);
-        prop_assert_eq!(a | b, b | a);
-        prop_assert_eq!((a & b) & c, a & (b & c));
-        prop_assert_eq!((a | b) | c, a | (b | c));
-        prop_assert_eq!(a & a, if a == Logic::Z { Logic::X } else { a });
+/// Logic AND/OR are commutative, associative and idempotent; De Morgan
+/// holds on defined values.
+#[test]
+fn prop_logic_algebra() {
+    xtuml_prop::run("logic_algebra", |g| {
+        let (a, b, c) = (logic(g), logic(g), logic(g));
+        assert_eq!(a & b, b & a);
+        assert_eq!(a | b, b | a);
+        assert_eq!((a & b) & c, a & (b & c));
+        assert_eq!((a | b) | c, a | (b | c));
+        assert_eq!(a & a, if a == Logic::Z { Logic::X } else { a });
         if a.is_defined() && b.is_defined() {
-            prop_assert_eq!(!(a & b), !a | !b);
-            prop_assert_eq!(!(a | b), !a & !b);
+            assert_eq!(!(a & b), !a | !b);
+            assert_eq!(!(a | b), !a & !b);
         }
-    }
+    });
+}
 
-    /// The FIFO agrees with a bounded VecDeque reference model under an
-    /// arbitrary push/pop sequence.
-    #[test]
-    fn prop_fifo_matches_reference(
-        depth in 1usize..8,
-        ops in proptest::collection::vec(prop_oneof![(0u32..100).prop_map(Some), Just(None)], 0..64),
-    ) {
+/// The FIFO agrees with a bounded VecDeque reference model under an
+/// arbitrary push/pop sequence.
+#[test]
+fn prop_fifo_matches_reference() {
+    xtuml_prop::run("fifo_matches_reference", |g| {
+        let depth = 1 + g.index(7);
+        let n_ops = g.index(64);
+        let ops: Vec<Option<u32>> = (0..n_ops)
+            .map(|_| {
+                if g.ratio(2, 3) {
+                    Some(g.below(100) as u32)
+                } else {
+                    None
+                }
+            })
+            .collect();
         let mut fifo = SyncFifo::new(depth);
         let mut reference: VecDeque<u32> = VecDeque::new();
         let mut overflows = 0u64;
@@ -83,32 +110,39 @@ proptest! {
                 Some(v) => {
                     let accepted = fifo.push(v);
                     if reference.len() < depth {
-                        prop_assert!(accepted);
+                        assert!(accepted);
                         reference.push_back(v);
                     } else {
-                        prop_assert!(!accepted);
+                        assert!(!accepted);
                         overflows += 1;
                     }
                 }
                 None => {
-                    prop_assert_eq!(fifo.pop(), reference.pop_front());
+                    assert_eq!(fifo.pop(), reference.pop_front());
                 }
             }
-            prop_assert_eq!(fifo.len(), reference.len());
-            prop_assert_eq!(fifo.is_empty(), reference.is_empty());
-            prop_assert_eq!(fifo.is_full(), reference.len() == depth);
-            prop_assert_eq!(fifo.front(), reference.front());
+            assert_eq!(fifo.len(), reference.len());
+            assert_eq!(fifo.is_empty(), reference.is_empty());
+            assert_eq!(fifo.is_full(), reference.len() == depth);
+            assert_eq!(fifo.front(), reference.front());
         }
-        prop_assert_eq!(fifo.overflows(), overflows);
-    }
+        assert_eq!(fifo.overflows(), overflows);
+    });
+}
 
-    /// A clocked counter in the kernel counts exactly the cycles run,
-    /// regardless of how the run is split into segments.
-    #[test]
-    fn prop_kernel_counter_counts_cycles(segments in proptest::collection::vec(0u64..20, 1..6)) {
-        struct Counter { clk: SignalId, q: SignalId }
+/// A clocked counter in the kernel counts exactly the cycles run,
+/// regardless of how the run is split into segments.
+#[test]
+fn prop_kernel_counter_counts_cycles() {
+    xtuml_prop::run("kernel_counter_counts_cycles", |g| {
+        struct Counter {
+            clk: SignalId,
+            q: SignalId,
+        }
         impl Process for Counter {
-            fn sensitivity(&self) -> Vec<SignalId> { vec![self.clk] }
+            fn sensitivity(&self) -> Vec<SignalId> {
+                vec![self.clk]
+            }
             fn eval(&mut self, ctx: &mut SignalCtx<'_>) {
                 if ctx.rising_edge(self.clk) {
                     let q = ctx.read(self.q).to_u64().unwrap_or(0);
@@ -116,6 +150,7 @@ proptest! {
                 }
             }
         }
+        let segments: Vec<u64> = (0..1 + g.index(5)).map(|_| g.below(20)).collect();
         let mut k = RtlKernel::new();
         let clk = k.clock();
         let q = k.add_signal("q", LogicVector::zeros(32));
@@ -124,16 +159,19 @@ proptest! {
         for n in segments {
             k.run_cycles(n).unwrap();
             total += n;
-            prop_assert_eq!(k.peek(q).to_u64(), Some(total & 0xFFFF_FFFF));
-            prop_assert_eq!(k.cycle(), total);
+            assert_eq!(k.peek(q).to_u64(), Some(total & 0xFFFF_FFFF));
+            assert_eq!(k.cycle(), total);
         }
-    }
+    });
+}
 
-    /// Resolution forms a commutative monoid with identity Z.
-    #[test]
-    fn prop_resolution_monoid(a in logic(), b in logic()) {
-        prop_assert_eq!(a.resolve(Logic::Z), a);
-        prop_assert_eq!(Logic::Z.resolve(a), a);
-        prop_assert_eq!(a.resolve(b), b.resolve(a));
-    }
+/// Resolution forms a commutative monoid with identity Z.
+#[test]
+fn prop_resolution_monoid() {
+    xtuml_prop::run("resolution_monoid", |g| {
+        let (a, b) = (logic(g), logic(g));
+        assert_eq!(a.resolve(Logic::Z), a);
+        assert_eq!(Logic::Z.resolve(a), a);
+        assert_eq!(a.resolve(b), b.resolve(a));
+    });
 }

@@ -1,16 +1,18 @@
 //! Property tests for the software-runtime substrate: the scheduler
 //! against a sort-based reference, the timer wheel against a reference
 //! ordering, and CPU time conversion laws.
+//!
+//! Runs offline on the in-repo `xtuml-prop` harness; reproduce a failure
+//! with the `XTUML_PROP_SEED` value printed on panic.
 
-use proptest::prelude::*;
+use xtuml_prop::Gen;
 use xtuml_swrt::{Cpu, Scheduler, TimerWheel};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// Drain order equals the stable sort of (priority, enqueue index).
-    #[test]
-    fn prop_scheduler_matches_stable_sort(jobs in proptest::collection::vec(0u8..5, 0..50)) {
+/// Drain order equals the stable sort of (priority, enqueue index).
+#[test]
+fn prop_scheduler_matches_stable_sort() {
+    xtuml_prop::run("scheduler_matches_stable_sort", |g| {
+        let jobs: Vec<u8> = (0..g.index(50)).map(|_| g.below(5) as u8).collect();
         let mut sched = Scheduler::new();
         for (i, prio) in jobs.iter().enumerate() {
             sched.post(*prio, i);
@@ -20,17 +22,26 @@ proptest! {
             jobs.iter().enumerate().map(|(i, p)| (*p, i)).collect();
         expected.sort_by_key(|(p, i)| (*p, *i)); // stable by construction
         let expected: Vec<usize> = expected.into_iter().map(|(_, i)| i).collect();
-        prop_assert_eq!(drained, expected);
-        prop_assert!(sched.is_empty());
-        prop_assert_eq!(sched.max_backlog(), jobs.len());
-    }
+        assert_eq!(drained, expected);
+        assert!(sched.is_empty());
+        assert_eq!(sched.max_backlog(), jobs.len());
+    });
+}
 
-    /// Interleaved post/pop keeps counts consistent and never pops a
-    /// lower-urgency job while a higher-urgency one waits.
-    #[test]
-    fn prop_scheduler_priority_invariant(
-        ops in proptest::collection::vec(prop_oneof![(0u8..4).prop_map(Some), Just(None)], 0..60),
-    ) {
+/// Interleaved post/pop keeps counts consistent and never pops a
+/// lower-urgency job while a higher-urgency one waits.
+#[test]
+fn prop_scheduler_priority_invariant() {
+    xtuml_prop::run("scheduler_priority_invariant", |g| {
+        let ops: Vec<Option<u8>> = (0..g.index(60))
+            .map(|_| {
+                if g.ratio(2, 3) {
+                    Some(g.below(4) as u8)
+                } else {
+                    None
+                }
+            })
+            .collect();
         let mut sched = Scheduler::new();
         let mut pending: Vec<u8> = Vec::new();
         for op in ops {
@@ -42,27 +53,28 @@ proptest! {
                 None => {
                     let popped = sched.pop();
                     match popped {
-                        None => prop_assert!(pending.is_empty()),
+                        None => assert!(pending.is_empty()),
                         Some(job) => {
                             let min = *pending.iter().min().unwrap();
-                            prop_assert_eq!(job.priority, min);
+                            assert_eq!(job.priority, min);
                             let idx = pending.iter().position(|p| *p == min).unwrap();
                             pending.remove(idx);
                         }
                     }
                 }
             }
-            prop_assert_eq!(sched.len(), pending.len());
+            assert_eq!(sched.len(), pending.len());
         }
-    }
+    });
+}
 
-    /// The timer wheel releases exactly the due set, ordered by
-    /// (deadline, arm order), and never loses a timer.
-    #[test]
-    fn prop_timer_wheel_release_order(
-        arms in proptest::collection::vec(0u64..50, 0..40),
-        cut in 0u64..60,
-    ) {
+/// The timer wheel releases exactly the due set, ordered by (deadline,
+/// arm order), and never loses a timer.
+#[test]
+fn prop_timer_wheel_release_order() {
+    xtuml_prop::run("timer_wheel_release_order", |g| {
+        let arms: Vec<u64> = (0..g.index(40)).map(|_| g.below(50)).collect();
+        let cut = g.below(60);
         let mut wheel = TimerWheel::new();
         for (i, d) in arms.iter().enumerate() {
             wheel.arm(*d, (*d, i));
@@ -76,25 +88,28 @@ proptest! {
             .collect();
         expected.sort();
         let expected_len = expected.len();
-        prop_assert_eq!(due, expected);
-        prop_assert_eq!(wheel.len(), arms.iter().filter(|d| **d > cut).count());
+        assert_eq!(due, expected);
+        assert_eq!(wheel.len(), arms.iter().filter(|d| **d > cut).count());
         // Everything else releases at the horizon.
         let rest = wheel.pop_due(u64::MAX);
-        prop_assert_eq!(rest.len() + expected_len, arms.len());
-        prop_assert!(wheel.is_empty());
-    }
+        assert_eq!(rest.len() + expected_len, arms.len());
+        assert!(wheel.is_empty());
+    });
+}
 
-    /// Cycle→time conversion is monotone and consistent with the clock
-    /// rate.
-    #[test]
-    fn prop_cpu_time_conversion(khz in 1u64..1_000_000, cycles in 0u64..1_000_000) {
+/// Cycle→time conversion is monotone and consistent with the clock rate.
+#[test]
+fn prop_cpu_time_conversion() {
+    xtuml_prop::run("cpu_time_conversion", |g| {
+        let khz = 1 + g.below(999_999);
+        let cycles = g.below(1_000_000);
         let mut cpu = Cpu::new(khz);
         cpu.consume(cycles);
-        prop_assert_eq!(cpu.cycles(), cycles);
-        prop_assert_eq!(cpu.micros(), cycles * 1000 / khz);
-        prop_assert_eq!(cpu.cycles_to_micros(cycles), cpu.micros());
+        assert_eq!(cpu.cycles(), cycles);
+        assert_eq!(cpu.micros(), cycles * 1000 / khz);
+        assert_eq!(cpu.cycles_to_micros(cycles), cpu.micros());
         let before = cpu.micros();
         cpu.consume(khz); // one more millisecond of work
-        prop_assert!(cpu.micros() >= before);
-    }
+        assert!(cpu.micros() >= before);
+    });
 }

@@ -23,6 +23,6 @@ pub mod equivalence;
 pub mod harness;
 pub mod testcase;
 
-pub use equivalence::{check_equivalence, EquivReport};
+pub use equivalence::{check_equivalence, Divergence, EquivReport};
 pub use harness::{check_expectations, explore_seeds, run_compiled, run_model, verify_partition};
 pub use testcase::{Expectation, TestCase};

@@ -1,0 +1,142 @@
+//! Edge cases for [`xtuml_verify::check_equivalence`].
+//!
+//! The per-actor comparison is the conformance fuzzer's primary oracle,
+//! so its corners are pinned here: empty traces, actors that exist on
+//! only one side, the exact scope of cross-actor interleaving freedom,
+//! and the index arithmetic of in-actor reorders.
+
+use xtuml_core::value::Value;
+use xtuml_exec::ObservableEvent;
+use xtuml_verify::check_equivalence;
+
+fn ev(actor: &str, event: &str, args: &[i64]) -> ObservableEvent {
+    ObservableEvent {
+        actor: actor.to_owned(),
+        event: event.to_owned(),
+        args: args.iter().copied().map(Value::Int).collect(),
+    }
+}
+
+#[test]
+fn two_empty_traces_are_equivalent() {
+    let r = check_equivalence(&[], &[]);
+    assert!(r.is_equivalent());
+    assert_eq!(r.compared, 0);
+    assert!(r.divergences.is_empty());
+}
+
+#[test]
+fn empty_versus_nonempty_reports_every_missing_event() {
+    let t = vec![ev("A", "x", &[1]), ev("A", "x", &[2]), ev("B", "y", &[])];
+    let r = check_equivalence(&t, &[]);
+    assert!(!r.is_equivalent());
+    assert_eq!(r.divergences.len(), 3);
+    assert!(r.divergences.iter().all(|d| d.actual.is_none()));
+    // And symmetrically: extra events on the actual side all surface.
+    let r = check_equivalence(&[], &t);
+    assert_eq!(r.divergences.len(), 3);
+    assert!(r.divergences.iter().all(|d| d.expected.is_none()));
+}
+
+#[test]
+fn one_sided_actor_diverges_at_index_zero() {
+    // Both sides agree on actor A; actor B exists only in the expected
+    // trace. The divergence must name B and start at its first event.
+    let exp = vec![ev("A", "x", &[1]), ev("B", "y", &[7])];
+    let act = vec![ev("A", "x", &[1])];
+    let r = check_equivalence(&exp, &act);
+    assert_eq!(r.divergences.len(), 1);
+    let d = &r.divergences[0];
+    assert_eq!(d.actor, "B");
+    assert_eq!(d.index, 0);
+    assert_eq!(d.expected.as_ref().unwrap().event, "y");
+    assert!(d.actual.is_none());
+}
+
+#[test]
+fn interleaving_freedom_spans_many_actors() {
+    // Three actors, fully shuffled global order, identical per-actor
+    // sequences: this is exactly the freedom the model compiler is
+    // granted, so no divergence.
+    let exp = vec![
+        ev("A", "x", &[1]),
+        ev("B", "y", &[1]),
+        ev("C", "z", &[1]),
+        ev("A", "x", &[2]),
+        ev("B", "y", &[2]),
+        ev("C", "z", &[2]),
+    ];
+    let act = vec![
+        ev("C", "z", &[1]),
+        ev("C", "z", &[2]),
+        ev("B", "y", &[1]),
+        ev("A", "x", &[1]),
+        ev("B", "y", &[2]),
+        ev("A", "x", &[2]),
+    ];
+    let r = check_equivalence(&exp, &act);
+    assert!(r.is_equivalent(), "{:?}", r.divergences);
+    assert_eq!(r.compared, 6);
+}
+
+#[test]
+fn interleaving_freedom_does_not_leak_across_actors() {
+    // Swapping two events *between* actors (A gets B's payload and vice
+    // versa) is not interleaving freedom — both actors must diverge.
+    let exp = vec![ev("A", "x", &[1]), ev("B", "x", &[2])];
+    let act = vec![ev("A", "x", &[2]), ev("B", "x", &[1])];
+    let r = check_equivalence(&exp, &act);
+    let mut actors: Vec<&str> = r.divergences.iter().map(|d| d.actor.as_str()).collect();
+    actors.sort_unstable();
+    assert_eq!(actors, ["A", "B"]);
+}
+
+/// Regression test: a deliberate reorder of one adjacent pair inside a
+/// single actor's sequence is reported at exactly the indices of that
+/// pair — earlier and later events must not produce noise divergences.
+#[test]
+fn single_in_actor_reorder_is_reported_at_the_right_index() {
+    let exp = vec![
+        ev("A", "x", &[0]),
+        ev("A", "x", &[1]),
+        ev("A", "x", &[2]),
+        ev("A", "x", &[3]),
+        ev("B", "y", &[9]),
+    ];
+    // Same trace with A[1] and A[2] swapped.
+    let act = vec![
+        ev("A", "x", &[0]),
+        ev("A", "x", &[2]),
+        ev("A", "x", &[1]),
+        ev("A", "x", &[3]),
+        ev("B", "y", &[9]),
+    ];
+    let r = check_equivalence(&exp, &act);
+    assert!(!r.is_equivalent());
+    assert_eq!(r.divergences.len(), 2, "{:?}", r.divergences);
+    assert_eq!(r.divergences[0].actor, "A");
+    assert_eq!(r.divergences[0].index, 1);
+    assert_eq!(
+        r.divergences[0].expected.as_ref().unwrap().args[0],
+        Value::Int(1)
+    );
+    assert_eq!(
+        r.divergences[0].actual.as_ref().unwrap().args[0],
+        Value::Int(2)
+    );
+    assert_eq!(r.divergences[1].index, 2);
+    // The untouched prefix, suffix and actor B contribute no divergences.
+    assert_eq!(r.compared, 5);
+}
+
+#[test]
+fn event_name_mismatch_with_equal_args_diverges() {
+    let exp = vec![ev("A", "ping", &[1])];
+    let act = vec![ev("A", "pong", &[1])];
+    let r = check_equivalence(&exp, &act);
+    assert_eq!(r.divergences.len(), 1);
+    assert_eq!(
+        r.divergences[0].to_string(),
+        "actor A[0]: expected A.ping(1), got A.pong(1)"
+    );
+}

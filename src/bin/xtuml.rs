@@ -11,7 +11,8 @@ fn usage() -> String {
      \x20 xtuml print     <model.xtuml>\n\
      \x20 xtuml interface <model.xtuml> <marks.marks>\n\
      \x20 xtuml compile   <model.xtuml> <marks.marks> [out_dir]\n\
-     \x20 xtuml run       <model.xtuml> <script.stim>\n"
+     \x20 xtuml run       <model.xtuml> <script.stim>\n\
+     \x20 xtuml fuzz      [--seeds N] [--start S] [--shrink] [--corpus DIR]\n"
         .to_owned()
 }
 
@@ -98,6 +99,53 @@ fn real_main() -> Result<(), String> {
                 "{}",
                 cli::cmd_run(&model, &script).map_err(|e| e.to_string())?
             );
+        }
+        Some("fuzz") => {
+            let mut opts = cli::FuzzOptions::default();
+            let mut corpus_dir: Option<&str> = None;
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--seeds" => {
+                        opts.seeds = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .ok_or("--seeds takes a count")?;
+                    }
+                    "--start" => {
+                        opts.start = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .ok_or("--start takes a seed")?;
+                    }
+                    "--shrink" => opts.shrink = true,
+                    "--corpus" => {
+                        corpus_dir = Some(rest.next().ok_or("--corpus takes a directory")?);
+                    }
+                    // Self-test hook: inject a scheduler fault so the
+                    // oracle itself can be exercised end to end.
+                    "--ablate" => {
+                        opts.ablation = xtuml::fuzz::Ablation::parse(
+                            rest.next().ok_or("--ablate takes a fault name")?,
+                        )?;
+                    }
+                    flag => return Err(format!("unknown flag `{flag}`\n{}", usage())),
+                }
+            }
+            let (report, entries, ok) = cli::cmd_fuzz(&opts).map_err(|e| e.to_string())?;
+            print!("{report}");
+            if let Some(dir) = corpus_dir {
+                for e in &entries {
+                    let written = xtuml::fuzz::write_entry(std::path::Path::new(dir), e)
+                        .map_err(|e| format!("cannot write corpus: {e}"))?;
+                    for path in written {
+                        println!("wrote {}", path.display());
+                    }
+                }
+            }
+            if !ok {
+                return Err(String::new());
+            }
         }
         _ => return Err(usage()),
     }

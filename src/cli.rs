@@ -13,7 +13,13 @@
 //! * `compile <model.xtuml> <marks.marks> [out_dir]` — run the model
 //!   compiler and write `<domain>.c` / `<domain>.vhd`;
 //! * `run <model.xtuml> <script.stim>` — execute a stimulus script
-//!   against the abstract model and print the observable trace.
+//!   against the abstract model and print the observable trace;
+//! * `fuzz [--seeds N] [--start S] [--shrink] [--corpus DIR]` — run the
+//!   conformance fuzzer: generated models are executed on the reference
+//!   interpreter, the model interpreter and the partitioned cosim, and
+//!   their observable traces must agree (see `xtuml_fuzz`). The
+//!   undocumented `--ablate pair-order` flag injects a scheduler fault
+//!   for self-testing the oracle.
 //!
 //! The stimulus script format is line-oriented:
 //!
@@ -237,6 +243,10 @@ pub fn cmd_lint(
     }
 
     levels.apply(&mut diags);
+    // Pin implicit attributions to the model file before sorting, so the
+    // finding order is a pure function of (rendered file, span, code) —
+    // not of which analysis pass happened to produce each diagnostic.
+    diags.resolve_files(model_file);
     diags.sort();
     let deny_hit = diags.has_errors();
     let rendered = match opts.format {
@@ -374,6 +384,62 @@ pub fn cmd_run(model_src: &str, script_src: &str) -> Result<String, CliError> {
         let _ = writeln!(out, "{ev}");
     }
     Ok(out)
+}
+
+/// Options for [`cmd_fuzz`], mirroring the `fuzz` subcommand's flags.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Number of seeds to run (`--seeds N`).
+    pub seeds: u64,
+    /// First seed (`--start S`).
+    pub start: u64,
+    /// Minimize failing cases before reporting (`--shrink`).
+    pub shrink: bool,
+    /// Injected scheduler fault (`--ablate pair-order`, self-test only).
+    pub ablation: xtuml_fuzz::Ablation,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions {
+            seeds: 100,
+            start: 0,
+            shrink: false,
+            ablation: xtuml_fuzz::Ablation::None,
+        }
+    }
+}
+
+/// `fuzz`: run a differential-conformance fuzzing campaign.
+///
+/// Returns the rendered report, the corpus entries for every failing
+/// case that can be serialized (minimized when `--shrink` was given),
+/// and a flag that is `true` when the campaign was clean — the binary
+/// turns that flag into the exit code and writes the entries under
+/// `--corpus DIR`.
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` mirrors the other subcommands.
+pub fn cmd_fuzz(
+    opts: &FuzzOptions,
+) -> Result<(String, Vec<xtuml_fuzz::CorpusEntry>, bool), CliError> {
+    let cfg = xtuml_fuzz::FuzzConfig {
+        start: opts.start,
+        count: opts.seeds,
+        shrink: opts.shrink,
+        ablation: opts.ablation,
+    };
+    let report = xtuml_fuzz::fuzz(&cfg);
+    let mut entries = Vec::new();
+    for f in &report.failures {
+        // A spec whose failure *is* the lowering can't be serialized;
+        // the rendered report still names the seed.
+        if let Ok(e) = xtuml_fuzz::entry(&f.spec, &format!("seed{}", f.seed)) {
+            entries.push(e);
+        }
+    }
+    Ok((report.render(), entries, report.ok()))
 }
 
 fn parse_arg(word: &str) -> Result<Value, String> {

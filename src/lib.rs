@@ -4,6 +4,7 @@
 pub use xtuml_core as core;
 pub use xtuml_cosim as cosim;
 pub use xtuml_exec as exec;
+pub use xtuml_fuzz as fuzz;
 pub use xtuml_lang as lang;
 pub use xtuml_mda as mda;
 pub use xtuml_rtl as rtl;

@@ -117,6 +117,43 @@ fn dead_json_matches_golden() {
     assert_eq!(out, include_str!("golden/dead.json"));
 }
 
+/// Pins the `--format json` finding order for a *multi-file* lint run.
+///
+/// Findings are sorted by (rendered file, span, code): the mark-file
+/// findings group together, then the model-file findings, regardless of
+/// which analysis pass produced each diagnostic. This golden is the
+/// regression test for implicit (`file: None`) attributions sorting
+/// differently from explicit ones.
+#[test]
+fn marked_json_matches_golden() {
+    let opts = LintOptions {
+        format: LintFormat::Json,
+        ..LintOptions::default()
+    };
+    let (out, deny_hit) = lint(
+        "models/lints/marked.xtuml",
+        include_str!("../models/lints/marked.xtuml"),
+        Some((
+            "models/lints/marked.marks",
+            include_str!("../models/lints/marked.marks"),
+        )),
+        &opts,
+    );
+    assert_eq!(out, include_str!("golden/marked.json"));
+    assert!(deny_hit);
+    // The order is a pure function of the inputs: byte-stable across runs.
+    let (again, _) = lint(
+        "models/lints/marked.xtuml",
+        include_str!("../models/lints/marked.xtuml"),
+        Some((
+            "models/lints/marked.marks",
+            include_str!("../models/lints/marked.marks"),
+        )),
+        &opts,
+    );
+    assert_eq!(out, again);
+}
+
 #[test]
 fn deny_all_promotes_fixture_warnings_to_failures() {
     let opts = LintOptions {

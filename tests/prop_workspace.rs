@@ -1,21 +1,24 @@
 //! Workspace-level property tests: random models and random partitions
 //! preserve behaviour; the textual format round-trips; the mark algebra
 //! behaves.
+//!
+//! Runs offline on the in-repo `xtuml-prop` harness; reproduce a failure
+//! with the `XTUML_PROP_SEED` value printed on panic.
 
-use proptest::prelude::*;
 use xtuml::core::builder::pipeline_domain;
 use xtuml::core::marks::{ElemRef, MarkSet, MarkValue};
 use xtuml::exec::SchedPolicy;
 use xtuml::lang::{parse_domain, print_domain};
 use xtuml::verify::{check_equivalence, run_model, verify_partition, TestCase};
+use xtuml_prop::Gen;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any partition of any small pipeline preserves observable behaviour.
-    #[test]
-    fn prop_partition_invariance(stages in 1usize..5, mask in 0u32..32, feeds in 1usize..5) {
-        let mask = mask & ((1 << stages) - 1);
+/// Any partition of any small pipeline preserves observable behaviour.
+#[test]
+fn prop_partition_invariance() {
+    xtuml_prop::run_with("partition_invariance", xtuml_prop::DEFAULT_BASE, 24, |g| {
+        let stages = g.int_in(1, 4) as usize;
+        let mask = g.below(32) as u32 & ((1 << stages) - 1);
+        let feeds = g.int_in(1, 4) as usize;
         let domain = pipeline_domain(stages).unwrap();
         let tc = TestCase::pipeline(stages, feeds);
         let mut marks = MarkSet::new();
@@ -25,63 +28,73 @@ proptest! {
             }
         }
         let report = verify_partition(&domain, &marks, &tc).unwrap();
-        prop_assert!(report.is_equivalent(), "{:?}", report.divergences);
-    }
+        assert!(report.is_equivalent(), "{:?}", report.divergences);
+    });
+}
 
-    /// The model interpreter is deterministic per seed and confluent for
-    /// the pipeline across seeds.
-    #[test]
-    fn prop_seed_determinism(stages in 1usize..5, feeds in 1usize..6, seed in 0u64..1000) {
+/// The model interpreter is deterministic per seed and confluent for the
+/// pipeline across seeds.
+#[test]
+fn prop_seed_determinism() {
+    xtuml_prop::run("seed_determinism", |g| {
+        let stages = g.int_in(1, 4) as usize;
+        let feeds = g.int_in(1, 5) as usize;
+        let seed = g.below(1000);
         let domain = pipeline_domain(stages).unwrap();
         let tc = TestCase::pipeline(stages, feeds);
         let a = run_model(&domain, SchedPolicy::seeded(seed), &tc).unwrap();
         let b = run_model(&domain, SchedPolicy::seeded(seed), &tc).unwrap();
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         let c = run_model(&domain, SchedPolicy::seeded(seed.wrapping_add(1)), &tc).unwrap();
-        prop_assert!(check_equivalence(&a, &c).is_equivalent());
-    }
+        assert!(check_equivalence(&a, &c).is_equivalent());
+    });
+}
 
-    /// Printing any generated pipeline model and reparsing yields the
-    /// same model.
-    #[test]
-    fn prop_model_print_parse_roundtrip(stages in 1usize..7) {
+/// Printing any generated pipeline model and reparsing yields the same
+/// model.
+#[test]
+fn prop_model_print_parse_roundtrip() {
+    xtuml_prop::run("model_print_parse_roundtrip", |g| {
+        let stages = g.int_in(1, 6) as usize;
         let domain = pipeline_domain(stages).unwrap();
         let printed = print_domain(&domain);
         let reparsed = parse_domain(&printed).unwrap();
-        prop_assert_eq!(domain, reparsed);
-    }
+        assert_eq!(domain, reparsed);
+    });
+}
 
-    /// Mark-set diff is a metric-like edit distance: zero iff equal,
-    /// symmetric.
-    #[test]
-    fn prop_markset_diff(
-        keys in proptest::collection::vec("[a-z]{1,6}", 0..6),
-        vals in proptest::collection::vec(-5i64..5, 0..6),
-    ) {
+/// Mark-set diff is a metric-like edit distance: zero iff equal,
+/// symmetric.
+#[test]
+fn prop_markset_diff() {
+    xtuml_prop::run("markset_diff", |g| {
+        let n = g.index(6);
+        let keys: Vec<String> = (0..n).map(|_| g.ident(6)).collect();
+        let vals: Vec<i64> = (0..n).map(|_| g.int_in(-5, 4)).collect();
         let mut a = MarkSet::new();
         for (k, v) in keys.iter().zip(&vals) {
             a.set(ElemRef::class("C"), k.clone(), MarkValue::Int(*v));
         }
         let b = a.clone();
-        prop_assert_eq!(a.diff_count(&b), 0);
+        assert_eq!(a.diff_count(&b), 0);
         let mut c = a.clone();
-        c.set(ElemRef::class("C"), "extra", true);
-        prop_assert_eq!(a.diff_count(&c), 1);
-        prop_assert_eq!(c.diff_count(&a), 1);
-    }
+        c.set(ElemRef::class("C"), "zzextra", true);
+        assert_eq!(a.diff_count(&c), 1);
+        assert_eq!(c.diff_count(&a), 1);
+    });
+}
 
-    /// Injecting the same stimuli in any order produces the same model
-    /// trace (stimuli are time-sorted internally).
-    #[test]
-    fn prop_stimulus_order_irrelevant(perm_seed in 0u64..100) {
+/// Injecting the same stimuli in any order produces the same model trace
+/// (stimuli are time-sorted internally).
+#[test]
+fn prop_stimulus_order_irrelevant() {
+    xtuml_prop::run("stimulus_order_irrelevant", |g| {
         let domain = pipeline_domain(2).unwrap();
         let mut tc1 = TestCase::pipeline(2, 0);
         let mut times: Vec<u64> = (0..5).collect();
-        // Deterministic permutation from the seed.
-        let mut s = perm_seed;
+        // Fisher-Yates with harness randomness.
         for i in (1..times.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (s >> 33) as usize % (i + 1);
+            let j = g.index(i + 1);
             times.swap(i, j);
         }
         for t in &times {
@@ -93,6 +106,6 @@ proptest! {
         }
         let a = run_model(&domain, SchedPolicy::default(), &tc1).unwrap();
         let b = run_model(&domain, SchedPolicy::default(), &tc2).unwrap();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }
