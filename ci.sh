@@ -32,3 +32,41 @@ cargo run --quiet --release -- fuzz --seeds 200 > target/fuzz-smoke-1.txt
 cargo run --quiet --release -- fuzz --seeds 200 > target/fuzz-smoke-2.txt
 cmp target/fuzz-smoke-1.txt target/fuzz-smoke-2.txt
 grep -q 'divergences      : 0' target/fuzz-smoke-1.txt
+
+# Parallel-determinism gate: the sharded engine's contract is that the
+# worker count never changes the output. The dedicated suites prove it
+# at the engine and CLI layers; the smoke below re-proves it end to end
+# on a shipped model (`--shards` pins the schedule while `--jobs`
+# varies), and the fuzz sweep must render the same report parallel as
+# serial.
+cargo test -q --release -p xtuml-pool
+cargo test -q --release -p xtuml-exec --test parallel
+cargo test -q --release --test parallel_determinism
+cargo run --quiet --release -- run models/doorbell.xtuml models/doorbell.stim \
+    --shards 4 --jobs 1 > target/run-par-1.txt
+cargo run --quiet --release -- run models/doorbell.xtuml models/doorbell.stim \
+    --shards 4 --jobs 2 > target/run-par-2.txt
+cmp target/run-par-1.txt target/run-par-2.txt
+cargo run --quiet --release -- fuzz --seeds 200 --jobs 4 > target/fuzz-smoke-par.txt
+cmp target/fuzz-smoke-1.txt target/fuzz-smoke-par.txt
+
+# Scaling-bench gate: smoke-run the jobs sweep at 1 and 2 workers (the
+# binary itself byte-compares the traces before trusting any timing),
+# then fail on a >10% aggregate throughput regression against the
+# checked-in baseline.
+( cd target && BENCH_ITERS=1 BENCH_JOBS=1,2 cargo run --quiet --release \
+    -p xtuml-bench --bin scaling )
+if [ -f BENCH_parallel.baseline.json ]; then
+    cp BENCH_parallel.baseline.json target/
+    ( cd target && BENCH_ITERS=3 cargo run --quiet --release \
+        -p xtuml-bench --bin scaling )
+    awk '
+        /"aggregate_signals_per_sec"/  { cur = $2 + 0 }
+        /"baseline_signals_per_sec"/   { base = $2 + 0 }
+        END {
+            if (base <= 0) { print "no baseline rate parsed"; exit 1 }
+            ratio = cur / base
+            printf "parallel bench: %.0f vs baseline %.0f (%.2fx)\n", cur, base, ratio
+            if (ratio < 0.9) { print "FAIL: >10% regression"; exit 1 }
+        }' target/BENCH_parallel.json
+fi

@@ -1,0 +1,167 @@
+//! Self-timed parallel-scaling harness (no criterion needed).
+//!
+//! Runs the E8 many-core workload — `CORES` independent state machines
+//! each self-ticking a countdown of `WORK` events — on the sharded
+//! engine at a fixed shard count and sweeps the worker count over
+//! jobs ∈ {1, 2, 4, 8}. Because the trace is a pure function of
+//! `(seed, shards)`, every sweep point must produce byte-identical
+//! traces; the harness asserts this before trusting any timing.
+//!
+//! Results go to `BENCH_parallel.json` in the current directory, and an
+//! aggregate line is appended to `BENCH_history.jsonl`. If a
+//! `BENCH_parallel.baseline.json` (a prior run of this harness) is
+//! present, the report also includes the speedup against it.
+//!
+//! Usage: `cargo run --release -p xtuml-bench --bin scaling`
+//!
+//! `BENCH_ITERS=<n>` overrides the per-point iteration count (default 3);
+//! `BENCH_JOBS=<j1,j2,...>` overrides the sweep points.
+
+use std::time::Instant;
+use xtuml_bench::history;
+use xtuml_bench::workloads::manycore_domain;
+use xtuml_core::model::Domain;
+use xtuml_core::value::Value;
+use xtuml_exec::{SchedPolicy, ShardedSimulation};
+
+/// Shard count is pinned so the schedule (and thus the trace) is the
+/// same at every sweep point; only the worker count varies.
+const SHARDS: usize = 8;
+const CORES: usize = 64;
+const WORK: i64 = 512;
+
+struct Row {
+    jobs: usize,
+    signals: u64,
+    best_secs: f64,
+    signals_per_sec: f64,
+    speedup: f64,
+    efficiency: f64,
+}
+
+/// One run at `jobs` workers: returns (dispatches, wall secs, trace).
+fn run_once(domain: &Domain, jobs: usize) -> (u64, f64, String) {
+    let policy = SchedPolicy::seeded(0).with_shards(SHARDS);
+    let mut sim = ShardedSimulation::with_policy(domain, policy);
+    let insts: Vec<_> = (0..CORES)
+        .map(|k| sim.create(&format!("Core{k}")).expect("create core"))
+        .collect();
+    for (k, inst) in insts.iter().enumerate() {
+        sim.inject(0, *inst, "Tick", vec![Value::Int(WORK + (k % 7) as i64)])
+            .expect("inject tick");
+    }
+    let start = Instant::now();
+    sim.run_to_quiescence(jobs).expect("run to quiescence");
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        sim.trace().dispatch_count() as u64,
+        elapsed,
+        sim.trace().render(domain),
+    )
+}
+
+fn main() {
+    let iters: u32 = std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let sweep: Vec<usize> = std::env::var("BENCH_JOBS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(|j| j.trim().parse().expect("BENCH_JOBS takes integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let hw_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let domain = manycore_domain(CORES);
+
+    // Warmup + reference trace from the guaranteed-sequential point.
+    let (signals, _, reference) = run_once(&domain, 1);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &jobs in &sweep {
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let (s, secs, trace) = run_once(&domain, jobs);
+            assert_eq!(s, signals, "dispatch count must not depend on jobs");
+            assert_eq!(
+                trace, reference,
+                "jobs={jobs} produced a different trace than jobs=1"
+            );
+            if secs < best {
+                best = secs;
+            }
+        }
+        let rate = signals as f64 / best;
+        let speedup = if let Some(base) = rows.first() {
+            rate / base.signals_per_sec
+        } else {
+            1.0
+        };
+        rows.push(Row {
+            jobs,
+            signals,
+            best_secs: best,
+            signals_per_sec: rate,
+            speedup,
+            efficiency: speedup / jobs as f64,
+        });
+    }
+
+    let aggregate = rows
+        .iter()
+        .map(|r| r.signals_per_sec)
+        .fold(f64::MIN, f64::max);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"workload\": \"e8_manycore\",\n");
+    json.push_str(&format!(
+        "  \"shards\": {SHARDS},\n  \"cores\": {CORES},\n  \"work\": {WORK},\n"
+    ));
+    json.push_str(&format!("  \"available_parallelism\": {hw_threads},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"jobs\": {}, \"signals\": {}, \"best_secs\": {:.6}, \"signals_per_sec\": {:.0}, \"speedup\": {:.3}, \"efficiency\": {:.3}}}{}\n",
+            r.jobs,
+            r.signals,
+            r.best_secs,
+            r.signals_per_sec,
+            r.speedup,
+            r.efficiency,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+        println!(
+            "jobs={:<2} signals={:<6} best={:.3}ms  {:>12.0} signals/s  speedup {:.2}x  eff {:.0}%",
+            r.jobs,
+            r.signals,
+            r.best_secs * 1e3,
+            r.signals_per_sec,
+            r.speedup,
+            r.efficiency * 100.0
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"aggregate_signals_per_sec\": {aggregate:.0}"));
+
+    if let Ok(base) = std::fs::read_to_string("BENCH_parallel.baseline.json") {
+        if let Some(rate) = history::aggregate_rate(&base) {
+            let speedup = aggregate / rate;
+            json.push_str(&format!(
+                ",\n  \"baseline_signals_per_sec\": {rate:.0},\n  \"speedup_vs_baseline\": {speedup:.2}"
+            ));
+            println!("aggregate: {aggregate:.0} signals/s ({speedup:.2}x vs baseline {rate:.0})");
+        }
+    } else {
+        println!("aggregate: {aggregate:.0} signals/s (no baseline file)");
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
+    history::append("BENCH_history.jsonl", "parallel_scaling", aggregate)
+        .expect("append BENCH_history.jsonl");
+}

@@ -13,6 +13,7 @@
 //! large values give profilers enough samples to be useful.
 
 use std::time::Instant;
+use xtuml_bench::history;
 use xtuml_bench::workloads::pipeline_domain;
 use xtuml_core::value::Value;
 use xtuml_exec::Simulation;
@@ -74,18 +75,6 @@ fn measure(cfg: &Config) -> Row {
     }
 }
 
-/// Extracts `"signals_per_sec": <number>` from a baseline JSON previously
-/// written by this harness (enough of a parser for our own output).
-fn baseline_rate(json: &str) -> Option<f64> {
-    let key = "\"aggregate_signals_per_sec\":";
-    let at = json.find(key)? + key.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn main() {
     let iters: u32 = std::env::var("BENCH_ITERS")
         .ok()
@@ -139,7 +128,7 @@ fn main() {
     json.push_str(&format!("  \"aggregate_signals_per_sec\": {aggregate:.0}"));
 
     if let Ok(base) = std::fs::read_to_string("BENCH_interp.baseline.json") {
-        if let Some(rate) = baseline_rate(&base) {
+        if let Some(rate) = history::aggregate_rate(&base) {
             let speedup = aggregate / rate;
             json.push_str(&format!(
                 ",\n  \"baseline_signals_per_sec\": {rate:.0},\n  \"speedup_vs_baseline\": {speedup:.2}"
@@ -152,4 +141,6 @@ fn main() {
     json.push_str("\n}\n");
 
     std::fs::write("BENCH_interp.json", json).expect("write BENCH_interp.json");
+    history::append("BENCH_history.jsonl", "interp_throughput", aggregate)
+        .expect("append BENCH_history.jsonl");
 }

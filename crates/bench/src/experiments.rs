@@ -279,7 +279,7 @@ pub fn e5_causality(seeds: u64, burst: usize) -> Table {
                 seed,
                 self_priority,
                 pair_order,
-                strict: true,
+                ..SchedPolicy::default()
             };
             let mut sim = Simulation::with_policy(&domain, policy);
             let _recv = sim.create("Recv").expect("create");

@@ -1,0 +1,72 @@
+//! Append-only benchmark history, shared by the self-timed binaries.
+//!
+//! Every harness run appends exactly one line of JSON to
+//! `BENCH_history.jsonl` — `{bench, unix_secs, aggregate_signals_per_sec}`
+//! — so regressions can be bisected across commits without diffing the
+//! per-run report files (which each run overwrites).
+
+use std::io::Write as _;
+
+/// Appends one history line for `bench` with the given aggregate rate.
+/// Creates the file on first use; never truncates.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from opening or writing the file.
+pub fn append(path: &str, bench: &str, aggregate_signals_per_sec: f64) -> std::io::Result<()> {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        f,
+        "{{\"bench\": \"{bench}\", \"unix_secs\": {unix_secs}, \"aggregate_signals_per_sec\": {aggregate_signals_per_sec:.0}}}"
+    )
+}
+
+/// Extracts `"aggregate_signals_per_sec": <number>` from a report JSON
+/// previously written by one of the harnesses (enough of a parser for our
+/// own output).
+#[must_use]
+pub fn aggregate_rate(json: &str) -> Option<f64> {
+    let key = "\"aggregate_signals_per_sec\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_rate_parses_our_own_output() {
+        let json = "{\n  \"rows\": [],\n  \"aggregate_signals_per_sec\": 123456\n}\n";
+        assert_eq!(aggregate_rate(json), Some(123456.0));
+        assert_eq!(aggregate_rate("{}"), None);
+    }
+
+    #[test]
+    fn append_is_append_only() {
+        let dir = std::env::temp_dir().join("xtuml-bench-history-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.jsonl");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        append(path, "a", 10.0).unwrap();
+        append(path, "b", 20.0).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\": \"a\""));
+        assert!(lines[1].contains("\"aggregate_signals_per_sec\": 20"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod experiments;
+pub mod history;
 pub mod report;
 pub mod workloads;
 

@@ -7,7 +7,10 @@
 //! * **fan-out** — one dispatcher broadcasting to `n` workers that each
 //!   report to a collector (stress for signal fan-out and the scheduler);
 //! * **ring** — `n` nodes passing a decrementing token around a ring
-//!   (long causal chains; every hop is a potential boundary crossing).
+//!   (long causal chains; every hop is a potential boundary crossing);
+//! * **many-core** — `n` independent cores each crunching a self-ticked
+//!   countdown (shard-safe by construction; the scaling workload for the
+//!   parallel engine, where every core can run on a different worker).
 
 pub use xtuml_core::builder::pipeline_domain;
 use xtuml_core::builder::DomainBuilder;
@@ -157,6 +160,54 @@ pub fn ring_domain(nodes: usize) -> Domain {
     b.build().expect("ring generator emits valid models")
 }
 
+/// Builds the many-core domain: `cores` unconnected `Core{k}` machines.
+/// Each `Tick(v)` folds `v` into a per-core accumulator and self-sends
+/// `Tick(v - 1)` until the countdown hits zero, then reports the
+/// accumulator to `SINK`. No core touches another's state, so the model
+/// passes the shard-safety analysis and scales embarrassingly.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn manycore_domain(cores: usize) -> Domain {
+    assert!(cores >= 1);
+    let mut b = DomainBuilder::new("manycore");
+    b.actor("SINK").event("out", &[("v", DataType::Int)]);
+    for k in 0..cores {
+        let body = format!(
+            "self.acc = self.acc + rcvd.v * rcvd.v + {k};\n\
+             if (rcvd.v > 0) {{\n\
+                 gen Tick(rcvd.v - 1) to self;\n\
+             }}\n\
+             else {{\n\
+                 gen out(self.acc) to SINK;\n\
+             }}"
+        );
+        b.class(&format!("Core{k}"))
+            .attr("acc", DataType::Int)
+            .event("Tick", &[("v", DataType::Int)])
+            .state("Idle", "")
+            .state("Crunching", &body)
+            .initial("Idle")
+            .transition("Idle", "Tick", "Crunching")
+            .transition("Crunching", "Tick", "Crunching");
+    }
+    b.build().expect("many-core generator emits valid models")
+}
+
+/// A test case for the many-core domain: every core starts a countdown
+/// of `work` ticks at time 0.
+pub fn manycore_case(cores: usize, work: i64) -> TestCase {
+    let mut tc = TestCase::new(&format!("manycore-{cores}x{work}"));
+    for k in 0..cores {
+        tc.create(&format!("Core{k}"));
+    }
+    for k in 0..cores {
+        tc.inject(0, k, "Tick", vec![Value::Int(work)]);
+    }
+    tc
+}
+
 /// A test case for the ring: one token with `hops` hops left.
 pub fn ring_case(nodes: usize, hops: i64) -> TestCase {
     let mut tc = TestCase::new(&format!("ring-{nodes}x{hops}"));
@@ -198,6 +249,19 @@ mod tests {
         assert_eq!(obs.len(), 1);
         // 7 hops from node 0 → token dies at node (0+7) mod 3 = 1.
         assert_eq!(obs[0].args, vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn manycore_is_shard_safe_and_sums_each_countdown() {
+        let d = manycore_domain(6);
+        xtuml_exec::shard_safety(&d).expect("many-core workload must stay shard-safe");
+        let tc = manycore_case(6, 4);
+        let obs = run_model(&d, SchedPolicy::default(), &tc).unwrap();
+        assert_eq!(obs.len(), 6);
+        // Core k reports sum of v^2 for v=4..0 plus k per tick: 30 + 5k.
+        let mut totals: Vec<i64> = obs.iter().map(|o| o.args[0].as_int().unwrap()).collect();
+        totals.sort_unstable();
+        assert_eq!(totals, vec![30, 35, 40, 45, 50, 55]);
     }
 
     #[test]

@@ -52,11 +52,13 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod store;
 pub mod trace;
 
 pub use sched::SchedPolicy;
+pub use shard::{shard_safety, ShardedSimulation};
 pub use sim::Simulation;
 pub use store::ObjectStore;
 pub use trace::{ObservableEvent, Trace, TraceEvent};

@@ -38,9 +38,16 @@ impl SplitMix64 {
     }
 
     /// Uniform value in `0..bound` (bound must be nonzero).
+    ///
+    /// Uses the widening-multiply reduction (Lemire): `⌊x·bound / 2^64⌋`
+    /// maps the full 64-bit range onto `0..bound` with bias below
+    /// `bound/2^64` — immeasurable for any ready-set size — where the old
+    /// `x % bound` visibly over-weighted small values. `xtuml-prop` uses
+    /// the identical reduction, so interleaving selection and test-case
+    /// generation now share one distribution.
     pub fn below(&mut self, bound: usize) -> usize {
         debug_assert!(bound > 0);
-        (self.next_u64() % bound as u64) as usize
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
     }
 }
 
@@ -58,6 +65,12 @@ pub struct SchedPolicy {
     /// Treat an event with no declared transition as an error
     /// ("can't happen"). When `false` such events are dropped and counted.
     pub strict: bool,
+    /// Number of instance shards for the parallel engine. `1` (the
+    /// default) selects the classic sequential schedule. Any value above
+    /// 1 selects the epoch-synchronous sharded schedule — the trace is a
+    /// pure function of `(seed, shards)` and is byte-identical no matter
+    /// how many worker threads (`--jobs`) execute the shards.
+    pub shards: usize,
 }
 
 impl SchedPolicy {
@@ -66,6 +79,14 @@ impl SchedPolicy {
         SchedPolicy {
             seed,
             ..SchedPolicy::default()
+        }
+    }
+
+    /// The same policy with a different shard count (clamped to ≥ 1).
+    pub fn with_shards(self, shards: usize) -> SchedPolicy {
+        SchedPolicy {
+            shards: shards.max(1),
+            ..self
         }
     }
 }
@@ -77,6 +98,7 @@ impl Default for SchedPolicy {
             self_priority: true,
             pair_order: true,
             strict: true,
+            shards: 1,
         }
     }
 }

@@ -1,0 +1,916 @@
+//! Deterministic sharded parallel execution.
+//!
+//! The paper's semantics make parallelism *legal*: instances are
+//! concurrently executing state machines that communicate only by
+//! signals, and each dispatch runs to completion. [`ShardedSimulation`]
+//! exploits that. Instances are partitioned into `policy.shards` shards
+//! by instance id (`id % shards`); execution proceeds in **epochs**:
+//!
+//! 1. due stimuli and timers are delivered into shard queues;
+//! 2. every shard independently runs its local run-to-completion steps
+//!    until it has no ready instance, buffering signals to other shards
+//!    in a per-destination outbox and appending to a shard-local trace;
+//! 3. at the **epoch barrier** the shard traces are concatenated in
+//!    shard-id order, outboxes are routed (source shards in id order,
+//!    each source's signals in send order — so signals between any
+//!    sender–receiver pair stay FIFO), new timers are collected, and
+//!    global time advances by the largest per-shard dispatch count.
+//!
+//! Every choice above is a pure function of the seed and the shard
+//! count: shard `k` schedules with its own PRNG stream derived from
+//! `policy.seed`, and the barrier merge is order-deterministic. The
+//! worker count (`--jobs`) only decides how many shards execute
+//! *concurrently* between barriers — the merged trace is byte-identical
+//! whether the shards run on one thread or eight. `shards == 1`
+//! delegates to the classic sequential [`Simulation`], so the historical
+//! single-seed traces are preserved exactly.
+//!
+//! Not every model is shardable: an action that mutates the instance
+//! population (`create`/`delete`/`relate`/`unrelate`) or touches another
+//! instance's attributes would race between shards. [`shard_safety`]
+//! rejects such models statically, before any thread starts — models
+//! whose actions only write `self` attributes and communicate by signals
+//! (the xtUML style the paper advocates) shard without restriction.
+
+use crate::sched::{SchedPolicy, SplitMix64};
+use crate::sim::Simulation;
+use crate::store::ObjectStore;
+use crate::trace::{Trace, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use xtuml_core::action::{Block, Expr, GenTarget, LValue, Stmt};
+use xtuml_core::code::CompiledProgram;
+use xtuml_core::error::{CoreError, Result};
+use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
+use xtuml_core::interp::{self, ActionHost, ExecCtx};
+use xtuml_core::model::{Domain, TransitionTarget};
+use xtuml_core::value::Value;
+use xtuml_pool::{stream_seed, Pool};
+
+// ---------------------------------------------------------------------------
+// Static shard-safety analysis
+// ---------------------------------------------------------------------------
+
+/// Checks whether a domain's actions are safe to execute sharded.
+///
+/// Safe actions may read/write `self` attributes, navigate associations,
+/// select over the (static) population, generate signals (buffered at
+/// the barrier), cancel their own timers, and call bridge functions
+/// (default-return only — handler closures cannot cross threads).
+/// Unsafe constructs are population mutation (`create`, `delete`,
+/// `relate`, `unrelate`) and attribute access on any instance other than
+/// `self` — both would race between shards.
+///
+/// # Errors
+///
+/// Returns a runtime error naming every offending class/state/construct,
+/// so callers can report *why* a model must run sequentially.
+pub fn shard_safety(domain: &Domain) -> Result<()> {
+    let mut offenses: Vec<String> = Vec::new();
+    for class in &domain.classes {
+        let Some(machine) = class.state_machine.as_ref() else {
+            continue;
+        };
+        for state in &machine.states {
+            let mut reasons: Vec<&'static str> = Vec::new();
+            walk_block(&state.action, &mut reasons);
+            reasons.sort_unstable();
+            reasons.dedup();
+            for r in reasons {
+                offenses.push(format!("{}.{}: {r}", class.name, state.name));
+            }
+        }
+    }
+    if offenses.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::runtime(format!(
+            "model is not shard-safe: {}",
+            offenses.join("; ")
+        )))
+    }
+}
+
+fn walk_block(block: &Block, out: &mut Vec<&'static str>) {
+    for stmt in &block.stmts {
+        walk_stmt(stmt, out);
+    }
+}
+
+fn walk_stmt(stmt: &Stmt, out: &mut Vec<&'static str>) {
+    match stmt {
+        Stmt::Create { .. } => out.push("creates an instance"),
+        Stmt::Delete { expr, .. } => {
+            out.push("deletes an instance");
+            walk_expr(expr, out);
+        }
+        Stmt::Relate { a, b, .. } => {
+            out.push("relates instances");
+            walk_expr(a, out);
+            walk_expr(b, out);
+        }
+        Stmt::Unrelate { a, b, .. } => {
+            out.push("unrelates instances");
+            walk_expr(a, out);
+            walk_expr(b, out);
+        }
+        Stmt::Assign { lhs, expr, .. } => {
+            if let LValue::Attr(base, _) = lhs {
+                if !matches!(base, Expr::SelfRef) {
+                    out.push("writes a non-self attribute");
+                }
+                walk_expr(base, out);
+            }
+            walk_expr(expr, out);
+        }
+        Stmt::SelectAny { filter, .. } | Stmt::SelectMany { filter, .. } => {
+            if let Some(f) = filter {
+                walk_expr(f, out);
+            }
+        }
+        Stmt::Generate {
+            args,
+            target,
+            delay,
+            ..
+        } => {
+            for a in args {
+                walk_expr(a, out);
+            }
+            if let GenTarget::Inst(e) = target {
+                walk_expr(e, out);
+            }
+            if let Some(d) = delay {
+                walk_expr(d, out);
+            }
+        }
+        Stmt::Cancel { .. } | Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Return { .. } => {}
+        Stmt::If {
+            arms, otherwise, ..
+        } => {
+            for (cond, b) in arms {
+                walk_expr(cond, out);
+                walk_block(b, out);
+            }
+            if let Some(b) = otherwise {
+                walk_block(b, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            walk_expr(cond, out);
+            walk_block(body, out);
+        }
+        Stmt::ForEach { set, body, .. } => {
+            walk_expr(set, out);
+            walk_block(body, out);
+        }
+        Stmt::ExprStmt { expr, .. } => walk_expr(expr, out),
+    }
+}
+
+fn walk_expr(expr: &Expr, out: &mut Vec<&'static str>) {
+    match expr {
+        Expr::Attr(base, _) => {
+            if !matches!(**base, Expr::SelfRef) {
+                out.push("reads a non-self attribute");
+            }
+            walk_expr(base, out);
+        }
+        Expr::Nav(base, _, _) => walk_expr(base, out),
+        Expr::Unary(_, e) => walk_expr(e, out),
+        Expr::Binary(_, a, b) => {
+            walk_expr(a, out);
+            walk_expr(b, out);
+        }
+        Expr::BridgeCall(_, _, args) => {
+            for a in args {
+                walk_expr(a, out);
+            }
+        }
+        Expr::Lit(_) | Expr::Var(_) | Expr::SelfRef | Expr::Selected | Expr::Param(_) => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded engine
+// ---------------------------------------------------------------------------
+
+/// A queued signal inside a shard (mirror of the sequential envelope).
+#[derive(Debug, Clone)]
+struct Envelope {
+    from: Option<InstId>,
+    event: EventId,
+    args: Arc<[Value]>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct InstQueues {
+    self_q: VecDeque<Envelope>,
+    main_q: VecDeque<Envelope>,
+}
+
+impl InstQueues {
+    fn is_empty(&self) -> bool {
+        self.self_q.is_empty() && self.main_q.is_empty()
+    }
+}
+
+/// A cross-shard signal buffered until the epoch barrier.
+#[derive(Debug, Clone)]
+struct OutboxEntry {
+    to: InstId,
+    env: Envelope,
+}
+
+/// A timer armed during an epoch, collected by the coordinator.
+#[derive(Debug, Clone)]
+struct PendingTimer {
+    deadline: u64,
+    seq: u64,
+    from: InstId,
+    to: InstId,
+    event: EventId,
+    args: Arc<[Value]>,
+}
+
+/// An external stimulus scheduled before the run.
+#[derive(Debug, Clone)]
+struct PendingStimulus {
+    time: u64,
+    seq: u64,
+    to: InstId,
+    event: EventId,
+    args: Arc<[Value]>,
+}
+
+/// A delivery that has come due at the top of an epoch:
+/// `(time, seq, kind, from, to, event, args)`, where kind 0 is an
+/// injected stimulus and 1 a timer — stimuli sort before timers at the
+/// same instant because their seqs come from different counters.
+type DueDelivery = (u64, u64, u8, Option<InstId>, InstId, EventId, Arc<[Value]>);
+
+/// Everything one shard owns between barriers. `Send` by construction:
+/// signal payloads are `Arc<[Value]>`, the store and trace are plain
+/// data.
+struct ShardState {
+    id: usize,
+    nshards: usize,
+    /// Replica of the setup-time population. Sharded actions never
+    /// mutate the population and never touch non-self attributes, so
+    /// replicas only diverge in slots no other shard reads.
+    store: ObjectStore,
+    queues: Vec<InstQueues>,
+    /// Ready local instances, sorted ascending by id.
+    ready: Vec<InstId>,
+    in_ready: Vec<bool>,
+    rng: SplitMix64,
+    /// Per-shard send counter; globalised as `local*nshards + id` so
+    /// sequence numbers stay strictly increasing per sending shard
+    /// without cross-shard coordination.
+    local_seq: u64,
+    /// Epoch-local state, cleared at each barrier:
+    trace: Vec<TraceEvent>,
+    outbox: Vec<OutboxEntry>,
+    new_timers: Vec<PendingTimer>,
+    /// `(instance, event)` pairs cancelled this epoch, applied to the
+    /// coordinator's timer list at the barrier.
+    cancels: Vec<(InstId, EventId)>,
+    dispatches: u64,
+    dropped: u64,
+    now: u64,
+    strict: bool,
+    self_priority: bool,
+    frame_buf: Vec<Option<Value>>,
+}
+
+impl ShardState {
+    fn owns(&self, inst: InstId) -> bool {
+        inst.index() % self.nshards == self.id
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.local_seq += 1;
+        self.local_seq * self.nshards as u64 + self.id as u64
+    }
+
+    fn enqueue(&mut self, to: InstId, env: Envelope) {
+        let is_self = self.self_priority && env.from == Some(to);
+        let q = &mut self.queues[to.index()];
+        if is_self {
+            q.self_q.push_back(env);
+        } else {
+            q.main_q.push_back(env);
+        }
+        if !self.in_ready[to.index()] {
+            self.in_ready[to.index()] = true;
+            let at = self.ready.partition_point(|&r| r < to);
+            self.ready.insert(at, to);
+        }
+    }
+
+    fn pop_envelope(&mut self, inst: InstId) -> Envelope {
+        let q = &mut self.queues[inst.index()];
+        if !q.self_q.is_empty() {
+            q.self_q.pop_front().expect("checked nonempty")
+        } else {
+            q.main_q.pop_front().expect("ready instance has a signal")
+        }
+    }
+
+    /// Runs this shard's run-to-completion steps until no local instance
+    /// is ready. Called between barriers, possibly on a worker thread.
+    fn run_epoch(&mut self, domain: &Domain, program: &CompiledProgram) -> Result<()> {
+        while !self.ready.is_empty() {
+            let pick = self.ready[self.rng.below(self.ready.len())];
+            let env = self.pop_envelope(pick);
+            if self.queues[pick.index()].is_empty() {
+                self.in_ready[pick.index()] = false;
+                let at = self.ready.partition_point(|&r| r < pick);
+                debug_assert_eq!(self.ready.get(at), Some(&pick));
+                self.ready.remove(at);
+            }
+            self.dispatch(domain, program, pick, env)?;
+            self.dispatches += 1;
+        }
+        Ok(())
+    }
+
+    fn dispatch(
+        &mut self,
+        domain: &Domain,
+        program: &CompiledProgram,
+        inst: InstId,
+        env: Envelope,
+    ) -> Result<()> {
+        let class = self.store.class_of(inst)?;
+        let c = domain.class(class);
+        let Some(machine) = c.state_machine.as_ref() else {
+            return Err(CoreError::runtime(format!(
+                "signal sent to passive class {}",
+                c.name
+            )));
+        };
+        let from_state = self.store.state_of(inst)?;
+        match program.target(class, from_state, env.event) {
+            TransitionTarget::To(to_state) => {
+                self.store.set_state(inst, to_state)?;
+                self.trace.push(TraceEvent::Dispatch {
+                    time: self.now,
+                    inst,
+                    from: env.from,
+                    event: env.event,
+                    seq: env.seq,
+                    from_state,
+                    to_state,
+                });
+                let action = program.action(class, to_state, env.event).ok_or_else(|| {
+                    CoreError::runtime("internal: dispatched pair has no compiled action")
+                })??;
+                let mut frame = std::mem::take(&mut self.frame_buf);
+                frame.clear();
+                frame.resize(action.frame_len(), None);
+                let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                ctx.bind_args(env.args.iter().cloned());
+                let mut host = ShardHost {
+                    shard: self,
+                    domain,
+                };
+                let run = interp::run_code(&mut host, &mut ctx, action);
+                self.frame_buf = std::mem::take(&mut ctx.frame);
+                run?;
+                Ok(())
+            }
+            TransitionTarget::Ignore => {
+                self.trace.push(TraceEvent::Ignored {
+                    time: self.now,
+                    inst,
+                    event: env.event,
+                });
+                Ok(())
+            }
+            TransitionTarget::CantHappen => {
+                if self.strict {
+                    Err(CoreError::CantHappen {
+                        class: c.name.clone(),
+                        state: machine.state(from_state).name.clone(),
+                        event: c.events[env.event.index()].name.clone(),
+                    })
+                } else {
+                    self.dropped += 1;
+                    self.trace.push(TraceEvent::Dropped {
+                        time: self.now,
+                        inst,
+                        event: env.event,
+                    });
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// The [`ActionHost`] a sharded dispatch executes against: local sends
+/// are delivered immediately, cross-shard sends and timers are buffered
+/// for the barrier, and population mutation is rejected (unreachable
+/// after [`shard_safety`], but enforced anyway).
+struct ShardHost<'a, 'd> {
+    shard: &'a mut ShardState,
+    domain: &'d Domain,
+}
+
+impl ShardHost<'_, '_> {
+    fn unsupported(what: &str) -> CoreError {
+        CoreError::runtime(format!(
+            "{what} is not shard-safe; run with --jobs 1 (sequential)"
+        ))
+    }
+}
+
+impl ActionHost for ShardHost<'_, '_> {
+    fn domain(&self) -> &Domain {
+        self.domain
+    }
+
+    fn create(&mut self, _class: ClassId) -> Result<InstId> {
+        Err(Self::unsupported("instance creation"))
+    }
+
+    fn delete(&mut self, _inst: InstId) -> Result<()> {
+        Err(Self::unsupported("instance deletion"))
+    }
+
+    fn class_of(&self, inst: InstId) -> Result<ClassId> {
+        self.shard.store.class_of(inst)
+    }
+
+    fn attr_read(&self, inst: InstId, attr: AttrId) -> Result<Value> {
+        self.shard.store.attr_read(inst, attr)
+    }
+
+    fn attr_write(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
+        if !self.shard.owns(inst) {
+            return Err(Self::unsupported("writing another shard's attribute"));
+        }
+        self.shard.store.attr_write(self.domain, inst, attr, value)
+    }
+
+    fn instances_of(&self, class: ClassId) -> Vec<InstId> {
+        self.shard.store.instances_of(class)
+    }
+
+    fn related(&self, inst: InstId, assoc: AssocId) -> Result<Vec<InstId>> {
+        self.shard.store.related(inst, assoc)
+    }
+
+    fn each_instance(&self, class: ClassId, f: &mut dyn FnMut(InstId)) {
+        self.shard.store.instances_iter(class).for_each(f);
+    }
+
+    fn first_instance_of(&self, class: ClassId) -> Option<InstId> {
+        self.shard.store.first_instance_of(class)
+    }
+
+    fn related_each(&self, inst: InstId, assoc: AssocId, f: &mut dyn FnMut(InstId)) -> Result<()> {
+        self.shard.store.related_iter(inst, assoc)?.for_each(f);
+        Ok(())
+    }
+
+    fn relate(&mut self, _a: InstId, _b: InstId, _assoc: AssocId) -> Result<()> {
+        Err(Self::unsupported("relating instances"))
+    }
+
+    fn unrelate(&mut self, _a: InstId, _b: InstId, _assoc: AssocId) -> Result<()> {
+        Err(Self::unsupported("unrelating instances"))
+    }
+
+    fn send(&mut self, from: InstId, to: InstId, event: EventId, args: Vec<Value>) -> Result<()> {
+        self.shard.store.class_of(to)?; // liveness (population is static)
+        let seq = self.shard.next_seq();
+        let env = Envelope {
+            from: Some(from),
+            event,
+            args: Arc::from(args),
+            seq,
+        };
+        if self.shard.owns(to) {
+            self.shard.enqueue(to, env);
+        } else {
+            self.shard.outbox.push(OutboxEntry { to, env });
+        }
+        Ok(())
+    }
+
+    fn send_actor(
+        &mut self,
+        _from: InstId,
+        actor: ActorId,
+        event: EventId,
+        args: Vec<Value>,
+    ) -> Result<()> {
+        self.shard.trace.push(TraceEvent::ActorSignal {
+            time: self.shard.now,
+            actor,
+            event,
+            args: Arc::from(args),
+        });
+        Ok(())
+    }
+
+    fn send_delayed(
+        &mut self,
+        from: InstId,
+        to: InstId,
+        event: EventId,
+        args: Vec<Value>,
+        delay: i64,
+    ) -> Result<()> {
+        self.shard.store.class_of(to)?;
+        let seq = self.shard.next_seq();
+        let deadline = self.shard.now + delay as u64;
+        self.shard.new_timers.push(PendingTimer {
+            deadline,
+            seq,
+            from,
+            to,
+            event,
+            args: Arc::from(args),
+        });
+        Ok(())
+    }
+
+    fn cancel_delayed(&mut self, inst: InstId, event: EventId) -> Result<()> {
+        // Timers armed this epoch are still local; older ones live in
+        // the coordinator and are removed at the barrier.
+        self.shard
+            .new_timers
+            .retain(|t| !(t.to == inst && t.event == event));
+        self.shard.cancels.push((inst, event));
+        Ok(())
+    }
+
+    fn bridge_call(&mut self, actor: ActorId, func: &str, args: Vec<Value>) -> Result<Value> {
+        let a = self.domain.actor(actor);
+        let decl = a
+            .func(func)
+            .ok_or_else(|| CoreError::unresolved("bridge function", func))?;
+        let ret_ty = decl.ret;
+        self.shard.trace.push(TraceEvent::BridgeCall {
+            time: self.shard.now,
+            actor,
+            func: func.to_owned(),
+            args: Arc::from(args.as_slice()),
+        });
+        Ok(match ret_ty {
+            Some(t) => Value::default_for(t),
+            None => Value::Bool(false),
+        })
+    }
+}
+
+/// The sharded counterpart of [`Simulation`]: same setup API (`create`,
+/// `relate`, `inject`), then [`ShardedSimulation::run_to_quiescence`]
+/// executes epochs with a caller-supplied worker count.
+///
+/// With `policy.shards <= 1` the run delegates to the sequential
+/// [`Simulation`], reproducing historical traces exactly. With more
+/// shards the trace is a pure function of `(seed, shards)` — see the
+/// module docs for the guarantee and [`shard_safety`] for the model
+/// classes this engine accepts.
+pub struct ShardedSimulation<'d> {
+    domain: &'d Domain,
+    program: CompiledProgram,
+    policy: SchedPolicy,
+    store: ObjectStore,
+    /// Setup-time relate calls, in call order (for sequential replay).
+    setup_links: Vec<(InstId, InstId, AssocId)>,
+    stimuli: Vec<PendingStimulus>,
+    setup_seq: u64,
+    max_steps: u64,
+    trace: Trace,
+    dropped: u64,
+    now: u64,
+}
+
+impl std::fmt::Debug for ShardedSimulation<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimulation")
+            .field("domain", &self.domain.name)
+            .field("policy", &self.policy)
+            .field("live", &self.store.live_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'d> ShardedSimulation<'d> {
+    /// Creates a sharded simulation with an explicit policy.
+    pub fn with_policy(domain: &'d Domain, policy: SchedPolicy) -> ShardedSimulation<'d> {
+        ShardedSimulation {
+            domain,
+            program: CompiledProgram::new(domain),
+            policy: policy.with_shards(policy.shards),
+            store: ObjectStore::new(domain.associations.len()),
+            setup_links: Vec::new(),
+            stimuli: Vec::new(),
+            setup_seq: 0,
+            max_steps: 10_000_000,
+            trace: Trace::new(),
+            dropped: 0,
+            now: 0,
+        }
+    }
+
+    /// The domain being executed.
+    pub fn domain(&self) -> &'d Domain {
+        self.domain
+    }
+
+    /// The execution trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current simulation time (ticks; epochs advance by their critical
+    /// path in sharded runs).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of events dropped in non-strict mode.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Caps the total number of dispatch steps per run.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps = max;
+    }
+
+    /// Creates an instance during setup (before the run).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class is unknown.
+    pub fn create(&mut self, class: &str) -> Result<InstId> {
+        let id = self.domain.class_id(class)?;
+        let inst = self.store.create(self.domain, id);
+        self.trace.push(TraceEvent::Create {
+            time: 0,
+            inst,
+            class: id,
+        });
+        Ok(inst)
+    }
+
+    /// Relates two instances during setup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (multiplicity, class mismatch, dangling).
+    pub fn relate(&mut self, a: InstId, b: InstId, assoc: &str) -> Result<()> {
+        let id = self.domain.assoc_id(assoc)?;
+        self.store.relate(self.domain, a, b, id)?;
+        self.setup_links.push((a, b, id));
+        Ok(())
+    }
+
+    /// Schedules an external stimulus during setup.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown events, dead instances or arity mismatches.
+    pub fn inject(&mut self, time: u64, inst: InstId, event: &str, args: Vec<Value>) -> Result<()> {
+        let class = self.store.class_of(inst)?;
+        let c = self.domain.class(class);
+        let event_id = c
+            .event_id(event)
+            .ok_or_else(|| CoreError::unresolved("event", format!("{}.{event}", c.name)))?;
+        if c.events[event_id.index()].params.len() != args.len() {
+            return Err(CoreError::runtime(format!(
+                "event `{event}` takes {} argument(s), got {}",
+                c.events[event_id.index()].params.len(),
+                args.len()
+            )));
+        }
+        self.setup_seq += 1;
+        self.stimuli.push(PendingStimulus {
+            time,
+            seq: self.setup_seq,
+            to: inst,
+            event: event_id,
+            args: Arc::from(args),
+        });
+        Ok(())
+    }
+
+    /// Runs epochs until quiescence, distributing shards over `jobs`
+    /// worker threads. Returns the number of dispatch steps taken.
+    ///
+    /// The result — including the full trace — does not depend on
+    /// `jobs`; it depends only on `(policy.seed, policy.shards)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model is not shard-safe ([`shard_safety`]), on action
+    /// runtime errors (the lowest-id failing shard's error is reported,
+    /// deterministically), and on `max_steps` exhaustion.
+    pub fn run_to_quiescence(&mut self, jobs: usize) -> Result<u64> {
+        if self.policy.shards <= 1 {
+            return self.run_sequential();
+        }
+        shard_safety(self.domain)?;
+        let nshards = self.policy.shards;
+        let pool = Pool::new(jobs);
+
+        // Split the setup population into shard replicas.
+        let mut shards: Vec<ShardState> = (0..nshards)
+            .map(|id| ShardState {
+                id,
+                nshards,
+                store: self.store.clone(),
+                queues: (0..self.store_len())
+                    .map(|_| InstQueues::default())
+                    .collect(),
+                ready: Vec::new(),
+                in_ready: vec![false; self.store_len()],
+                rng: SplitMix64::new(if id == 0 {
+                    self.policy.seed
+                } else {
+                    stream_seed(self.policy.seed, id as u64)
+                }),
+                local_seq: 0,
+                trace: Vec::new(),
+                outbox: Vec::new(),
+                new_timers: Vec::new(),
+                cancels: Vec::new(),
+                dispatches: 0,
+                dropped: 0,
+                now: self.now,
+                strict: self.policy.strict,
+                self_priority: self.policy.self_priority,
+                frame_buf: Vec::new(),
+            })
+            .collect();
+
+        let mut stimuli = std::mem::take(&mut self.stimuli);
+        stimuli.sort_by_key(|s| (s.time, s.seq));
+        let mut stimuli: VecDeque<PendingStimulus> = stimuli.into();
+        let mut timers: Vec<PendingTimer> = Vec::new();
+        let mut total_steps = 0u64;
+
+        loop {
+            // 1. Deliver due stimuli and timers into shard queues in
+            // (time, kind, seq) order, stimuli before timers at the
+            // same instant — setup seqs and shard-derived timer seqs
+            // come from different counters, so the kind tag is what
+            // keeps the order total and deterministic.
+            let now = self.now;
+            let mut due: Vec<DueDelivery> = Vec::new();
+            while stimuli.front().is_some_and(|s| s.time <= now) {
+                let s = stimuli.pop_front().expect("peeked above");
+                due.push((s.time, s.seq, 0, None, s.to, s.event, s.args));
+            }
+            timers.retain(|t| {
+                if t.deadline <= now {
+                    due.push((
+                        t.deadline,
+                        t.seq,
+                        1,
+                        Some(t.from),
+                        t.to,
+                        t.event,
+                        Arc::clone(&t.args),
+                    ));
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|(time, seq, kind, ..)| (*time, *kind, *seq));
+            for (_, seq, _, from, to, event, args) in due {
+                let shard = &mut shards[to.index() % nshards];
+                shard.enqueue(
+                    to,
+                    Envelope {
+                        from,
+                        event,
+                        args,
+                        seq,
+                    },
+                );
+            }
+
+            // 2. If nothing is ready anywhere, jump time or quiesce.
+            if shards.iter().all(|s| s.ready.is_empty()) {
+                let next = timers
+                    .iter()
+                    .map(|t| t.deadline)
+                    .chain(stimuli.front().map(|s| s.time))
+                    .min();
+                match next {
+                    Some(t) if t > self.now => {
+                        self.now = t;
+                        continue;
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+
+            // 3. Run every shard to local quiescence, in parallel.
+            for s in shards.iter_mut() {
+                s.now = self.now;
+            }
+            let domain = self.domain;
+            let program = &self.program;
+            let outcomes = pool
+                .try_map_mut(&mut shards, |_, s| s.run_epoch(domain, program))
+                .map_err(|e| CoreError::runtime(e.to_string()))?;
+
+            // 4. Barrier: merge traces in shard order; report the
+            // lowest-id shard's error (deterministic across jobs).
+            let mut epoch_dispatches = 0u64;
+            for s in shards.iter_mut() {
+                self.trace.events.append(&mut s.trace);
+                self.dropped += s.dropped;
+                s.dropped = 0;
+                epoch_dispatches = epoch_dispatches.max(s.dispatches);
+                total_steps += s.dispatches;
+                s.dispatches = 0;
+            }
+            outcomes.into_iter().collect::<Result<Vec<()>>>()?;
+            if total_steps > self.max_steps {
+                return Err(CoreError::runtime(format!(
+                    "exceeded max_steps ({}) — livelock?",
+                    self.max_steps
+                )));
+            }
+
+            // 5. Route outboxes: source shards in id order, each
+            // source's signals in send order — per-pair FIFO holds
+            // because a sender lives in exactly one shard.
+            let routed: Vec<OutboxEntry> =
+                shards.iter_mut().flat_map(|s| s.outbox.drain(..)).collect();
+            for OutboxEntry { to, env } in routed {
+                shards[to.index() % nshards].enqueue(to, env);
+            }
+
+            // 6. Collect new timers and apply cancellations (cancels
+            // from lower shards win ties deterministically, but a
+            // cancel only ever targets the cancelling instance's own
+            // timers, so order cannot matter observably).
+            for s in shards.iter_mut() {
+                timers.append(&mut s.new_timers);
+                for (inst, event) in s.cancels.drain(..) {
+                    timers.retain(|t| !(t.to == inst && t.event == event));
+                }
+            }
+            timers.sort_by_key(|t| (t.deadline, t.seq));
+
+            // 7. Advance time by the epoch's critical path: the busiest
+            // shard's dispatch count (all shards ran concurrently).
+            self.now += epoch_dispatches.max(1);
+        }
+        Ok(total_steps)
+    }
+
+    /// The `shards == 1` path: replay setup into a classic sequential
+    /// [`Simulation`] so single-shard runs reproduce historical traces
+    /// byte-for-byte.
+    fn run_sequential(&mut self) -> Result<u64> {
+        let mut sim = Simulation::with_policy(self.domain, self.policy);
+        sim.set_max_steps(self.max_steps);
+        // Recreate the population in id order (ids are dense).
+        let mut created = 0u32;
+        for e in &self.trace.events {
+            if let TraceEvent::Create { class, .. } = e {
+                let inst = ActionHost::create(&mut sim, *class)?;
+                debug_assert_eq!(inst.index() as u32, created);
+                created += 1;
+            }
+        }
+        for &(a, b, assoc) in &self.setup_links {
+            ActionHost::relate(&mut sim, a, b, assoc)?;
+        }
+        let mut stimuli = std::mem::take(&mut self.stimuli);
+        stimuli.sort_by_key(|s| (s.time, s.seq));
+        for s in &stimuli {
+            let class = self.store.class_of(s.to)?;
+            let name = &self.domain.class(class).events[s.event.index()].name;
+            sim.inject(s.time, s.to, name, s.args.to_vec())?;
+        }
+        let steps = sim.run_to_quiescence()?;
+        self.dropped += sim.dropped_events();
+        self.now = sim.now();
+        self.trace = Trace {
+            events: sim.trace().events.clone(),
+        };
+        Ok(steps)
+    }
+
+    fn store_len(&self) -> usize {
+        // Instance ids are dense; live_count equals the id space here
+        // because setup never deletes.
+        self.store.live_count()
+    }
+}

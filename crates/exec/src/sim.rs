@@ -13,7 +13,7 @@
 //! pre-compiled to slot-resolved code ([`CompiledProgram`]) at
 //! construction, the set of ready instances is maintained incrementally
 //! instead of rescanned per step, signal payloads are shared
-//! (`Rc<[Value]>`) rather than cloned per delivery, and one frame buffer
+//! (`Arc<[Value]>`) rather than cloned per delivery, and one frame buffer
 //! is recycled across dispatches.
 
 use crate::sched::{SchedPolicy, SplitMix64};
@@ -22,6 +22,7 @@ use crate::trace::{Trace, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result};
 use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
@@ -35,7 +36,7 @@ use xtuml_core::value::Value;
 struct Envelope {
     from: Option<InstId>,
     event: EventId,
-    args: Rc<[Value]>,
+    args: Arc<[Value]>,
     seq: u64,
 }
 
@@ -60,7 +61,7 @@ struct TimerEntry {
     from: InstId,
     to: InstId,
     event: EventId,
-    args: Rc<[Value]>,
+    args: Arc<[Value]>,
 }
 
 #[derive(Debug, Clone)]
@@ -69,7 +70,7 @@ struct Stimulus {
     seq: u64,
     to: InstId,
     event: EventId,
-    args: Rc<[Value]>,
+    args: Arc<[Value]>,
 }
 
 // Stimuli live in a min-heap keyed by (time, seq); `seq` is globally
@@ -268,7 +269,7 @@ impl<'d> Simulation<'d> {
             seq: self.send_seq,
             to: inst,
             event: event_id,
-            args: Rc::from(args),
+            args: Arc::from(args),
         }));
         Ok(())
     }
@@ -413,7 +414,7 @@ impl<'d> Simulation<'d> {
         }
         // General path: merge due timers and due stimuli by (time, seq).
         // (time, seq, to, from, event, args)
-        type Due = (u64, u64, InstId, Option<InstId>, EventId, Rc<[Value]>);
+        type Due = (u64, u64, InstId, Option<InstId>, EventId, Arc<[Value]>);
         let mut due: Vec<Due> = Vec::new();
         while self.stimuli.peek().is_some_and(|Reverse(s)| s.time <= now) {
             let Reverse(s) = self.stimuli.pop().expect("peeked above");
@@ -427,7 +428,7 @@ impl<'d> Simulation<'d> {
                     t.to,
                     Some(t.from),
                     t.event,
-                    Rc::clone(&t.args),
+                    Arc::clone(&t.args),
                 ));
                 false
             } else {
@@ -661,7 +662,7 @@ impl ActionHost for Simulation<'_> {
         let env = Envelope {
             from: Some(from),
             event,
-            args: Rc::from(args),
+            args: Arc::from(args),
             seq: self.send_seq,
         };
         self.enqueue(to, env);
@@ -679,7 +680,7 @@ impl ActionHost for Simulation<'_> {
             time: self.now,
             actor,
             event,
-            args: Rc::from(args),
+            args: Arc::from(args),
         });
         Ok(())
     }
@@ -700,7 +701,7 @@ impl ActionHost for Simulation<'_> {
             from,
             to,
             event,
-            args: Rc::from(args),
+            args: Arc::from(args),
         });
         Ok(())
     }
@@ -720,7 +721,7 @@ impl ActionHost for Simulation<'_> {
             time: self.now,
             actor,
             func: func.to_owned(),
-            args: Rc::from(args.as_slice()),
+            args: Arc::from(args.as_slice()),
         });
         if let Some(handler) = self.bridges.get_mut(&actor) {
             return handler(func, &args);

@@ -10,7 +10,7 @@
 //! the [`Domain`] only when a trace is rendered or projected.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use xtuml_core::ids::{ActorId, ClassId, EventId, InstId, StateId};
 use xtuml_core::model::Domain;
 use xtuml_core::value::Value;
@@ -79,7 +79,7 @@ pub enum TraceEvent {
         /// The actor event.
         event: EventId,
         /// Arguments (shared, not cloned per record).
-        args: Rc<[Value]>,
+        args: Arc<[Value]>,
     },
     /// A synchronous bridge call — **observable**.
     BridgeCall {
@@ -90,7 +90,7 @@ pub enum TraceEvent {
         /// Function name (bridge functions have no id space).
         func: String,
         /// Arguments.
-        args: Rc<[Value]>,
+        args: Arc<[Value]>,
     },
 }
 
@@ -342,13 +342,13 @@ mod tests {
             time: 1,
             actor: ActorId::new(0),
             event: EventId::new(0),
-            args: Rc::from(vec![Value::Int(1)]),
+            args: Arc::from(vec![Value::Int(1)]),
         });
         t.push(TraceEvent::BridgeCall {
             time: 2,
             actor: ActorId::new(1),
             func: "info".into(),
-            args: Rc::from(vec![Value::from("x")]),
+            args: Arc::from(vec![Value::from("x")]),
         });
         let obs = t.observable(&d);
         assert_eq!(obs.len(), 2);

@@ -1,0 +1,247 @@
+//! Determinism contract of the sharded engine.
+//!
+//! The guarantee under test: a sharded run's trace is a pure function of
+//! `(seed, shards)` — the worker count (`jobs`) must never appear in the
+//! output. Single-shard runs must reproduce the classic sequential
+//! schedule byte-for-byte, and on confluent models the observable
+//! projection must agree between the sequential and sharded schedules.
+
+use xtuml_core::builder::{pipeline_domain, DomainBuilder};
+use xtuml_core::model::Domain;
+use xtuml_core::value::{DataType, Value};
+use xtuml_exec::{shard_safety, SchedPolicy, ShardedSimulation, Simulation};
+
+const SEEDS: u64 = 16;
+
+/// Runs the sharded pipeline and renders its full trace.
+fn sharded_pipeline_trace(
+    domain: &Domain,
+    stages: usize,
+    seed: u64,
+    shards: usize,
+    jobs: usize,
+) -> String {
+    let policy = SchedPolicy::seeded(seed).with_shards(shards);
+    let mut sim = ShardedSimulation::with_policy(domain, policy);
+    let insts: Vec<_> = (0..stages)
+        .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+        .collect();
+    for k in 0..stages - 1 {
+        sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+            .unwrap();
+    }
+    for i in 0..12 {
+        sim.inject(i, insts[0], "Feed", vec![Value::Int(i as i64)])
+            .unwrap();
+    }
+    sim.run_to_quiescence(jobs).unwrap();
+    sim.trace().render(domain)
+}
+
+#[test]
+fn trace_is_invariant_under_worker_count() {
+    let stages = 6;
+    let domain = pipeline_domain(stages).unwrap();
+    for shards in [2, 4, 8] {
+        for seed in 0..SEEDS {
+            let reference = sharded_pipeline_trace(&domain, stages, seed, shards, 1);
+            for jobs in [2, 4, 8] {
+                let got = sharded_pipeline_trace(&domain, stages, seed, shards, jobs);
+                assert_eq!(
+                    reference, got,
+                    "seed {seed} shards {shards}: jobs=1 vs jobs={jobs} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_reproduces_the_sequential_schedule() {
+    let stages = 5;
+    let domain = pipeline_domain(stages).unwrap();
+    for seed in 0..SEEDS {
+        let sharded = sharded_pipeline_trace(&domain, stages, seed, 1, 4);
+        let mut sim = Simulation::with_policy(&domain, SchedPolicy::seeded(seed));
+        let insts: Vec<_> = (0..stages)
+            .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+            .collect();
+        for k in 0..stages - 1 {
+            sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+                .unwrap();
+        }
+        for i in 0..12 {
+            sim.inject(i, insts[0], "Feed", vec![Value::Int(i as i64)])
+                .unwrap();
+        }
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(
+            sim.trace().render(&domain),
+            sharded,
+            "seed {seed}: shards=1 must replay the sequential engine exactly"
+        );
+    }
+}
+
+#[test]
+fn sharded_runs_are_reproducible_and_distinct_across_shard_counts() {
+    let stages = 6;
+    let domain = pipeline_domain(stages).unwrap();
+    for seed in 0..4 {
+        let a = sharded_pipeline_trace(&domain, stages, seed, 4, 2);
+        let b = sharded_pipeline_trace(&domain, stages, seed, 4, 2);
+        assert_eq!(a, b, "same (seed, shards) must reproduce");
+    }
+}
+
+#[test]
+fn observable_output_agrees_between_sequential_and_sharded() {
+    // The pipeline is confluent: every legal interleaving produces the
+    // same observable outputs in the same order. The sharded schedule is
+    // one more legal interleaving, so its observable projection must
+    // match the sequential one.
+    let stages = 6;
+    let domain = pipeline_domain(stages).unwrap();
+    let run_observable = |shards: usize, seed: u64| {
+        let policy = SchedPolicy::seeded(seed).with_shards(shards);
+        let mut sim = ShardedSimulation::with_policy(&domain, policy);
+        let insts: Vec<_> = (0..stages)
+            .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+            .collect();
+        for k in 0..stages - 1 {
+            sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+                .unwrap();
+        }
+        for i in 0..12 {
+            sim.inject(i, insts[0], "Feed", vec![Value::Int(i as i64)])
+                .unwrap();
+        }
+        sim.run_to_quiescence(2).unwrap();
+        sim.trace().observable(&domain)
+    };
+    let sequential = run_observable(1, 0);
+    assert!(!sequential.is_empty());
+    for shards in [2, 4, 8] {
+        for seed in 0..4 {
+            assert_eq!(
+                run_observable(shards, seed),
+                sequential,
+                "confluent pipeline must produce identical observables (shards {shards}, seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_preserve_causality() {
+    let stages = 8;
+    let domain = pipeline_domain(stages).unwrap();
+    for (shards, seed) in [(2, 1u64), (4, 7), (8, 13)] {
+        let policy = SchedPolicy::seeded(seed).with_shards(shards);
+        let mut sim = ShardedSimulation::with_policy(&domain, policy);
+        let insts: Vec<_> = (0..stages)
+            .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+            .collect();
+        for k in 0..stages - 1 {
+            sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+                .unwrap();
+        }
+        for i in 0..20 {
+            sim.inject(i, insts[0], "Feed", vec![Value::Int(0)])
+                .unwrap();
+        }
+        sim.run_to_quiescence(4).unwrap();
+        assert_eq!(
+            sim.trace().causality_violations(),
+            0,
+            "shards {shards} seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn shard_safety_accepts_signal_only_models_and_rejects_mutation() {
+    let domain = pipeline_domain(4).unwrap();
+    shard_safety(&domain).unwrap();
+
+    // Population mutation is rejected...
+    let mut b = DomainBuilder::new("m");
+    b.class("Spawner")
+        .event("Go", &[])
+        .state("Idle", "")
+        .state("Spawning", "v = create Spawner;")
+        .initial("Idle")
+        .transition("Idle", "Go", "Spawning");
+    let err = shard_safety(&b.build().unwrap()).unwrap_err();
+    assert!(err.to_string().contains("creates an instance"), "{err}");
+
+    // ...and so is touching another instance's attributes.
+    let mut b = DomainBuilder::new("m");
+    b.class("Writer")
+        .attr("x", DataType::Int)
+        .event("Go", &[])
+        .state("Idle", "")
+        .state("Writing", "select any o from Writer;\no.x = 1;")
+        .initial("Idle")
+        .transition("Idle", "Go", "Writing");
+    let err = shard_safety(&b.build().unwrap()).unwrap_err();
+    assert!(err.to_string().contains("non-self attribute"), "{err}");
+}
+
+#[test]
+fn unsafe_model_is_rejected_before_running() {
+    let mut b = DomainBuilder::new("m");
+    b.class("Spawner")
+        .event("Go", &[])
+        .state("Idle", "")
+        .state("Spawning", "v = create Spawner;")
+        .initial("Idle")
+        .transition("Idle", "Go", "Spawning");
+    let domain = b.build().unwrap();
+    let policy = SchedPolicy::seeded(0).with_shards(4);
+    let mut sim = ShardedSimulation::with_policy(&domain, policy);
+    let s = sim.create("Spawner").unwrap();
+    sim.inject(0, s, "Go", vec![]).unwrap();
+    let err = sim.run_to_quiescence(2).unwrap_err();
+    assert!(err.to_string().contains("not shard-safe"), "{err}");
+}
+
+#[test]
+fn timers_and_cancellation_work_sharded() {
+    // One instance per shard arms a timer; one disarms before it fires.
+    let mut b = DomainBuilder::new("m");
+    b.actor("OUT").event("fired", &[("tag", DataType::Int)]);
+    b.class("T")
+        .event("Arm", &[("tag", DataType::Int)])
+        .event("Disarm", &[])
+        .event("Late", &[("tag", DataType::Int)])
+        .state("Idle", "")
+        .state("Armed", "gen Late(rcvd.tag) to self after 10;")
+        .state("Safe", "cancel Late;")
+        .state("Fired", "gen fired(rcvd.tag) to OUT;")
+        .initial("Idle")
+        .transition("Idle", "Arm", "Armed")
+        .transition("Armed", "Disarm", "Safe")
+        .transition("Armed", "Late", "Fired");
+    let domain = b.build().unwrap();
+    let run = |shards: usize, jobs: usize| {
+        let policy = SchedPolicy::seeded(3).with_shards(shards);
+        let mut sim = ShardedSimulation::with_policy(&domain, policy);
+        let insts: Vec<_> = (0..4).map(|_| sim.create("T").unwrap()).collect();
+        for (i, t) in insts.iter().enumerate() {
+            sim.inject(0, *t, "Arm", vec![Value::Int(i as i64)])
+                .unwrap();
+        }
+        // Disarm instance 2 before its timer can fire.
+        sim.inject(1, insts[2], "Disarm", vec![]).unwrap();
+        sim.run_to_quiescence(jobs).unwrap();
+        (sim.trace().render(&domain), sim.trace().observable(&domain))
+    };
+    let (trace_j1, obs) = run(4, 1);
+    let (trace_j4, obs_j4) = run(4, 4);
+    assert_eq!(trace_j1, trace_j4, "timer traces must be jobs-invariant");
+    assert_eq!(obs, obs_j4);
+    let tags: Vec<i64> = obs.iter().map(|o| o.args[0].as_int().unwrap()).collect();
+    assert_eq!(tags.len(), 3, "three timers fire, one was cancelled");
+    assert!(!tags.contains(&2), "cancelled timer must not fire");
+}

@@ -53,6 +53,11 @@ pub struct FuzzConfig {
     pub shrink: bool,
     /// Injected scheduler fault (test-only; `None` in production runs).
     pub ablation: Ablation,
+    /// Worker threads for the seed sweep. Each seed is an independent
+    /// three-way differential run, so the sweep distributes perfectly;
+    /// results are collected in seed order, making the report
+    /// byte-identical for any `jobs`. `1` runs strictly serially.
+    pub jobs: usize,
 }
 
 impl Default for FuzzConfig {
@@ -62,6 +67,7 @@ impl Default for FuzzConfig {
             count: 100,
             shrink: false,
             ablation: Ablation::None,
+            jobs: 1,
         }
     }
 }
@@ -135,21 +141,19 @@ impl FuzzReport {
 }
 
 /// Runs a fuzzing campaign.
+///
+/// With `cfg.jobs > 1` the seeds are distributed over a worker pool;
+/// each worker generates, executes and (on failure) shrinks its seeds
+/// independently, and the per-seed results are folded back **in seed
+/// order**, so the report is byte-identical to a serial sweep.
 pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
-    let mut report = FuzzReport {
-        start: cfg.start,
-        ..FuzzReport::default()
-    };
-    for seed in cfg.start..cfg.start + cfg.count {
+    let seeds: Vec<u64> = (cfg.start..cfg.start + cfg.count).collect();
+    let pool = xtuml_pool::Pool::new(cfg.jobs);
+    let outcomes = pool.map(&seeds, |_, &seed| {
         let spec = generate(seed);
         let outcome = run_spec(&spec, cfg.ablation);
-        report.cases += 1;
         match outcome {
-            CaseOutcome::Pass(stats) => {
-                report.dispatches += stats.dispatches;
-                report.observables += stats.observables;
-                report.compared += stats.compared;
-            }
+            CaseOutcome::Pass(stats) => Ok(stats),
             other => {
                 let detail = other.describe();
                 let (min_spec, shrink_stats) = if cfg.shrink {
@@ -158,13 +162,30 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 } else {
                     (spec, None)
                 };
-                report.failures.push(Failure {
+                // Boxed: failures are rare and `Failure` is large; don't
+                // make every per-seed result carry its footprint.
+                Err(Box::new(Failure {
                     seed,
                     detail,
                     spec: min_spec,
                     shrink: shrink_stats,
-                });
+                }))
             }
+        }
+    });
+    let mut report = FuzzReport {
+        start: cfg.start,
+        ..FuzzReport::default()
+    };
+    for outcome in outcomes {
+        report.cases += 1;
+        match outcome {
+            Ok(stats) => {
+                report.dispatches += stats.dispatches;
+                report.observables += stats.observables;
+                report.compared += stats.compared;
+            }
+            Err(failure) => report.failures.push(*failure),
         }
     }
     report

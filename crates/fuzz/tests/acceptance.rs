@@ -21,6 +21,7 @@ fn two_hundred_seeds_pass_and_render_deterministically() {
         count: 200,
         shrink: false,
         ablation: Ablation::None,
+        jobs: 1,
     };
     let a = fuzz(&cfg);
     assert!(a.ok(), "divergences found:\n{}", a.render());
@@ -32,6 +33,36 @@ fn two_hundred_seeds_pass_and_render_deterministically() {
     // Byte-determinism of the whole campaign.
     let b = fuzz(&cfg);
     assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn parallel_sweep_report_is_byte_identical_to_serial() {
+    // Failures included: run under the pair-order ablation so the sweep
+    // has real divergences to collect, and require the parallel report
+    // to match the serial one byte-for-byte (seed-ordered collection).
+    for ablation in [Ablation::None, Ablation::PairOrder] {
+        let serial = fuzz(&FuzzConfig {
+            start: 0,
+            count: 60,
+            shrink: false,
+            ablation,
+            jobs: 1,
+        });
+        for jobs in [2, 4, 8] {
+            let parallel = fuzz(&FuzzConfig {
+                start: 0,
+                count: 60,
+                shrink: false,
+                ablation,
+                jobs,
+            });
+            assert_eq!(
+                serial.render(),
+                parallel.render(),
+                "jobs={jobs} ablation={ablation:?} changed the report"
+            );
+        }
+    }
 }
 
 #[test]

@@ -119,10 +119,32 @@ pub fn explore_seeds(
     tc: &TestCase,
     seeds: u64,
 ) -> Result<bool, xtuml_core::CoreError> {
+    explore_seeds_jobs(domain, tc, seeds, 1)
+}
+
+/// [`explore_seeds`] with the sweep distributed over `jobs` worker
+/// threads. Each seeded run is independent, so the sweep parallelises
+/// perfectly; the verdict (and any error, taken from the lowest failing
+/// seed) is identical to the serial sweep.
+///
+/// # Errors
+///
+/// Propagates interpreter errors.
+pub fn explore_seeds_jobs(
+    domain: &Domain,
+    tc: &TestCase,
+    seeds: u64,
+    jobs: usize,
+) -> Result<bool, xtuml_core::CoreError> {
     let base = run_model(domain, SchedPolicy::seeded(0), tc)?;
-    for seed in 1..seeds {
+    let rest: Vec<u64> = (1..seeds).collect();
+    let pool = xtuml_pool::Pool::new(jobs);
+    let verdicts = pool.map(&rest, |_, &seed| {
         let t = run_model(domain, SchedPolicy::seeded(seed), tc)?;
-        if !check_equivalence(&base, &t).is_equivalent() {
+        Ok(check_equivalence(&base, &t).is_equivalent())
+    });
+    for verdict in verdicts {
+        if !verdict? {
             return Ok(false);
         }
     }
@@ -215,6 +237,14 @@ mod tests {
         tc.inject(0, s1, "Go", vec![xtuml_core::Value::Int(1)]);
         tc.inject(0, s2, "Go", vec![xtuml_core::Value::Int(2)]);
         assert!(!explore_seeds(&racy, &tc, 32).unwrap());
+
+        // The parallel sweep reaches the same verdicts as the serial one.
+        let confluent = pipeline_domain(3).unwrap();
+        let ptc = TestCase::pipeline(3, 4);
+        for jobs in [2, 4] {
+            assert!(explore_seeds_jobs(&confluent, &ptc, 10, jobs).unwrap());
+            assert!(!explore_seeds_jobs(&racy, &tc, 32, jobs).unwrap());
+        }
     }
 
     #[test]

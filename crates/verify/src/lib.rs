@@ -24,5 +24,8 @@ pub mod harness;
 pub mod testcase;
 
 pub use equivalence::{check_equivalence, Divergence, EquivReport};
-pub use harness::{check_expectations, explore_seeds, run_compiled, run_model, verify_partition};
+pub use harness::{
+    check_expectations, explore_seeds, explore_seeds_jobs, run_compiled, run_model,
+    verify_partition,
+};
 pub use testcase::{Expectation, TestCase};

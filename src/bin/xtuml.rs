@@ -11,8 +11,8 @@ fn usage() -> String {
      \x20 xtuml print     <model.xtuml>\n\
      \x20 xtuml interface <model.xtuml> <marks.marks>\n\
      \x20 xtuml compile   <model.xtuml> <marks.marks> [out_dir]\n\
-     \x20 xtuml run       <model.xtuml> <script.stim>\n\
-     \x20 xtuml fuzz      [--seeds N] [--start S] [--shrink] [--corpus DIR]\n"
+     \x20 xtuml run       <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
+     \x20 xtuml fuzz      [--seeds N] [--start S] [--jobs J] [--shrink] [--corpus DIR]\n"
         .to_owned()
 }
 
@@ -93,15 +93,56 @@ fn real_main() -> Result<(), String> {
             }
         }
         Some("run") => {
-            let model = read(it.next().ok_or_else(usage)?)?;
-            let script = read(it.next().ok_or_else(usage)?)?;
+            let mut paths: Vec<&str> = Vec::new();
+            let mut opts = cli::RunOptions {
+                jobs: xtuml_pool::default_jobs(),
+                ..cli::RunOptions::default()
+            };
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--seed" => {
+                        opts.seed = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .ok_or("--seed takes a number")?;
+                    }
+                    "--jobs" => {
+                        opts.jobs = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .filter(|&j| j >= 1)
+                            .ok_or("--jobs takes a thread count (>= 1)")?;
+                    }
+                    "--shards" => {
+                        opts.shards = Some(
+                            rest.next()
+                                .and_then(|n| n.parse().ok())
+                                .filter(|&s| s >= 1)
+                                .ok_or("--shards takes a shard count (>= 1)")?,
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag `{flag}`\n{}", usage()))
+                    }
+                    path => paths.push(path),
+                }
+            }
+            let [model_path, script_path] = paths.as_slice() else {
+                return Err(usage());
+            };
+            let model = read(model_path)?;
+            let script = read(script_path)?;
             print!(
                 "{}",
-                cli::cmd_run(&model, &script).map_err(|e| e.to_string())?
+                cli::cmd_run_with(&model, &script, opts).map_err(|e| e.to_string())?
             );
         }
         Some("fuzz") => {
-            let mut opts = cli::FuzzOptions::default();
+            let mut opts = cli::FuzzOptions {
+                jobs: xtuml_pool::default_jobs(),
+                ..cli::FuzzOptions::default()
+            };
             let mut corpus_dir: Option<&str> = None;
             let mut rest = it;
             while let Some(arg) = rest.next() {
@@ -117,6 +158,13 @@ fn real_main() -> Result<(), String> {
                             .next()
                             .and_then(|n| n.parse().ok())
                             .ok_or("--start takes a seed")?;
+                    }
+                    "--jobs" => {
+                        opts.jobs = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .filter(|&j| j >= 1)
+                            .ok_or("--jobs takes a thread count (>= 1)")?;
                     }
                     "--shrink" => opts.shrink = true,
                     "--corpus" => {

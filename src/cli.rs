@@ -37,7 +37,6 @@ use xtuml_core::marks::MarkSet;
 use xtuml_core::model::Domain;
 use xtuml_core::value::Value;
 use xtuml_core::{lint, validate};
-use xtuml_exec::Simulation;
 use xtuml_lang::{
     parse_domain, parse_domain_for_lint, parse_marks, parse_marks_spanned, print_domain,
 };
@@ -312,14 +311,72 @@ pub fn cmd_compile(model_src: &str, marks_src: &str) -> Result<Vec<(String, Stri
     ])
 }
 
-/// `run`: execute a stimulus script against the abstract model.
+/// Options for [`cmd_run_with`], mirroring the `run` subcommand's flags.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Scheduler seed (`--seed S`).
+    pub seed: u64,
+    /// Worker threads (`--jobs J`); `1` is the guaranteed-sequential
+    /// path. Workers are pure mechanism: the output never depends on
+    /// this, only wall-clock does.
+    pub jobs: usize,
+    /// Shard count (`--shards S`); `None` follows `jobs`. Together with
+    /// the seed this *defines* the schedule — the trace is a pure
+    /// function of `(seed, shards)` — so pinning it keeps the output
+    /// byte-identical while `--jobs` varies. Models that fail the
+    /// shard-safety analysis fall back to one shard with a note.
+    pub shards: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            seed: 0,
+            jobs: 1,
+            shards: None,
+        }
+    }
+}
+
+/// `run`: execute a stimulus script against the abstract model
+/// (sequentially, with the default seed).
 ///
 /// # Errors
 ///
 /// Returns parse, script and execution diagnostics.
 pub fn cmd_run(model_src: &str, script_src: &str) -> Result<String, CliError> {
+    cmd_run_with(model_src, script_src, RunOptions::default())
+}
+
+/// `run` with explicit seed/jobs options. Runs go through the sharded
+/// engine, which delegates to the classic sequential scheduler when the
+/// effective shard count is 1 — so `--jobs 1` reproduces historical
+/// output exactly.
+///
+/// # Errors
+///
+/// Returns parse, script and execution diagnostics.
+pub fn cmd_run_with(
+    model_src: &str,
+    script_src: &str,
+    opts: RunOptions,
+) -> Result<String, CliError> {
     let domain = parse_domain(model_src)?;
-    let mut sim = Simulation::new(&domain);
+    let mut note = None;
+    let requested = opts.shards.unwrap_or(opts.jobs).max(1);
+    let shards = if requested > 1 {
+        match xtuml_exec::shard_safety(&domain) {
+            Ok(()) => requested,
+            Err(e) => {
+                note = Some(format!("note: running sequentially — {e}"));
+                1
+            }
+        }
+    } else {
+        1
+    };
+    let policy = xtuml_exec::SchedPolicy::seeded(opts.seed).with_shards(shards);
+    let mut sim = xtuml_exec::ShardedSimulation::with_policy(&domain, policy);
     let mut names: BTreeMap<String, xtuml_core::ids::InstId> = BTreeMap::new();
 
     for (lineno, raw) in script_src.lines().enumerate() {
@@ -372,8 +429,11 @@ pub fn cmd_run(model_src: &str, script_src: &str) -> Result<String, CliError> {
         }
     }
 
-    sim.run_to_quiescence()?;
+    sim.run_to_quiescence(opts.jobs)?;
     let mut out = String::new();
+    if let Some(n) = note {
+        let _ = writeln!(out, "{n}");
+    }
     let _ = writeln!(
         out,
         "ran to quiescence at t={} ({} dispatches)",
@@ -397,6 +457,9 @@ pub struct FuzzOptions {
     pub shrink: bool,
     /// Injected scheduler fault (`--ablate pair-order`, self-test only).
     pub ablation: xtuml_fuzz::Ablation,
+    /// Worker threads for the seed sweep (`--jobs J`); the report is
+    /// byte-identical for any value.
+    pub jobs: usize,
 }
 
 impl Default for FuzzOptions {
@@ -406,6 +469,7 @@ impl Default for FuzzOptions {
             start: 0,
             shrink: false,
             ablation: xtuml_fuzz::Ablation::None,
+            jobs: 1,
         }
     }
 }
@@ -429,6 +493,7 @@ pub fn cmd_fuzz(
         count: opts.seeds,
         shrink: opts.shrink,
         ablation: opts.ablation,
+        jobs: opts.jobs,
     };
     let report = xtuml_fuzz::fuzz(&cfg);
     let mut entries = Vec::new();

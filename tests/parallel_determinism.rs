@@ -1,0 +1,217 @@
+//! End-to-end determinism contract of `xtuml run` under parallelism.
+//!
+//! The engine's guarantee: the trace is a pure function of
+//! `(seed, shards)`. The worker count (`--jobs`) is pure mechanism and
+//! must never leak into the output — at any pinned shard count the CLI
+//! must print byte-identical reports whether the epoch runs on one
+//! thread or eight. This suite drives the full stack (parser → stimulus
+//! script → sharded engine → observable rendering) over the builder
+//! pipeline, the doorbell example and the checked-in fuzz corpus.
+
+use xtuml::cli::{cmd_run_with, RunOptions};
+
+const SEEDS: u64 = 16;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// A synthetic pipeline in source form, so this test exercises the same
+/// parser path a user's model takes (the in-crate suites already cover
+/// the builder path).
+fn pipeline_src(stages: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("domain pipe;\n\nactor SINK {\n    signal out(v: int);\n}\n");
+    for k in 0..stages {
+        let body = if k + 1 < stages {
+            format!(
+                "self.seen = (self.seen + 1);\n\
+                 gen Feed((rcvd.v + 1)) to any(self -> Stage{}[R{}]);",
+                k + 1,
+                k + 1
+            )
+        } else {
+            "self.seen = (self.seen + 1);\ngen out(rcvd.v) to SINK;".to_owned()
+        };
+        let _ = write!(
+            s,
+            "\nclass Stage{k} {{\n\
+             \x20   attr seen: int;\n\
+             \x20   event Feed(v: int);\n\
+             \x20   initial Idle;\n\
+             \x20   state Idle {{\n    }}\n\
+             \x20   state Busy {{\n{body}\n    }}\n\
+             \x20   on Idle: Feed -> Busy;\n\
+             \x20   on Busy: Feed -> Busy;\n\
+             }}\n"
+        );
+    }
+    for k in 1..stages {
+        let _ = write!(s, "\nassoc R{k}: Stage{} one -- Stage{k} one;\n", k - 1);
+    }
+    s
+}
+
+fn pipeline_stim(stages: usize, feeds: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for k in 0..stages {
+        let _ = writeln!(s, "create s{k} Stage{k}");
+    }
+    for k in 1..stages {
+        let _ = writeln!(s, "relate s{} s{k} R{k}", k - 1);
+    }
+    for i in 0..feeds {
+        let _ = writeln!(s, "at {i} s0 Feed {i}");
+    }
+    s
+}
+
+/// A model the shard-safety analysis must reject (it writes another
+/// instance's attribute), so the sweeps also cover the sequential
+/// fallback path — which must still be worker-count invariant.
+fn unsafe_src() -> (String, String) {
+    let model = "domain nonlocal;\n\n\
+         actor SINK {\n    signal out(v: int);\n}\n\n\
+         class A {\n\
+         \x20   event Go();\n\
+         \x20   initial I;\n\
+         \x20   state I {\n    }\n\
+         \x20   state W {\n\
+         \x20       b = any(self -> B[R1]);\n\
+         \x20       b.x = (b.x + 1);\n\
+         \x20       gen out(b.x) to SINK;\n\
+         \x20   }\n\
+         \x20   on I: Go -> W;\n\
+         \x20   on W: Go -> W;\n\
+         }\n\n\
+         class B {\n\
+         \x20   attr x: int;\n\
+         \x20   event Nop();\n\
+         \x20   initial I;\n\
+         \x20   state I {\n    }\n\
+         \x20   on I: Nop ignore;\n\
+         }\n\n\
+         assoc R1: A one -- B one;\n"
+        .to_owned();
+    let stim = "create a A\ncreate b B\nrelate a b R1\nat 0 a Go\nat 1 a Go\n".to_owned();
+    (model, stim)
+}
+
+/// Every (model, stimulus) pair the suite sweeps.
+fn cases() -> Vec<(String, String, String)> {
+    let mut v = vec![("pipeline".to_owned(), pipeline_src(6), pipeline_stim(6, 12))];
+    let (model, stim) = unsafe_src();
+    v.push(("nonlocal-counter".to_owned(), model, stim));
+    for (name, model, stim) in [
+        ("doorbell", "models/doorbell.xtuml", "models/doorbell.stim"),
+        (
+            "fuzz-seed2",
+            "models/fuzz-corpus/seed2.xtuml",
+            "models/fuzz-corpus/seed2.stim",
+        ),
+        (
+            "fuzz-seed5",
+            "models/fuzz-corpus/seed5.xtuml",
+            "models/fuzz-corpus/seed5.stim",
+        ),
+    ] {
+        v.push((name.to_owned(), read(model), read(stim)));
+    }
+    v
+}
+
+#[test]
+fn run_output_is_worker_count_invariant_at_every_shard_count() {
+    for (name, model, stim) in cases() {
+        for shards in [2usize, 4, 8] {
+            for seed in 0..SEEDS {
+                let opts = |jobs| RunOptions {
+                    seed,
+                    jobs,
+                    shards: Some(shards),
+                };
+                let reference = cmd_run_with(&model, &stim, opts(1))
+                    .unwrap_or_else(|e| panic!("{name}: jobs=1 failed: {e}"));
+                for jobs in [2usize, 4, 8] {
+                    let got = cmd_run_with(&model, &stim, opts(jobs))
+                        .unwrap_or_else(|e| panic!("{name}: jobs={jobs} failed: {e}"));
+                    assert_eq!(
+                        reference, got,
+                        "{name}: seed {seed} shards {shards}: jobs=1 vs jobs={jobs} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_run_reproduces_the_sequential_cli_output() {
+    // `--shards 1` (and plain `--jobs 1`) must replay the classic
+    // sequential engine exactly, whatever worker count carries it.
+    for (name, model, stim) in cases() {
+        for seed in 0..SEEDS {
+            let sequential = cmd_run_with(
+                &model,
+                &stim,
+                RunOptions {
+                    seed,
+                    jobs: 1,
+                    shards: None,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
+            let pinned = cmd_run_with(
+                &model,
+                &stim,
+                RunOptions {
+                    seed,
+                    jobs: 4,
+                    shards: Some(1),
+                },
+            )
+            .unwrap_or_else(|e| panic!("{name}: pinned run failed: {e}"));
+            assert_eq!(
+                sequential, pinned,
+                "{name}: seed {seed}: --shards 1 must reproduce the sequential output"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_pipeline_actually_exercises_the_sharded_engine() {
+    // Guard against the suite silently degenerating: the pipeline case
+    // must pass the shard-safety analysis (so the sweeps above really
+    // ran sharded), and an unsafe corpus model must fall back with a
+    // note rather than erroring.
+    let pipeline = xtuml::lang::parse_domain(&pipeline_src(6)).unwrap();
+    xtuml_exec::shard_safety(&pipeline).expect("pipeline must be shard-safe");
+
+    let mut safety = Vec::new();
+    for (name, model, stim) in cases() {
+        let domain = xtuml::lang::parse_domain(&model).unwrap();
+        let safe = xtuml_exec::shard_safety(&domain).is_ok();
+        safety.push(safe);
+        let out = cmd_run_with(
+            &model,
+            &stim,
+            RunOptions {
+                seed: 0,
+                jobs: 4,
+                shards: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
+        assert_eq!(
+            out.starts_with("note: running sequentially"),
+            !safe,
+            "{name}: fallback note must appear exactly when the model is unsafe"
+        );
+    }
+    assert!(
+        safety.iter().any(|s| *s) && safety.iter().any(|s| !*s),
+        "suite must cover both shard-safe and fallback models"
+    );
+}
