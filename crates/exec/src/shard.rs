@@ -278,6 +278,13 @@ struct ShardState {
     cancels: Vec<(InstId, EventId)>,
     dispatches: u64,
     dropped: u64,
+    /// Remaining global dispatch budget at the top of the epoch. A local
+    /// cycle (e.g. an action that unconditionally signals itself) never
+    /// quiesces, so the epoch itself must enforce `max_steps` — the
+    /// post-barrier total check would never be reached.
+    step_budget: u64,
+    /// The run's configured cap, for the error message.
+    max_steps: u64,
     now: u64,
     strict: bool,
     self_priority: bool,
@@ -320,8 +327,21 @@ impl ShardState {
 
     /// Runs this shard's run-to-completion steps until no local instance
     /// is ready. Called between barriers, possibly on a worker thread.
+    ///
+    /// Bounded by `step_budget` (the global budget remaining when the
+    /// epoch started): each shard checks against the full remaining
+    /// budget independently, so whether a shard errors is a pure
+    /// function of its own inputs — deterministic across worker counts —
+    /// and a shard-local livelock fails like the sequential engine does
+    /// instead of hanging the run.
     fn run_epoch(&mut self, domain: &Domain, program: &CompiledProgram) -> Result<()> {
         while !self.ready.is_empty() {
+            if self.dispatches >= self.step_budget {
+                return Err(CoreError::runtime(format!(
+                    "exceeded max_steps ({}) — livelock?",
+                    self.max_steps
+                )));
+            }
             let pick = self.ready[self.rng.below(self.ready.len())];
             let env = self.pop_envelope(pick);
             if self.queues[pick.index()].is_empty() {
@@ -733,11 +753,10 @@ impl<'d> ShardedSimulation<'d> {
                     .collect(),
                 ready: Vec::new(),
                 in_ready: vec![false; self.store_len()],
-                rng: SplitMix64::new(if id == 0 {
-                    self.policy.seed
-                } else {
-                    stream_seed(self.policy.seed, id as u64)
-                }),
+                // stream_seed even for shard 0: stream_seed(base, 0) !=
+                // base, so a sharded run never replays the unsharded
+                // schedule by accident.
+                rng: SplitMix64::new(stream_seed(self.policy.seed, id as u64)),
                 local_seq: 0,
                 trace: Vec::new(),
                 outbox: Vec::new(),
@@ -745,6 +764,8 @@ impl<'d> ShardedSimulation<'d> {
                 cancels: Vec::new(),
                 dispatches: 0,
                 dropped: 0,
+                step_budget: self.max_steps,
+                max_steps: self.max_steps,
                 now: self.now,
                 strict: self.policy.strict,
                 self_priority: self.policy.self_priority,
@@ -817,9 +838,13 @@ impl<'d> ShardedSimulation<'d> {
                 }
             }
 
-            // 3. Run every shard to local quiescence, in parallel.
+            // 3. Run every shard to local quiescence, in parallel. Each
+            // shard carries the remaining global dispatch budget so a
+            // never-quiescing local cycle errors inside the epoch.
+            let remaining = self.max_steps.saturating_sub(total_steps);
             for s in shards.iter_mut() {
                 s.now = self.now;
+                s.step_budget = remaining;
             }
             let domain = self.domain;
             let program = &self.program;
@@ -855,12 +880,16 @@ impl<'d> ShardedSimulation<'d> {
                 shards[to.index() % nshards].enqueue(to, env);
             }
 
-            // 6. Collect new timers and apply cancellations (cancels
-            // from lower shards win ties deterministically, but a
-            // cancel only ever targets the cancelling instance's own
-            // timers, so order cannot matter observably).
+            // 6. Collect every shard's new timers first, then apply
+            // every shard's cancellations. Two passes, not one:
+            // `send_delayed` can arm a timer on another shard's
+            // instance, so a cancel from a lower-id shard must also see
+            // same-epoch timers armed by higher-id shards — interleaving
+            // the passes would make the outcome depend on shard ids.
             for s in shards.iter_mut() {
                 timers.append(&mut s.new_timers);
+            }
+            for s in shards.iter_mut() {
                 for (inst, event) in s.cancels.drain(..) {
                     timers.retain(|t| !(t.to == inst && t.event == event));
                 }

@@ -160,6 +160,43 @@ fn sharded_runs_preserve_causality() {
 }
 
 #[test]
+fn shard_local_livelock_errors_instead_of_hanging() {
+    // An action that unconditionally signals itself never quiesces, so
+    // the shard's epoch can never end. The epoch must enforce the step
+    // budget itself — the sequential engine errors with the same
+    // message — and the error must be jobs-invariant like everything
+    // else.
+    let mut b = DomainBuilder::new("m");
+    b.class("L")
+        .event("Tick", &[])
+        .state("Idle", "")
+        .state("Spin", "gen Tick() to self;")
+        .initial("Idle")
+        .transition("Idle", "Tick", "Spin")
+        .transition("Spin", "Tick", "Spin");
+    let domain = b.build().unwrap();
+    shard_safety(&domain).unwrap();
+
+    let run = |shards: usize, jobs: usize| {
+        let policy = SchedPolicy::seeded(0).with_shards(shards);
+        let mut sim = ShardedSimulation::with_policy(&domain, policy);
+        sim.set_max_steps(10_000);
+        let insts: Vec<_> = (0..4).map(|_| sim.create("L").unwrap()).collect();
+        for t in &insts {
+            sim.inject(0, *t, "Tick", vec![]).unwrap();
+        }
+        sim.run_to_quiescence(jobs).unwrap_err().to_string()
+    };
+    for shards in [2usize, 4] {
+        let reference = run(shards, 1);
+        assert!(reference.contains("livelock"), "{reference}");
+        for jobs in [2usize, 4] {
+            assert_eq!(reference, run(shards, jobs), "shards {shards}");
+        }
+    }
+}
+
+#[test]
 fn shard_safety_accepts_signal_only_models_and_rejects_mutation() {
     let domain = pipeline_domain(4).unwrap();
     shard_safety(&domain).unwrap();

@@ -16,9 +16,11 @@
 //!   items never share generator state across workers;
 //! * **panic propagation** — a panicking work item aborts the whole
 //!   fork-join and re-raises the payload on the caller's thread;
-//! * **nested-scope rejection** — calling back into the pool from inside
-//!   a worker would deadlock a fixed-width pool, so it is detected and
-//!   refused up front.
+//! * **nested-scope rejection** — starting a *parallel* fork-join from
+//!   inside a worker would deadlock a fixed-width pool, so it is
+//!   detected and refused up front. Serial calls (`jobs == 1`, or one
+//!   item or fewer) run on the calling thread without spawning anything
+//!   and are therefore allowed anywhere, workers included.
 //!
 //! With `jobs == 1` every entry point degenerates to a plain serial loop
 //! on the caller's thread — no worker threads are spawned at all — which
@@ -100,8 +102,9 @@ impl Pool {
     /// # Panics
     ///
     /// Re-raises the first panic raised by any work item, and panics if
-    /// called from inside another fork-join of this crate (nested scopes
-    /// are rejected, see [`Pool::try_map`]).
+    /// a parallel map (`jobs > 1` with two or more items) is started
+    /// from inside another fork-join of this crate (nested scopes are
+    /// rejected, see [`Pool::try_map`]; serial maps are exempt).
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -116,8 +119,10 @@ impl Pool {
     ///
     /// # Errors
     ///
-    /// Returns [`PoolError::Nested`] when called from inside a pool
-    /// worker.
+    /// Returns [`PoolError::Nested`] when a parallel map is started from
+    /// inside a pool worker. The serial path (`jobs == 1`, or fewer than
+    /// two items) spawns no threads, cannot deadlock, and is allowed
+    /// from anywhere.
     pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PoolError>
     where
         T: Sync,
@@ -133,8 +138,9 @@ impl Pool {
     ///
     /// # Errors
     ///
-    /// Returns [`PoolError::Nested`] when called from inside a pool
-    /// worker.
+    /// Returns [`PoolError::Nested`] when a parallel map is started from
+    /// inside a pool worker (serial maps are exempt, as in
+    /// [`Pool::try_map`]).
     pub fn try_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Result<Vec<R>, PoolError>
     where
         T: Send,
@@ -155,12 +161,16 @@ impl Pool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if IN_WORKER.with(Cell::get) {
-            return Err(PoolError::Nested);
-        }
         if self.jobs == 1 || n <= 1 {
             // Sequential path: the caller's thread, no queue, no spawn.
+            // Taken before the nested-scope check — a serial fork-join
+            // spawns no threads and cannot deadlock, so it is legal even
+            // from inside a worker (e.g. a serial seed sweep invoked
+            // from a fuzz worker).
             return Ok((0..n).map(f).collect());
+        }
+        if IN_WORKER.with(Cell::get) {
+            return Err(PoolError::Nested);
         }
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -201,17 +211,18 @@ impl Pool {
         R: Send,
         F: Fn(usize, &mut T) -> R + Sync,
     {
-        if IN_WORKER.with(Cell::get) {
-            return Err(PoolError::Nested);
-        }
         let n = queue.lock().expect("queue poisoned").len();
         if self.jobs == 1 || n <= 1 {
+            // As in `run`: serial execution is nesting-safe.
             let mut out: Vec<(usize, R)> = Vec::with_capacity(n);
             while let Some((i, item)) = queue.lock().expect("queue poisoned").pop() {
                 out.push((i, f(i, item)));
             }
             out.sort_by_key(|(i, _)| *i);
             return Ok(out.into_iter().map(|(_, r)| r).collect());
+        }
+        if IN_WORKER.with(Cell::get) {
+            return Err(PoolError::Nested);
         }
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
@@ -340,6 +351,30 @@ mod tests {
         // After the fork-join the caller's thread is not a worker: a new
         // top-level fork-join still works.
         assert_eq!(pool.map(&[1u64], |_, v| *v), vec![1]);
+    }
+
+    #[test]
+    fn serial_fork_join_inside_a_worker_is_allowed() {
+        // A strictly serial pool spawns no threads, so wrapping one
+        // (e.g. explore_seeds delegating to explore_seeds_jobs(.., 1))
+        // must keep working even when invoked from a parallel worker.
+        let pool = Pool::new(2);
+        let items: Vec<u64> = (0..6).collect();
+        let out = pool.map(&items, |_, v| {
+            let serial = Pool::new(1);
+            let mut pair = [*v, *v + 1];
+            let mapped = serial.map(&pair, |_, x| x * 2);
+            let mutated = serial.try_map_mut(&mut pair, |_, x| {
+                *x += 1;
+                *x
+            });
+            (mapped, mutated)
+        });
+        for (i, (mapped, mutated)) in out.into_iter().enumerate() {
+            let v = i as u64;
+            assert_eq!(mapped, vec![v * 2, (v + 1) * 2]);
+            assert_eq!(mutated, Ok(vec![v + 1, v + 2]));
+        }
     }
 
     #[test]

@@ -320,10 +320,12 @@ pub struct RunOptions {
     /// path. Workers are pure mechanism: the output never depends on
     /// this, only wall-clock does.
     pub jobs: usize,
-    /// Shard count (`--shards S`); `None` follows `jobs`. Together with
-    /// the seed this *defines* the schedule — the trace is a pure
-    /// function of `(seed, shards)` — so pinning it keeps the output
-    /// byte-identical while `--jobs` varies. Models that fail the
+    /// Shard count (`--shards S`); `None` means 1 (the sequential
+    /// schedule). Together with the seed this *defines* the schedule —
+    /// the trace is a pure function of `(seed, shards)` — which is why
+    /// the default is a constant rather than following `jobs` or the
+    /// host's core count: an unflagged `run` must print the same bytes
+    /// on every machine and across releases. Models that fail the
     /// shard-safety analysis fall back to one shard with a note.
     pub shards: Option<usize>,
 }
@@ -350,8 +352,10 @@ pub fn cmd_run(model_src: &str, script_src: &str) -> Result<String, CliError> {
 
 /// `run` with explicit seed/jobs options. Runs go through the sharded
 /// engine, which delegates to the classic sequential scheduler when the
-/// effective shard count is 1 — so `--jobs 1` reproduces historical
-/// output exactly.
+/// effective shard count is 1 — the default whenever `--shards` is not
+/// given, so unflagged runs reproduce historical output exactly on any
+/// host; `--jobs` is pure mechanism and only matters once `--shards`
+/// opts into a sharded schedule.
 ///
 /// # Errors
 ///
@@ -363,7 +367,7 @@ pub fn cmd_run_with(
 ) -> Result<String, CliError> {
     let domain = parse_domain(model_src)?;
     let mut note = None;
-    let requested = opts.shards.unwrap_or(opts.jobs).max(1);
+    let requested = opts.shards.unwrap_or(1).max(1);
     let shards = if requested > 1 {
         match xtuml_exec::shard_safety(&domain) {
             Ok(()) => requested,

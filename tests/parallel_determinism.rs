@@ -184,8 +184,8 @@ fn single_shard_run_reproduces_the_sequential_cli_output() {
 fn the_pipeline_actually_exercises_the_sharded_engine() {
     // Guard against the suite silently degenerating: the pipeline case
     // must pass the shard-safety analysis (so the sweeps above really
-    // ran sharded), and an unsafe corpus model must fall back with a
-    // note rather than erroring.
+    // ran sharded), and an unsafe model run with `--shards > 1` must
+    // fall back with a note rather than erroring.
     let pipeline = xtuml::lang::parse_domain(&pipeline_src(6)).unwrap();
     xtuml_exec::shard_safety(&pipeline).expect("pipeline must be shard-safe");
 
@@ -200,7 +200,7 @@ fn the_pipeline_actually_exercises_the_sharded_engine() {
             RunOptions {
                 seed: 0,
                 jobs: 4,
-                shards: None,
+                shards: Some(4),
             },
         )
         .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
@@ -214,4 +214,40 @@ fn the_pipeline_actually_exercises_the_sharded_engine() {
         safety.iter().any(|s| *s) && safety.iter().any(|s| !*s),
         "suite must cover both shard-safe and fallback models"
     );
+}
+
+#[test]
+fn unflagged_run_defaults_to_the_sequential_schedule_on_any_host() {
+    // Reproducibility contract: without `--shards`, the effective shard
+    // count is a constant 1 — never the worker count or the host's core
+    // count — so a plain `xtuml run model script` prints the same bytes
+    // everywhere, and `--jobs` stays pure mechanism.
+    for (name, model, stim) in cases() {
+        let sequential = cmd_run_with(
+            &model,
+            &stim,
+            RunOptions {
+                seed: 0,
+                jobs: 1,
+                shards: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
+        for jobs in [2usize, 8] {
+            let unflagged = cmd_run_with(
+                &model,
+                &stim,
+                RunOptions {
+                    seed: 0,
+                    jobs,
+                    shards: None,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{name}: jobs={jobs} run failed: {e}"));
+            assert_eq!(
+                sequential, unflagged,
+                "{name}: default shard count must not follow jobs={jobs}"
+            );
+        }
+    }
 }
