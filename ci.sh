@@ -50,6 +50,34 @@ cmp target/run-par-1.txt target/run-par-2.txt
 cargo run --quiet --release -- fuzz --seeds 200 --jobs 4 > target/fuzz-smoke-par.txt
 cmp target/fuzz-smoke-1.txt target/fuzz-smoke-par.txt
 
+# Telemetry gates (DESIGN §12). First the determinism contract: metric
+# snapshots must be byte-identical across worker counts and against the
+# plain sequential engine, and `xtuml stats` must match its goldens.
+cargo test -q --release --test metrics_determinism
+
+# The profile surface must emit a well-formed Chrome trace-event document
+# (the shape Perfetto loads); `stats --check-profile` validates it with
+# the in-repo JSON parser, so a malformed profile fails CI, not the
+# first person to open it in a viewer.
+cargo run --quiet --release -- run models/doorbell.xtuml models/doorbell.stim \
+    --shards 4 --profile target/ci-profile.json > /dev/null
+cargo run --quiet --release -- stats --check-profile target/ci-profile.json
+
+# Zero-cost-when-disabled gate: telemetry is compiled in but off by
+# default, and the interpreter must not pay for it — fail on a >2%
+# aggregate throughput regression against the interp baseline.
+( cd target && cargo run --quiet --release -p xtuml-bench --bin throughput )
+cp BENCH_interp.baseline.json target/
+awk '
+    FNR == 1 { file++ }
+    /"aggregate_signals_per_sec"/ { rate[file] = $2 + 0 }
+    END {
+        if (rate[2] <= 0) { print "no interp baseline rate parsed"; exit 1 }
+        ratio = rate[1] / rate[2]
+        printf "interp bench (telemetry off): %.0f vs baseline %.0f (%.2fx)\n", rate[1], rate[2], ratio
+        if (ratio < 0.98) { print "FAIL: disabled telemetry costs >2%"; exit 1 }
+    }' target/BENCH_interp.json target/BENCH_interp.baseline.json
+
 # Scaling-bench gate: smoke-run the jobs sweep at 1 and 2 workers (the
 # binary itself byte-compares the traces before trusting any timing),
 # then fail on a >10% aggregate throughput regression against the

@@ -60,6 +60,24 @@ fn run_once(domain: &Domain, jobs: usize) -> (u64, f64, String) {
     )
 }
 
+/// One instrumented run (untimed): the deterministic telemetry snapshot
+/// of the workload. Counters are a pure function of `(seed, shards)`,
+/// so one run at `jobs = 1` describes every sweep point.
+fn snapshot(domain: &Domain) -> xtuml_obs::Metrics {
+    let policy = SchedPolicy::seeded(0).with_shards(SHARDS);
+    let mut sim = ShardedSimulation::with_policy(domain, policy);
+    let insts: Vec<_> = (0..CORES)
+        .map(|k| sim.create(&format!("Core{k}")).expect("create core"))
+        .collect();
+    for (k, inst) in insts.iter().enumerate() {
+        sim.inject(0, *inst, "Tick", vec![Value::Int(WORK + (k % 7) as i64)])
+            .expect("inject tick");
+    }
+    sim.attach_recorder(xtuml_obs::Recorder::new());
+    sim.run_to_quiescence(1).expect("run to quiescence");
+    sim.take_recorder().expect("recorder attached").metrics
+}
+
 fn main() {
     let iters: u32 = std::env::var("BENCH_ITERS")
         .ok()
@@ -76,8 +94,16 @@ fn main() {
     let hw_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    // A sweep point asking for more workers than the host can actually run
+    // in parallel measures oversubscription, not scaling; the report says so.
+    let degraded = sweep.iter().any(|&jobs| jobs > hw_threads);
 
     let domain = manycore_domain(CORES);
+
+    // Deterministic telemetry for the workload itself (jobs-invariant).
+    let metrics = snapshot(&domain);
+    let epoch_imbalance = metrics.epoch_imbalance().unwrap_or(0.0);
+    let cross_shard_frac = metrics.cross_shard_frac().unwrap_or(0.0);
 
     // Warmup + reference trace from the guaranteed-sequential point.
     let (signals, _, reference) = run_once(&domain, 1);
@@ -123,6 +149,10 @@ fn main() {
         "  \"shards\": {SHARDS},\n  \"cores\": {CORES},\n  \"work\": {WORK},\n"
     ));
     json.push_str(&format!("  \"available_parallelism\": {hw_threads},\n"));
+    json.push_str(&format!("  \"degraded\": {degraded},\n"));
+    json.push_str(&format!(
+        "  \"epoch_imbalance\": {epoch_imbalance:.4},\n  \"cross_shard_frac\": {cross_shard_frac:.4},\n"
+    ));
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -161,7 +191,22 @@ fn main() {
     }
     json.push_str("\n}\n");
 
+    if degraded {
+        println!(
+            "warning: sweep exceeds available_parallelism ({hw_threads}); report marked degraded"
+        );
+    }
+
     std::fs::write("BENCH_parallel.json", json).expect("write BENCH_parallel.json");
-    history::append("BENCH_history.jsonl", "parallel_scaling", aggregate)
-        .expect("append BENCH_history.jsonl");
+    history::append_with(
+        "BENCH_history.jsonl",
+        "parallel_scaling",
+        aggregate,
+        &[
+            ("epoch_imbalance", format!("{epoch_imbalance:.4}")),
+            ("cross_shard_frac", format!("{cross_shard_frac:.4}")),
+            ("degraded", degraded.to_string()),
+        ],
+    )
+    .expect("append BENCH_history.jsonl");
 }

@@ -14,6 +14,23 @@ use std::io::Write as _;
 ///
 /// Propagates filesystem errors from opening or writing the file.
 pub fn append(path: &str, bench: &str, aggregate_signals_per_sec: f64) -> std::io::Result<()> {
+    append_with(path, bench, aggregate_signals_per_sec, &[])
+}
+
+/// Like [`append`], but with extra key/value columns on the same row
+/// (values are emitted raw, so pass pre-rendered JSON — numbers as-is,
+/// strings pre-quoted). Telemetry-aware harnesses use this to record
+/// per-epoch imbalance and cross-shard routing volume next to the rate.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from opening or writing the file.
+pub fn append_with(
+    path: &str,
+    bench: &str,
+    aggregate_signals_per_sec: f64,
+    extras: &[(&str, String)],
+) -> std::io::Result<()> {
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -22,10 +39,14 @@ pub fn append(path: &str, bench: &str, aggregate_signals_per_sec: f64) -> std::i
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(
-        f,
-        "{{\"bench\": \"{bench}\", \"unix_secs\": {unix_secs}, \"aggregate_signals_per_sec\": {aggregate_signals_per_sec:.0}}}"
-    )
+    let mut row = format!(
+        "{{\"bench\": \"{bench}\", \"unix_secs\": {unix_secs}, \"aggregate_signals_per_sec\": {aggregate_signals_per_sec:.0}"
+    );
+    for (k, v) in extras {
+        row.push_str(&format!(", \"{k}\": {v}"));
+    }
+    row.push('}');
+    writeln!(f, "{row}")
 }
 
 /// Extracts `"aggregate_signals_per_sec": <number>` from a report JSON

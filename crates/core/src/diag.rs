@@ -61,6 +61,11 @@ pub enum Code {
     /// a payload the interface generator cannot marshal: no ICD entry can
     /// exist for it.
     UnmarshallableChannel,
+    /// `X0015` — a state action using a construct the sharded executor
+    /// cannot run in parallel (`create`/`delete`/`relate`/`unrelate` or a
+    /// non-self attribute access): `--shards N` falls back to sequential
+    /// execution.
+    ShardUnsafe,
 }
 
 /// Every code, in ascending order — the lint catalogue.
@@ -79,6 +84,7 @@ pub const ALL_CODES: &[Code] = &[
     Code::UnknownMarkTarget,
     Code::HardwareStringPayload,
     Code::UnmarshallableChannel,
+    Code::ShardUnsafe,
 ];
 
 impl Code {
@@ -99,6 +105,7 @@ impl Code {
             Code::UnknownMarkTarget => "X0012",
             Code::HardwareStringPayload => "X0013",
             Code::UnmarshallableChannel => "X0014",
+            Code::ShardUnsafe => "X0015",
         }
     }
 
@@ -120,6 +127,7 @@ impl Code {
             Code::UnknownMarkTarget => "unknown-mark-target",
             Code::HardwareStringPayload => "hardware-string-payload",
             Code::UnmarshallableChannel => "unmarshallable-channel",
+            Code::ShardUnsafe => "shard-unsafe",
         }
     }
 
@@ -140,7 +148,7 @@ impl Code {
             | Code::SignalCycle
             | Code::UnknownMarkTarget
             | Code::HardwareStringPayload => Severity::Warning,
-            Code::ConstantAttribute => Severity::Note,
+            Code::ConstantAttribute | Code::ShardUnsafe => Severity::Note,
         }
     }
 

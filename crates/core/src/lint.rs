@@ -283,7 +283,7 @@ impl Walker<'_> {
     }
 }
 
-/// Runs every whole-model lint (`X0006`..`X0011`) over the domain.
+/// Runs every whole-model lint (`X0006`..`X0011`, `X0015`) over the domain.
 pub fn lint_domain(domain: &Domain, spans: &SourceMap, diags: &mut Diagnostics) {
     let facts = ModelFacts::gather(domain);
     lint_dead_events(domain, spans, diags);
@@ -291,6 +291,7 @@ pub fn lint_domain(domain: &Domain, spans: &SourceMap, diags: &mut Diagnostics) 
     lint_attr_usage(domain, &facts, spans, diags);
     lint_signal_races(domain, &facts, diags);
     lint_signal_cycles(domain, &facts, diags);
+    lint_shard_safety(domain, spans, diags);
 }
 
 /// `X0006`: events no transition row consumes (a `CantHappen` row is a
@@ -705,6 +706,227 @@ fn tarjan(
         }
     }
     sccs
+}
+
+// ---------------------------------------------------------------------------
+// Shard-safety analysis (X0015)
+// ---------------------------------------------------------------------------
+
+/// Why a state action blocks sharded execution.
+///
+/// The sharded executor partitions instances by id; an action that
+/// mutates the instance population or touches another instance's
+/// attributes would race between shards, so such models fall back to
+/// sequential execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShardReason {
+    /// The action creates an instance.
+    Creates,
+    /// The action deletes an instance.
+    Deletes,
+    /// The action relates instances.
+    Relates,
+    /// The action unrelates instances.
+    Unrelates,
+    /// The action writes an attribute of an instance other than `self`.
+    NonSelfWrite,
+    /// The action reads an attribute of an instance other than `self`.
+    NonSelfRead,
+}
+
+impl ShardReason {
+    /// Human phrasing, e.g. `"creates an instance"`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ShardReason::Creates => "creates an instance",
+            ShardReason::Deletes => "deletes an instance",
+            ShardReason::Relates => "relates instances",
+            ShardReason::Unrelates => "unrelates instances",
+            ShardReason::NonSelfWrite => "writes a non-self attribute",
+            ShardReason::NonSelfRead => "reads a non-self attribute",
+        }
+    }
+
+    /// Stable machine key, e.g. `"create"` (metric and JSONL column).
+    pub fn key(self) -> &'static str {
+        match self {
+            ShardReason::Creates => "create",
+            ShardReason::Deletes => "delete",
+            ShardReason::Relates => "relate",
+            ShardReason::Unrelates => "unrelate",
+            ShardReason::NonSelfWrite => "non_self_write",
+            ShardReason::NonSelfRead => "non_self_read",
+        }
+    }
+}
+
+/// One construct that blocks sharded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOffense {
+    /// Class whose state machine holds the offending action.
+    pub class: String,
+    /// State whose entry action offends.
+    pub state: String,
+    /// What the action does.
+    pub reason: ShardReason,
+}
+
+impl ShardOffense {
+    /// The historical one-line rendering, `Class.State: reason`.
+    pub fn describe(&self) -> String {
+        format!("{}.{}: {}", self.class, self.state, self.reason.describe())
+    }
+}
+
+/// Finds every construct that blocks sharded execution, in model order
+/// (classes, then states, then reasons sorted; one entry per distinct
+/// reason per state). Empty means the model shards without restriction.
+///
+/// This is the single source of truth for shard safety: the sharded
+/// executor's static gate and the `X0015` lint both call it.
+pub fn shard_offenses(domain: &Domain) -> Vec<ShardOffense> {
+    let mut offenses = Vec::new();
+    for class in &domain.classes {
+        let Some(machine) = class.state_machine.as_ref() else {
+            continue;
+        };
+        for state in &machine.states {
+            let mut reasons: Vec<ShardReason> = Vec::new();
+            shard_walk_block(&state.action, &mut reasons);
+            reasons.sort_unstable();
+            reasons.dedup();
+            for reason in reasons {
+                offenses.push(ShardOffense {
+                    class: class.name.clone(),
+                    state: state.name.clone(),
+                    reason,
+                });
+            }
+        }
+    }
+    offenses
+}
+
+fn shard_walk_block(block: &Block, out: &mut Vec<ShardReason>) {
+    for stmt in &block.stmts {
+        shard_walk_stmt(stmt, out);
+    }
+}
+
+fn shard_walk_stmt(stmt: &Stmt, out: &mut Vec<ShardReason>) {
+    match stmt {
+        Stmt::Create { .. } => out.push(ShardReason::Creates),
+        Stmt::Delete { expr, .. } => {
+            out.push(ShardReason::Deletes);
+            shard_walk_expr(expr, out);
+        }
+        Stmt::Relate { a, b, .. } => {
+            out.push(ShardReason::Relates);
+            shard_walk_expr(a, out);
+            shard_walk_expr(b, out);
+        }
+        Stmt::Unrelate { a, b, .. } => {
+            out.push(ShardReason::Unrelates);
+            shard_walk_expr(a, out);
+            shard_walk_expr(b, out);
+        }
+        Stmt::Assign { lhs, expr, .. } => {
+            if let LValue::Attr(base, _) = lhs {
+                if !matches!(base, Expr::SelfRef) {
+                    out.push(ShardReason::NonSelfWrite);
+                }
+                shard_walk_expr(base, out);
+            }
+            shard_walk_expr(expr, out);
+        }
+        Stmt::SelectAny { filter, .. } | Stmt::SelectMany { filter, .. } => {
+            if let Some(f) = filter {
+                shard_walk_expr(f, out);
+            }
+        }
+        Stmt::Generate {
+            args,
+            target,
+            delay,
+            ..
+        } => {
+            for a in args {
+                shard_walk_expr(a, out);
+            }
+            if let GenTarget::Inst(e) = target {
+                shard_walk_expr(e, out);
+            }
+            if let Some(d) = delay {
+                shard_walk_expr(d, out);
+            }
+        }
+        Stmt::Cancel { .. } | Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Return { .. } => {}
+        Stmt::If {
+            arms, otherwise, ..
+        } => {
+            for (cond, b) in arms {
+                shard_walk_expr(cond, out);
+                shard_walk_block(b, out);
+            }
+            if let Some(b) = otherwise {
+                shard_walk_block(b, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            shard_walk_expr(cond, out);
+            shard_walk_block(body, out);
+        }
+        Stmt::ForEach { set, body, .. } => {
+            shard_walk_expr(set, out);
+            shard_walk_block(body, out);
+        }
+        Stmt::ExprStmt { expr, .. } => shard_walk_expr(expr, out),
+    }
+}
+
+fn shard_walk_expr(expr: &Expr, out: &mut Vec<ShardReason>) {
+    match expr {
+        Expr::Attr(base, _) => {
+            if !matches!(**base, Expr::SelfRef) {
+                out.push(ShardReason::NonSelfRead);
+            }
+            shard_walk_expr(base, out);
+        }
+        Expr::Nav(base, _, _) => shard_walk_expr(base, out),
+        Expr::Unary(_, e) => shard_walk_expr(e, out),
+        Expr::Binary(_, a, b) => {
+            shard_walk_expr(a, out);
+            shard_walk_expr(b, out);
+        }
+        Expr::BridgeCall(_, _, args) => {
+            for a in args {
+                shard_walk_expr(a, out);
+            }
+        }
+        Expr::Lit(_) | Expr::Var(_) | Expr::SelfRef | Expr::Selected | Expr::Param(_) => {}
+    }
+}
+
+/// `X0015`: notes every construct that forces `--shards N` back to
+/// sequential execution.
+fn lint_shard_safety(domain: &Domain, spans: &SourceMap, diags: &mut Diagnostics) {
+    for off in shard_offenses(domain) {
+        diags.push(
+            Diagnostic::new(
+                Code::ShardUnsafe,
+                spans.get(&SourceMap::state_key(&off.class, &off.state)),
+                format!(
+                    "state action {} — sharded execution falls back to sequential",
+                    off.reason.describe()
+                ),
+            )
+            .with_element(format!("state {}.{}", off.class, off.state))
+            .with_note(
+                "actions that only touch `self` attributes and communicate by signals shard freely"
+                    .to_owned(),
+            ),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -38,13 +38,13 @@ use crate::store::ObjectStore;
 use crate::trace::{Trace, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use xtuml_core::action::{Block, Expr, GenTarget, LValue, Stmt};
 use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result};
 use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
 use xtuml_core::interp::{self, ActionHost, ExecCtx};
 use xtuml_core::model::{Domain, TransitionTarget};
 use xtuml_core::value::Value;
+use xtuml_obs::{Counter, EpochRow, Gauge, HistKind, NullSink, Recorder, Sink};
 use xtuml_pool::{stream_seed, Pool};
 
 // ---------------------------------------------------------------------------
@@ -66,128 +66,15 @@ use xtuml_pool::{stream_seed, Pool};
 /// Returns a runtime error naming every offending class/state/construct,
 /// so callers can report *why* a model must run sequentially.
 pub fn shard_safety(domain: &Domain) -> Result<()> {
-    let mut offenses: Vec<String> = Vec::new();
-    for class in &domain.classes {
-        let Some(machine) = class.state_machine.as_ref() else {
-            continue;
-        };
-        for state in &machine.states {
-            let mut reasons: Vec<&'static str> = Vec::new();
-            walk_block(&state.action, &mut reasons);
-            reasons.sort_unstable();
-            reasons.dedup();
-            for r in reasons {
-                offenses.push(format!("{}.{}: {r}", class.name, state.name));
-            }
-        }
-    }
+    let offenses = xtuml_core::lint::shard_offenses(domain);
     if offenses.is_empty() {
         Ok(())
     } else {
+        let described: Vec<String> = offenses.iter().map(|o| o.describe()).collect();
         Err(CoreError::runtime(format!(
             "model is not shard-safe: {}",
-            offenses.join("; ")
+            described.join("; ")
         )))
-    }
-}
-
-fn walk_block(block: &Block, out: &mut Vec<&'static str>) {
-    for stmt in &block.stmts {
-        walk_stmt(stmt, out);
-    }
-}
-
-fn walk_stmt(stmt: &Stmt, out: &mut Vec<&'static str>) {
-    match stmt {
-        Stmt::Create { .. } => out.push("creates an instance"),
-        Stmt::Delete { expr, .. } => {
-            out.push("deletes an instance");
-            walk_expr(expr, out);
-        }
-        Stmt::Relate { a, b, .. } => {
-            out.push("relates instances");
-            walk_expr(a, out);
-            walk_expr(b, out);
-        }
-        Stmt::Unrelate { a, b, .. } => {
-            out.push("unrelates instances");
-            walk_expr(a, out);
-            walk_expr(b, out);
-        }
-        Stmt::Assign { lhs, expr, .. } => {
-            if let LValue::Attr(base, _) = lhs {
-                if !matches!(base, Expr::SelfRef) {
-                    out.push("writes a non-self attribute");
-                }
-                walk_expr(base, out);
-            }
-            walk_expr(expr, out);
-        }
-        Stmt::SelectAny { filter, .. } | Stmt::SelectMany { filter, .. } => {
-            if let Some(f) = filter {
-                walk_expr(f, out);
-            }
-        }
-        Stmt::Generate {
-            args,
-            target,
-            delay,
-            ..
-        } => {
-            for a in args {
-                walk_expr(a, out);
-            }
-            if let GenTarget::Inst(e) = target {
-                walk_expr(e, out);
-            }
-            if let Some(d) = delay {
-                walk_expr(d, out);
-            }
-        }
-        Stmt::Cancel { .. } | Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Return { .. } => {}
-        Stmt::If {
-            arms, otherwise, ..
-        } => {
-            for (cond, b) in arms {
-                walk_expr(cond, out);
-                walk_block(b, out);
-            }
-            if let Some(b) = otherwise {
-                walk_block(b, out);
-            }
-        }
-        Stmt::While { cond, body, .. } => {
-            walk_expr(cond, out);
-            walk_block(body, out);
-        }
-        Stmt::ForEach { set, body, .. } => {
-            walk_expr(set, out);
-            walk_block(body, out);
-        }
-        Stmt::ExprStmt { expr, .. } => walk_expr(expr, out),
-    }
-}
-
-fn walk_expr(expr: &Expr, out: &mut Vec<&'static str>) {
-    match expr {
-        Expr::Attr(base, _) => {
-            if !matches!(**base, Expr::SelfRef) {
-                out.push("reads a non-self attribute");
-            }
-            walk_expr(base, out);
-        }
-        Expr::Nav(base, _, _) => walk_expr(base, out),
-        Expr::Unary(_, e) => walk_expr(e, out),
-        Expr::Binary(_, a, b) => {
-            walk_expr(a, out);
-            walk_expr(b, out);
-        }
-        Expr::BridgeCall(_, _, args) => {
-            for a in args {
-                walk_expr(a, out);
-            }
-        }
-        Expr::Lit(_) | Expr::Var(_) | Expr::SelfRef | Expr::Selected | Expr::Param(_) => {}
     }
 }
 
@@ -289,6 +176,17 @@ struct ShardState {
     strict: bool,
     self_priority: bool,
     frame_buf: Vec<Option<Value>>,
+    /// Per-shard telemetry, forked from the coordinator's recorder
+    /// ([`Recorder::fork_shard`]) and absorbed back in shard-id order at
+    /// the end of the run so merged snapshots never depend on `--jobs`.
+    obs: Option<Recorder>,
+    /// Epoch ordinal, set by the coordinator before each parallel
+    /// section (for span names; 1-based).
+    epoch: u64,
+    /// Wall-clock nanoseconds this shard spent busy in the last epoch —
+    /// the coordinator subtracts it from the epoch wall time to estimate
+    /// barrier wait. Only measured while a recorder is attached.
+    epoch_busy_ns: u64,
 }
 
 impl ShardState {
@@ -314,6 +212,9 @@ impl ShardState {
             let at = self.ready.partition_point(|&r| r < to);
             self.ready.insert(at, to);
         }
+        if let Some(r) = self.obs.as_mut() {
+            r.gauge_max(Gauge::ReadySetMax, self.ready.len() as u64);
+        }
     }
 
     fn pop_envelope(&mut self, inst: InstId) -> Envelope {
@@ -335,8 +236,32 @@ impl ShardState {
     /// and a shard-local livelock fails like the sequential engine does
     /// instead of hanging the run.
     fn run_epoch(&mut self, domain: &Domain, program: &CompiledProgram) -> Result<()> {
+        let timed = self.obs.is_some().then(std::time::Instant::now);
+        if let Some(r) = self.obs.as_mut() {
+            if r.spans_enabled() {
+                let track = r.track;
+                r.span_begin(track, "shard", &format!("epoch {}", self.epoch));
+            }
+        }
+        let out = self.run_epoch_inner(domain, program);
+        if let Some(r) = self.obs.as_mut() {
+            if r.spans_enabled() {
+                let track = r.track;
+                r.span_end(track);
+            }
+        }
+        if let Some(t0) = timed {
+            self.epoch_busy_ns = t0.elapsed().as_nanos() as u64;
+        }
+        out
+    }
+
+    fn run_epoch_inner(&mut self, domain: &Domain, program: &CompiledProgram) -> Result<()> {
         while !self.ready.is_empty() {
             if self.dispatches >= self.step_budget {
+                if let Some(r) = self.obs.as_mut() {
+                    r.count(Counter::BudgetExhausted, 1);
+                }
                 return Err(CoreError::runtime(format!(
                     "exceeded max_steps ({}) — livelock?",
                     self.max_steps
@@ -372,7 +297,17 @@ impl ShardState {
             )));
         };
         let from_state = self.store.state_of(inst)?;
-        match program.target(class, from_state, env.event) {
+        let mut rtc_span = false;
+        if let Some(r) = self.obs.as_mut() {
+            r.count(Counter::SignalsDispatched, 1);
+            if r.spans_enabled() {
+                rtc_span = true;
+                let track = r.track;
+                let name = format!("{}.{}", c.name, c.events[env.event.index()].name);
+                r.span_begin(track, "rtc", &name);
+            }
+        }
+        let out = match program.target(class, from_state, env.event) {
             TransitionTarget::To(to_state) => {
                 self.store.set_state(inst, to_state)?;
                 self.trace.push(TraceEvent::Dispatch {
@@ -387,6 +322,16 @@ impl ShardState {
                 let action = program.action(class, to_state, env.event).ok_or_else(|| {
                     CoreError::runtime("internal: dispatched pair has no compiled action")
                 })??;
+                let mut action_span = false;
+                if let Some(r) = self.obs.as_mut() {
+                    r.count(Counter::TransitionsFired, 1);
+                    if r.spans_enabled() {
+                        action_span = true;
+                        let track = r.track;
+                        let name = format!("action {}.{}", c.name, machine.state(to_state).name);
+                        r.span_begin(track, "action", &name);
+                    }
+                }
                 let mut frame = std::mem::take(&mut self.frame_buf);
                 frame.clear();
                 frame.resize(action.frame_len(), None);
@@ -398,10 +343,19 @@ impl ShardState {
                 };
                 let run = interp::run_code(&mut host, &mut ctx, action);
                 self.frame_buf = std::mem::take(&mut ctx.frame);
+                if action_span {
+                    if let Some(r) = self.obs.as_mut() {
+                        let track = r.track;
+                        r.span_end(track);
+                    }
+                }
                 run?;
                 Ok(())
             }
             TransitionTarget::Ignore => {
+                if let Some(r) = self.obs.as_mut() {
+                    r.count(Counter::SignalsIgnored, 1);
+                }
                 self.trace.push(TraceEvent::Ignored {
                     time: self.now,
                     inst,
@@ -418,6 +372,9 @@ impl ShardState {
                     })
                 } else {
                     self.dropped += 1;
+                    if let Some(r) = self.obs.as_mut() {
+                        r.count(Counter::SignalsDropped, 1);
+                    }
                     self.trace.push(TraceEvent::Dropped {
                         time: self.now,
                         inst,
@@ -426,7 +383,14 @@ impl ShardState {
                     Ok(())
                 }
             }
+        };
+        if rtc_span {
+            if let Some(r) = self.obs.as_mut() {
+                let track = r.track;
+                r.span_end(track);
+            }
         }
+        out
     }
 }
 
@@ -513,7 +477,28 @@ impl ActionHost for ShardHost<'_, '_> {
             args: Arc::from(args),
             seq,
         };
-        if self.shard.owns(to) {
+        let local = self.shard.owns(to);
+        if let Some(r) = self.shard.obs.as_mut() {
+            r.count(Counter::SignalsSent, 1);
+            if from == to {
+                r.count(Counter::SelfSignals, 1);
+            }
+            r.count(
+                if local {
+                    Counter::LocalShardSignals
+                } else {
+                    Counter::CrossShardSignals
+                },
+                1,
+            );
+            let shard_id = self.shard.id as u32;
+            let lane = r.metrics.lane_mut(shard_id);
+            lane.sent += 1;
+            if !local {
+                lane.cross_shard += 1;
+            }
+        }
+        if local {
             self.shard.enqueue(to, env);
         } else {
             self.shard.outbox.push(OutboxEntry { to, env });
@@ -528,6 +513,9 @@ impl ActionHost for ShardHost<'_, '_> {
         event: EventId,
         args: Vec<Value>,
     ) -> Result<()> {
+        if let Some(r) = self.shard.obs.as_mut() {
+            r.count(Counter::ActorSignals, 1);
+        }
         self.shard.trace.push(TraceEvent::ActorSignal {
             time: self.shard.now,
             actor,
@@ -556,15 +544,25 @@ impl ActionHost for ShardHost<'_, '_> {
             event,
             args: Arc::from(args),
         });
+        if let Some(r) = self.shard.obs.as_mut() {
+            r.count(Counter::TimersSet, 1);
+        }
         Ok(())
     }
 
     fn cancel_delayed(&mut self, inst: InstId, event: EventId) -> Result<()> {
         // Timers armed this epoch are still local; older ones live in
         // the coordinator and are removed at the barrier.
+        let before = self.shard.new_timers.len();
         self.shard
             .new_timers
             .retain(|t| !(t.to == inst && t.event == event));
+        let removed = (before - self.shard.new_timers.len()) as u64;
+        if removed > 0 {
+            if let Some(r) = self.shard.obs.as_mut() {
+                r.count(Counter::TimersCancelled, removed);
+            }
+        }
         self.shard.cancels.push((inst, event));
         Ok(())
     }
@@ -575,6 +573,9 @@ impl ActionHost for ShardHost<'_, '_> {
             .func(func)
             .ok_or_else(|| CoreError::unresolved("bridge function", func))?;
         let ret_ty = decl.ret;
+        if let Some(r) = self.shard.obs.as_mut() {
+            r.count(Counter::BridgeCalls, 1);
+        }
         self.shard.trace.push(TraceEvent::BridgeCall {
             time: self.shard.now,
             actor,
@@ -610,6 +611,11 @@ pub struct ShardedSimulation<'d> {
     trace: Trace,
     dropped: u64,
     now: u64,
+    /// Attached telemetry recorder; `None` (the default) costs one
+    /// predictable branch per instrumented site. Shard workers record
+    /// into per-shard forks absorbed back in shard-id order, so the
+    /// merged snapshot is a pure function of `(seed, shards)`.
+    obs: Option<Box<Recorder>>,
 }
 
 impl std::fmt::Debug for ShardedSimulation<'_> {
@@ -637,7 +643,20 @@ impl<'d> ShardedSimulation<'d> {
             trace: Trace::new(),
             dropped: 0,
             now: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry recorder. Setup already performed still
+    /// counts: the run snapshots population/stimulus totals at start.
+    pub fn attach_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(Box::new(rec));
+    }
+
+    /// Detaches and returns the recorder (with everything absorbed),
+    /// if one was attached.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.obs.take().map(|b| *b)
     }
 
     /// The domain being executed.
@@ -742,6 +761,21 @@ impl<'d> ShardedSimulation<'d> {
         let nshards = self.policy.shards;
         let pool = Pool::new(jobs);
 
+        // Telemetry: setup totals, then the run-level span. The sharded
+        // setup methods never touch the recorder, so totals recorded
+        // here match what a plain `Simulation` counts at its call sites.
+        if let Some(r) = self.obs.as_mut() {
+            let live = self.store.live_count() as u64;
+            r.count(Counter::InstancesCreated, live);
+            r.gauge_max(Gauge::LiveInstancesMax, live);
+            r.count(Counter::StimuliInjected, self.stimuli.len() as u64);
+            r.gauge_max(Gauge::StimulusHeapMax, self.stimuli.len() as u64);
+            if r.spans_enabled() {
+                let track = r.track;
+                r.span_begin(track, "sim", "sharded_run");
+            }
+        }
+
         // Split the setup population into shard replicas.
         let mut shards: Vec<ShardState> = (0..nshards)
             .map(|id| ShardState {
@@ -770,6 +804,9 @@ impl<'d> ShardedSimulation<'d> {
                 strict: self.policy.strict,
                 self_priority: self.policy.self_priority,
                 frame_buf: Vec::new(),
+                obs: self.obs.as_ref().map(|r| r.fork_shard(id as u32)),
+                epoch: 0,
+                epoch_busy_ns: 0,
             })
             .collect();
 
@@ -778,6 +815,7 @@ impl<'d> ShardedSimulation<'d> {
         let mut stimuli: VecDeque<PendingStimulus> = stimuli.into();
         let mut timers: Vec<PendingTimer> = Vec::new();
         let mut total_steps = 0u64;
+        let mut epoch_no = 0u64;
 
         loop {
             // 1. Deliver due stimuli and timers into shard queues in
@@ -808,6 +846,12 @@ impl<'d> ShardedSimulation<'d> {
                 }
             });
             due.sort_by_key(|(time, seq, kind, ..)| (*time, *kind, *seq));
+            if let Some(r) = self.obs.as_mut() {
+                let fired = due.iter().filter(|d| d.2 == 1).count() as u64;
+                if fired > 0 {
+                    r.count(Counter::TimersFired, fired);
+                }
+            }
             for (_, seq, _, from, to, event, args) in due {
                 let shard = &mut shards[to.index() % nshards];
                 shard.enqueue(
@@ -842,15 +886,26 @@ impl<'d> ShardedSimulation<'d> {
             // shard carries the remaining global dispatch budget so a
             // never-quiescing local cycle errors inside the epoch.
             let remaining = self.max_steps.saturating_sub(total_steps);
+            epoch_no += 1;
             for s in shards.iter_mut() {
                 s.now = self.now;
                 s.step_budget = remaining;
+                s.epoch = epoch_no;
             }
             let domain = self.domain;
             let program = &self.program;
+            let epoch_t0 = self.obs.is_some().then(std::time::Instant::now);
+            let mut null = NullSink;
+            let sink: &mut dyn Sink = match self.obs.as_mut() {
+                Some(r) => r.as_mut(),
+                None => &mut null,
+            };
             let outcomes = pool
-                .try_map_mut(&mut shards, |_, s| s.run_epoch(domain, program))
+                .try_map_mut_obs(sink, "epoch", &mut shards, |_, s| {
+                    s.run_epoch(domain, program)
+                })
                 .map_err(|e| CoreError::runtime(e.to_string()))?;
+            let epoch_wall_ns = epoch_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
             // 4. Barrier: merge traces in shard order; report the
             // lowest-id shard's error (deterministic across jobs).
@@ -861,10 +916,39 @@ impl<'d> ShardedSimulation<'d> {
                 s.dropped = 0;
                 epoch_dispatches = epoch_dispatches.max(s.dispatches);
                 total_steps += s.dispatches;
+                if let Some(r) = self.obs.as_mut() {
+                    r.observe(HistKind::EpochDispatches, s.dispatches);
+                    r.observe(HistKind::EpochOutbox, s.outbox.len() as u64);
+                    let lane = r.metrics.lane_mut(s.id as u32);
+                    lane.dispatches += s.dispatches;
+                    if s.dispatches > 0 {
+                        lane.epochs_active += 1;
+                    }
+                    if r.stream_epochs {
+                        r.metrics.epoch_rows.push(EpochRow {
+                            epoch: epoch_no,
+                            shard: s.id as u32,
+                            dispatches: s.dispatches,
+                            outbox: s.outbox.len() as u64,
+                        });
+                    }
+                    // Barrier wait: epoch wall time minus this shard's
+                    // busy time (wall-clock, segregated from metrics).
+                    r.timing.barrier_wait_ns += epoch_wall_ns.saturating_sub(s.epoch_busy_ns);
+                    s.epoch_busy_ns = 0;
+                }
                 s.dispatches = 0;
+            }
+            if let Some(r) = self.obs.as_mut() {
+                r.count(Counter::Epochs, 1);
+                r.count(Counter::EpochMaxDispatches, epoch_dispatches);
+                r.timing.epochs_timed += 1;
             }
             outcomes.into_iter().collect::<Result<Vec<()>>>()?;
             if total_steps > self.max_steps {
+                if let Some(r) = self.obs.as_mut() {
+                    r.count(Counter::BudgetExhausted, 1);
+                }
                 return Err(CoreError::runtime(format!(
                     "exceeded max_steps ({}) — livelock?",
                     self.max_steps
@@ -876,6 +960,9 @@ impl<'d> ShardedSimulation<'d> {
             // because a sender lives in exactly one shard.
             let routed: Vec<OutboxEntry> =
                 shards.iter_mut().flat_map(|s| s.outbox.drain(..)).collect();
+            if let Some(r) = self.obs.as_mut() {
+                r.gauge_max(Gauge::OutboxBurstMax, routed.len() as u64);
+            }
             for OutboxEntry { to, env } in routed {
                 shards[to.index() % nshards].enqueue(to, env);
             }
@@ -889,16 +976,39 @@ impl<'d> ShardedSimulation<'d> {
             for s in shards.iter_mut() {
                 timers.append(&mut s.new_timers);
             }
+            let mut cancelled = 0u64;
             for s in shards.iter_mut() {
                 for (inst, event) in s.cancels.drain(..) {
+                    let before = timers.len();
                     timers.retain(|t| !(t.to == inst && t.event == event));
+                    cancelled += (before - timers.len()) as u64;
                 }
             }
             timers.sort_by_key(|t| (t.deadline, t.seq));
+            if let Some(r) = self.obs.as_mut() {
+                if cancelled > 0 {
+                    r.count(Counter::TimersCancelled, cancelled);
+                }
+                r.gauge_max(Gauge::TimerListMax, timers.len() as u64);
+            }
 
             // 7. Advance time by the epoch's critical path: the busiest
             // shard's dispatch count (all shards ran concurrently).
             self.now += epoch_dispatches.max(1);
+        }
+        // Fold per-shard recorders back in shard-id order — the merged
+        // snapshot must not depend on worker scheduling — then close the
+        // run-level span.
+        if let Some(r) = self.obs.as_mut() {
+            for s in shards.iter_mut() {
+                if let Some(child) = s.obs.take() {
+                    r.absorb(child);
+                }
+            }
+            if r.spans_enabled() {
+                let track = r.track;
+                r.span_end(track);
+            }
         }
         Ok(total_steps)
     }
@@ -909,6 +1019,13 @@ impl<'d> ShardedSimulation<'d> {
     fn run_sequential(&mut self) -> Result<u64> {
         let mut sim = Simulation::with_policy(self.domain, self.policy);
         sim.set_max_steps(self.max_steps);
+        // Hand the recorder to the inner simulation *before* replaying
+        // setup: the replayed creates/injects then count exactly where a
+        // plain instrumented `Simulation` counts them, so the shards==1
+        // snapshot is byte-identical to the sequential engine's.
+        if let Some(r) = self.obs.take() {
+            sim.attach_recorder(*r);
+        }
         // Recreate the population in id order (ids are dense).
         let mut created = 0u32;
         for e in &self.trace.events {
@@ -928,7 +1045,11 @@ impl<'d> ShardedSimulation<'d> {
             let name = &self.domain.class(class).events[s.event.index()].name;
             sim.inject(s.time, s.to, name, s.args.to_vec())?;
         }
-        let steps = sim.run_to_quiescence()?;
+        let run = sim.run_to_quiescence();
+        if let Some(r) = sim.take_recorder() {
+            self.obs = Some(Box::new(r));
+        }
+        let steps = run?;
         self.dropped += sim.dropped_events();
         self.now = sim.now();
         self.trace = Trace {

@@ -29,6 +29,7 @@ use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
 use xtuml_core::interp::{self, ActionHost, ExecCtx};
 use xtuml_core::model::{Domain, TransitionTarget};
 use xtuml_core::value::Value;
+use xtuml_obs::{Counter, Gauge, Recorder, Sink as _};
 
 /// A queued signal. Argument payloads are reference-counted so fan-out
 /// (timers, stimuli, trace records) shares one allocation.
@@ -124,6 +125,9 @@ pub struct Simulation<'d> {
     max_steps: u64,
     /// Recycled execution frame: taken by each dispatch, returned after.
     frame_buf: Vec<Option<Value>>,
+    /// Telemetry sink; `None` (the default) costs one predictable branch
+    /// per instrumented site — the zero-cost-when-disabled contract.
+    obs: Option<Box<Recorder>>,
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -163,7 +167,21 @@ impl<'d> Simulation<'d> {
             dropped: 0,
             max_steps: 10_000_000,
             frame_buf: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches a telemetry recorder; counters and (when the recorder
+    /// carries a span buffer) spans are recorded from here on. Counter
+    /// values are deterministic: a pure function of the seed for a given
+    /// model and stimulus schedule.
+    pub fn attach_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(Box::new(rec));
+    }
+
+    /// Detaches and returns the recorder, if one is attached.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.obs.take().map(|b| *b)
     }
 
     /// The domain being executed.
@@ -271,6 +289,10 @@ impl<'d> Simulation<'d> {
             event: event_id,
             args: Arc::from(args),
         }));
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::StimuliInjected, 1);
+            o.gauge_max(Gauge::StimulusHeapMax, self.stimuli.len() as u64);
+        }
         Ok(())
     }
 
@@ -315,6 +337,19 @@ impl<'d> Simulation<'d> {
     /// Propagates action runtime errors and, in strict mode, can't-happen
     /// events; fails if `max_steps` is exceeded.
     pub fn run_to_quiescence(&mut self) -> Result<u64> {
+        if let Some(o) = self.obs.as_mut() {
+            let track = o.track;
+            o.span_begin(track, "sim", "run_to_quiescence");
+        }
+        let r = self.run_to_quiescence_inner();
+        if let Some(o) = self.obs.as_mut() {
+            let track = o.track;
+            o.span_end(track);
+        }
+        r
+    }
+
+    fn run_to_quiescence_inner(&mut self) -> Result<u64> {
         let mut steps = 0u64;
         while self.step()? {
             steps += 1;
@@ -441,6 +476,11 @@ impl<'d> Simulation<'d> {
             if !self.store.is_alive(to) {
                 continue; // instance died while the signal was in flight
             }
+            if from.is_some() {
+                if let Some(o) = self.obs.as_mut() {
+                    o.count(Counter::TimersFired, 1);
+                }
+            }
             self.enqueue(
                 to,
                 Envelope {
@@ -527,7 +567,17 @@ impl<'d> Simulation<'d> {
             )));
         };
         let from_state = self.store.state_of(inst)?;
-        match self.program.target(class, from_state, env.event) {
+        let mut rtc_span = false;
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::SignalsDispatched, 1);
+            if o.spans_enabled() {
+                let track = o.track;
+                let name = format!("{}.{}", c.name, c.events[env.event.index()].name);
+                o.span_begin(track, "rtc", &name);
+                rtc_span = true;
+            }
+        }
+        let out = match self.program.target(class, from_state, env.event) {
             TransitionTarget::To(to_state) => {
                 self.store.set_state(inst, to_state)?;
                 self.trace.push(TraceEvent::Dispatch {
@@ -545,6 +595,14 @@ impl<'d> Simulation<'d> {
                 let action = program.action(class, to_state, env.event).ok_or_else(|| {
                     CoreError::runtime("internal: dispatched pair has no compiled action")
                 })??;
+                if let Some(o) = self.obs.as_mut() {
+                    o.count(Counter::TransitionsFired, 1);
+                    if o.spans_enabled() {
+                        let track = o.track;
+                        let name = format!("action {}.{}", c.name, machine.state(to_state).name);
+                        o.span_begin(track, "action", &name);
+                    }
+                }
                 // Recycle one frame allocation across all dispatches.
                 let mut frame = std::mem::take(&mut self.frame_buf);
                 frame.clear();
@@ -553,10 +611,19 @@ impl<'d> Simulation<'d> {
                 ctx.bind_args(env.args.iter().cloned());
                 let run = interp::run_code(self, &mut ctx, action);
                 self.frame_buf = std::mem::take(&mut ctx.frame);
+                if let Some(o) = self.obs.as_mut() {
+                    if o.spans_enabled() {
+                        let track = o.track;
+                        o.span_end(track);
+                    }
+                }
                 run?;
                 Ok(())
             }
             TransitionTarget::Ignore => {
+                if let Some(o) = self.obs.as_mut() {
+                    o.count(Counter::SignalsIgnored, 1);
+                }
                 self.trace.push(TraceEvent::Ignored {
                     time: self.now,
                     inst,
@@ -573,6 +640,9 @@ impl<'d> Simulation<'d> {
                     })
                 } else {
                     self.dropped += 1;
+                    if let Some(o) = self.obs.as_mut() {
+                        o.count(Counter::SignalsDropped, 1);
+                    }
                     self.trace.push(TraceEvent::Dropped {
                         time: self.now,
                         inst,
@@ -581,7 +651,14 @@ impl<'d> Simulation<'d> {
                     Ok(())
                 }
             }
+        };
+        if rtc_span {
+            if let Some(o) = self.obs.as_mut() {
+                let track = o.track;
+                o.span_end(track);
+            }
         }
+        out
     }
 }
 
@@ -595,6 +672,10 @@ impl ActionHost for Simulation<'_> {
         self.queues.push(InstQueues::default());
         self.in_ready.push(false);
         debug_assert_eq!(self.queues.len() - 1, inst.index());
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::InstancesCreated, 1);
+            o.gauge_max(Gauge::LiveInstancesMax, self.store.live_count() as u64);
+        }
         self.trace.push(TraceEvent::Create {
             time: self.now,
             inst,
@@ -608,6 +689,9 @@ impl ActionHost for Simulation<'_> {
         self.queues[inst.index()] = InstQueues::default();
         self.unmark_ready(inst);
         self.timers.retain(|t| t.to != inst);
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::InstancesDeleted, 1);
+        }
         self.trace.push(TraceEvent::Delete {
             time: self.now,
             inst,
@@ -666,6 +750,13 @@ impl ActionHost for Simulation<'_> {
             seq: self.send_seq,
         };
         self.enqueue(to, env);
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::SignalsSent, 1);
+            if from == to {
+                o.count(Counter::SelfSignals, 1);
+            }
+            o.gauge_max(Gauge::ReadySetMax, self.ready.len() as u64);
+        }
         Ok(())
     }
 
@@ -676,6 +767,9 @@ impl ActionHost for Simulation<'_> {
         event: EventId,
         args: Vec<Value>,
     ) -> Result<()> {
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::ActorSignals, 1);
+        }
         self.trace.push(TraceEvent::ActorSignal {
             time: self.now,
             actor,
@@ -703,11 +797,22 @@ impl ActionHost for Simulation<'_> {
             event,
             args: Arc::from(args),
         });
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::TimersSet, 1);
+            o.gauge_max(Gauge::TimerListMax, self.timers.len() as u64);
+        }
         Ok(())
     }
 
     fn cancel_delayed(&mut self, inst: InstId, event: EventId) -> Result<()> {
+        let before = self.timers.len();
         self.timers.retain(|t| !(t.to == inst && t.event == event));
+        if let Some(o) = self.obs.as_mut() {
+            o.count(
+                Counter::TimersCancelled,
+                (before - self.timers.len()) as u64,
+            );
+        }
         Ok(())
     }
 
@@ -717,6 +822,9 @@ impl ActionHost for Simulation<'_> {
             .func(func)
             .ok_or_else(|| CoreError::unresolved("bridge function", func))?;
         let ret_ty = decl.ret;
+        if let Some(o) = self.obs.as_mut() {
+            o.count(Counter::BridgeCalls, 1);
+        }
         self.trace.push(TraceEvent::BridgeCall {
             time: self.now,
             actor,

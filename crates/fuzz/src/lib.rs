@@ -77,12 +77,25 @@ impl Default for FuzzConfig {
 pub struct Failure {
     /// The seed that produced the case.
     pub seed: u64,
+    /// Outcome class (`divergence`, `oracle`, `exec-error`, ...).
+    pub class: &'static str,
     /// Failure description (from the *original*, unshrunk outcome).
     pub detail: String,
     /// The spec to report — minimized when shrinking was requested.
     pub spec: FuzzSpec,
     /// Shrink statistics, when shrinking ran.
     pub shrink: Option<ShrinkStats>,
+}
+
+/// One per-seed row of the campaign (for structured metric sinks).
+#[derive(Debug, Clone, Copy)]
+pub struct CaseRow {
+    /// The seed.
+    pub seed: u64,
+    /// Outcome class (`pass`, `divergence`, `oracle`, ...).
+    pub class: &'static str,
+    /// Effort counters (zero for failing cases).
+    pub stats: CaseStats,
 }
 
 /// The result of a fuzzing campaign. [`FuzzReport::render`] is
@@ -101,6 +114,8 @@ pub struct FuzzReport {
     pub observables: u64,
     /// Total events compared by the equivalence oracles.
     pub compared: u64,
+    /// Per-seed outcome rows, in seed order (JSONL streaming).
+    pub per_case: Vec<CaseRow>,
 }
 
 impl FuzzReport {
@@ -138,6 +153,38 @@ impl FuzzReport {
         }
         out
     }
+
+    /// Streams the campaign as JSONL: one `fuzz` header row, then one
+    /// `case` row per seed, in seed order. Deterministic for a given
+    /// configuration — no timestamps, no host data.
+    pub fn render_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"kind\": \"fuzz\", \"start\": {}, \"cases\": {}, \"failures\": {}, \
+             \"dispatches\": {}, \"observables\": {}, \"compared\": {}}}",
+            self.start,
+            self.cases,
+            self.failures.len(),
+            self.dispatches,
+            self.observables,
+            self.compared
+        );
+        for row in &self.per_case {
+            let _ = writeln!(
+                out,
+                "{{\"kind\": \"case\", \"seed\": {}, \"class\": \"{}\", \"dispatches\": {}, \
+                 \"observables\": {}, \"compared\": {}}}",
+                row.seed,
+                row.class,
+                row.stats.dispatches,
+                row.stats.observables,
+                row.stats.compared
+            );
+        }
+        out
+    }
 }
 
 /// Runs a fuzzing campaign.
@@ -155,6 +202,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         match outcome {
             CaseOutcome::Pass(stats) => Ok(stats),
             other => {
+                let class = other.class();
                 let detail = other.describe();
                 let (min_spec, shrink_stats) = if cfg.shrink {
                     let (s, st) = shrink(&spec, cfg.ablation);
@@ -166,6 +214,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 // make every per-seed result carry its footprint.
                 Err(Box::new(Failure {
                     seed,
+                    class,
                     detail,
                     spec: min_spec,
                     shrink: shrink_stats,
@@ -177,15 +226,27 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         start: cfg.start,
         ..FuzzReport::default()
     };
-    for outcome in outcomes {
+    for (seed, outcome) in seeds.iter().zip(outcomes) {
         report.cases += 1;
         match outcome {
             Ok(stats) => {
                 report.dispatches += stats.dispatches;
                 report.observables += stats.observables;
                 report.compared += stats.compared;
+                report.per_case.push(CaseRow {
+                    seed: *seed,
+                    class: "pass",
+                    stats,
+                });
             }
-            Err(failure) => report.failures.push(*failure),
+            Err(failure) => {
+                report.per_case.push(CaseRow {
+                    seed: *seed,
+                    class: failure.class,
+                    stats: CaseStats::default(),
+                });
+                report.failures.push(*failure);
+            }
         }
     }
     report

@@ -192,6 +192,68 @@ impl ModelCompiler {
         })
     }
 
+    /// [`ModelCompiler::compile`] with telemetry: one `mda_compiles`
+    /// count per invocation, plus per-phase spans (`partition`,
+    /// `interface`, `cgen`, `vgen`, `icd`) on the sink's track so a
+    /// profile shows where compile time goes.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ModelCompiler::compile`].
+    pub fn compile_obs<'d>(
+        &self,
+        sink: &mut dyn xtuml_obs::Sink,
+        domain: &'d Domain,
+        marks: &MarkSet,
+    ) -> Result<CompiledDesign<'d>> {
+        if sink.enabled() {
+            sink.count(xtuml_obs::Counter::MdaCompiles, 1);
+        }
+        if !sink.spans_enabled() {
+            return self.compile(domain, marks);
+        }
+        let track = sink.track();
+        let phase = |sink: &mut dyn xtuml_obs::Sink, name: &str| {
+            sink.span_end(track);
+            sink.span_begin(track, "mda", name);
+        };
+        sink.span_begin(track, "mda", "mda.compile");
+        sink.span_begin(track, "mda", "partition");
+        let partition = Partition::from_marks(domain, marks);
+        let locality = self.check_locality(domain, &partition);
+        phase(sink, "interface");
+        let interface = InterfaceSpec::derive(domain, &partition);
+        phase(sink, "cgen");
+        let params = PlatformParams::from_marks(domain, marks);
+        let (c_code, interface) = match (locality, interface) {
+            (Err(e), _) | (_, Err(e)) => {
+                sink.span_end(track);
+                sink.span_end(track);
+                return Err(e);
+            }
+            (Ok(()), Ok(i)) => {
+                let c = cgen::generate_c(domain, &partition, &i, &params);
+                (c, i)
+            }
+        };
+        phase(sink, "vgen");
+        let vhdl_code = vgen::generate_vhdl(domain, &partition, &interface, &params);
+        phase(sink, "icd");
+        let icd = icd::generate_icd(domain, &partition, &interface, &params);
+        sink.span_end(track);
+        sink.span_end(track);
+        Ok(CompiledDesign {
+            domain,
+            partition,
+            interface,
+            params,
+            c_code,
+            vhdl_code,
+            icd,
+            options: self.options,
+        })
+    }
+
     /// Mapping rule: create/delete/select/relate must be partition-local.
     fn check_locality(&self, domain: &Domain, partition: &Partition) -> Result<()> {
         for (ci, class) in domain.classes.iter().enumerate() {

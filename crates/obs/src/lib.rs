@@ -1,0 +1,270 @@
+//! # xtuml-obs — observability for the xtUML execution stack
+//!
+//! The paper's argument is that a repeatable mapping from model to
+//! implementation makes system behavior *inspectable* rather than
+//! hand-waved. This crate supplies the inspection layer: deterministic
+//! **counters/gauges/histograms** ([`metrics`]), wall-clock **spans**
+//! exported as Perfetto-loadable Chrome trace JSON ([`profile`]), and a
+//! **JSONL** metric stream — all dependency-free.
+//!
+//! ## The determinism contract
+//!
+//! Everything in [`Metrics`] is a pure function of `(seed, shards)`:
+//! counts never depend on `--jobs`, host speed or wall time, so
+//! snapshots can be golden-tested and diffed across machines.
+//! Wall-clock data ([`Timing`], spans) is nondeterministic by nature
+//! and is kept in separate structures and output sections.
+//!
+//! ## The sink seam
+//!
+//! Instrumented components write through the [`Sink`] trait.
+//! [`NullSink`] is the compile-time-cheap disabled path — every method
+//! is an empty inline body and `enabled()` is `false`, so call sites
+//! can skip argument construction entirely. [`Recorder`] is the real
+//! sink: counters plus an optional span buffer. Hot loops (the
+//! interpreter dispatcher, the sharded engine) hold an
+//! `Option<Recorder>` — `None` costs one predictable branch per site,
+//! which is what the bench overhead gate in `ci.sh` enforces.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+
+pub use json::{check_chrome_trace, escape, parse, Value};
+pub use metrics::{
+    Counter, EpochRow, Gauge, Hist, HistKind, Metrics, ShardLane, Timing, COUNTERS, GAUGES, HISTS,
+    HIST_BUCKETS,
+};
+pub use profile::{Clock, SpanBuf, SpanEvent};
+
+/// The seam instrumented components report through.
+///
+/// All methods have no-op defaults so sinks implement only what they
+/// store; `enabled()` lets call sites skip expensive argument
+/// construction (formatting span names, say) when nothing listens.
+pub trait Sink {
+    /// True when this sink records anything at all.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// True when span recording specifically is on.
+    fn spans_enabled(&self) -> bool {
+        false
+    }
+
+    /// The sink's home track (trace lane) for spans opened on its behalf
+    /// by components that do not manage tracks themselves (e.g. the
+    /// fork-join pool).
+    fn track(&self) -> u32 {
+        0
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    fn count(&mut self, c: Counter, delta: u64) {
+        let _ = (c, delta);
+    }
+
+    /// Raises a high-water gauge.
+    #[inline]
+    fn gauge_max(&mut self, g: Gauge, v: u64) {
+        let _ = (g, v);
+    }
+
+    /// Records a histogram observation.
+    #[inline]
+    fn observe(&mut self, h: HistKind, v: u64) {
+        let _ = (h, v);
+    }
+
+    /// Opens a wall-clock span on `track`.
+    #[inline]
+    fn span_begin(&mut self, track: u32, cat: &'static str, name: &str) {
+        let _ = (track, cat, name);
+    }
+
+    /// Closes the innermost open span on `track`.
+    #[inline]
+    fn span_end(&mut self, track: u32) {
+        let _ = track;
+    }
+}
+
+/// The disabled path: every method is an empty inline body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {}
+
+/// A recording sink: deterministic metrics, wall-clock timing, and an
+/// optional span buffer. `Send`, so shard workers can own one each;
+/// the coordinator folds them back with [`Recorder::absorb`] in shard
+/// order, keeping merged snapshots independent of worker scheduling.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    /// Deterministic counters/gauges/histograms/lanes.
+    pub metrics: Metrics,
+    /// Wall-clock measurements (segregated from `metrics`).
+    pub timing: Timing,
+    /// Default track for spans recorded through the [`Sink`] methods.
+    pub track: u32,
+    /// When true, the sharded engine appends per-epoch rows to
+    /// `metrics.epoch_rows` (sized for JSONL streaming, off by default).
+    pub stream_epochs: bool,
+    spans: Option<SpanBuf>,
+}
+
+impl Recorder {
+    /// A counters-only recorder (no span buffer).
+    pub fn new() -> Recorder {
+        Recorder {
+            metrics: Metrics::new(),
+            timing: Timing::default(),
+            track: 0,
+            stream_epochs: false,
+            spans: None,
+        }
+    }
+
+    /// A recorder that also captures spans on `clock`.
+    pub fn with_spans(clock: Clock) -> Recorder {
+        Recorder {
+            spans: Some(SpanBuf::new(clock)),
+            ..Recorder::new()
+        }
+    }
+
+    /// A child recorder for one shard: same configuration, span buffer
+    /// on the same clock, default track `shard + 1` (track 0 is the
+    /// coordinator).
+    pub fn fork_shard(&self, shard: u32) -> Recorder {
+        Recorder {
+            metrics: Metrics::new(),
+            timing: Timing::default(),
+            track: shard + 1,
+            stream_epochs: self.stream_epochs,
+            spans: self.spans.as_ref().map(|b| SpanBuf::new(b.clock())),
+        }
+    }
+
+    /// Folds a child recorder back in (metrics add, spans append).
+    pub fn absorb(&mut self, child: Recorder) {
+        self.metrics.merge(&child.metrics);
+        self.timing.merge(&child.timing);
+        if let (Some(mine), Some(theirs)) = (self.spans.as_mut(), child.spans) {
+            mine.absorb(theirs);
+        }
+    }
+
+    /// The span buffer, when spans are on.
+    pub fn spans(&self) -> Option<&SpanBuf> {
+        self.spans.as_ref()
+    }
+
+    /// The span clock, when spans are on.
+    pub fn clock(&self) -> Option<Clock> {
+        self.spans.as_ref().map(|b| b.clock())
+    }
+
+    /// Renders captured spans as a Chrome trace-event document with one
+    /// named lane per entry in `tracks`.
+    pub fn to_chrome_json(&self, process: &str, tracks: &[(u32, String)]) -> Option<String> {
+        self.spans
+            .as_ref()
+            .map(|b| b.to_chrome_json(process, tracks))
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Sink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn spans_enabled(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    fn track(&self) -> u32 {
+        self.track
+    }
+
+    #[inline]
+    fn count(&mut self, c: Counter, delta: u64) {
+        self.metrics.add(c, delta);
+    }
+
+    #[inline]
+    fn gauge_max(&mut self, g: Gauge, v: u64) {
+        self.metrics.gauge_max(g, v);
+    }
+
+    #[inline]
+    fn observe(&mut self, h: HistKind, v: u64) {
+        self.metrics.observe(h, v);
+    }
+
+    #[inline]
+    fn span_begin(&mut self, track: u32, cat: &'static str, name: &str) {
+        if let Some(buf) = self.spans.as_mut() {
+            buf.begin(track, cat, name);
+        }
+    }
+
+    #[inline]
+    fn span_end(&mut self, track: u32) {
+        if let Some(buf) = self.spans.as_mut() {
+            buf.end(track);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.count(Counter::SignalsSent, 1);
+        s.span_begin(0, "x", "y");
+        s.span_end(0);
+    }
+
+    #[test]
+    fn recorder_fork_and_absorb() {
+        let mut root = Recorder::with_spans(Clock::start());
+        let mut a = root.fork_shard(0);
+        let mut b = root.fork_shard(1);
+        assert_eq!(a.track, 1);
+        assert_eq!(b.track, 2);
+        a.count(Counter::SignalsDispatched, 3);
+        a.span_begin(a.track, "shard", "epoch 0");
+        a.span_end(a.track);
+        b.count(Counter::SignalsDispatched, 4);
+        root.absorb(a);
+        root.absorb(b);
+        assert_eq!(root.metrics.get(Counter::SignalsDispatched), 7);
+        assert_eq!(root.spans().unwrap().events().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_lists_full_catalogue() {
+        let r = Recorder::new();
+        let json = r.metrics.to_json();
+        for c in COUNTERS {
+            assert!(json.contains(c.name()), "missing {}", c.name());
+        }
+        assert!(parse(&json).is_ok());
+    }
+}

@@ -1,0 +1,191 @@
+//! Scoped wall-clock spans and Chrome trace-event export.
+//!
+//! Spans are recorded into per-thread [`SpanBuf`]s that all share one
+//! [`Clock`] origin (Rust's `Instant` is monotonic across threads), so
+//! merged buffers line up on a common timeline. The export format is
+//! the Chrome trace-event JSON understood by Perfetto and
+//! `chrome://tracing`: complete events (`"ph": "X"`) on one process,
+//! with the track id (`tid`) carrying the shard lane.
+
+use crate::json::escape;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A shared time origin for span timestamps.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    origin: Instant,
+}
+
+impl Clock {
+    /// Starts a new timeline at "now".
+    pub fn start() -> Clock {
+        Clock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the origin.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Nanoseconds since the origin.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::start()
+    }
+}
+
+/// One completed span on a track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (filterable in Perfetto).
+    pub cat: &'static str,
+    /// Track (Chrome `tid`); the sharded engine uses shard id + 1,
+    /// track 0 is the coordinator.
+    pub track: u32,
+    /// Start, microseconds on the shared clock.
+    pub ts_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// A span buffer bound to a shared [`Clock`]. `Send`, so shard workers
+/// can each own one; the coordinator merges them after the join.
+#[derive(Debug, Clone)]
+pub struct SpanBuf {
+    clock: Clock,
+    events: Vec<SpanEvent>,
+    open: Vec<(u32, usize)>,
+}
+
+impl SpanBuf {
+    /// A new buffer on `clock`.
+    pub fn new(clock: Clock) -> SpanBuf {
+        SpanBuf {
+            clock,
+            events: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Opens a span on `track`; pair with [`SpanBuf::end`].
+    pub fn begin(&mut self, track: u32, cat: &'static str, name: &str) {
+        let idx = self.events.len();
+        self.events.push(SpanEvent {
+            name: name.to_owned(),
+            cat,
+            track,
+            ts_us: self.clock.now_us(),
+            dur_us: 0,
+        });
+        self.open.push((track, idx));
+    }
+
+    /// Closes the innermost open span on `track`. Unmatched ends are
+    /// ignored rather than panicking — telemetry must never take the
+    /// simulation down.
+    pub fn end(&mut self, track: u32) {
+        if let Some(pos) = self.open.iter().rposition(|&(t, _)| t == track) {
+            let (_, idx) = self.open.remove(pos);
+            let now = self.clock.now_us();
+            let ev = &mut self.events[idx];
+            ev.dur_us = now.saturating_sub(ev.ts_us);
+        }
+    }
+
+    /// Completed events so far (open spans have `dur_us == 0`).
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Moves all events out of `other` into `self`.
+    pub fn absorb(&mut self, other: SpanBuf) {
+        self.events.extend(other.events);
+    }
+
+    /// Renders the merged buffer as a Chrome trace-event JSON document.
+    ///
+    /// `tracks` names the lanes (`(tid, name)`); every event's `tid`
+    /// should appear. The result loads in Perfetto as one process with
+    /// one named thread track per entry.
+    pub fn to_chrome_json(&self, process: &str, tracks: &[(u32, String)]) -> String {
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let _ = write!(
+            out,
+            "{{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \"args\": {{\"name\": \"{}\"}}}}",
+            escape(process)
+        );
+        for (tid, name) in tracks {
+            let _ = write!(
+                out,
+                ",\n{{\"ph\": \"M\", \"pid\": 1, \"tid\": {}, \"name\": \"thread_name\", \"args\": {{\"name\": \"{}\"}}}}",
+                tid,
+                escape(name)
+            );
+        }
+        for ev in &self.events {
+            let _ = write!(
+                out,
+                ",\n{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"cat\": \"{}\", \"name\": \"{}\", \"ts\": {}, \"dur\": {}}}",
+                ev.track,
+                escape(ev.cat),
+                escape(&ev.name),
+                ev.ts_us,
+                ev.dur_us
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let mut buf = SpanBuf::new(Clock::start());
+        buf.begin(0, "test", "outer");
+        buf.begin(0, "test", "inner");
+        buf.end(0);
+        buf.end(0);
+        buf.end(0); // unmatched: ignored
+        assert_eq!(buf.events().len(), 2);
+        assert_eq!(buf.events()[0].name, "outer");
+        assert!(buf.events()[0].dur_us >= buf.events()[1].dur_us);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let clock = Clock::start();
+        let mut buf = SpanBuf::new(clock);
+        buf.begin(1, "shard", "epoch \"0\"");
+        buf.end(1);
+        let mut other = SpanBuf::new(clock);
+        other.begin(2, "shard", "epoch 0");
+        other.end(2);
+        buf.absorb(other);
+        let json = buf.to_chrome_json("xtuml", &[(1, "shard 0".into()), (2, "shard 1".into())]);
+        let events = crate::json::check_chrome_trace(&json).expect("valid trace");
+        // 1 process_name + 2 thread_name + 2 spans.
+        assert_eq!(events, 5);
+    }
+}

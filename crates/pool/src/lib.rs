@@ -33,6 +33,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use xtuml_obs::Sink;
+
 thread_local! {
     /// True while the current thread is a pool worker; used to refuse
     /// nested fork-joins (which would deadlock a fixed-width pool).
@@ -153,6 +155,44 @@ impl Pool {
         let queue: Mutex<Vec<(usize, &mut T)>> =
             Mutex::new(items.iter_mut().enumerate().rev().collect());
         self.run_queued(&queue, &f)
+    }
+
+    /// [`Pool::try_map_mut`] with telemetry: records one
+    /// [`Counter::PoolScopes`](xtuml_obs::Counter) per fork-join, one
+    /// [`Counter::PoolTasks`](xtuml_obs::Counter) per item, and (when the
+    /// sink has spans enabled) a `pool.fork_join` span on the sink's own
+    /// track covering the whole scope lifetime. Counts depend only on the
+    /// item count, never on `jobs`, so snapshots stay jobs-invariant.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Pool::try_map_mut`].
+    pub fn try_map_mut_obs<T, R, F>(
+        &self,
+        sink: &mut dyn Sink,
+        label: &str,
+        items: &mut [T],
+        f: F,
+    ) -> Result<Vec<R>, PoolError>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        if sink.enabled() {
+            sink.count(xtuml_obs::Counter::PoolScopes, 1);
+            sink.count(xtuml_obs::Counter::PoolTasks, items.len() as u64);
+        }
+        let span = sink.spans_enabled();
+        let track = sink.track();
+        if span {
+            sink.span_begin(track, "pool", &format!("pool.fork_join {label}"));
+        }
+        let out = self.try_map_mut(items, f);
+        if span {
+            sink.span_end(track);
+        }
+        out
     }
 
     /// The common driver: `n` indexed work items, dynamic distribution.

@@ -12,7 +12,12 @@ fn usage() -> String {
      \x20 xtuml interface <model.xtuml> <marks.marks>\n\
      \x20 xtuml compile   <model.xtuml> <marks.marks> [out_dir]\n\
      \x20 xtuml run       <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
-     \x20 xtuml fuzz      [--seeds N] [--start S] [--jobs J] [--shrink] [--corpus DIR]\n"
+     \x20                 [--profile out.json] [--metrics out.jsonl]\n\
+     \x20 xtuml stats     <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
+     \x20                 [--format json]\n\
+     \x20 xtuml stats     --check-profile <trace.json>\n\
+     \x20 xtuml fuzz      [--seeds N] [--start S] [--jobs J] [--shrink] [--corpus DIR]\n\
+     \x20                 [--metrics out.jsonl]\n"
         .to_owned()
 }
 
@@ -98,6 +103,8 @@ fn real_main() -> Result<(), String> {
                 jobs: xtuml_pool::default_jobs(),
                 ..cli::RunOptions::default()
             };
+            let mut profile_path: Option<&str> = None;
+            let mut metrics_path: Option<&str> = None;
             let mut rest = it;
             while let Some(arg) = rest.next() {
                 match arg {
@@ -122,6 +129,12 @@ fn real_main() -> Result<(), String> {
                                 .ok_or("--shards takes a shard count (>= 1)")?,
                         );
                     }
+                    "--profile" => {
+                        profile_path = Some(rest.next().ok_or("--profile takes a file path")?);
+                    }
+                    "--metrics" => {
+                        metrics_path = Some(rest.next().ok_or("--metrics takes a file path")?);
+                    }
                     flag if flag.starts_with("--") => {
                         return Err(format!("unknown flag `{flag}`\n{}", usage()))
                     }
@@ -133,9 +146,103 @@ fn real_main() -> Result<(), String> {
             };
             let model = read(model_path)?;
             let script = read(script_path)?;
+            let obs = cli::ObsOptions {
+                counters: metrics_path.is_some(),
+                profile: profile_path.is_some(),
+                stream_epochs: metrics_path.is_some(),
+            };
+            let out = cli::cmd_run_full(&model, &script, opts, &obs).map_err(|e| e.to_string())?;
+            print!("{}", out.text);
+            if let Some(path) = profile_path {
+                let json = out
+                    .profile_json
+                    .as_deref()
+                    .ok_or("internal: profile requested but not produced")?;
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            if let Some(path) = metrics_path {
+                let m = out
+                    .metrics
+                    .as_ref()
+                    .ok_or("internal: metrics requested but not produced")?;
+                let header = [
+                    ("model", format!("\"{}\"", xtuml_obs::escape(model_path))),
+                    ("seed", out.seed.to_string()),
+                    ("shards", out.shards.to_string()),
+                    ("dispatches", out.dispatches.to_string()),
+                ];
+                let mut doc = m.to_jsonl(&header);
+                if let Some(t) = &out.timing {
+                    doc.push_str(&t.to_jsonl());
+                }
+                std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+        }
+        Some("stats") => {
+            let mut paths: Vec<&str> = Vec::new();
+            let mut opts = cli::RunOptions {
+                jobs: xtuml_pool::default_jobs(),
+                ..cli::RunOptions::default()
+            };
+            let mut format = cli::LintFormat::Human;
+            let mut check_profile: Option<&str> = None;
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--seed" => {
+                        opts.seed = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .ok_or("--seed takes a number")?;
+                    }
+                    "--jobs" => {
+                        opts.jobs = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .filter(|&j| j >= 1)
+                            .ok_or("--jobs takes a thread count (>= 1)")?;
+                    }
+                    "--shards" => {
+                        opts.shards = Some(
+                            rest.next()
+                                .and_then(|n| n.parse().ok())
+                                .filter(|&s| s >= 1)
+                                .ok_or("--shards takes a shard count (>= 1)")?,
+                        );
+                    }
+                    "--format" => match rest.next() {
+                        Some("json") => format = cli::LintFormat::Json,
+                        Some("human") => format = cli::LintFormat::Human,
+                        _ => return Err("--format takes `human` or `json`".to_owned()),
+                    },
+                    "--check-profile" => {
+                        check_profile =
+                            Some(rest.next().ok_or("--check-profile takes a file path")?);
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag `{flag}`\n{}", usage()))
+                    }
+                    path => paths.push(path),
+                }
+            }
+            if let Some(path) = check_profile {
+                let src = read(path)?;
+                print!(
+                    "{}",
+                    cli::cmd_check_profile(&src).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            let [model_path, script_path] = paths.as_slice() else {
+                return Err(usage());
+            };
+            let model = read(model_path)?;
+            let script = read(script_path)?;
             print!(
                 "{}",
-                cli::cmd_run_with(&model, &script, opts).map_err(|e| e.to_string())?
+                cli::cmd_stats(&model, &script, opts, format).map_err(|e| e.to_string())?
             );
         }
         Some("fuzz") => {
@@ -144,6 +251,7 @@ fn real_main() -> Result<(), String> {
                 ..cli::FuzzOptions::default()
             };
             let mut corpus_dir: Option<&str> = None;
+            let mut metrics_path: Option<&str> = None;
             let mut rest = it;
             while let Some(arg) = rest.next() {
                 match arg {
@@ -170,6 +278,9 @@ fn real_main() -> Result<(), String> {
                     "--corpus" => {
                         corpus_dir = Some(rest.next().ok_or("--corpus takes a directory")?);
                     }
+                    "--metrics" => {
+                        metrics_path = Some(rest.next().ok_or("--metrics takes a file path")?);
+                    }
                     // Self-test hook: inject a scheduler fault so the
                     // oracle itself can be exercised end to end.
                     "--ablate" => {
@@ -180,8 +291,14 @@ fn real_main() -> Result<(), String> {
                     flag => return Err(format!("unknown flag `{flag}`\n{}", usage())),
                 }
             }
-            let (report, entries, ok) = cli::cmd_fuzz(&opts).map_err(|e| e.to_string())?;
-            print!("{report}");
+            let (report, entries) = cli::cmd_fuzz(&opts).map_err(|e| e.to_string())?;
+            let ok = report.ok();
+            print!("{}", report.render());
+            if let Some(path) = metrics_path {
+                std::fs::write(path, report.render_jsonl())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
             if let Some(dir) = corpus_dir {
                 for e in &entries {
                     let written = xtuml::fuzz::write_entry(std::path::Path::new(dir), e)

@@ -365,22 +365,100 @@ pub fn cmd_run_with(
     script_src: &str,
     opts: RunOptions,
 ) -> Result<String, CliError> {
+    cmd_run_full(model_src, script_src, opts, &ObsOptions::default()).map(|o| o.text)
+}
+
+/// Telemetry options for [`cmd_run_full`] (`--profile`, `--metrics`,
+/// `stats`). Everything defaults to off, which is the zero-cost path:
+/// no recorder is attached and the engines take one predictable branch
+/// per instrumented site.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsOptions {
+    /// Record the deterministic counter/gauge/histogram snapshot.
+    pub counters: bool,
+    /// Capture wall-clock spans for a Chrome trace-event profile
+    /// (implies counters).
+    pub profile: bool,
+    /// Append per-epoch rows to the snapshot (JSONL streaming).
+    pub stream_epochs: bool,
+}
+
+impl ObsOptions {
+    fn on(&self) -> bool {
+        self.counters || self.profile || self.stream_epochs
+    }
+}
+
+/// Everything a telemetry-enabled run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The human-readable transcript (what [`cmd_run_with`] returns).
+    pub text: String,
+    /// Chrome trace-event JSON, when [`ObsOptions::profile`] was set.
+    pub profile_json: Option<String>,
+    /// The deterministic metrics snapshot, when any telemetry was on.
+    /// A pure function of `(seed, shards)` — never of `--jobs` or the
+    /// host.
+    pub metrics: Option<xtuml_obs::Metrics>,
+    /// Wall-clock measurements (segregated from `metrics`; these *do*
+    /// vary run to run).
+    pub timing: Option<xtuml_obs::Timing>,
+    /// Effective shard count after the shard-safety fallback.
+    pub shards: usize,
+    /// The scheduler seed (echoed for metric sinks).
+    pub seed: u64,
+    /// Final simulation time.
+    pub now: u64,
+    /// Total dispatch steps.
+    pub dispatches: u64,
+}
+
+/// [`cmd_run_with`] plus telemetry: attaches a recorder per
+/// [`ObsOptions`], renders the Chrome trace profile, and surfaces the
+/// deterministic metrics snapshot. A shard-safety fallback is reported
+/// as diagnostic X0015 (`shard-unsafe`) in the transcript and counted
+/// under `shard_fallbacks` / `fallback_*` in the snapshot.
+///
+/// # Errors
+///
+/// Returns parse, script and execution diagnostics.
+pub fn cmd_run_full(
+    model_src: &str,
+    script_src: &str,
+    opts: RunOptions,
+    obs: &ObsOptions,
+) -> Result<RunOutput, CliError> {
     let domain = parse_domain(model_src)?;
     let mut note = None;
+    let mut offenses = Vec::new();
     let requested = opts.shards.unwrap_or(1).max(1);
     let shards = if requested > 1 {
-        match xtuml_exec::shard_safety(&domain) {
-            Ok(()) => requested,
-            Err(e) => {
-                note = Some(format!("note: running sequentially — {e}"));
-                1
-            }
+        offenses = lint::shard_offenses(&domain);
+        if offenses.is_empty() {
+            requested
+        } else {
+            let described: Vec<String> = offenses.iter().map(|o| o.describe()).collect();
+            note = Some(format!(
+                "note: running sequentially — {} shard-unsafe: {}",
+                Code::ShardUnsafe.as_str(),
+                described.join("; ")
+            ));
+            1
         }
     } else {
         1
     };
     let policy = xtuml_exec::SchedPolicy::seeded(opts.seed).with_shards(shards);
     let mut sim = xtuml_exec::ShardedSimulation::with_policy(&domain, policy);
+    if obs.on() {
+        let mut rec = if obs.profile {
+            xtuml_obs::Recorder::with_spans(xtuml_obs::Clock::start())
+        } else {
+            xtuml_obs::Recorder::new()
+        };
+        rec.stream_epochs = obs.stream_epochs;
+        sim.attach_recorder(rec);
+    }
     let mut names: BTreeMap<String, xtuml_core::ids::InstId> = BTreeMap::new();
 
     for (lineno, raw) in script_src.lines().enumerate() {
@@ -433,6 +511,7 @@ pub fn cmd_run_with(
         }
     }
 
+    let run_t0 = obs.on().then(std::time::Instant::now);
     sim.run_to_quiescence(opts.jobs)?;
     let mut out = String::new();
     if let Some(n) = note {
@@ -447,7 +526,135 @@ pub fn cmd_run_with(
     for ev in sim.trace().observable(&domain) {
         let _ = writeln!(out, "{ev}");
     }
-    Ok(out)
+
+    let mut profile_json = None;
+    let mut metrics = None;
+    let mut timing = None;
+    if let Some(mut rec) = sim.take_recorder() {
+        if let Some(t0) = run_t0 {
+            rec.timing.run_wall_ns = t0.elapsed().as_nanos() as u64;
+        }
+        // The fallback is part of the deterministic story: it depends
+        // only on the model, so the snapshot records it.
+        if !offenses.is_empty() {
+            use xtuml_obs::Counter;
+            rec.metrics.add(Counter::ShardFallbacks, 1);
+            for o in &offenses {
+                let c = match o.reason.key() {
+                    "create" => Counter::FallbackCreate,
+                    "delete" => Counter::FallbackDelete,
+                    "relate" => Counter::FallbackRelate,
+                    "unrelate" => Counter::FallbackUnrelate,
+                    "non_self_read" => Counter::FallbackNonSelfRead,
+                    _ => Counter::FallbackNonSelfWrite,
+                };
+                rec.metrics.add(c, 1);
+            }
+        }
+        if obs.profile {
+            let mut tracks: Vec<(u32, String)> = vec![(
+                0,
+                if shards > 1 { "coordinator" } else { "main" }.to_owned(),
+            )];
+            if shards > 1 {
+                for k in 0..shards {
+                    tracks.push((k as u32 + 1, format!("shard {k}")));
+                }
+            }
+            profile_json = rec.to_chrome_json(&domain.name, &tracks);
+        }
+        timing = Some(rec.timing);
+        metrics = Some(rec.metrics);
+    }
+    Ok(RunOutput {
+        text: out,
+        profile_json,
+        metrics,
+        timing,
+        shards,
+        seed: opts.seed,
+        now: sim.now(),
+        dispatches: sim.trace().dispatch_count() as u64,
+    })
+}
+
+/// `stats`: run a stimulus script with counters on and report the full
+/// telemetry catalogue (human-readable, or one JSON document with
+/// `--format json`). The counter snapshot is deterministic — a pure
+/// function of `(seed, shards)` — so two hosts disagree only in the
+/// clearly-marked wall-clock section.
+///
+/// # Errors
+///
+/// Returns parse, script and execution diagnostics.
+pub fn cmd_stats(
+    model_src: &str,
+    script_src: &str,
+    opts: RunOptions,
+    format: LintFormat,
+) -> Result<String, CliError> {
+    let obs = ObsOptions {
+        counters: true,
+        ..ObsOptions::default()
+    };
+    let out = cmd_run_full(model_src, script_src, opts, &obs)?;
+    let m = out.metrics.as_ref().expect("counters were requested");
+    match format {
+        LintFormat::Human => {
+            let mut s = String::new();
+            let _ = writeln!(
+                s,
+                "run: t={} dispatches={} seed={} shards={} (deterministic)",
+                out.now, out.dispatches, out.seed, out.shards
+            );
+            s.push_str(&m.render_human());
+            if let Some(t) = &out.timing {
+                let _ = writeln!(s, "wall-clock (not deterministic):");
+                let _ = writeln!(s, "  run_wall_us           {:>12}", t.run_wall_ns / 1_000);
+                let _ = writeln!(
+                    s,
+                    "  barrier_wait_us       {:>12}",
+                    t.barrier_wait_ns / 1_000
+                );
+                let _ = writeln!(s, "  epochs_timed          {:>12}", t.epochs_timed);
+            }
+            Ok(s)
+        }
+        LintFormat::Json => {
+            let mut s = String::new();
+            s.push_str("{\n");
+            let _ = writeln!(s, "  \"seed\": {},", out.seed);
+            let _ = writeln!(s, "  \"shards\": {},", out.shards);
+            let _ = writeln!(s, "  \"now\": {},", out.now);
+            let _ = writeln!(s, "  \"dispatches\": {},", out.dispatches);
+            let _ = writeln!(s, "  \"deterministic\": true,");
+            let _ = write!(s, "  \"metrics\": ");
+            let body = m.to_json();
+            let mut lines = body.lines();
+            if let Some(first) = lines.next() {
+                let _ = writeln!(s, "{first}");
+            }
+            for line in lines {
+                let _ = writeln!(s, "  {line}");
+            }
+            s.pop();
+            s.push_str("\n}\n");
+            Ok(s)
+        }
+    }
+}
+
+/// `stats --check-profile`: validate that a file is a well-formed Chrome
+/// trace-event document (the shape Perfetto loads).
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn cmd_check_profile(src: &str) -> Result<String, CliError> {
+    match xtuml_obs::check_chrome_trace(src) {
+        Ok(n) => Ok(format!("ok: {n} trace event(s)\n")),
+        Err(e) => Err(CliError(format!("invalid trace profile: {e}"))),
+    }
 }
 
 /// Options for [`cmd_fuzz`], mirroring the `fuzz` subcommand's flags.
@@ -480,18 +687,17 @@ impl Default for FuzzOptions {
 
 /// `fuzz`: run a differential-conformance fuzzing campaign.
 ///
-/// Returns the rendered report, the corpus entries for every failing
-/// case that can be serialized (minimized when `--shrink` was given),
-/// and a flag that is `true` when the campaign was clean — the binary
-/// turns that flag into the exit code and writes the entries under
-/// `--corpus DIR`.
+/// Returns the full report (render with [`xtuml_fuzz::FuzzReport::render`],
+/// stream with `render_jsonl`, gate on `ok()`) and the corpus entries for
+/// every failing case that can be serialized (minimized when `--shrink`
+/// was given) — the binary writes the entries under `--corpus DIR`.
 ///
 /// # Errors
 ///
 /// Currently infallible; the `Result` mirrors the other subcommands.
 pub fn cmd_fuzz(
     opts: &FuzzOptions,
-) -> Result<(String, Vec<xtuml_fuzz::CorpusEntry>, bool), CliError> {
+) -> Result<(xtuml_fuzz::FuzzReport, Vec<xtuml_fuzz::CorpusEntry>), CliError> {
     let cfg = xtuml_fuzz::FuzzConfig {
         start: opts.start,
         count: opts.seeds,
@@ -508,7 +714,7 @@ pub fn cmd_fuzz(
             entries.push(e);
         }
     }
-    Ok((report.render(), entries, report.ok()))
+    Ok((report, entries))
 }
 
 fn parse_arg(word: &str) -> Result<Value, String> {

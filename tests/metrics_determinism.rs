@@ -1,0 +1,181 @@
+//! Determinism contract of the telemetry layer.
+//!
+//! The metrics snapshot is a pure function of `(seed, shards)`: the
+//! worker count (`--jobs`), host speed and wall time must never leak
+//! into any counter, gauge, histogram or per-epoch row. Wall-clock
+//! measurements live in the segregated `Timing` struct and are excluded
+//! from every comparison here. The suite also pins `xtuml stats` output
+//! byte-for-byte against committed goldens, and checks that the
+//! instrumented single-shard delegation path produces the exact
+//! snapshot the plain sequential engine does.
+
+use xtuml::cli::{cmd_run_full, cmd_stats, LintFormat, ObsOptions, RunOptions};
+use xtuml_bench::workloads::manycore_domain;
+use xtuml_core::value::Value;
+use xtuml_exec::{SchedPolicy, ShardedSimulation, Simulation};
+use xtuml_obs::Recorder;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn doorbell() -> (String, String) {
+    (read("models/doorbell.xtuml"), read("models/doorbell.stim"))
+}
+
+fn opts(seed: u64, jobs: usize, shards: usize) -> RunOptions {
+    RunOptions {
+        seed,
+        jobs,
+        shards: Some(shards),
+    }
+}
+
+#[test]
+fn stats_json_is_jobs_invariant_at_every_shard_count() {
+    let (model, stim) = doorbell();
+    for shards in [1usize, 2, 4] {
+        for seed in 0..4u64 {
+            let reference = cmd_stats(&model, &stim, opts(seed, 1, shards), LintFormat::Json)
+                .expect("stats jobs=1");
+            for jobs in [2usize, 4] {
+                let got = cmd_stats(&model, &stim, opts(seed, jobs, shards), LintFormat::Json)
+                    .expect("stats");
+                assert_eq!(
+                    reference, got,
+                    "seed {seed} shards {shards}: snapshot depends on jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_jsonl_streams_are_jobs_invariant() {
+    // The streaming sink includes per-epoch rows; those too must be a
+    // pure function of (seed, shards).
+    let (model, stim) = doorbell();
+    let obs = ObsOptions {
+        counters: true,
+        profile: false,
+        stream_epochs: true,
+    };
+    for shards in [2usize, 4] {
+        let reference = cmd_run_full(&model, &stim, opts(7, 1, shards), &obs)
+            .expect("run jobs=1")
+            .metrics
+            .expect("counters on")
+            .to_jsonl(&[]);
+        for jobs in [2usize, 4] {
+            let got = cmd_run_full(&model, &stim, opts(7, jobs, shards), &obs)
+                .expect("run")
+                .metrics
+                .expect("counters on")
+                .to_jsonl(&[]);
+            assert_eq!(
+                reference, got,
+                "shards {shards}: epoch stream depends on jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn profiling_does_not_perturb_the_snapshot() {
+    // Spans carry wall time, so enabling them must not change a single
+    // deterministic counter.
+    let (model, stim) = doorbell();
+    let plain = ObsOptions {
+        counters: true,
+        profile: false,
+        stream_epochs: false,
+    };
+    let profiled = ObsOptions {
+        counters: true,
+        profile: true,
+        stream_epochs: false,
+    };
+    let a = cmd_run_full(&model, &stim, opts(0, 2, 4), &plain)
+        .expect("plain run")
+        .metrics
+        .expect("counters on")
+        .to_json();
+    let b = cmd_run_full(&model, &stim, opts(0, 2, 4), &profiled)
+        .expect("profiled run")
+        .metrics
+        .expect("counters on")
+        .to_json();
+    assert_eq!(a, b, "profiling changed the deterministic snapshot");
+}
+
+#[test]
+fn sharded_delegation_matches_the_plain_sequential_snapshot() {
+    // `--shards 1` delegates to the classic sequential engine; the
+    // instrumented delegation must count at exactly the same sites, so
+    // the two snapshots are byte-identical.
+    const CORES: usize = 8;
+    const WORK: i64 = 16;
+    let domain = manycore_domain(CORES);
+    for seed in 0..4u64 {
+        let mut plain = Simulation::with_policy(&domain, SchedPolicy::seeded(seed));
+        plain.attach_recorder(Recorder::new());
+        let insts: Vec<_> = (0..CORES)
+            .map(|k| plain.create(&format!("Core{k}")).expect("create"))
+            .collect();
+        for (k, inst) in insts.iter().enumerate() {
+            plain
+                .inject(0, *inst, "Tick", vec![Value::Int(WORK + (k % 3) as i64)])
+                .expect("inject");
+        }
+        plain.run_to_quiescence().expect("plain run");
+        let plain_snap = plain.take_recorder().expect("recorder").metrics.to_json();
+
+        let policy = SchedPolicy::seeded(seed).with_shards(1);
+        let mut sharded = ShardedSimulation::with_policy(&domain, policy);
+        sharded.attach_recorder(Recorder::new());
+        let insts: Vec<_> = (0..CORES)
+            .map(|k| sharded.create(&format!("Core{k}")).expect("create"))
+            .collect();
+        for (k, inst) in insts.iter().enumerate() {
+            sharded
+                .inject(0, *inst, "Tick", vec![Value::Int(WORK + (k % 3) as i64)])
+                .expect("inject");
+        }
+        sharded.run_to_quiescence(4).expect("sharded run");
+        let sharded_snap = sharded.take_recorder().expect("recorder").metrics.to_json();
+
+        assert_eq!(
+            plain_snap, sharded_snap,
+            "seed {seed}: delegation snapshot diverged from the sequential engine"
+        );
+    }
+}
+
+#[test]
+fn stats_json_output_is_well_formed_and_matches_golden() {
+    let (model, stim) = doorbell();
+    let out = cmd_stats(&model, &stim, opts(0, 2, 4), LintFormat::Json).expect("stats json");
+    let doc = xtuml_obs::parse(&out).expect("stats --format json must be valid JSON");
+    assert_eq!(
+        doc.get("deterministic").and_then(xtuml_obs::Value::as_str),
+        None,
+        "deterministic is a bool, not a string"
+    );
+    assert!(doc.get("metrics").is_some(), "missing metrics object");
+    assert_eq!(out, include_str!("golden/stats_doorbell.json"));
+}
+
+#[test]
+fn stats_human_deterministic_section_matches_golden() {
+    // Everything above the wall-clock section is a pure function of
+    // (seed, shards); the golden pins it byte-for-byte. The wall-clock
+    // lines vary run to run and are only checked for presence.
+    let (model, stim) = doorbell();
+    let out = cmd_stats(&model, &stim, opts(0, 2, 4), LintFormat::Human).expect("stats human");
+    let marker = "wall-clock (not deterministic):";
+    let (deterministic, rest) = out
+        .split_once(marker)
+        .unwrap_or_else(|| panic!("missing `{marker}` section:\n{out}"));
+    assert_eq!(deterministic, include_str!("golden/stats_doorbell.txt"));
+    assert!(rest.contains("run_wall_us"), "{rest}");
+}
