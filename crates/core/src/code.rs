@@ -209,8 +209,8 @@ pub enum CStmt {
 /// first-textual-binding order.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FrameLayout {
-    names: Vec<String>,
-    params: usize,
+    pub(crate) names: Vec<String>,
+    pub(crate) params: usize,
 }
 
 impl FrameLayout {
@@ -315,16 +315,16 @@ pub fn compile_block(
 pub struct CompiledProgram {
     /// Per class: `states * events` entries, indexed
     /// `state * n_events + event`. Passive classes hold an empty vec.
-    classes: Vec<ClassCode>,
+    pub(crate) classes: Vec<ClassCode>,
 }
 
 #[derive(Debug, Clone, Default)]
-struct ClassCode {
-    n_events: usize,
-    actions: Vec<Option<Result<CAction>>>,
+pub(crate) struct ClassCode {
+    pub(crate) n_events: usize,
+    pub(crate) actions: Vec<Option<Result<CAction>>>,
     /// Dense `(state, event) -> target` dispatch table, same indexing as
     /// `actions`. Replaces the metamodel's map lookup on the hot path.
-    targets: Vec<TransitionTarget>,
+    pub(crate) targets: Vec<TransitionTarget>,
 }
 
 impl CompiledProgram {

@@ -66,6 +66,11 @@ pub enum Code {
     /// non-self attribute access): `--shards N` falls back to sequential
     /// execution.
     ShardUnsafe,
+    /// `X0016` — a state action using a construct the bytecode lowering
+    /// does not cover (or one that exceeds the 16-bit operand encoding):
+    /// `--engine bc` falls back to the compiled-frame interpreter for that
+    /// action.
+    BcUnsupported,
 }
 
 /// Every code, in ascending order — the lint catalogue.
@@ -85,6 +90,7 @@ pub const ALL_CODES: &[Code] = &[
     Code::HardwareStringPayload,
     Code::UnmarshallableChannel,
     Code::ShardUnsafe,
+    Code::BcUnsupported,
 ];
 
 impl Code {
@@ -106,6 +112,7 @@ impl Code {
             Code::HardwareStringPayload => "X0013",
             Code::UnmarshallableChannel => "X0014",
             Code::ShardUnsafe => "X0015",
+            Code::BcUnsupported => "X0016",
         }
     }
 
@@ -128,6 +135,7 @@ impl Code {
             Code::HardwareStringPayload => "hardware-string-payload",
             Code::UnmarshallableChannel => "unmarshallable-channel",
             Code::ShardUnsafe => "shard-unsafe",
+            Code::BcUnsupported => "bc-unsupported",
         }
     }
 
@@ -148,7 +156,7 @@ impl Code {
             | Code::SignalCycle
             | Code::UnknownMarkTarget
             | Code::HardwareStringPayload => Severity::Warning,
-            Code::ConstantAttribute | Code::ShardUnsafe => Severity::Note,
+            Code::ConstantAttribute | Code::ShardUnsafe | Code::BcUnsupported => Severity::Note,
         }
     }
 

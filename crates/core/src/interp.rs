@@ -175,6 +175,68 @@ pub trait ActionHost {
     ///
     /// Fails if the actor does not implement the function.
     fn bridge_call(&mut self, actor: ActorId, func: &str, args: Vec<Value>) -> Result<Value>;
+
+    /// [`ActionHost::send`] with a pre-shared payload, passed by value:
+    /// the bytecode VM's send ops hand over a pooled (or literal-table)
+    /// `Arc<[Value]>`, and hosts whose signal queue stores `Arc` payloads
+    /// should override this to move the `Arc` straight into the queue —
+    /// zero per-send allocation *and* zero refcount traffic. The default
+    /// delegates to [`ActionHost::send`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ActionHost::send`].
+    fn send_arc(
+        &mut self,
+        from: InstId,
+        to: InstId,
+        event: EventId,
+        args: std::sync::Arc<[Value]>,
+    ) -> Result<()> {
+        self.send(from, to, event, args.to_vec())
+    }
+
+    /// [`ActionHost::send_actor`] with a pre-shared payload; see
+    /// [`ActionHost::send_arc`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ActionHost::send_actor`].
+    fn send_actor_arc(
+        &mut self,
+        from: InstId,
+        actor: ActorId,
+        event: EventId,
+        args: std::sync::Arc<[Value]>,
+    ) -> Result<()> {
+        self.send_actor(from, actor, event, args.to_vec())
+    }
+
+    /// Pops a *uniquely-owned* payload buffer of exactly `len` slots from
+    /// the host's recycling pool, if it keeps one. The bytecode VM fills
+    /// every slot before handing the buffer to [`ActionHost::send_arc`],
+    /// so hosts that recycle dispatched envelope payloads turn computed
+    /// sends into zero-allocation operations. The default host keeps no
+    /// pool.
+    fn take_payload(&mut self, len: usize) -> Option<std::sync::Arc<[Value]>> {
+        let _ = len;
+        None
+    }
+
+    /// [`ActionHost::attr_write`] for a value whose type the caller has
+    /// already proven statically — the bytecode lowering only emits this
+    /// for fused constant stores the typechecker validated against the
+    /// declared attribute type. Hosts with a type-checking store may skip
+    /// the declared-type re-check; every liveness and missing-slot error
+    /// must still be raised. The default stays fully checked.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ActionHost::attr_write`], minus the type mismatch (which
+    /// the caller guarantees cannot occur).
+    fn attr_write_typed(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
+        self.attr_write(inst, attr, value)
+    }
 }
 
 /// Why a block stopped executing.
@@ -211,7 +273,7 @@ pub struct ExecCtx {
     /// after them. `None` marks a slot not yet assigned.
     pub frame: Vec<Option<Value>>,
     /// Candidate binding for `selected` inside `where` clauses.
-    selected: Option<Value>,
+    pub(crate) selected: Option<Value>,
     /// Primitive-step counter (statements + expression nodes); the
     /// substrates convert this into cycles.
     pub steps: u64,
@@ -253,7 +315,7 @@ impl ExecCtx {
     }
 
     #[inline(always)]
-    fn burn(&mut self, n: u64) -> Result<()> {
+    pub(crate) fn burn(&mut self, n: u64) -> Result<()> {
         self.steps += n;
         if self.fuel < n {
             return Err(CoreError::runtime(

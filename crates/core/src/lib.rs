@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod action;
+pub mod bc;
 pub mod builder;
 pub mod code;
 pub mod diag;

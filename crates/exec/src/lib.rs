@@ -59,6 +59,6 @@ pub mod trace;
 
 pub use sched::SchedPolicy;
 pub use shard::{shard_safety, ShardedSimulation};
-pub use sim::Simulation;
+pub use sim::{Engine, Simulation};
 pub use store::ObjectStore;
 pub use trace::{ObservableEvent, Trace, TraceEvent};

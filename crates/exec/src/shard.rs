@@ -33,11 +33,12 @@
 //! (the xtUML style the paper advocates) shard without restriction.
 
 use crate::sched::{SchedPolicy, SplitMix64};
-use crate::sim::Simulation;
+use crate::sim::{Engine, PayloadPool, Simulation};
 use crate::store::ObjectStore;
 use crate::trace::{Trace, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use xtuml_core::bc::{self, BcEntry, BcFallback, BcProgram};
 use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result};
 use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
@@ -176,6 +177,9 @@ struct ShardState {
     strict: bool,
     self_priority: bool,
     frame_buf: Vec<Option<Value>>,
+    /// Per-shard recycled signal payload buffers (see
+    /// [`PayloadPool`]); shard-local, so pooling never couples shards.
+    payloads: PayloadPool,
     /// Per-shard telemetry, forked from the coordinator's recorder
     /// ([`Recorder::fork_shard`]) and absorbed back in shard-id order at
     /// the end of the run so merged snapshots never depend on `--jobs`.
@@ -235,7 +239,13 @@ impl ShardState {
     /// function of its own inputs — deterministic across worker counts —
     /// and a shard-local livelock fails like the sequential engine does
     /// instead of hanging the run.
-    fn run_epoch(&mut self, domain: &Domain, program: &CompiledProgram) -> Result<()> {
+    fn run_epoch(
+        &mut self,
+        domain: &Domain,
+        program: &CompiledProgram,
+        bcp: &BcProgram,
+        engine: Engine,
+    ) -> Result<()> {
         let timed = self.obs.is_some().then(std::time::Instant::now);
         if let Some(r) = self.obs.as_mut() {
             if r.spans_enabled() {
@@ -243,7 +253,7 @@ impl ShardState {
                 r.span_begin(track, "shard", &format!("epoch {}", self.epoch));
             }
         }
-        let out = self.run_epoch_inner(domain, program);
+        let out = self.run_epoch_inner(domain, program, bcp, engine);
         if let Some(r) = self.obs.as_mut() {
             if r.spans_enabled() {
                 let track = r.track;
@@ -256,7 +266,13 @@ impl ShardState {
         out
     }
 
-    fn run_epoch_inner(&mut self, domain: &Domain, program: &CompiledProgram) -> Result<()> {
+    fn run_epoch_inner(
+        &mut self,
+        domain: &Domain,
+        program: &CompiledProgram,
+        bcp: &BcProgram,
+        engine: Engine,
+    ) -> Result<()> {
         while !self.ready.is_empty() {
             if self.dispatches >= self.step_budget {
                 if let Some(r) = self.obs.as_mut() {
@@ -275,7 +291,7 @@ impl ShardState {
                 debug_assert_eq!(self.ready.get(at), Some(&pick));
                 self.ready.remove(at);
             }
-            self.dispatch(domain, program, pick, env)?;
+            self.dispatch(domain, program, bcp, engine, pick, env)?;
             self.dispatches += 1;
         }
         Ok(())
@@ -285,10 +301,12 @@ impl ShardState {
         &mut self,
         domain: &Domain,
         program: &CompiledProgram,
+        bcp: &BcProgram,
+        engine: Engine,
         inst: InstId,
         env: Envelope,
     ) -> Result<()> {
-        let class = self.store.class_of(inst)?;
+        let (class, from_state) = self.store.class_state(inst)?;
         let c = domain.class(class);
         let Some(machine) = c.state_machine.as_ref() else {
             return Err(CoreError::runtime(format!(
@@ -296,7 +314,6 @@ impl ShardState {
                 c.name
             )));
         };
-        let from_state = self.store.state_of(inst)?;
         let mut rtc_span = false;
         if let Some(r) = self.obs.as_mut() {
             r.count(Counter::SignalsDispatched, 1);
@@ -319,9 +336,6 @@ impl ShardState {
                     from_state,
                     to_state,
                 });
-                let action = program.action(class, to_state, env.event).ok_or_else(|| {
-                    CoreError::runtime("internal: dispatched pair has no compiled action")
-                })??;
                 let mut action_span = false;
                 if let Some(r) = self.obs.as_mut() {
                     r.count(Counter::TransitionsFired, 1);
@@ -332,17 +346,62 @@ impl ShardState {
                         r.span_begin(track, "action", &name);
                     }
                 }
+                // Same engine selection as the sequential dispatcher: the
+                // bytecode VM unless the engine is frames or this action
+                // could not be lowered.
+                let vm_action = if engine == Engine::Bc {
+                    match bcp.entry(class, to_state, env.event) {
+                        Some(BcEntry::Vm(bca)) => Some(&**bca),
+                        _ => {
+                            if let Some(r) = self.obs.as_mut() {
+                                r.count(Counter::BcFallbacks, 1);
+                            }
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
                 let mut frame = std::mem::take(&mut self.frame_buf);
                 frame.clear();
-                frame.resize(action.frame_len(), None);
-                let mut ctx = ExecCtx::with_frame(inst, class, frame);
-                ctx.bind_args(env.args.iter().cloned());
-                let mut host = ShardHost {
-                    shard: self,
-                    domain,
+                let run = match vm_action {
+                    Some(bca) => {
+                        if let Some(r) = self.obs.as_mut() {
+                            r.count(Counter::BcActions, 1);
+                        }
+                        frame.resize(bca.n_regs, None);
+                        let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.bind_args(env.args.iter().cloned());
+                        let mut host = ShardHost {
+                            shard: self,
+                            domain,
+                        };
+                        let r = bc::run_bc(&mut host, &mut ctx, bca);
+                        self.frame_buf = std::mem::take(&mut ctx.frame);
+                        r
+                    }
+                    None => {
+                        // Only the frame interpreter needs the compiled
+                        // action; a `Vm` entry implies the frame compile
+                        // it lowered from succeeded.
+                        let action =
+                            program.action(class, to_state, env.event).ok_or_else(|| {
+                                CoreError::runtime(
+                                    "internal: dispatched pair has no compiled action",
+                                )
+                            })??;
+                        frame.resize(action.frame_len(), None);
+                        let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.bind_args(env.args.iter().cloned());
+                        let mut host = ShardHost {
+                            shard: self,
+                            domain,
+                        };
+                        let r = interp::run_code(&mut host, &mut ctx, action);
+                        self.frame_buf = std::mem::take(&mut ctx.frame);
+                        r
+                    }
                 };
-                let run = interp::run_code(&mut host, &mut ctx, action);
-                self.frame_buf = std::mem::take(&mut ctx.frame);
                 if action_span {
                     if let Some(r) = self.obs.as_mut() {
                         let track = r.track;
@@ -390,6 +449,9 @@ impl ShardState {
                 r.span_end(track);
             }
         }
+        // The envelope is fully consumed: offer its payload buffer to
+        // this shard's next computed send.
+        self.payloads.recycle(env.args);
         out
     }
 }
@@ -432,6 +494,14 @@ impl ActionHost for ShardHost<'_, '_> {
         self.shard.store.attr_read(inst, attr)
     }
 
+    fn attr_write_typed(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
+        self.shard.store.attr_write_typed(inst, attr, value)
+    }
+
+    fn take_payload(&mut self, len: usize) -> Option<Arc<[Value]>> {
+        self.shard.payloads.take(len)
+    }
+
     fn attr_write(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
         if !self.shard.owns(inst) {
             return Err(Self::unsupported("writing another shard's attribute"));
@@ -469,12 +539,22 @@ impl ActionHost for ShardHost<'_, '_> {
     }
 
     fn send(&mut self, from: InstId, to: InstId, event: EventId, args: Vec<Value>) -> Result<()> {
+        self.send_arc(from, to, event, Arc::from(args))
+    }
+
+    fn send_arc(
+        &mut self,
+        from: InstId,
+        to: InstId,
+        event: EventId,
+        args: Arc<[Value]>,
+    ) -> Result<()> {
         self.shard.store.class_of(to)?; // liveness (population is static)
         let seq = self.shard.next_seq();
         let env = Envelope {
             from: Some(from),
             event,
-            args: Arc::from(args),
+            args,
             seq,
         };
         let local = self.shard.owns(to);
@@ -508,10 +588,20 @@ impl ActionHost for ShardHost<'_, '_> {
 
     fn send_actor(
         &mut self,
-        _from: InstId,
+        from: InstId,
         actor: ActorId,
         event: EventId,
         args: Vec<Value>,
+    ) -> Result<()> {
+        self.send_actor_arc(from, actor, event, Arc::from(args))
+    }
+
+    fn send_actor_arc(
+        &mut self,
+        _from: InstId,
+        actor: ActorId,
+        event: EventId,
+        args: Arc<[Value]>,
     ) -> Result<()> {
         if let Some(r) = self.shard.obs.as_mut() {
             r.count(Counter::ActorSignals, 1);
@@ -520,7 +610,7 @@ impl ActionHost for ShardHost<'_, '_> {
             time: self.shard.now,
             actor,
             event,
-            args: Arc::from(args),
+            args,
         });
         Ok(())
     }
@@ -601,6 +691,10 @@ impl ActionHost for ShardHost<'_, '_> {
 pub struct ShardedSimulation<'d> {
     domain: &'d Domain,
     program: CompiledProgram,
+    /// Register bytecode lowered from `program`, once at construction.
+    bc: BcProgram,
+    /// Action executor selection; [`Engine::Bc`] by default.
+    engine: Engine,
     policy: SchedPolicy,
     store: ObjectStore,
     /// Setup-time relate calls, in call order (for sequential replay).
@@ -631,9 +725,13 @@ impl std::fmt::Debug for ShardedSimulation<'_> {
 impl<'d> ShardedSimulation<'d> {
     /// Creates a sharded simulation with an explicit policy.
     pub fn with_policy(domain: &'d Domain, policy: SchedPolicy) -> ShardedSimulation<'d> {
+        let program = CompiledProgram::new(domain);
+        let bc = BcProgram::new(domain, &program);
         ShardedSimulation {
             domain,
-            program: CompiledProgram::new(domain),
+            program,
+            bc,
+            engine: Engine::default(),
             policy: policy.with_shards(policy.shards),
             store: ObjectStore::new(domain.associations.len()),
             setup_links: Vec::new(),
@@ -683,6 +781,23 @@ impl<'d> ShardedSimulation<'d> {
     /// Caps the total number of dispatch steps per run.
     pub fn set_max_steps(&mut self, max: u64) {
         self.max_steps = max;
+    }
+
+    /// Selects the action executor (default [`Engine::Bc`]); `shards == 1`
+    /// delegation passes the choice to the inner sequential engine.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected action executor.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Actions the bytecode lowering could not encode; these dispatch via
+    /// the frame interpreter instead (diagnostic `X0016`).
+    pub fn bc_fallbacks(&self) -> &[BcFallback] {
+        &self.bc.fallbacks
     }
 
     /// Creates an instance during setup (before the run).
@@ -804,6 +919,7 @@ impl<'d> ShardedSimulation<'d> {
                 strict: self.policy.strict,
                 self_priority: self.policy.self_priority,
                 frame_buf: Vec::new(),
+                payloads: PayloadPool::new(),
                 obs: self.obs.as_ref().map(|r| r.fork_shard(id as u32)),
                 epoch: 0,
                 epoch_busy_ns: 0,
@@ -894,6 +1010,8 @@ impl<'d> ShardedSimulation<'d> {
             }
             let domain = self.domain;
             let program = &self.program;
+            let bcp = &self.bc;
+            let engine = self.engine;
             let epoch_t0 = self.obs.is_some().then(std::time::Instant::now);
             let mut null = NullSink;
             let sink: &mut dyn Sink = match self.obs.as_mut() {
@@ -902,7 +1020,7 @@ impl<'d> ShardedSimulation<'d> {
             };
             let outcomes = pool
                 .try_map_mut_obs(sink, "epoch", &mut shards, |_, s| {
-                    s.run_epoch(domain, program)
+                    s.run_epoch(domain, program, bcp, engine)
                 })
                 .map_err(|e| CoreError::runtime(e.to_string()))?;
             let epoch_wall_ns = epoch_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
@@ -1019,6 +1137,7 @@ impl<'d> ShardedSimulation<'d> {
     fn run_sequential(&mut self) -> Result<u64> {
         let mut sim = Simulation::with_policy(self.domain, self.policy);
         sim.set_max_steps(self.max_steps);
+        sim.set_engine(self.engine);
         // Hand the recorder to the inner simulation *before* replaying
         // setup: the replayed creates/injects then count exactly where a
         // plain instrumented `Simulation` counts them, so the shards==1

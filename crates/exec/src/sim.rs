@@ -23,6 +23,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
+use xtuml_core::bc::{self, BcEntry, BcFallback, BcProgram};
 use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result};
 use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
@@ -99,11 +100,76 @@ impl Ord for Stimulus {
 /// Handler invoked for bridge calls on a given actor.
 pub type BridgeFn = Box<dyn FnMut(&str, &[Value]) -> Result<Value>>;
 
+/// Which action executor drives the dispatch hot path.
+///
+/// Both engines produce byte-identical traces; the bytecode VM is the
+/// default because it is substantially faster. Actions the lowering cannot
+/// encode fall back to compiled frames per-action (diagnostic `X0016`,
+/// counted as `bc_fallbacks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Walk slot-resolved compiled frames (`CompiledProgram`) AST-style.
+    Frames,
+    /// Execute register bytecode lowered from the compiled frames.
+    #[default]
+    Bc,
+}
+
+/// By-arity recycling pool for signal payload buffers.
+///
+/// A dispatched envelope's payload `Arc` dies at the end of its dispatch:
+/// [`TraceEvent::Dispatch`] records no arguments, so unless a timer or an
+/// actor-trace event still holds a clone, the buffer is uniquely owned
+/// again and can be handed back to the VM's next computed send instead of
+/// going through the allocator twice (argument `Vec` + `Arc` payload) per
+/// signal. Pooling is invisible to execution: buffers are only reissued
+/// when uniquely owned, and the VM overwrites every slot before sending.
+pub(crate) struct PayloadPool {
+    /// `free[arity]` holds uniquely-owned buffers of exactly `arity` slots.
+    free: [Vec<Arc<[Value]>>; PayloadPool::MAX_ARITY + 1],
+}
+
+impl PayloadPool {
+    /// Largest pooled arity; wider signals are rare enough to take the
+    /// allocator path.
+    const MAX_ARITY: usize = 8;
+    /// Per-arity retention cap, bounding pool memory on bursty workloads.
+    const MAX_FREE: usize = 64;
+
+    pub(crate) fn new() -> PayloadPool {
+        PayloadPool {
+            free: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    /// Pops a uniquely-owned buffer of exactly `len` slots, if one is
+    /// pooled.
+    #[inline]
+    pub(crate) fn take(&mut self, len: usize) -> Option<Arc<[Value]>> {
+        self.free.get_mut(len)?.pop()
+    }
+
+    /// Returns a dispatched payload to the pool — if nothing else (a
+    /// timer, the actor trace, a literal-payload table) still holds it.
+    #[inline]
+    pub(crate) fn recycle(&mut self, mut args: Arc<[Value]>) {
+        if let Some(lane) = self.free.get_mut(args.len()) {
+            if lane.len() < Self::MAX_FREE && Arc::get_mut(&mut args).is_some() {
+                lane.push(args);
+            }
+        }
+    }
+}
+
 /// An executing Executable UML model. See the crate-level example.
 pub struct Simulation<'d> {
     domain: &'d Domain,
     /// Slot-resolved action code, compiled once at construction.
     program: Rc<CompiledProgram>,
+    /// Register bytecode lowered from `program`, once at construction.
+    bc: Rc<BcProgram>,
+    /// Action executor selection; [`Engine::Bc`] by default.
+    engine: Engine,
     store: ObjectStore,
     queues: Vec<InstQueues>,
     /// Instances with at least one queued signal, kept sorted ascending by
@@ -125,6 +191,9 @@ pub struct Simulation<'d> {
     max_steps: u64,
     /// Recycled execution frame: taken by each dispatch, returned after.
     frame_buf: Vec<Option<Value>>,
+    /// Recycled signal payload buffers, fed by finished dispatches and
+    /// drained by the VM's computed sends.
+    payloads: PayloadPool,
     /// Telemetry sink; `None` (the default) costs one predictable branch
     /// per instrumented site — the zero-cost-when-disabled contract.
     obs: Option<Box<Recorder>>,
@@ -149,9 +218,13 @@ impl<'d> Simulation<'d> {
 
     /// Creates a simulation with an explicit scheduling policy.
     pub fn with_policy(domain: &'d Domain, policy: SchedPolicy) -> Simulation<'d> {
+        let program = Rc::new(CompiledProgram::new(domain));
+        let bc = Rc::new(BcProgram::new(domain, &program));
         Simulation {
             domain,
-            program: Rc::new(CompiledProgram::new(domain)),
+            program,
+            bc,
+            engine: Engine::default(),
             store: ObjectStore::new(domain.associations.len()),
             queues: Vec::new(),
             ready: Vec::new(),
@@ -167,6 +240,7 @@ impl<'d> Simulation<'d> {
             dropped: 0,
             max_steps: 10_000_000,
             frame_buf: Vec::new(),
+            payloads: PayloadPool::new(),
             obs: None,
         }
     }
@@ -212,6 +286,22 @@ impl<'d> Simulation<'d> {
     /// Caps the total number of dispatch steps per `run_*` call.
     pub fn set_max_steps(&mut self, max: u64) {
         self.max_steps = max;
+    }
+
+    /// Selects the action executor (default [`Engine::Bc`]).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The currently selected action executor.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Actions the bytecode lowering could not encode; these dispatch via
+    /// the frame interpreter instead (diagnostic `X0016`).
+    pub fn bc_fallbacks(&self) -> &[BcFallback] {
+        &self.bc.fallbacks
     }
 
     /// Registers a handler for synchronous bridge calls on `actor`.
@@ -392,7 +482,11 @@ impl<'d> Simulation<'d> {
     /// Propagates action errors and strict-mode can't-happen events.
     pub fn step(&mut self) -> Result<bool> {
         loop {
-            self.deliver_due();
+            // Pure signal traffic (no pending timer or stimulus) has
+            // nothing to deliver; skip the scan entirely.
+            if !self.timers.is_empty() || !self.stimuli.is_empty() {
+                self.deliver_due();
+            }
             if self.ready.is_empty() {
                 // Jump to the next timer/stimulus moment, if any.
                 let next = self
@@ -558,7 +652,7 @@ impl<'d> Simulation<'d> {
     }
 
     fn dispatch(&mut self, inst: InstId, env: Envelope) -> Result<()> {
-        let class = self.store.class_of(inst)?;
+        let (class, from_state) = self.store.class_state(inst)?;
         let c = self.domain.class(class);
         let Some(machine) = c.state_machine.as_ref() else {
             return Err(CoreError::runtime(format!(
@@ -566,7 +660,6 @@ impl<'d> Simulation<'d> {
                 c.name
             )));
         };
-        let from_state = self.store.state_of(inst)?;
         let mut rtc_span = false;
         if let Some(o) = self.obs.as_mut() {
             o.count(Counter::SignalsDispatched, 1);
@@ -589,12 +682,6 @@ impl<'d> Simulation<'d> {
                     from_state,
                     to_state,
                 });
-                // Clone the program handle so the action borrow does not
-                // pin `self` (which the interpreter needs mutably).
-                let program = Rc::clone(&self.program);
-                let action = program.action(class, to_state, env.event).ok_or_else(|| {
-                    CoreError::runtime("internal: dispatched pair has no compiled action")
-                })??;
                 if let Some(o) = self.obs.as_mut() {
                     o.count(Counter::TransitionsFired, 1);
                     if o.spans_enabled() {
@@ -603,14 +690,59 @@ impl<'d> Simulation<'d> {
                         o.span_begin(track, "action", &name);
                     }
                 }
+                // Pick the executor: the bytecode VM unless the engine is
+                // frames or this action could not be lowered.
+                let bcp = Rc::clone(&self.bc);
+                let vm_action = if self.engine == Engine::Bc {
+                    match bcp.entry(class, to_state, env.event) {
+                        Some(BcEntry::Vm(bca)) => Some(&**bca),
+                        _ => {
+                            if let Some(o) = self.obs.as_mut() {
+                                o.count(Counter::BcFallbacks, 1);
+                            }
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
                 // Recycle one frame allocation across all dispatches.
                 let mut frame = std::mem::take(&mut self.frame_buf);
                 frame.clear();
-                frame.resize(action.frame_len(), None);
-                let mut ctx = ExecCtx::with_frame(inst, class, frame);
-                ctx.bind_args(env.args.iter().cloned());
-                let run = interp::run_code(self, &mut ctx, action);
-                self.frame_buf = std::mem::take(&mut ctx.frame);
+                let run = match vm_action {
+                    Some(bca) => {
+                        if let Some(o) = self.obs.as_mut() {
+                            o.count(Counter::BcActions, 1);
+                        }
+                        frame.resize(bca.n_regs, None);
+                        let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.bind_args(env.args.iter().cloned());
+                        let r = bc::run_bc(self, &mut ctx, bca);
+                        self.frame_buf = std::mem::take(&mut ctx.frame);
+                        r
+                    }
+                    None => {
+                        // The frame interpreter needs the compiled action;
+                        // the VM path never touches it (a `Vm` entry
+                        // implies the frame compile it lowered from
+                        // succeeded). Clone the program handle so the
+                        // action borrow does not pin `self` (which the
+                        // interpreter needs mutably).
+                        let program = Rc::clone(&self.program);
+                        let action =
+                            program.action(class, to_state, env.event).ok_or_else(|| {
+                                CoreError::runtime(
+                                    "internal: dispatched pair has no compiled action",
+                                )
+                            })??;
+                        frame.resize(action.frame_len(), None);
+                        let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.bind_args(env.args.iter().cloned());
+                        let r = interp::run_code(self, &mut ctx, action);
+                        self.frame_buf = std::mem::take(&mut ctx.frame);
+                        r
+                    }
+                };
                 if let Some(o) = self.obs.as_mut() {
                     if o.spans_enabled() {
                         let track = o.track;
@@ -658,6 +790,9 @@ impl<'d> Simulation<'d> {
                 o.span_end(track);
             }
         }
+        // The envelope is fully consumed: offer its payload buffer to the
+        // next computed send.
+        self.payloads.recycle(env.args);
         out
     }
 }
@@ -711,6 +846,14 @@ impl ActionHost for Simulation<'_> {
         self.store.attr_write(self.domain, inst, attr, value)
     }
 
+    fn attr_write_typed(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
+        self.store.attr_write_typed(inst, attr, value)
+    }
+
+    fn take_payload(&mut self, len: usize) -> Option<Arc<[Value]>> {
+        self.payloads.take(len)
+    }
+
     fn instances_of(&self, class: ClassId) -> Vec<InstId> {
         self.store.instances_of(class)
     }
@@ -741,12 +884,22 @@ impl ActionHost for Simulation<'_> {
     }
 
     fn send(&mut self, from: InstId, to: InstId, event: EventId, args: Vec<Value>) -> Result<()> {
+        self.send_arc(from, to, event, Arc::from(args))
+    }
+
+    fn send_arc(
+        &mut self,
+        from: InstId,
+        to: InstId,
+        event: EventId,
+        args: Arc<[Value]>,
+    ) -> Result<()> {
         self.store.class_of(to)?; // liveness check
         self.send_seq += 1;
         let env = Envelope {
             from: Some(from),
             event,
-            args: Arc::from(args),
+            args,
             seq: self.send_seq,
         };
         self.enqueue(to, env);
@@ -762,10 +915,20 @@ impl ActionHost for Simulation<'_> {
 
     fn send_actor(
         &mut self,
-        _from: InstId,
+        from: InstId,
         actor: ActorId,
         event: EventId,
         args: Vec<Value>,
+    ) -> Result<()> {
+        self.send_actor_arc(from, actor, event, Arc::from(args))
+    }
+
+    fn send_actor_arc(
+        &mut self,
+        _from: InstId,
+        actor: ActorId,
+        event: EventId,
+        args: Arc<[Value]>,
     ) -> Result<()> {
         if let Some(o) = self.obs.as_mut() {
             o.count(Counter::ActorSignals, 1);
@@ -774,7 +937,7 @@ impl ActionHost for Simulation<'_> {
             time: self.now,
             actor,
             event,
-            args: Arc::from(args),
+            args,
         });
         Ok(())
     }

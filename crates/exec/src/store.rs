@@ -143,6 +143,19 @@ impl ObjectStore {
         Ok(self.get(inst)?.state)
     }
 
+    /// `(class, state)` of a live instance in a single slot lookup — the
+    /// dispatcher's first touch on every signal, where a second `get`
+    /// would be pure overhead.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references.
+    #[inline]
+    pub fn class_state(&self, inst: InstId) -> Result<(ClassId, StateId)> {
+        let i = self.get(inst)?;
+        Ok((i.class, i.state))
+    }
+
     /// Moves the instance to a new state.
     ///
     /// # Errors
@@ -192,6 +205,28 @@ impl ObjectStore {
                 value.data_type()
             )));
         }
+        let i = self.get_mut(inst)?;
+        match i.attrs.get_mut(attr.index()) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(CoreError::runtime(format!(
+                "instance {inst} has no attribute slot {attr} (cross-partition access?)"
+            ))),
+        }
+    }
+
+    /// [`ObjectStore::attr_write`] for a value whose type the caller has
+    /// proven statically (the bytecode lowering's fused constant stores):
+    /// skips the declared-type re-check but keeps every liveness and
+    /// missing-slot error, message for message.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling references or missing slots.
+    #[inline]
+    pub fn attr_write_typed(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
         let i = self.get_mut(inst)?;
         match i.attrs.get_mut(attr.index()) {
             Some(slot) => {

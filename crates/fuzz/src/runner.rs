@@ -5,8 +5,11 @@
 //!
 //! 1. the **reference interpreter** ([`crate::refinterp`]) — naive AST
 //!    walker, independent of all production machinery;
-//! 2. the **model interpreter** (`xtuml-exec`, compiled frames);
-//! 3. the **partitioned co-simulation** (`xtuml-mda` compile +
+//! 2. the **model interpreter** (`xtuml-exec` with the bytecode VM, the
+//!    production default);
+//! 3. the model interpreter again on the **compiled-frame** engine — its
+//!    full trace must be byte-identical to the VM leg's;
+//! 4. the **partitioned co-simulation** (`xtuml-mda` compile +
 //!    hardware/software substrates over the bus bridge).
 //!
 //! Before any execution, the case round-trips through the textual
@@ -16,7 +19,7 @@
 
 use xtuml_core::marks::MarkSet;
 use xtuml_core::Domain;
-use xtuml_exec::{ObservableEvent, SchedPolicy, Simulation, TraceEvent};
+use xtuml_exec::{Engine, ObservableEvent, SchedPolicy, Simulation, Trace, TraceEvent};
 use xtuml_lang::{parse_domain, parse_marks, print_domain, print_marks};
 use xtuml_mda::ModelCompiler;
 use xtuml_verify::{check_equivalence, run_compiled, EquivReport, TestCase};
@@ -146,14 +149,21 @@ impl CaseOutcome {
 
 struct ExecRun {
     observables: Vec<ObservableEvent>,
+    trace: Trace,
     dispatches: u64,
     ignored: u64,
     dropped: u64,
     causality_violations: u64,
 }
 
-fn run_interpreter(domain: &Domain, policy: SchedPolicy, tc: &TestCase) -> Result<ExecRun, String> {
+fn run_interpreter(
+    domain: &Domain,
+    policy: SchedPolicy,
+    tc: &TestCase,
+    engine: Engine,
+) -> Result<ExecRun, String> {
     let mut sim = Simulation::with_policy(domain, policy);
+    sim.set_engine(engine);
     let mut handles = Vec::with_capacity(tc.creates.len());
     for class in &tc.creates {
         handles.push(sim.create(class).map_err(|e| e.to_string())?);
@@ -172,6 +182,7 @@ fn run_interpreter(domain: &Domain, policy: SchedPolicy, tc: &TestCase) -> Resul
     let trace = sim.trace();
     Ok(ExecRun {
         observables: trace.observable(domain),
+        trace: trace.clone(),
         dispatches: trace.dispatch_count() as u64,
         ignored: trace
             .events
@@ -191,6 +202,7 @@ pub fn run_case(
     marks: &MarkSet,
     tc: &TestCase,
     ablation: Ablation,
+    engine: Engine,
 ) -> CaseOutcome {
     // Executor 1: the independent reference interpreter.
     let (ref_obs, ref_stats) = match run_reference(domain, tc) {
@@ -203,9 +215,9 @@ pub fn run_case(
         }
     };
 
-    // Executor 2: the model interpreter (compiled frames), possibly with
-    // an injected scheduler fault.
-    let interp = match run_interpreter(domain, ablation.policy(), tc) {
+    // Executor 2: the model interpreter on the requested engine (the
+    // bytecode VM by default), possibly with an injected scheduler fault.
+    let interp = match run_interpreter(domain, ablation.policy(), tc, engine) {
         Ok(r) => r,
         Err(error) => {
             return CaseOutcome::ExecError {
@@ -215,7 +227,36 @@ pub fn run_case(
         }
     };
 
-    // Executor 3: compile under marks, co-simulate.
+    // Executor 3: the same model interpreter on compiled frames. The two
+    // engines must agree on the **full trace**, byte for byte — a far
+    // stronger oracle than observable equivalence.
+    if engine == Engine::Bc {
+        let frames = match run_interpreter(domain, ablation.policy(), tc, Engine::Frames) {
+            Ok(r) => r,
+            Err(error) => {
+                return CaseOutcome::ExecError {
+                    executor: "frames",
+                    error,
+                }
+            }
+        };
+        if frames.trace != interp.trace {
+            let n = interp
+                .trace
+                .events
+                .iter()
+                .zip(frames.trace.events.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            return CaseOutcome::OracleFailure(format!(
+                "bytecode VM trace diverges from the frame interpreter at event {n}                  (vm {} events, frames {})",
+                interp.trace.events.len(),
+                frames.trace.events.len()
+            ));
+        }
+    }
+
+    // Executor 4: compile under marks, co-simulate.
     let design = match ModelCompiler::new().compile(domain, marks) {
         Ok(d) => d,
         Err(e) => {
@@ -285,7 +326,7 @@ pub fn run_case(
 
 /// Runs one spec end-to-end: lower, round-trip every textual artifact,
 /// then [`run_case`] on the **reparsed** model.
-pub fn run_spec(spec: &FuzzSpec, ablation: Ablation) -> CaseOutcome {
+pub fn run_spec(spec: &FuzzSpec, ablation: Ablation, engine: Engine) -> CaseOutcome {
     let domain = match spec.lower() {
         Ok(d) => d,
         Err(e) => return CaseOutcome::BuildError(e.to_string()),
@@ -327,7 +368,7 @@ pub fn run_spec(spec: &FuzzSpec, ablation: Ablation) -> CaseOutcome {
         Err(e) => return CaseOutcome::RoundTrip(format!("stimulus script failed to reparse: {e}")),
     }
 
-    run_case(&reparsed, &marks, &tc, ablation)
+    run_case(&reparsed, &marks, &tc, ablation, engine)
 }
 
 /// Replays serialized corpus artifacts (see [`crate::corpus`]).
@@ -341,6 +382,7 @@ pub fn replay(
     marks: &str,
     stim: &str,
     ablation: Ablation,
+    engine: Engine,
 ) -> Result<CaseOutcome, String> {
     let domain = parse_domain(model).map_err(|e| format!("model: {e}"))?;
     let (marks_domain, markset) = parse_marks(marks).map_err(|e| format!("marks: {e}"))?;
@@ -351,7 +393,7 @@ pub fn replay(
         ));
     }
     let tc = parse_stim(stim)?;
-    Ok(run_case(&domain, &markset, &tc, ablation))
+    Ok(run_case(&domain, &markset, &tc, ablation, engine))
 }
 
 #[cfg(test)]
@@ -371,14 +413,22 @@ mod tests {
     #[test]
     fn first_seeds_pass_all_oracles() {
         for seed in 0..10 {
-            let outcome = run_spec(&generate(seed), Ablation::None);
+            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Bc);
+            assert!(!outcome.is_failure(), "seed {seed}: {}", outcome.describe());
+        }
+    }
+
+    #[test]
+    fn frames_engine_passes_the_three_way() {
+        for seed in 0..5 {
+            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Frames);
             assert!(!outcome.is_failure(), "seed {seed}: {}", outcome.describe());
         }
     }
 
     #[test]
     fn outcome_classes_are_stable() {
-        let outcome = run_spec(&generate(0), Ablation::None);
+        let outcome = run_spec(&generate(0), Ablation::None, Engine::Bc);
         assert_eq!(outcome.class(), "pass");
         assert!(outcome.describe().starts_with("pass"));
     }

@@ -13,6 +13,7 @@ use xtuml_core::action::{Block, Expr, GenTarget, Stmt};
 
 use crate::runner::{run_spec, Ablation};
 use crate::spec::{FuzzSpec, TransSpec};
+use xtuml_exec::Engine;
 
 /// Shrink effort bound: total reduced-case executions.
 const MAX_ATTEMPTS: u64 = 2_000;
@@ -170,9 +171,9 @@ fn candidates(spec: &FuzzSpec) -> Vec<FuzzSpec> {
 /// Greedily minimizes a failing spec while the failure (same class)
 /// reproduces. Returns the original spec untouched when it does not fail
 /// at all.
-pub fn shrink(spec: &FuzzSpec, ablation: Ablation) -> (FuzzSpec, ShrinkStats) {
+pub fn shrink(spec: &FuzzSpec, ablation: Ablation, engine: Engine) -> (FuzzSpec, ShrinkStats) {
     let before = (spec.classes.len(), spec.stmt_count(), spec.stimuli.len());
-    let target = run_spec(spec, ablation).class();
+    let target = run_spec(spec, ablation, engine).class();
     let mut stats = ShrinkStats {
         attempts: 1,
         classes: (before.0, before.0),
@@ -189,7 +190,7 @@ pub fn shrink(spec: &FuzzSpec, ablation: Ablation) -> (FuzzSpec, ShrinkStats) {
                 break 'outer;
             }
             stats.attempts += 1;
-            if run_spec(&cand, ablation).class() == target {
+            if run_spec(&cand, ablation, engine).class() == target {
                 current = cand;
                 continue 'outer;
             }
@@ -211,8 +212,8 @@ mod tests {
     #[test]
     fn passing_specs_are_left_alone() {
         let spec = generate(0);
-        assert_eq!(run_spec(&spec, Ablation::None).class(), "pass");
-        let (same, stats) = shrink(&spec, Ablation::None);
+        assert_eq!(run_spec(&spec, Ablation::None, Engine::Bc).class(), "pass");
+        let (same, stats) = shrink(&spec, Ablation::None, Engine::Bc);
         assert_eq!(same, spec);
         assert_eq!(stats.attempts, 1);
         assert!((stats.ratio() - 1.0).abs() < 1e-9);

@@ -1,6 +1,7 @@
 //! Acceptance tests for the conformance fuzzer (issue 4):
 //!
-//! * a 200-seed campaign passes on all three executor pairs and renders
+//! * a 200-seed campaign passes on all executor pairs (including the
+//!   bytecode-VM-vs-frames trace oracle) and renders
 //!   byte-identically across runs;
 //! * every generated model round-trips through the printer/parser
 //!   unchanged;
@@ -10,7 +11,7 @@
 //!   verdict.
 
 use xtuml_fuzz::{
-    entry, fuzz, generate, replay, run_spec, shrink, Ablation, CaseOutcome, FuzzConfig,
+    entry, fuzz, generate, replay, run_spec, shrink, Ablation, CaseOutcome, Engine, FuzzConfig,
 };
 use xtuml_lang::{parse_domain, print_domain};
 
@@ -22,6 +23,7 @@ fn two_hundred_seeds_pass_and_render_deterministically() {
         shrink: false,
         ablation: Ablation::None,
         jobs: 1,
+        engine: Engine::Bc,
     };
     let a = fuzz(&cfg);
     assert!(a.ok(), "divergences found:\n{}", a.render());
@@ -47,6 +49,7 @@ fn parallel_sweep_report_is_byte_identical_to_serial() {
             shrink: false,
             ablation,
             jobs: 1,
+            engine: Engine::Bc,
         });
         for jobs in [2, 4, 8] {
             let parallel = fuzz(&FuzzConfig {
@@ -55,6 +58,7 @@ fn parallel_sweep_report_is_byte_identical_to_serial() {
                 shrink: false,
                 ablation,
                 jobs,
+                engine: Engine::Bc,
             });
             assert_eq!(
                 serial.render(),
@@ -87,15 +91,15 @@ fn injected_scheduler_bug_is_caught_and_shrunk() {
     let seed = (0..60)
         .find(|s| {
             matches!(
-                run_spec(&generate(*s), Ablation::PairOrder),
+                run_spec(&generate(*s), Ablation::PairOrder, Engine::Bc),
                 CaseOutcome::Divergence { .. }
             )
         })
         .expect("pair-order ablation was not caught in seeds 0..60");
     // ...and the very same seeds must be clean without the fault.
-    assert!(!run_spec(&generate(seed), Ablation::None).is_failure());
+    assert!(!run_spec(&generate(seed), Ablation::None, Engine::Bc).is_failure());
 
-    let (min, stats) = shrink(&generate(seed), Ablation::PairOrder);
+    let (min, stats) = shrink(&generate(seed), Ablation::PairOrder, Engine::Bc);
     assert!(
         min.classes.len() <= 3,
         "seed {seed}: shrank only to {} classes",
@@ -105,7 +109,7 @@ fn injected_scheduler_bug_is_caught_and_shrunk() {
     assert!(stats.ratio() < 1.0, "shrinker made no progress");
     // The minimized case still reproduces the same failure class.
     assert!(matches!(
-        run_spec(&min, Ablation::PairOrder),
+        run_spec(&min, Ablation::PairOrder, Engine::Bc),
         CaseOutcome::Divergence { .. }
     ));
 }
@@ -113,16 +117,16 @@ fn injected_scheduler_bug_is_caught_and_shrunk() {
 #[test]
 fn minimized_case_serializes_and_replays() {
     let seed = (0..60)
-        .find(|s| run_spec(&generate(*s), Ablation::PairOrder).is_failure())
+        .find(|s| run_spec(&generate(*s), Ablation::PairOrder, Engine::Bc).is_failure())
         .expect("no failing seed under ablation");
-    let (min, _) = shrink(&generate(seed), Ablation::PairOrder);
+    let (min, _) = shrink(&generate(seed), Ablation::PairOrder, Engine::Bc);
     let e = entry(&min, &format!("seed{seed}-pair-order")).unwrap();
     // Serialization is deterministic.
     assert_eq!(e, entry(&min, &format!("seed{seed}-pair-order")).unwrap());
     // The triple replays: clean under the defined semantics, divergent
     // under the injected fault.
-    let clean = replay(&e.model, &e.marks, &e.stim, Ablation::None).unwrap();
+    let clean = replay(&e.model, &e.marks, &e.stim, Ablation::None, Engine::Bc).unwrap();
     assert!(!clean.is_failure(), "replay: {}", clean.describe());
-    let faulty = replay(&e.model, &e.marks, &e.stim, Ablation::PairOrder).unwrap();
+    let faulty = replay(&e.model, &e.marks, &e.stim, Ablation::PairOrder, Engine::Bc).unwrap();
     assert!(matches!(faulty, CaseOutcome::Divergence { .. }));
 }

@@ -87,6 +87,10 @@ pub enum Counter {
     CosimBusBeats,
     /// Model compilations performed by the MDA pipeline.
     MdaCompiles,
+    /// Action dispatches executed by the bytecode VM engine.
+    BcActions,
+    /// Action dispatches that fell back from the VM to compiled frames.
+    BcFallbacks,
 }
 
 /// Every counter, in snapshot order.
@@ -125,6 +129,8 @@ pub const COUNTERS: &[Counter] = &[
     Counter::CosimMsgsHwToSw,
     Counter::CosimBusBeats,
     Counter::MdaCompiles,
+    Counter::BcActions,
+    Counter::BcFallbacks,
 ];
 
 impl Counter {
@@ -165,6 +171,8 @@ impl Counter {
             Counter::CosimMsgsHwToSw => "cosim_msgs_hw_to_sw",
             Counter::CosimBusBeats => "cosim_bus_beats",
             Counter::MdaCompiles => "mda_compiles",
+            Counter::BcActions => "bc_actions",
+            Counter::BcFallbacks => "bc_fallbacks",
         }
     }
 }

@@ -12,17 +12,29 @@ fn usage() -> String {
      \x20 xtuml interface <model.xtuml> <marks.marks>\n\
      \x20 xtuml compile   <model.xtuml> <marks.marks> [out_dir]\n\
      \x20 xtuml run       <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
+     \x20                 [--engine frames|bc] [--no-bc]\n\
      \x20                 [--profile out.json] [--metrics out.jsonl]\n\
+     \x20 xtuml bc        <model.xtuml>\n\
      \x20 xtuml stats     <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
-     \x20                 [--format json]\n\
+     \x20                 [--engine frames|bc] [--no-bc] [--format json]\n\
      \x20 xtuml stats     --check-profile <trace.json>\n\
      \x20 xtuml fuzz      [--seeds N] [--start S] [--jobs J] [--shrink] [--corpus DIR]\n\
-     \x20                 [--metrics out.jsonl]\n"
+     \x20                 [--engine frames|bc] [--no-bc] [--metrics out.jsonl]\n"
         .to_owned()
 }
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+// The reference AST interpreter is not selectable here: it exists as the
+// fuzzer's oracle, not as an execution engine.
+fn parse_engine(word: Option<&str>) -> Result<xtuml_exec::Engine, String> {
+    match word {
+        Some("bc") => Ok(xtuml_exec::Engine::Bc),
+        Some("frames") => Ok(xtuml_exec::Engine::Frames),
+        _ => Err("--engine takes `frames` or `bc`".to_owned()),
+    }
 }
 
 fn real_main() -> Result<(), String> {
@@ -129,6 +141,8 @@ fn real_main() -> Result<(), String> {
                                 .ok_or("--shards takes a shard count (>= 1)")?,
                         );
                     }
+                    "--engine" => opts.engine = parse_engine(rest.next())?,
+                    "--no-bc" => opts.engine = xtuml_exec::Engine::Frames,
                     "--profile" => {
                         profile_path = Some(rest.next().ok_or("--profile takes a file path")?);
                     }
@@ -180,6 +194,10 @@ fn real_main() -> Result<(), String> {
                 println!("wrote {path}");
             }
         }
+        Some("bc") => {
+            let model = read(it.next().ok_or_else(usage)?)?;
+            print!("{}", cli::cmd_bc(&model).map_err(|e| e.to_string())?);
+        }
         Some("stats") => {
             let mut paths: Vec<&str> = Vec::new();
             let mut opts = cli::RunOptions {
@@ -212,6 +230,8 @@ fn real_main() -> Result<(), String> {
                                 .ok_or("--shards takes a shard count (>= 1)")?,
                         );
                     }
+                    "--engine" => opts.engine = parse_engine(rest.next())?,
+                    "--no-bc" => opts.engine = xtuml_exec::Engine::Frames,
                     "--format" => match rest.next() {
                         Some("json") => format = cli::LintFormat::Json,
                         Some("human") => format = cli::LintFormat::Human,
@@ -274,6 +294,8 @@ fn real_main() -> Result<(), String> {
                             .filter(|&j| j >= 1)
                             .ok_or("--jobs takes a thread count (>= 1)")?;
                     }
+                    "--engine" => opts.engine = parse_engine(rest.next())?,
+                    "--no-bc" => opts.engine = xtuml::fuzz::Engine::Frames,
                     "--shrink" => opts.shrink = true,
                     "--corpus" => {
                         corpus_dir = Some(rest.next().ok_or("--corpus takes a directory")?);

@@ -13,13 +13,18 @@
 //! * `compile <model.xtuml> <marks.marks> [out_dir]` — run the model
 //!   compiler and write `<domain>.c` / `<domain>.vhd`;
 //! * `run <model.xtuml> <script.stim>` — execute a stimulus script
-//!   against the abstract model and print the observable trace;
+//!   against the abstract model and print the observable trace; state
+//!   actions execute on the register bytecode VM by default
+//!   (`--engine frames` / `--no-bc` selects the compiled-frame
+//!   interpreter — the trace is byte-identical either way);
+//! * `bc <model.xtuml>` — disassemble the register bytecode lowered
+//!   from the model's state actions, with superinstruction annotations;
 //! * `fuzz [--seeds N] [--start S] [--shrink] [--corpus DIR]` — run the
 //!   conformance fuzzer: generated models are executed on the reference
-//!   interpreter, the model interpreter and the partitioned cosim, and
-//!   their observable traces must agree (see `xtuml_fuzz`). The
-//!   undocumented `--ablate pair-order` flag injects a scheduler fault
-//!   for self-testing the oracle.
+//!   interpreter, the bytecode VM, the compiled-frame interpreter and
+//!   the partitioned cosim, and their observable traces must agree (see
+//!   `xtuml_fuzz`). The undocumented `--ablate pair-order` flag injects
+//!   a scheduler fault for self-testing the oracle.
 //!
 //! The stimulus script format is line-oriented:
 //!
@@ -328,6 +333,13 @@ pub struct RunOptions {
     /// on every machine and across releases. Models that fail the
     /// shard-safety analysis fall back to one shard with a note.
     pub shards: Option<usize>,
+    /// Action executor (`--engine frames|bc`, `--no-bc`). The register
+    /// bytecode VM is the default hot path; `Frames` walks the
+    /// slot-resolved compiled frames AST-style. The trace is
+    /// byte-identical either way — the engine is pure mechanism, like
+    /// `jobs`. Actions the bytecode lowering cannot encode fall back
+    /// to the frame interpreter per action, with an X0016 note.
+    pub engine: xtuml_exec::Engine,
 }
 
 impl Default for RunOptions {
@@ -336,6 +348,7 @@ impl Default for RunOptions {
             seed: 0,
             jobs: 1,
             shards: None,
+            engine: xtuml_exec::Engine::default(),
         }
     }
 }
@@ -417,7 +430,9 @@ pub struct RunOutput {
 /// [`ObsOptions`], renders the Chrome trace profile, and surfaces the
 /// deterministic metrics snapshot. A shard-safety fallback is reported
 /// as diagnostic X0015 (`shard-unsafe`) in the transcript and counted
-/// under `shard_fallbacks` / `fallback_*` in the snapshot.
+/// under `shard_fallbacks` / `fallback_*` in the snapshot; an action
+/// the bytecode lowering cannot encode is reported as X0016
+/// (`bc-unsupported`) and counted under `bc_fallbacks`.
 ///
 /// # Errors
 ///
@@ -450,6 +465,36 @@ pub fn cmd_run_full(
     };
     let policy = xtuml_exec::SchedPolicy::seeded(opts.seed).with_shards(shards);
     let mut sim = xtuml_exec::ShardedSimulation::with_policy(&domain, policy);
+    sim.set_engine(opts.engine);
+    // Like the X0015 shard fallback, a lowering fallback is a property
+    // of the model alone, so it is reported once up front rather than
+    // per dispatch (the per-dispatch cost shows up as `bc_fallbacks`
+    // in the counter snapshot).
+    let bc_note = if opts.engine == xtuml_exec::Engine::Bc && !sim.bc_fallbacks().is_empty() {
+        let described: Vec<String> = sim
+            .bc_fallbacks()
+            .iter()
+            .map(|f| {
+                let class = domain.class(f.class);
+                let state = class
+                    .state_machine
+                    .as_ref()
+                    .map(|m| m.states[f.state.index()].name.as_str())
+                    .unwrap_or("?");
+                let event = class.events[f.event.index()].name.as_str();
+                format!("{}.{state} on {event} ({})", class.name, f.reason)
+            })
+            .collect();
+        Some(format!(
+            "note: {} action(s) on the frame interpreter — {} {}: {}",
+            described.len(),
+            Code::BcUnsupported.as_str(),
+            Code::BcUnsupported.name(),
+            described.join("; ")
+        ))
+    } else {
+        None
+    };
     if obs.on() {
         let mut rec = if obs.profile {
             xtuml_obs::Recorder::with_spans(xtuml_obs::Clock::start())
@@ -515,6 +560,9 @@ pub fn cmd_run_full(
     sim.run_to_quiescence(opts.jobs)?;
     let mut out = String::new();
     if let Some(n) = note {
+        let _ = writeln!(out, "{n}");
+    }
+    if let Some(n) = bc_note {
         let _ = writeln!(out, "{n}");
     }
     let _ = writeln!(
@@ -644,6 +692,28 @@ pub fn cmd_stats(
     }
 }
 
+/// `bc`: disassemble the register bytecode lowered from a model's state
+/// actions — one block per (class, state, event) entry, with fused
+/// superinstructions annotated and any frame-interpreter fallbacks
+/// listed at the end. This is the stream `run` executes by default.
+///
+/// # Errors
+///
+/// Returns parse/validation diagnostics.
+pub fn cmd_bc(model_src: &str) -> Result<String, CliError> {
+    let domain = parse_domain(model_src)?;
+    let program = xtuml_core::code::CompiledProgram::new(&domain);
+    let bc = xtuml_core::bc::BcProgram::new(&domain, &program);
+    let mut out = xtuml_core::bc::disasm(&domain, &bc);
+    let _ = writeln!(
+        out,
+        "{} action(s) lowered, {} fallback(s)",
+        bc.vm_entries(),
+        bc.fallbacks.len()
+    );
+    Ok(out)
+}
+
 /// `stats --check-profile`: validate that a file is a well-formed Chrome
 /// trace-event document (the shape Perfetto loads).
 ///
@@ -671,6 +741,12 @@ pub struct FuzzOptions {
     /// Worker threads for the seed sweep (`--jobs J`); the report is
     /// byte-identical for any value.
     pub jobs: usize,
+    /// Interpreter-leg engine (`--engine frames|bc`, `--no-bc`). The
+    /// default `Bc` runs the four-way differential (reference AST vs
+    /// bytecode VM vs compiled frames vs cosim, full traces
+    /// byte-identical); `Frames` drops back to the historical
+    /// three-way.
+    pub engine: xtuml_fuzz::Engine,
 }
 
 impl Default for FuzzOptions {
@@ -681,6 +757,7 @@ impl Default for FuzzOptions {
             shrink: false,
             ablation: xtuml_fuzz::Ablation::None,
             jobs: 1,
+            engine: xtuml_fuzz::Engine::default(),
         }
     }
 }
@@ -704,6 +781,7 @@ pub fn cmd_fuzz(
         shrink: opts.shrink,
         ablation: opts.ablation,
         jobs: opts.jobs,
+        engine: opts.engine,
     };
     let report = xtuml_fuzz::fuzz(&cfg);
     let mut entries = Vec::new();
@@ -849,6 +927,46 @@ at 1 c E 42
         let out = cmd_run(MODEL, script).unwrap();
         assert!(out.contains("OUT.done(41)"));
         assert!(out.contains("OUT.done(42)"));
+    }
+
+    #[test]
+    fn run_engine_frames_is_byte_identical() {
+        let script = "create c C\nat 0 c E 41\nat 1 c E 42\n";
+        let bc = cmd_run_with(MODEL, script, RunOptions::default()).unwrap();
+        let frames = cmd_run_with(
+            MODEL,
+            script,
+            RunOptions {
+                engine: xtuml_exec::Engine::Frames,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(bc, frames);
+        // And across a sharded schedule, where the engines run inside
+        // shard workers instead of the sequential scheduler.
+        let opts = RunOptions {
+            shards: Some(2),
+            ..RunOptions::default()
+        };
+        let bc = cmd_run_with(MODEL, script, opts).unwrap();
+        let frames = cmd_run_with(
+            MODEL,
+            script,
+            RunOptions {
+                engine: xtuml_exec::Engine::Frames,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(bc, frames);
+    }
+
+    #[test]
+    fn bc_disassembles_the_model() {
+        let out = cmd_bc(MODEL).unwrap();
+        assert!(out.contains("C · T <- E:"), "{out}");
+        assert!(out.contains("0 fallback(s)"), "{out}");
     }
 
     #[test]

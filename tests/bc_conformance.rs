@@ -1,0 +1,153 @@
+//! VM conformance: the bytecode engine must be *observably invisible*.
+//!
+//! The register bytecode VM is the default hot path, so its contract is
+//! absolute: for every model, stimulus, seed, shard count and worker
+//! count, the run transcript and the execution trace must be
+//! byte-identical to the compiled-frame interpreter's. The suite pins
+//! that over the shipped golden models, the checked-in fuzz corpus and
+//! the bench workload generators, across shards ∈ {1, 2, 4} ×
+//! jobs ∈ {1, 2} — the fallback matrix the fuzzer also sweeps.
+
+use std::path::Path;
+use xtuml::cli::{cmd_run_with, RunOptions};
+use xtuml_bench::workloads::{fanout_case, manycore_case, pipeline_domain, ring_case};
+use xtuml_core::model::Domain;
+use xtuml_core::value::Value;
+use xtuml_exec::{Engine, SchedPolicy, ShardedSimulation};
+use xtuml_verify::TestCase;
+
+const SHARDS: [usize; 3] = [1, 2, 4];
+const JOBS: [usize; 2] = [1, 2];
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Every on-disk (model, stimulus) pair: the golden doorbell model plus
+/// the minimized fuzz-corpus witnesses.
+fn disk_cases() -> Vec<(String, String, String)> {
+    let mut cases = vec![(
+        "doorbell".to_owned(),
+        read("models/doorbell.xtuml"),
+        read("models/doorbell.stim"),
+    )];
+    for e in xtuml::fuzz::load_dir(Path::new("models/fuzz-corpus")).expect("corpus readable") {
+        cases.push((format!("corpus/{}", e.name), e.model, e.stim));
+    }
+    cases
+}
+
+#[test]
+fn disk_models_are_byte_identical_across_engines() {
+    for (name, model, stim) in disk_cases() {
+        for shards in SHARDS {
+            for jobs in JOBS {
+                for seed in [0u64, 7] {
+                    let opts = |engine| RunOptions {
+                        seed,
+                        jobs,
+                        shards: Some(shards),
+                        engine,
+                    };
+                    let bc = cmd_run_with(&model, &stim, opts(Engine::Bc))
+                        .unwrap_or_else(|e| panic!("{name}: bc run failed: {e}"));
+                    let frames = cmd_run_with(&model, &stim, opts(Engine::Frames))
+                        .unwrap_or_else(|e| panic!("{name}: frames run failed: {e}"));
+                    assert_eq!(
+                        bc, frames,
+                        "{name}: transcript diverged at seed={seed} shards={shards} jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The bench workload generators, driven through the sharded engine with
+/// the full execution trace (not just the observable transcript)
+/// compared event for event.
+fn workload_cases() -> Vec<(Domain, TestCase)> {
+    let mut pipeline = TestCase::new("pipeline-4");
+    for k in 0..4 {
+        pipeline.create(&format!("Stage{k}"));
+    }
+    for k in 0..3 {
+        pipeline.relate(k, k + 1, &format!("R{}", k + 1));
+    }
+    for i in 0..8 {
+        pipeline.inject(i, 0, "Feed", vec![Value::Int(i as i64)]);
+    }
+    vec![
+        (pipeline_domain(4).expect("pipeline builds"), pipeline),
+        (xtuml_bench::workloads::fanout_domain(3), fanout_case(3, 4)),
+        (xtuml_bench::workloads::ring_domain(4), ring_case(4, 9)),
+        (
+            xtuml_bench::workloads::manycore_domain(4),
+            manycore_case(4, 6),
+        ),
+    ]
+}
+
+fn run_trace(
+    domain: &Domain,
+    tc: &TestCase,
+    engine: Engine,
+    seed: u64,
+    shards: usize,
+    jobs: usize,
+) -> (u64, xtuml_exec::Trace) {
+    let policy = SchedPolicy::seeded(seed).with_shards(shards);
+    let mut sim = ShardedSimulation::with_policy(domain, policy);
+    sim.set_engine(engine);
+    let insts: Vec<_> = tc
+        .creates
+        .iter()
+        .map(|c| sim.create(c).expect("create"))
+        .collect();
+    for (a, b, assoc) in &tc.relates {
+        sim.relate(insts[*a], insts[*b], assoc).expect("relate");
+    }
+    for s in &tc.stimuli {
+        sim.inject(s.time, insts[s.inst], &s.event, s.args.clone())
+            .expect("inject");
+    }
+    sim.run_to_quiescence(jobs).expect("run");
+    (sim.now(), sim.trace().clone())
+}
+
+#[test]
+fn workload_traces_are_event_identical_across_engines() {
+    for (domain, tc) in workload_cases() {
+        for shards in SHARDS {
+            for jobs in JOBS {
+                let bc = run_trace(&domain, &tc, Engine::Bc, 0, shards, jobs);
+                let frames = run_trace(&domain, &tc, Engine::Frames, 0, shards, jobs);
+                assert_eq!(
+                    bc, frames,
+                    "{}: trace diverged at shards={shards} jobs={jobs}",
+                    tc.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_choice_never_leaks_into_the_unflagged_default() {
+    // The default engine is the VM; a plain run must keep printing the
+    // bytes every release printed.
+    let model = read("models/doorbell.xtuml");
+    let stim = read("models/doorbell.stim");
+    let default = cmd_run_with(&model, &stim, RunOptions::default()).unwrap();
+    let explicit = cmd_run_with(
+        &model,
+        &stim,
+        RunOptions {
+            engine: Engine::Bc,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(default, explicit);
+    assert_eq!(RunOptions::default().engine, Engine::Bc);
+}

@@ -9,7 +9,7 @@
 //! change altered observable behavior.
 
 use std::path::Path;
-use xtuml::fuzz::{load_dir, replay, Ablation, CaseOutcome};
+use xtuml::fuzz::{load_dir, replay, Ablation, CaseOutcome, Engine};
 
 fn corpus() -> Vec<xtuml::fuzz::CorpusEntry> {
     let entries = load_dir(Path::new("models/fuzz-corpus")).expect("corpus dir is readable");
@@ -20,7 +20,7 @@ fn corpus() -> Vec<xtuml::fuzz::CorpusEntry> {
 #[test]
 fn corpus_replays_clean_under_defined_semantics() {
     for e in corpus() {
-        let outcome = replay(&e.model, &e.marks, &e.stim, Ablation::None)
+        let outcome = replay(&e.model, &e.marks, &e.stim, Ablation::None, Engine::Bc)
             .unwrap_or_else(|err| panic!("{}: replay failed: {err}", e.name));
         assert!(
             !outcome.is_failure(),
@@ -34,7 +34,7 @@ fn corpus_replays_clean_under_defined_semantics() {
 #[test]
 fn corpus_reproduces_divergence_under_pair_order_fault() {
     for e in corpus() {
-        let outcome = replay(&e.model, &e.marks, &e.stim, Ablation::PairOrder)
+        let outcome = replay(&e.model, &e.marks, &e.stim, Ablation::PairOrder, Engine::Bc)
             .unwrap_or_else(|err| panic!("{}: replay failed: {err}", e.name));
         assert!(
             matches!(outcome, CaseOutcome::Divergence { .. }),

@@ -28,6 +28,7 @@ fn opts(seed: u64, jobs: usize, shards: usize) -> RunOptions {
         seed,
         jobs,
         shards: Some(shards),
+        ..RunOptions::default()
     }
 }
 

@@ -130,6 +130,7 @@ fn run_output_is_worker_count_invariant_at_every_shard_count() {
                     seed,
                     jobs,
                     shards: Some(shards),
+                    ..RunOptions::default()
                 };
                 let reference = cmd_run_with(&model, &stim, opts(1))
                     .unwrap_or_else(|e| panic!("{name}: jobs=1 failed: {e}"));
@@ -159,6 +160,7 @@ fn single_shard_run_reproduces_the_sequential_cli_output() {
                     seed,
                     jobs: 1,
                     shards: None,
+                    ..RunOptions::default()
                 },
             )
             .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
@@ -169,6 +171,7 @@ fn single_shard_run_reproduces_the_sequential_cli_output() {
                     seed,
                     jobs: 4,
                     shards: Some(1),
+                    ..RunOptions::default()
                 },
             )
             .unwrap_or_else(|e| panic!("{name}: pinned run failed: {e}"));
@@ -201,6 +204,7 @@ fn the_pipeline_actually_exercises_the_sharded_engine() {
                 seed: 0,
                 jobs: 4,
                 shards: Some(4),
+                ..RunOptions::default()
             },
         )
         .unwrap_or_else(|e| panic!("{name}: run failed: {e}"));
@@ -230,6 +234,7 @@ fn unflagged_run_defaults_to_the_sequential_schedule_on_any_host() {
                 seed: 0,
                 jobs: 1,
                 shards: None,
+                ..RunOptions::default()
             },
         )
         .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
@@ -241,6 +246,7 @@ fn unflagged_run_defaults_to_the_sequential_schedule_on_any_host() {
                     seed: 0,
                     jobs,
                     shards: None,
+                    ..RunOptions::default()
                 },
             )
             .unwrap_or_else(|e| panic!("{name}: jobs={jobs} run failed: {e}"));
