@@ -4,7 +4,7 @@
 set -eux
 
 cargo fmt --all -- --check
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
 
@@ -21,6 +21,16 @@ for model in models/*.xtuml; do
     fi
 done
 
+# Effect-analysis gate: `xtuml analyze` must run clean on every shipped
+# model (the analyze goldens pin the fixture outputs; this proves the
+# CLI surface itself on real models), and the deliberately racy fixture
+# must be rejected with the X0017 two-action witness.
+for model in models/*.xtuml; do
+    cargo run --quiet --release -- analyze "$model" > /dev/null
+done
+cargo run --quiet --release -- analyze models/lints/shardrace.xtuml \
+    | grep -q 'race on `Cell.v`'
+
 # Fuzz-smoke gate: a fixed seed range of the conformance fuzzer must run
 # clean — the four-way differential (reference interpreter, frame
 # interpreter, bytecode VM, partitioned cosim) agrees on every generated
@@ -33,6 +43,18 @@ cargo run --quiet --release -- fuzz --seeds 200 > target/fuzz-smoke-1.txt
 cargo run --quiet --release -- fuzz --seeds 200 > target/fuzz-smoke-2.txt
 cmp target/fuzz-smoke-1.txt target/fuzz-smoke-2.txt
 grep -q 'divergences      : 0' target/fuzz-smoke-1.txt
+
+# Admission gate: the effect analysis must keep admitting a healthy
+# share of the generated models to real sharded execution (each such
+# case already ran the sharded differential at 2, 4 and 8 shards inside
+# the sweep above). A drop below 40/200 newly admitted models means the
+# admission rules regressed to the old syntactic reject-list.
+awk '
+    /newly admitted   :/ { n = $4 + 0 }
+    END {
+        if (n < 40) { printf "FAIL: only %d/200 newly admitted\n", n; exit 1 }
+        printf "fuzz admission: %d/200 newly admitted\n", n
+    }' target/fuzz-smoke-1.txt
 
 # Parallel-determinism gate: the sharded engine's contract is that the
 # worker count never changes the output. The dedicated suites prove it

@@ -30,6 +30,7 @@
 //! structured fallback reason and the executor keeps using the
 //! compiled-frame interpreter for that action (diagnostic code X0016).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::code::{CAction, CExpr, CStmt, CompiledProgram, FrameLayout, Slot};
@@ -209,6 +210,9 @@ pub struct BcAction {
     pub self_class: ClassId,
     /// Slot layout (for unbound-read diagnostics).
     pub layout: FrameLayout,
+    /// Self-attribute reads folded to constants because the effect
+    /// analysis proved the attribute is written nowhere in the model.
+    pub const_folds: u32,
 }
 
 /// One `(class, state, event)` entry of a [`BcProgram`].
@@ -257,18 +261,24 @@ impl BcProgram {
     /// compilation already failed stay `None` (the frame path re-raises
     /// lazily, exactly as before).
     pub fn new(domain: &Domain, program: &CompiledProgram) -> BcProgram {
+        // Whole-model constant-attribute facts from the effect analysis:
+        // an attribute written nowhere always holds its declared default,
+        // so `self.attr` reads of it lower to `Op::Const`.
+        let empty = BTreeMap::new();
+        let folds = const_fold_maps(domain);
         let mut fallbacks = Vec::new();
         let classes = program
             .classes
             .iter()
             .enumerate()
             .map(|(ci, cc)| {
+                let consts = folds.get(ci).unwrap_or(&empty);
                 let entries = cc
                     .actions
                     .iter()
                     .enumerate()
                     .map(|(idx, slot)| match slot {
-                        Some(Ok(action)) => match lower_action(action) {
+                        Some(Ok(action)) => match lower_action_with(action, consts) {
                             Ok(bca) => Some(BcEntry::Vm(Box::new(bca))),
                             Err(reason) => {
                                 let (state, event) = idx
@@ -292,7 +302,6 @@ impl BcProgram {
                 }
             })
             .collect();
-        let _ = domain; // names are resolved later, by the disassembler
         BcProgram { classes, fallbacks }
     }
 
@@ -314,6 +323,33 @@ impl BcProgram {
             .filter(|e| matches!(e, Some(BcEntry::Vm(_))))
             .count()
     }
+
+    /// Total self-attribute reads folded to constants across all lowered
+    /// actions, using the effect analysis as the fact source.
+    pub fn const_folds(&self) -> u32 {
+        self.classes
+            .iter()
+            .flat_map(|c| c.entries.iter())
+            .filter_map(|e| match e {
+                Some(BcEntry::Vm(a)) => Some(a.const_folds),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Per-class maps from attribute index to declared default, restricted to
+/// attributes the effect analysis proves constant (written nowhere in the
+/// model).
+fn const_fold_maps(domain: &Domain) -> Vec<BTreeMap<AttrId, Value>> {
+    let mut maps = vec![BTreeMap::new(); domain.classes.len()];
+    for (class, attr) in crate::effects::const_attrs(domain) {
+        let default = domain.classes[class.index()].attributes[attr.index()]
+            .default
+            .clone();
+        maps[class.index()].insert(attr, default);
+    }
+    maps
 }
 
 // -- lowering --------------------------------------------------------------
@@ -345,6 +381,12 @@ struct Lower {
     loops: Vec<LoopCtx>,
     /// Read count per slot over the whole action (peephole legality).
     reads: Vec<u32>,
+    /// Declared defaults of provably-const `self` attributes; empty when
+    /// the action contains a `delete` (a read after deleting `self` must
+    /// still raise, exactly as the walker does).
+    fold: BTreeMap<AttrId, Value>,
+    /// Count of self-attribute reads folded to constants.
+    folds: u32,
 }
 
 /// Lowers one compiled action to bytecode.
@@ -355,9 +397,34 @@ struct Lower {
 /// (operand-width overflow); the caller falls back to the frame
 /// interpreter for that action.
 pub fn lower_action(action: &CAction) -> LRes<BcAction> {
+    lower_action_with(action, &BTreeMap::new())
+}
+
+/// Like [`lower_action`], with whole-model constant-attribute facts from
+/// the effect analysis (see [`crate::effects::const_attrs`]).
+///
+/// `const_attrs` maps attributes of the action's `self` class to their
+/// declared defaults, restricted to attributes written nowhere in the
+/// model. Reads of those attributes through `self` lower to [`Op::Const`]
+/// at the same fuel as the `AttrSelf` fast path — fuel-neutral and
+/// walker-exact. The fold is disabled wholesale when the action contains
+/// a `delete`: a `self.attr` read after deleting `self` must still raise.
+///
+/// # Errors
+///
+/// Same failure modes as [`lower_action`].
+pub fn lower_action_with(
+    action: &CAction,
+    const_attrs: &BTreeMap<AttrId, Value>,
+) -> LRes<BcAction> {
     let slots = action.layout.len();
     let mut reads = vec![0u32; slots];
     count_stmt_reads(&action.code, &mut reads);
+    let fold = if const_attrs.is_empty() || stmts_contain_delete(&action.code) {
+        BTreeMap::new()
+    } else {
+        const_attrs.clone()
+    };
     let mut lw = Lower {
         code: Vec::new(),
         consts: Vec::new(),
@@ -368,6 +435,8 @@ pub fn lower_action(action: &CAction) -> LRes<BcAction> {
         high: slots,
         loops: Vec::new(),
         reads,
+        fold,
+        folds: 0,
     };
     // Every slot must itself be addressable.
     u16_of(slots, "frame slot")?;
@@ -381,6 +450,20 @@ pub fn lower_action(action: &CAction) -> LRes<BcAction> {
         n_regs: lw.high,
         self_class: action.self_class,
         layout: action.layout.clone(),
+        const_folds: lw.folds,
+    })
+}
+
+/// Whether any (possibly nested) statement is a `delete`.
+fn stmts_contain_delete(stmts: &[CStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        CStmt::Delete { .. } => true,
+        CStmt::If { arms, otherwise } => {
+            arms.iter().any(|(_, body)| stmts_contain_delete(body))
+                || otherwise.as_deref().is_some_and(stmts_contain_delete)
+        }
+        CStmt::While { body, .. } | CStmt::ForEach { body, .. } => stmts_contain_delete(body),
+        _ => false,
     })
 }
 
@@ -911,7 +994,12 @@ impl Lower {
                     if let (CExpr::Attr(ab, read_attr), CExpr::Lit(v)) =
                         (lhs.as_ref(), rhs.as_ref())
                     {
-                        if matches!(ab.as_ref(), CExpr::SelfRef) {
+                        // When the read attribute is provably const, skip
+                        // the fusion: the generic path below folds the
+                        // read to a constant instead.
+                        if matches!(ab.as_ref(), CExpr::SelfRef)
+                            && !self.fold.contains_key(read_attr)
+                        {
                             // stmt + Binary + Attr + inner SelfRef burns up
                             // front; Lit and base-SelfRef burns are internal
                             // (they follow fallible reads/applies).
@@ -1259,6 +1347,15 @@ impl Lower {
             }
             CExpr::Attr(base, attr) => {
                 if matches!(base.as_ref(), CExpr::SelfRef) {
+                    if let Some(v) = self.fold.get(attr).cloned() {
+                        // Effect-analysis fold: the attribute is written
+                        // nowhere in the model, so the read always yields
+                        // the declared default. Fuel matches AttrSelf.
+                        let c = self.const_idx(&v)?;
+                        self.folds += 1;
+                        self.emit(Op::Const, dst, c, 0, 0, pending + 2);
+                        return Ok(());
+                    }
                     // Attr node + SelfRef fast-path burn.
                     self.emit(Op::AttrSelf, dst, 0, 0, id_d(attr.index()), pending + 2);
                     return Ok(());
@@ -1972,7 +2069,7 @@ fn fused_note(op: Op) -> Option<&'static str> {
 pub fn disasm_action(act: &BcAction) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(
+    let _ = write!(
         out,
         "    ; regs={} (slots={}, temps={}), consts={}, payloads={}, bridges={}",
         act.n_regs,
@@ -1982,6 +2079,10 @@ pub fn disasm_action(act: &BcAction) -> String {
         act.payloads.len(),
         act.bridges.len()
     );
+    if act.const_folds > 0 {
+        let _ = write!(out, ", const-folds={}", act.const_folds);
+    }
+    let _ = writeln!(out);
     for (pc, ins) in act.code.iter().enumerate() {
         let target = match ins.op {
             Op::Jump
@@ -2686,5 +2787,91 @@ mod tests {
     fn guard_only_transition_bodies() {
         assert_agree("if (self.n > 0) { self.n = 0; }", &[]);
         assert_agree("if (self.n == 0) { } else { self.n = 1; }", &[]);
+    }
+
+    /// Runs `src` through the walker and the VM with `n` declared const
+    /// (as the effect analysis would for a never-written attribute),
+    /// asserting exact agreement including step counts.
+    fn assert_agree_folded(src: &str, expect_folds: u32) {
+        let block = parse_block(src).unwrap();
+        let domain = test_domain();
+        let action = compile_block(&domain, ClassId::new(0), &[], &block).unwrap();
+        let mut consts = BTreeMap::new();
+        consts.insert(AttrId::new(0), Value::Int(0)); // Counter.n default
+        let bca = lower_action_with(&action, &consts).unwrap();
+        assert_eq!(bca.const_folds, expect_folds, "fold count for {src:?}");
+
+        let (mut h1, i1) = fresh();
+        let mut ctx1 = ExecCtx::new(i1, &action);
+        ctx1.fuel = DEFAULT_FUEL;
+        let r1 = run_code(&mut h1, &mut ctx1, &action);
+
+        let (mut h2, i2) = fresh();
+        let mut ctx2 = ExecCtx::with_frame(i2, bca.self_class, vec![None; bca.n_regs]);
+        ctx2.fuel = DEFAULT_FUEL;
+        let r2 = run_bc(&mut h2, &mut ctx2, &bca);
+
+        assert_eq!(r1.unwrap(), r2.unwrap(), "outcome for {src:?}");
+        assert_eq!(ctx1.steps, ctx2.steps, "fuel-neutrality for {src:?}");
+        assert_eq!(h1.fx, h2.fx, "host effects for {src:?}");
+        for slot in 0..action.layout.len() {
+            assert_eq!(
+                ctx1.frame[slot], ctx2.frame[slot],
+                "slot {slot} for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn const_attr_reads_fold_to_const_and_stay_walker_exact() {
+        assert_agree_folded("x = self.n;", 1);
+        assert_agree_folded("x = self.n + 1;\ny = self.n * 2;", 2);
+        assert_agree_folded("gen done(self.n) to ENV;", 1);
+        // The folded action must not read the attribute at runtime.
+        let block = parse_block("x = self.n;").unwrap();
+        let domain = test_domain();
+        let action = compile_block(&domain, ClassId::new(0), &[], &block).unwrap();
+        let mut consts = BTreeMap::new();
+        consts.insert(AttrId::new(0), Value::Int(0));
+        let bca = lower_action_with(&action, &consts).unwrap();
+        assert!(
+            bca.code.iter().all(|i| i.op != Op::AttrSelf),
+            "AttrSelf should be folded away"
+        );
+        assert!(bca.code.iter().any(|i| i.op == Op::Const));
+    }
+
+    #[test]
+    fn delete_in_action_disables_const_fold() {
+        // A read after `delete self` must raise identically on both
+        // sides, so the whole action opts out of folding.
+        let block = parse_block("delete self;\nx = self.n;").unwrap();
+        let domain = test_domain();
+        let action = compile_block(&domain, ClassId::new(0), &[], &block).unwrap();
+        let mut consts = BTreeMap::new();
+        consts.insert(AttrId::new(0), Value::Int(0));
+        let bca = lower_action_with(&action, &consts).unwrap();
+        assert_eq!(bca.const_folds, 0);
+        assert!(bca.code.iter().any(|i| i.op == Op::AttrSelf));
+    }
+
+    #[test]
+    fn whole_program_folds_effect_proven_const_attrs() {
+        use crate::builder::DomainBuilder;
+        let mut b = DomainBuilder::new("cf");
+        b.class("C")
+            .attr_default("k", DataType::Int, Value::Int(7))
+            .attr("w", DataType::Int)
+            .event("Go", &[])
+            .state("S", "self.w = self.k + 1;")
+            .initial("S")
+            .transition("S", "Go", "S");
+        let domain = b.build().unwrap();
+        let program = crate::code::CompiledProgram::new(&domain);
+        let bc = BcProgram::new(&domain, &program);
+        assert!(bc.fallbacks.is_empty(), "{:?}", bc.fallbacks);
+        assert_eq!(bc.const_folds(), 1, "`k` is never written, `w` is");
+        let text = disasm(&domain, &bc);
+        assert!(text.contains("const-folds=1"), "{text}");
     }
 }

@@ -71,6 +71,11 @@ pub enum Code {
     /// `--engine bc` falls back to the compiled-frame interpreter for that
     /// action.
     BcUnsupported,
+    /// `X0017` — two state actions access the same written attribute
+    /// through receiver shapes the effect analysis cannot reconcile to
+    /// one shard: a genuine cross-shard write race, reported with a
+    /// two-action witness path.
+    CrossShardRace,
 }
 
 /// Every code, in ascending order — the lint catalogue.
@@ -91,6 +96,7 @@ pub const ALL_CODES: &[Code] = &[
     Code::UnmarshallableChannel,
     Code::ShardUnsafe,
     Code::BcUnsupported,
+    Code::CrossShardRace,
 ];
 
 impl Code {
@@ -113,6 +119,7 @@ impl Code {
             Code::UnmarshallableChannel => "X0014",
             Code::ShardUnsafe => "X0015",
             Code::BcUnsupported => "X0016",
+            Code::CrossShardRace => "X0017",
         }
     }
 
@@ -136,6 +143,7 @@ impl Code {
             Code::UnmarshallableChannel => "unmarshallable-channel",
             Code::ShardUnsafe => "shard-unsafe",
             Code::BcUnsupported => "bc-unsupported",
+            Code::CrossShardRace => "cross-shard-race",
         }
     }
 
@@ -155,7 +163,8 @@ impl Code {
             | Code::SignalRace
             | Code::SignalCycle
             | Code::UnknownMarkTarget
-            | Code::HardwareStringPayload => Severity::Warning,
+            | Code::HardwareStringPayload
+            | Code::CrossShardRace => Severity::Warning,
             Code::ConstantAttribute | Code::ShardUnsafe | Code::BcUnsupported => Severity::Note,
         }
     }

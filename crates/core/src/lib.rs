@@ -46,6 +46,7 @@ pub mod bc;
 pub mod builder;
 pub mod code;
 pub mod diag;
+pub mod effects;
 pub mod error;
 pub mod ids;
 pub mod interp;

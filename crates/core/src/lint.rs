@@ -20,11 +20,14 @@
 
 use crate::action::{Block, Expr, GenTarget, LValue, Stmt};
 use crate::diag::{Code, Diagnostic, Diagnostics, SourceMap};
+use crate::effects;
 use crate::error::Pos;
 use crate::ids::{AttrId, ClassId, EventId, StateId};
 use crate::model::{Domain, TransitionTarget};
 use crate::value::UnOp;
 use std::collections::{BTreeMap, BTreeSet};
+
+pub use crate::effects::{ShardOffense, ShardReason};
 
 /// One instance-directed signal emission found in a state's entry action.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +59,10 @@ pub struct ModelFacts {
     /// `(class, state)` — the per-state write sets used for race
     /// order-sensitivity.
     pub state_writes: BTreeMap<(ClassId, StateId), BTreeSet<(ClassId, AttrId)>>,
+    /// Attributes read by each state's entry action, by `(class, state)`
+    /// — a write in one signal stream is order-sensitive against a read
+    /// in the other even when the streams' write sets are disjoint.
+    pub state_reads: BTreeMap<(ClassId, StateId), BTreeSet<(ClassId, AttrId)>>,
     /// Every `(target class, event)` pair any action generates.
     pub generated: BTreeSet<(ClassId, EventId)>,
 }
@@ -93,12 +100,33 @@ impl ModelFacts {
         target: ClassId,
         event: EventId,
     ) -> BTreeSet<(ClassId, AttrId)> {
+        self.event_access_set(domain, target, event, &self.state_writes)
+    }
+
+    /// The union of attributes read by the states class `target` enters
+    /// on receipt of `event`.
+    fn event_read_set(
+        &self,
+        domain: &Domain,
+        target: ClassId,
+        event: EventId,
+    ) -> BTreeSet<(ClassId, AttrId)> {
+        self.event_access_set(domain, target, event, &self.state_reads)
+    }
+
+    fn event_access_set(
+        &self,
+        domain: &Domain,
+        target: ClassId,
+        event: EventId,
+        per_state: &BTreeMap<(ClassId, StateId), BTreeSet<(ClassId, AttrId)>>,
+    ) -> BTreeSet<(ClassId, AttrId)> {
         let mut set = BTreeSet::new();
         if let Some(machine) = &domain.class(target).state_machine {
             for t in &machine.transitions {
                 if t.event == event {
                     if let TransitionTarget::To(s) = t.target {
-                        if let Some(ws) = self.state_writes.get(&(target, s)) {
+                        if let Some(ws) = per_state.get(&(target, s)) {
                             set.extend(ws.iter().copied());
                         }
                     }
@@ -144,6 +172,11 @@ impl Walker<'_> {
                 if let Some(class) = self.infer(base) {
                     if let Some(attr) = self.domain.class(class).attr_id(name) {
                         self.facts.attr_reads.entry((class, attr)).or_insert(pos);
+                        self.facts
+                            .state_reads
+                            .entry((self.self_class, self.state))
+                            .or_default()
+                            .insert((class, attr));
                     }
                 }
                 self.reads(base, pos);
@@ -283,15 +316,18 @@ impl Walker<'_> {
     }
 }
 
-/// Runs every whole-model lint (`X0006`..`X0011`, `X0015`) over the domain.
+/// Runs every whole-model lint (`X0006`..`X0011`, `X0015`, `X0017`)
+/// over the domain.
 pub fn lint_domain(domain: &Domain, spans: &SourceMap, diags: &mut Diagnostics) {
     let facts = ModelFacts::gather(domain);
+    let plan = effects::analyze(domain);
     lint_dead_events(domain, spans, diags);
     lint_dead_transitions(domain, &facts, spans, diags);
     lint_attr_usage(domain, &facts, spans, diags);
     lint_signal_races(domain, &facts, diags);
     lint_signal_cycles(domain, &facts, diags);
-    lint_shard_safety(domain, spans, diags);
+    lint_shard_safety(&plan, spans, diags);
+    lint_cross_shard_races(domain, &plan, diags);
 }
 
 /// `X0006`: events no transition row consumes (a `CantHappen` row is a
@@ -456,14 +492,25 @@ fn lint_signal_races(domain: &Domain, facts: &ModelFacts, diags: &mut Diagnostic
                 (b, a)
             };
             let same_event = first.event == second.event;
-            let overlap: Vec<(ClassId, AttrId)> = if same_event {
-                Vec::new()
+            type AttrKeys = Vec<(ClassId, AttrId)>;
+            let (overlap, rw_overlap): (AttrKeys, AttrKeys) = if same_event {
+                (Vec::new(), Vec::new())
             } else {
                 let wa = facts.event_write_set(domain, first.target, first.event);
                 let wb = facts.event_write_set(domain, second.target, second.event);
-                wa.intersection(&wb).copied().collect()
+                let ra = facts.event_read_set(domain, first.target, first.event);
+                let rb = facts.event_read_set(domain, second.target, second.event);
+                // Write/write overlap is the classic lost-update
+                // shape; a write in one stream against a read in the
+                // other is just as order-sensitive (the read's value
+                // depends on the interleaving), so it violates
+                // confluence too.
+                let ww: Vec<_> = wa.intersection(&wb).copied().collect();
+                let mut wr: BTreeSet<(ClassId, AttrId)> = wa.intersection(&rb).copied().collect();
+                wr.extend(ra.intersection(&wb).copied());
+                (ww, wr.into_iter().collect())
             };
-            if !same_event && overlap.is_empty() {
+            if !same_event && overlap.is_empty() && rw_overlap.is_empty() {
                 continue;
             }
             if !reported.insert((
@@ -480,11 +527,8 @@ fn lint_signal_races(domain: &Domain, facts: &ModelFacts, diags: &mut Diagnostic
             let s2 = &domain.class(second.sender).name;
             let e1 = &domain.class(first.target).events[first.event.index()].name;
             let e2 = &domain.class(second.target).events[second.event.index()].name;
-            let reason = if same_event {
-                format!("both send the same event `{e1}`, so their interleaving is observable")
-            } else {
-                let attrs: Vec<String> = overlap
-                    .iter()
+            let attr_list = |set: &[(ClassId, AttrId)]| -> String {
+                set.iter()
                     .map(|(c, a)| {
                         format!(
                             "{}.{}",
@@ -492,10 +536,21 @@ fn lint_signal_races(domain: &Domain, facts: &ModelFacts, diags: &mut Diagnostic
                             domain.class(*c).attributes[a.index()].name
                         )
                     })
-                    .collect();
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let reason = if same_event {
+                format!("both send the same event `{e1}`, so their interleaving is observable")
+            } else if !overlap.is_empty() {
                 format!(
                     "the states they enter write overlapping attribute(s): {}",
-                    attrs.join(", ")
+                    attr_list(&overlap)
+                )
+            } else {
+                format!(
+                    "one stream writes attribute(s) the other reads: {} — the read's \
+                     value depends on the interleaving",
+                    attr_list(&rw_overlap)
                 )
             };
             diags.push(
@@ -709,212 +764,41 @@ fn tarjan(
 }
 
 // ---------------------------------------------------------------------------
-// Shard-safety analysis (X0015)
+// Shard-safety analysis (X0015, X0017)
 // ---------------------------------------------------------------------------
 
-/// Why a state action blocks sharded execution.
+/// Finds every construct that blocks sharded execution, in model order,
+/// at statement granularity (one entry per offending statement position
+/// per distinct reason). Empty means the model shards without
+/// restriction.
 ///
-/// The sharded executor partitions instances by id; an action that
-/// mutates the instance population or touches another instance's
-/// attributes would race between shards, so such models fall back to
-/// sequential execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum ShardReason {
-    /// The action creates an instance.
-    Creates,
-    /// The action deletes an instance.
-    Deletes,
-    /// The action relates instances.
-    Relates,
-    /// The action unrelates instances.
-    Unrelates,
-    /// The action writes an attribute of an instance other than `self`.
-    NonSelfWrite,
-    /// The action reads an attribute of an instance other than `self`.
-    NonSelfRead,
-}
-
-impl ShardReason {
-    /// Human phrasing, e.g. `"creates an instance"`.
-    pub fn describe(self) -> &'static str {
-        match self {
-            ShardReason::Creates => "creates an instance",
-            ShardReason::Deletes => "deletes an instance",
-            ShardReason::Relates => "relates instances",
-            ShardReason::Unrelates => "unrelates instances",
-            ShardReason::NonSelfWrite => "writes a non-self attribute",
-            ShardReason::NonSelfRead => "reads a non-self attribute",
-        }
-    }
-
-    /// Stable machine key, e.g. `"create"` (metric and JSONL column).
-    pub fn key(self) -> &'static str {
-        match self {
-            ShardReason::Creates => "create",
-            ShardReason::Deletes => "delete",
-            ShardReason::Relates => "relate",
-            ShardReason::Unrelates => "unrelate",
-            ShardReason::NonSelfWrite => "non_self_write",
-            ShardReason::NonSelfRead => "non_self_read",
-        }
-    }
-}
-
-/// One construct that blocks sharded execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShardOffense {
-    /// Class whose state machine holds the offending action.
-    pub class: String,
-    /// State whose entry action offends.
-    pub state: String,
-    /// What the action does.
-    pub reason: ShardReason,
-}
-
-impl ShardOffense {
-    /// The historical one-line rendering, `Class.State: reason`.
-    pub fn describe(&self) -> String {
-        format!("{}.{}: {}", self.class, self.state, self.reason.describe())
-    }
-}
-
-/// Finds every construct that blocks sharded execution, in model order
-/// (classes, then states, then reasons sorted; one entry per distinct
-/// reason per state). Empty means the model shards without restriction.
-///
-/// This is the single source of truth for shard safety: the sharded
-/// executor's static gate and the `X0015` lint both call it.
+/// Since the effect analysis ([`crate::effects`]) replaced the syntactic
+/// reject-list, this is a query against the whole-model admission plan:
+/// read-only non-self access to never-written attributes, writes to
+/// instances created in the same run-to-completion step, and navigation
+/// confined to a single (runtime-colocated) association are *admitted*
+/// and produce no offense. The sharded executor's static gate and the
+/// `X0015` lint both call this.
 pub fn shard_offenses(domain: &Domain) -> Vec<ShardOffense> {
-    let mut offenses = Vec::new();
-    for class in &domain.classes {
-        let Some(machine) = class.state_machine.as_ref() else {
-            continue;
+    effects::analyze(domain).offenses
+}
+
+/// `X0015`: notes every statement that forces `--shards N` back to
+/// sequential execution, anchored at the statement itself.
+fn lint_shard_safety(plan: &effects::ShardPlan, spans: &SourceMap, diags: &mut Diagnostics) {
+    for off in &plan.offenses {
+        // Models parsed from `.xtuml` files carry file-absolute
+        // statement positions; fall back to the state header span when
+        // the statement has none (builder-assembled models).
+        let pos = if off.pos == Pos::UNKNOWN {
+            spans.get(&SourceMap::state_key(&off.class, &off.state))
+        } else {
+            off.pos
         };
-        for state in &machine.states {
-            let mut reasons: Vec<ShardReason> = Vec::new();
-            shard_walk_block(&state.action, &mut reasons);
-            reasons.sort_unstable();
-            reasons.dedup();
-            for reason in reasons {
-                offenses.push(ShardOffense {
-                    class: class.name.clone(),
-                    state: state.name.clone(),
-                    reason,
-                });
-            }
-        }
-    }
-    offenses
-}
-
-fn shard_walk_block(block: &Block, out: &mut Vec<ShardReason>) {
-    for stmt in &block.stmts {
-        shard_walk_stmt(stmt, out);
-    }
-}
-
-fn shard_walk_stmt(stmt: &Stmt, out: &mut Vec<ShardReason>) {
-    match stmt {
-        Stmt::Create { .. } => out.push(ShardReason::Creates),
-        Stmt::Delete { expr, .. } => {
-            out.push(ShardReason::Deletes);
-            shard_walk_expr(expr, out);
-        }
-        Stmt::Relate { a, b, .. } => {
-            out.push(ShardReason::Relates);
-            shard_walk_expr(a, out);
-            shard_walk_expr(b, out);
-        }
-        Stmt::Unrelate { a, b, .. } => {
-            out.push(ShardReason::Unrelates);
-            shard_walk_expr(a, out);
-            shard_walk_expr(b, out);
-        }
-        Stmt::Assign { lhs, expr, .. } => {
-            if let LValue::Attr(base, _) = lhs {
-                if !matches!(base, Expr::SelfRef) {
-                    out.push(ShardReason::NonSelfWrite);
-                }
-                shard_walk_expr(base, out);
-            }
-            shard_walk_expr(expr, out);
-        }
-        Stmt::SelectAny { filter, .. } | Stmt::SelectMany { filter, .. } => {
-            if let Some(f) = filter {
-                shard_walk_expr(f, out);
-            }
-        }
-        Stmt::Generate {
-            args,
-            target,
-            delay,
-            ..
-        } => {
-            for a in args {
-                shard_walk_expr(a, out);
-            }
-            if let GenTarget::Inst(e) = target {
-                shard_walk_expr(e, out);
-            }
-            if let Some(d) = delay {
-                shard_walk_expr(d, out);
-            }
-        }
-        Stmt::Cancel { .. } | Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Return { .. } => {}
-        Stmt::If {
-            arms, otherwise, ..
-        } => {
-            for (cond, b) in arms {
-                shard_walk_expr(cond, out);
-                shard_walk_block(b, out);
-            }
-            if let Some(b) = otherwise {
-                shard_walk_block(b, out);
-            }
-        }
-        Stmt::While { cond, body, .. } => {
-            shard_walk_expr(cond, out);
-            shard_walk_block(body, out);
-        }
-        Stmt::ForEach { set, body, .. } => {
-            shard_walk_expr(set, out);
-            shard_walk_block(body, out);
-        }
-        Stmt::ExprStmt { expr, .. } => shard_walk_expr(expr, out),
-    }
-}
-
-fn shard_walk_expr(expr: &Expr, out: &mut Vec<ShardReason>) {
-    match expr {
-        Expr::Attr(base, _) => {
-            if !matches!(**base, Expr::SelfRef) {
-                out.push(ShardReason::NonSelfRead);
-            }
-            shard_walk_expr(base, out);
-        }
-        Expr::Nav(base, _, _) => shard_walk_expr(base, out),
-        Expr::Unary(_, e) => shard_walk_expr(e, out),
-        Expr::Binary(_, a, b) => {
-            shard_walk_expr(a, out);
-            shard_walk_expr(b, out);
-        }
-        Expr::BridgeCall(_, _, args) => {
-            for a in args {
-                shard_walk_expr(a, out);
-            }
-        }
-        Expr::Lit(_) | Expr::Var(_) | Expr::SelfRef | Expr::Selected | Expr::Param(_) => {}
-    }
-}
-
-/// `X0015`: notes every construct that forces `--shards N` back to
-/// sequential execution.
-fn lint_shard_safety(domain: &Domain, spans: &SourceMap, diags: &mut Diagnostics) {
-    for off in shard_offenses(domain) {
         diags.push(
             Diagnostic::new(
                 Code::ShardUnsafe,
-                spans.get(&SourceMap::state_key(&off.class, &off.state)),
+                pos,
                 format!(
                     "state action {} — sharded execution falls back to sequential",
                     off.reason.describe()
@@ -923,6 +807,48 @@ fn lint_shard_safety(domain: &Domain, spans: &SourceMap, diags: &mut Diagnostics
             .with_element(format!("state {}.{}", off.class, off.state))
             .with_note(
                 "actions that only touch `self` attributes and communicate by signals shard freely"
+                    .to_owned(),
+            ),
+        );
+    }
+}
+
+/// `X0017`: a genuine cross-shard write race — two actions access the
+/// same written attribute through receiver shapes no admission rule
+/// reconciles to one shard. Reported with the two-action witness path.
+fn lint_cross_shard_races(domain: &Domain, plan: &effects::ShardPlan, diags: &mut Diagnostics) {
+    for race in &plan.races {
+        let attr = format!(
+            "{}.{}",
+            domain.class(race.class).name,
+            domain.class(race.class).attributes[race.attr.index()].name
+        );
+        let site = |s: &effects::Site| {
+            let c = domain.class(s.class);
+            let state = c
+                .state_machine
+                .as_ref()
+                .map(|m| m.states[s.state.index()].name.as_str())
+                .unwrap_or("?");
+            format!(
+                "{}.{} {} it at {}",
+                c.name,
+                state,
+                if s.write { "writes" } else { "reads" },
+                s.pos
+            )
+        };
+        diags.push(
+            Diagnostic::new(
+                Code::CrossShardRace,
+                race.a.pos,
+                format!("cross-shard race on attribute `{attr}`"),
+            )
+            .with_element(format!("attr {attr}"))
+            .with_note(format!("witness: {}; {}", site(&race.a), site(&race.b)))
+            .with_note(
+                "the two sites reach the attribute through different receiver shapes, so no \
+                 shard placement makes both accesses local"
                     .to_owned(),
             ),
         );

@@ -353,7 +353,7 @@ mod tests {
         assert_eq!(rec.spans().unwrap().events().len(), 1);
         assert_eq!(rec.spans().unwrap().events()[0].name, "cosim.run");
         // Disabled path: a NullSink records nothing and changes nothing.
-        let mut null = xtuml_obs::NullSink;
+        let null = xtuml_obs::NullSink;
         assert!(!null.enabled());
     }
 

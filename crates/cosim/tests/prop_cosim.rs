@@ -6,7 +6,6 @@
 //! with the `XTUML_PROP_SEED` value printed on panic.
 
 use xtuml_cosim::{Bridge, BridgeConfig, BusMessage, ChannelSpec, CoClock, Direction};
-use xtuml_prop::Gen;
 use xtuml_swrt::Mmio;
 
 fn config(fifo_depth: usize, latency: u64) -> BridgeConfig {

@@ -25,12 +25,22 @@
 //! delegates to the classic sequential [`Simulation`], so the historical
 //! single-seed traces are preserved exactly.
 //!
-//! Not every model is shardable: an action that mutates the instance
-//! population (`create`/`delete`/`relate`/`unrelate`) or touches another
-//! instance's attributes would race between shards. [`shard_safety`]
-//! rejects such models statically, before any thread starts — models
-//! whose actions only write `self` attributes and communicate by signals
-//! (the xtUML style the paper advocates) shard without restriction.
+//! Not every model is shardable. [`shard_safety`] consults the
+//! whole-model effect analysis (`xtuml_core::effects`) before any thread
+//! starts: models whose actions only write `self` attributes and
+//! communicate by signals shard without restriction, and the analysis
+//! additionally *admits* reads of never-written attributes (replicas
+//! hold the declared defaults), creation of classes nothing selects over
+//! (ids are allocated congruent to the creating shard, so ownership
+//! holds — see [`ObjectStore::create_with_id`]), and attribute access
+//! confined to a single navigated association whose links are
+//! shard-colocated. That last rule is a *runtime* precondition: the run
+//! re-checks the setup links at the actual shard count and silently
+//! delegates to the sequential engine when it fails (see
+//! [`ShardedSimulation::runtime_fallback`]), keeping the trace a pure
+//! function of `(seed, shards)`. Structure mutation
+//! (`delete`/`relate`/`unrelate`) and irreconcilable non-self access
+//! still reject — the latter as diagnostic `X0017 cross-shard-race`.
 
 use crate::sched::{SchedPolicy, SplitMix64};
 use crate::sim::{Engine, PayloadPool, Simulation};
@@ -57,10 +67,14 @@ use xtuml_pool::{stream_seed, Pool};
 /// Safe actions may read/write `self` attributes, navigate associations,
 /// select over the (static) population, generate signals (buffered at
 /// the barrier), cancel their own timers, and call bridge functions
-/// (default-return only — handler closures cannot cross threads).
-/// Unsafe constructs are population mutation (`create`, `delete`,
-/// `relate`, `unrelate`) and attribute access on any instance other than
-/// `self` — both would race between shards.
+/// (default-return only — handler closures cannot cross threads). On
+/// top of that, the effect analysis admits read-only access to
+/// never-written attributes, writes to instances created in the same
+/// run-to-completion step (creation-confined classes only), and access
+/// confined to one shard-colocated association. What remains —
+/// `delete`/`relate`/`unrelate`, unconfined creates, and non-self
+/// access no admission rule covers — would race between shards and
+/// rejects here.
 ///
 /// # Errors
 ///
@@ -144,9 +158,13 @@ type DueDelivery = (u64, u64, u8, Option<InstId>, InstId, EventId, Arc<[Value]>)
 struct ShardState {
     id: usize,
     nshards: usize,
-    /// Replica of the setup-time population. Sharded actions never
-    /// mutate the population and never touch non-self attributes, so
-    /// replicas only diverge in slots no other shard reads.
+    /// Replica of the setup-time population. Admitted actions only
+    /// write shard-owned instances and only read slots whose values
+    /// match the owner's (never-written attributes, colocated links, or
+    /// instances this shard created), so replicas only diverge in slots
+    /// no other shard reads. Creation appends shard-congruent ids, so
+    /// replica id spaces may diverge in length — created ids never
+    /// escape their shard.
     store: ObjectStore,
     queues: Vec<InstQueues>,
     /// Ready local instances, sorted ascending by id.
@@ -458,8 +476,10 @@ impl ShardState {
 
 /// The [`ActionHost`] a sharded dispatch executes against: local sends
 /// are delivered immediately, cross-shard sends and timers are buffered
-/// for the barrier, and population mutation is rejected (unreachable
-/// after [`shard_safety`], but enforced anyway).
+/// for the barrier, creation allocates shard-congruent ids, and the
+/// accesses the effect analysis blocks (structure mutation, non-owned
+/// writes) are rejected (unreachable after [`shard_safety`], but
+/// enforced anyway).
 struct ShardHost<'a, 'd> {
     shard: &'a mut ShardState,
     domain: &'d Domain,
@@ -478,8 +498,38 @@ impl ActionHost for ShardHost<'_, '_> {
         self.domain
     }
 
-    fn create(&mut self, _class: ClassId) -> Result<InstId> {
-        Err(Self::unsupported("instance creation"))
+    fn create(&mut self, class: ClassId) -> Result<InstId> {
+        // Creation reaches a sharded dispatch only when the effect
+        // analysis proved the class creation-confined (nothing selects
+        // over it), so the instance stays private to this shard. Ids are
+        // allocated congruent to the shard id so `owns()` holds for
+        // every subsequent access and send; other shards' replicas never
+        // learn the id, and a leaked id would hit a tombstone there —
+        // a deterministic error, not a race.
+        let s = &mut self.shard;
+        let len = s.store.id_space();
+        let rem = len % s.nshards;
+        let want = if rem <= s.id {
+            len + (s.id - rem)
+        } else {
+            len + s.nshards - rem + s.id
+        };
+        let inst = s
+            .store
+            .create_with_id(self.domain, class, InstId::new(want as u32));
+        let space = s.store.id_space();
+        s.queues.resize_with(space, InstQueues::default);
+        s.in_ready.resize(space, false);
+        if let Some(r) = s.obs.as_mut() {
+            r.count(Counter::InstancesCreated, 1);
+            r.gauge_max(Gauge::LiveInstancesMax, s.store.live_count() as u64);
+        }
+        s.trace.push(TraceEvent::Create {
+            time: s.now,
+            inst,
+            class,
+        });
+        Ok(inst)
     }
 
     fn delete(&mut self, _inst: InstId) -> Result<()> {
@@ -495,6 +545,13 @@ impl ActionHost for ShardHost<'_, '_> {
     }
 
     fn attr_write_typed(&mut self, inst: InstId, attr: AttrId, value: Value) -> Result<()> {
+        // Same ownership gate as `attr_write` — the bytecode VM writes
+        // through this pre-typechecked entry point, and an admitted
+        // model only ever writes shard-owned instances (self, created
+        // here, or reached via a colocated link).
+        if !self.shard.owns(inst) {
+            return Err(Self::unsupported("writing another shard's attribute"));
+        }
         self.shard.store.attr_write_typed(inst, attr, value)
     }
 
@@ -710,6 +767,10 @@ pub struct ShardedSimulation<'d> {
     /// into per-shard forks absorbed back in shard-id order, so the
     /// merged snapshot is a pure function of `(seed, shards)`.
     obs: Option<Box<Recorder>>,
+    /// Why the last run delegated to the sequential engine at runtime
+    /// despite static admission (a colocation precondition failed for
+    /// the actual setup links and shard count); `None` otherwise.
+    runtime_fallback: Option<String>,
 }
 
 impl std::fmt::Debug for ShardedSimulation<'_> {
@@ -742,6 +803,7 @@ impl<'d> ShardedSimulation<'d> {
             dropped: 0,
             now: 0,
             obs: None,
+            runtime_fallback: None,
         }
     }
 
@@ -776,6 +838,16 @@ impl<'d> ShardedSimulation<'d> {
     /// Number of events dropped in non-strict mode.
     pub fn dropped_events(&self) -> u64 {
         self.dropped
+    }
+
+    /// Why the last [`ShardedSimulation::run_to_quiescence`] delegated
+    /// to the sequential engine at runtime despite static admission:
+    /// the effect analysis admitted the model on the precondition that
+    /// some association's links be shard-colocated, and the actual setup
+    /// links violated it at this shard count. `None` when the run
+    /// executed sharded (or never needed the precondition).
+    pub fn runtime_fallback(&self) -> Option<&str> {
+        self.runtime_fallback.as_deref()
     }
 
     /// Caps the total number of dispatch steps per run.
@@ -869,11 +941,40 @@ impl<'d> ShardedSimulation<'d> {
     /// runtime errors (the lowest-id failing shard's error is reported,
     /// deterministically), and on `max_steps` exhaustion.
     pub fn run_to_quiescence(&mut self, jobs: usize) -> Result<u64> {
+        self.runtime_fallback = None;
         if self.policy.shards <= 1 {
             return self.run_sequential();
         }
         shard_safety(self.domain)?;
         let nshards = self.policy.shards;
+
+        // Runtime leg of the colocation admission rule: the static pass
+        // admitted access through these associations on the promise that
+        // every link keeps both endpoints on one shard. Check the actual
+        // setup links at the actual shard count; on violation, delegate
+        // to the sequential engine (the trace stays a pure function of
+        // `(seed, shards)` — this check depends on nothing else).
+        let plan = xtuml_core::effects::analyze(self.domain);
+        for &assoc in &plan.coloc_assocs {
+            if let Some(&(a, b, _)) = self
+                .setup_links
+                .iter()
+                .find(|&&(a, b, r)| r == assoc && a.index() % nshards != b.index() % nshards)
+            {
+                self.runtime_fallback = Some(format!(
+                    "association `{}` links {a} and {b} across shards at shards={nshards}; \
+                     colocation precondition failed, running sequentially",
+                    self.domain.association(assoc).name
+                ));
+                if let Some(r) = self.obs.as_mut() {
+                    r.count(Counter::ShardFallbacks, 1);
+                }
+                return self.run_sequential();
+            }
+        }
+        if let Some(r) = self.obs.as_mut() {
+            r.count(Counter::ShardAdmitted, 1);
+        }
         let pool = Pool::new(jobs);
 
         // Telemetry: setup totals, then the run-level span. The sharded

@@ -64,6 +64,43 @@ impl ObjectStore {
         InstId::new(self.instances.len() as u32 - 1)
     }
 
+    /// Creates an instance of `class` at exactly id `want`, padding the
+    /// id space with dead tombstones if `want` lies beyond the current
+    /// end. The sharded executor uses this to keep creation shard-local:
+    /// shard `k` of `n` allocates ids congruent to `k (mod n)`, so the
+    /// creating shard owns every instance it creates and the id spaces
+    /// of concurrent shards never collide. Accessing a padding id fails
+    /// like any dangling reference ("instance has been deleted") — a
+    /// deterministic error, never an aliased slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `want` is already populated (allocation must move
+    /// forward).
+    pub fn create_with_id(&mut self, domain: &Domain, class: ClassId, want: InstId) -> InstId {
+        assert!(
+            want.index() >= self.instances.len(),
+            "create_with_id must allocate past the end"
+        );
+        while self.instances.len() < want.index() {
+            self.instances.push(Instance {
+                class,
+                attrs: Vec::new(),
+                state: StateId::default(),
+                alive: false,
+                proxy: false,
+            });
+        }
+        let inst = self.create(domain, class);
+        debug_assert_eq!(inst, want);
+        inst
+    }
+
+    /// The size of the id space: live instances, tombstones and proxies.
+    pub fn id_space(&self) -> usize {
+        self.instances.len()
+    }
+
     /// Registers an instance that lives in *another* partition's store
     /// under the same id, so cross-partition references resolve classes
     /// without owning attributes. The proxy has no attribute slots.
@@ -478,6 +515,37 @@ mod tests {
         s.relate(&d, a, b, r1).unwrap();
         s.delete(b).unwrap();
         assert_eq!(s.related(a, r1).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn create_with_id_pads_with_dead_tombstones() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        let a = s.create(&d, ClassId::new(0));
+        assert_eq!(a, InstId::new(0));
+        // Skewed allocation: id 3 on a 4-shard layout from shard 3.
+        let b = s.create_with_id(&d, ClassId::new(1), InstId::new(3));
+        assert_eq!(b, InstId::new(3));
+        assert_eq!(s.id_space(), 4);
+        // The padding ids fail deterministically, like dangling refs.
+        for pad in [1u32, 2] {
+            let err = s.attr_read(InstId::new(pad), AttrId::new(0)).unwrap_err();
+            assert!(err.to_string().contains("deleted"), "{err}");
+        }
+        // The real instance is live with default attributes and is the
+        // only live instance of its class.
+        assert!(s.attr_read(b, AttrId::new(0)).is_ok());
+        assert_eq!(s.instances_of(ClassId::new(1)), vec![b]);
+        assert_eq!(s.live_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocate past the end")]
+    fn create_with_id_rejects_backfill() {
+        let d = domain();
+        let mut s = ObjectStore::new(d.associations.len());
+        s.create(&d, ClassId::new(0));
+        s.create_with_id(&d, ClassId::new(0), InstId::new(0));
     }
 
     #[test]

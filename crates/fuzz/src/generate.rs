@@ -17,6 +17,20 @@
 //!   loops are counter-bounded;
 //! * all data is `int`/`bool`, which marshal exactly across a
 //!   hardware/software boundary.
+//!
+//! The **non-self-access axis** stresses the effect analysis
+//! ([`xtuml_core::effects`]) without breaking confluence: on roughly
+//! half the associations, the child grows a `k0` attribute the parent
+//! *reads* through navigation (never written anywhere — a provably
+//! const attribute) and a `w0` attribute the parent *writes* through
+//! navigation (never read anywhere — a write-only sink, so no
+//! observable depends on cross-instance write order). Classes joined by
+//! such an edge share one co-simulation partition (remote attribute
+//! access is partition-local). A rare **racy** variant duplicates one
+//! such association and writes `w0` through both copies from two
+//! different parent states — a genuine two-action cross-shard race the
+//! analysis must reject (X0017) while the sequential differential still
+//! passes.
 
 use xtuml_core::action::{Block, Expr, GenTarget, LValue, Stmt};
 use xtuml_core::error::Pos;
@@ -50,6 +64,12 @@ struct Ctx<'a> {
     obs: &'a [(String, Vec<ScalarTy>)],
     /// Observer actor name.
     actor: &'a str,
+    /// Navigated reads of child `k0` const attributes, usable wherever
+    /// an int leaf is.
+    nav_reads: &'a [Expr],
+    /// Navigated writes to child `w0` sink attributes: `(nav base,
+    /// attr name)`.
+    nav_writes: &'a [(Expr, String)],
     /// Int-typed locals currently in scope.
     locals: Vec<String>,
     /// Fresh-name counter for locals.
@@ -70,10 +90,14 @@ fn int_lit(v: i64) -> Expr {
 fn int_leaves(ctx: &Ctx<'_>) -> Vec<Expr> {
     let mut leaves = Vec::new();
     for (n, t) in ctx.attrs {
-        if *t == ScalarTy::Int {
+        // `w*` attrs are write-only sinks: another instance writes them
+        // through navigation, so reading one would make observables
+        // depend on cross-instance write order and break confluence.
+        if *t == ScalarTy::Int && !n.starts_with('w') {
             leaves.push(Expr::Attr(Box::new(Expr::SelfRef), n.clone()));
         }
     }
+    leaves.extend(ctx.nav_reads.iter().cloned());
     for (n, t) in ctx.params {
         if *t == ScalarTy::Int {
             leaves.push(Expr::Param(n.clone()));
@@ -154,18 +178,35 @@ fn expr_of(g: &mut Gen, ctx: &Ctx<'_>, ty: ScalarTy, depth: usize) -> Expr {
     }
 }
 
-/// A side-effecting "simple" statement: attribute write, observable emit,
-/// or a signal to a child — the building block of both straight-line code
-/// and loop/branch bodies.
+/// A side-effecting "simple" statement: attribute write (own `a*` attrs
+/// or a navigated child `w0` sink), observable emit, or a signal to a
+/// child — the building block of both straight-line code and loop/branch
+/// bodies.
 fn simple_stmt(g: &mut Gen, ctx: &mut Ctx<'_>) -> Stmt {
     let pos = Pos::default();
+    // Only `a*` attrs are write targets: `k*` must stay provably const
+    // and `w*` is written exclusively through navigation by the parent.
+    let writable: Vec<(String, ScalarTy)> = ctx
+        .attrs
+        .iter()
+        .filter(|(n, _)| n.starts_with('a'))
+        .cloned()
+        .collect();
     for _ in 0..3 {
-        match g.below(3) {
-            0 if !ctx.attrs.is_empty() => {
-                let (name, ty) = ctx.attrs[g.index(ctx.attrs.len())].clone();
+        match g.below(4) {
+            0 if !writable.is_empty() => {
+                let (name, ty) = writable[g.index(writable.len())].clone();
                 return Stmt::Assign {
                     lhs: LValue::Attr(Expr::SelfRef, name),
                     expr: expr_of(g, ctx, ty, 2),
+                    pos,
+                };
+            }
+            3 if !ctx.nav_writes.is_empty() => {
+                let (base, attr) = ctx.nav_writes[g.index(ctx.nav_writes.len())].clone();
+                return Stmt::Assign {
+                    lhs: LValue::Attr(base, attr),
+                    expr: int_expr(g, ctx, 1),
                     pos,
                 };
             }
@@ -299,13 +340,23 @@ pub fn generate(seed: u64) -> FuzzSpec {
         }
     }
 
+    // The non-self-access axis: on flagged edges the parent reads the
+    // child's `k0` (const) and writes its `w0` (sink) through
+    // navigation. Only the original forest edges carry the axis; a racy
+    // duplicate edge added below never does.
+    let axis: Vec<bool> = assocs.iter().map(|_| g.ratio(1, 2)).collect();
+
     // Class skeletons first: signatures and tables are needed before any
     // action body can reference a child class.
     let mut classes: Vec<ClassSpec> = (0..n_classes)
         .map(|i| {
-            let attrs = (0..g.index(3))
+            let mut attrs: Vec<(String, ScalarTy)> = (0..g.index(3))
                 .map(|k| (format!("a{k}"), scalar(&mut g)))
                 .collect();
+            if assocs.iter().zip(&axis).any(|(a, on)| *on && a.child == i) {
+                attrs.push(("k0".to_owned(), ScalarTy::Int));
+                attrs.push(("w0".to_owned(), ScalarTy::Int));
+            }
             let params: Vec<(String, ScalarTy)> = (0..g.index(3))
                 .map(|k| (format!("p{k}"), scalar(&mut g)))
                 .collect();
@@ -347,10 +398,46 @@ pub fn generate(seed: u64) -> FuzzSpec {
         })
         .collect();
 
+    // Navigated attribute access in the co-simulation is partition-local
+    // (a remote `x.attr` fails at the bus boundary), so classes joined
+    // by an axis edge must share a partition. Edges are in child order
+    // with parent < child, so one forward pass pins whole chains.
+    for (a, on) in assocs.iter().zip(&axis) {
+        if *on {
+            classes[a.child].hardware = classes[a.parent].hardware;
+        }
+    }
+
+    // Racy variant: duplicate one axis edge whose parent has at least
+    // two states, then (after the bodies are generated) write the
+    // child's `w0` through *both* copies from two different parent
+    // states. The two writes reach one attribute through different
+    // associations — no single colocation partition justifies them, so
+    // the effect analysis must reject the model (X0017) and the sharded
+    // differential leg must skip it; the sequential legs still agree
+    // because `w0` is never read.
+    let racy = g.ratio(1, 6);
+    let racy_edge = assocs
+        .iter()
+        .zip(&axis)
+        .position(|(a, on)| *on && classes[a.parent].states.len() >= 2)
+        .filter(|_| racy);
+    if let Some(idx) = racy_edge {
+        let a = assocs[idx].clone();
+        assocs.push(AssocSpec {
+            name: format!("R{}", assocs.len() + 1),
+            parent: a.parent,
+            child: a.child,
+            parent_mult: Multiplicity::One,
+            child_mult: Multiplicity::One,
+        });
+    }
+
     // Action bodies. `rcvd.*` is only legal in states an event can enter.
     for i in 0..n_classes {
         let sends: Vec<(String, String, String, Vec<ScalarTy>)> = assocs
             .iter()
+            .take(axis.len())
             .filter(|a| a.parent == i)
             .flat_map(|a| {
                 let child = &classes[a.child];
@@ -373,6 +460,23 @@ pub fn generate(seed: u64) -> FuzzSpec {
                     .any(|t| *t == TransSpec::To(s))
             })
             .collect();
+        let mut nav_reads: Vec<Expr> = Vec::new();
+        let mut nav_writes: Vec<(Expr, String)> = Vec::new();
+        for (a, on) in assocs.iter().zip(&axis) {
+            if !*on || a.parent != i {
+                continue;
+            }
+            let nav = Expr::Unary(
+                UnOp::Any,
+                Box::new(Expr::Nav(
+                    Box::new(Expr::SelfRef),
+                    classes[a.child].name.clone(),
+                    a.name.clone(),
+                )),
+            );
+            nav_reads.push(Expr::Attr(Box::new(nav.clone()), "k0".to_owned()));
+            nav_writes.push((nav, "w0".to_owned()));
+        }
         let this = classes[i].clone();
         for (s, entered) in inbound.iter().enumerate() {
             let empty: [(String, ScalarTy); 0] = [];
@@ -382,11 +486,42 @@ pub fn generate(seed: u64) -> FuzzSpec {
                 sends: &sends,
                 obs: &this.obs,
                 actor: &this.actor,
+                nav_reads: &nav_reads,
+                nav_writes: &nav_writes,
                 locals: Vec::new(),
                 next_local: 0,
             };
             classes[i].states[s].1 = action_block(&mut g, &mut ctx);
         }
+    }
+
+    // Inject the race: the same `w0`, written via the original edge from
+    // the parent's first state and via the duplicate edge from its
+    // second state.
+    if let Some(idx) = racy_edge {
+        let orig = assocs[idx].clone();
+        let dup = assocs.last().expect("racy duplicate was pushed").clone();
+        let child = classes[orig.child].name.clone();
+        let mut write_via = |assoc: &AssocSpec, state: usize, v: i64| {
+            let nav = Expr::Unary(
+                UnOp::Any,
+                Box::new(Expr::Nav(
+                    Box::new(Expr::SelfRef),
+                    child.clone(),
+                    assoc.name.clone(),
+                )),
+            );
+            classes[orig.parent].states[state]
+                .1
+                .stmts
+                .push(Stmt::Assign {
+                    lhs: LValue::Attr(nav, "w0".to_owned()),
+                    expr: int_lit(v),
+                    pos: Pos::default(),
+                });
+        };
+        write_via(&orig, 0, 1);
+        write_via(&dup, 1, 2);
     }
 
     // Stimuli: external signals to forest roots only.
@@ -445,16 +580,54 @@ mod tests {
 
     #[test]
     fn send_graph_is_a_forward_forest() {
+        // The racy axis may duplicate an edge between one parent–child
+        // pair, so the forest invariant is on *distinct* sender classes:
+        // per-receiver FIFO confluence only needs a single sender.
         for seed in 0..50 {
             let spec = generate(seed);
             for a in &spec.assocs {
                 assert!(a.parent < a.child, "seed {seed}: edge must point forward");
             }
             for c in 0..spec.classes.len() {
-                let senders = spec.assocs.iter().filter(|a| a.child == c).count();
-                assert!(senders <= 1, "seed {seed}: class {c} has {senders} senders");
+                let senders: std::collections::BTreeSet<usize> = spec
+                    .assocs
+                    .iter()
+                    .filter(|a| a.child == c)
+                    .map(|a| a.parent)
+                    .collect();
+                assert!(
+                    senders.len() <= 1,
+                    "seed {seed}: class {c} has {} distinct senders",
+                    senders.len()
+                );
             }
         }
+    }
+
+    #[test]
+    fn the_nonself_axis_and_the_racy_variant_both_fire() {
+        let mut with_axis = 0;
+        let mut with_race = 0;
+        for seed in 0..200 {
+            let spec = generate(seed);
+            if spec
+                .classes
+                .iter()
+                .any(|c| c.attrs.iter().any(|(n, _)| n == "k0"))
+            {
+                with_axis += 1;
+            }
+            let mut pairs = std::collections::BTreeSet::new();
+            if spec
+                .assocs
+                .iter()
+                .any(|a| !pairs.insert((a.parent, a.child)))
+            {
+                with_race += 1;
+            }
+        }
+        assert!(with_axis >= 60, "only {with_axis}/200 seeds grew the axis");
+        assert!(with_race >= 10, "only {with_race}/200 seeds grew a race");
     }
 
     #[test]

@@ -122,6 +122,13 @@ pub struct FuzzReport {
     pub observables: u64,
     /// Total events compared by the equivalence oracles.
     pub compared: u64,
+    /// Passing cases the effect analysis admitted to sharded execution
+    /// (their sharded differential legs ran at 2, 4 and 8 shards).
+    pub admitted: u64,
+    /// Admitted cases that *needed* the effect summaries — models with
+    /// proven-safe non-self access the old syntactic reject-list would
+    /// have forced onto the sequential fallback.
+    pub newly_admitted: u64,
     /// Per-seed outcome rows, in seed order (JSONL streaming).
     pub per_case: Vec<CaseRow>,
 }
@@ -143,6 +150,8 @@ impl FuzzReport {
         let _ = writeln!(out, "  dispatches       : {}", self.dispatches);
         let _ = writeln!(out, "  observable events: {}", self.observables);
         let _ = writeln!(out, "  compared events  : {}", self.compared);
+        let _ = writeln!(out, "  sharded admitted : {}", self.admitted);
+        let _ = writeln!(out, "  newly admitted   : {}", self.newly_admitted);
         for f in &self.failures {
             let _ = writeln!(out, "  FAIL seed {}: {}", f.seed, f.detail);
             if let Some(s) = &f.shrink {
@@ -171,24 +180,30 @@ impl FuzzReport {
         let _ = writeln!(
             out,
             "{{\"kind\": \"fuzz\", \"start\": {}, \"cases\": {}, \"failures\": {}, \
-             \"dispatches\": {}, \"observables\": {}, \"compared\": {}}}",
+             \"dispatches\": {}, \"observables\": {}, \"compared\": {}, \
+             \"admitted\": {}, \"newly_admitted\": {}}}",
             self.start,
             self.cases,
             self.failures.len(),
             self.dispatches,
             self.observables,
-            self.compared
+            self.compared,
+            self.admitted,
+            self.newly_admitted
         );
         for row in &self.per_case {
             let _ = writeln!(
                 out,
                 "{{\"kind\": \"case\", \"seed\": {}, \"class\": \"{}\", \"dispatches\": {}, \
-                 \"observables\": {}, \"compared\": {}}}",
+                 \"observables\": {}, \"compared\": {}, \"admitted\": {}, \
+                 \"newly_admitted\": {}}}",
                 row.seed,
                 row.class,
                 row.stats.dispatches,
                 row.stats.observables,
-                row.stats.compared
+                row.stats.compared,
+                row.stats.admitted,
+                row.stats.newly_admitted
             );
         }
         out
@@ -241,6 +256,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 report.dispatches += stats.dispatches;
                 report.observables += stats.observables;
                 report.compared += stats.compared;
+                report.admitted += u64::from(stats.admitted);
+                report.newly_admitted += u64::from(stats.newly_admitted);
                 report.per_case.push(CaseRow {
                     seed: *seed,
                     class: "pass",
@@ -276,5 +293,8 @@ mod tests {
         assert!(a.ok(), "{}", a.render());
         assert_eq!(a.render(), b.render());
         assert!(a.render().contains("cases run        : 15"));
+        assert!(a.admitted >= a.newly_admitted);
+        assert!(a.render().contains("sharded admitted : "));
+        assert!(a.render_jsonl().contains("\"newly_admitted\": "));
     }
 }

@@ -18,8 +18,10 @@
 //! exercises the language layer end-to-end on every case.
 
 use xtuml_core::marks::MarkSet;
-use xtuml_core::Domain;
-use xtuml_exec::{Engine, ObservableEvent, SchedPolicy, Simulation, Trace, TraceEvent};
+use xtuml_core::{AssocId, Domain};
+use xtuml_exec::{
+    Engine, ObservableEvent, SchedPolicy, ShardedSimulation, Simulation, Trace, TraceEvent,
+};
 use xtuml_lang::{parse_domain, parse_marks, print_domain, print_marks};
 use xtuml_mda::ModelCompiler;
 use xtuml_verify::{check_equivalence, run_compiled, EquivReport, TestCase};
@@ -77,8 +79,14 @@ pub struct CaseStats {
     pub dispatches: u64,
     /// Observable signals emitted (per executor; they agree on a pass).
     pub observables: u64,
-    /// Events compared across the three executor pairs.
+    /// Events compared across the executor pairs (sharded legs included).
     pub compared: u64,
+    /// The effect analysis admitted the model to sharded execution, so
+    /// the sharded differential legs ran.
+    pub admitted: bool,
+    /// Admission needed the effect summaries (some non-self access was
+    /// proven safe) — the old syntactic reject-list would have refused.
+    pub newly_admitted: bool,
 }
 
 /// The verdict on one case.
@@ -194,6 +202,87 @@ fn run_interpreter(
     })
 }
 
+/// Per-class create residues (mod 8) that satisfy the colocation
+/// precondition at shards ∈ {2, 4, 8}: classes joined by a colocation
+/// association share a residue, distinct components round-robin across
+/// residues so the population still spreads over the shards.
+fn coloc_residues(domain: &Domain, coloc: &[AssocId]) -> Vec<usize> {
+    let n = domain.classes.len();
+    let mut rep: Vec<usize> = (0..n).collect();
+    fn root(rep: &mut [usize], mut c: usize) -> usize {
+        while rep[c] != c {
+            rep[c] = rep[rep[c]];
+            c = rep[c];
+        }
+        c
+    }
+    for &a in coloc {
+        let assoc = domain.association(a);
+        let (x, y) = (
+            root(&mut rep, assoc.from.index()),
+            root(&mut rep, assoc.to.index()),
+        );
+        rep[x] = y;
+    }
+    let mut assigned: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    (0..n)
+        .map(|c| {
+            let r = root(&mut rep, c);
+            let next = assigned.len();
+            *assigned.entry(r).or_insert(next) % 8
+        })
+        .collect()
+}
+
+/// Runs the test case on the sharded engine at `shards` home shards on a
+/// single worker (the shard count alone fixes the schedule; worker-count
+/// invariance is the engine suites' job).
+///
+/// Setup creates are padded with inert extra instances so every class
+/// lands on its colocation component's index residue (mod 8) — the
+/// engine's runtime colocation precondition then holds at 2, 4 and 8
+/// shards while distinct components still spread across shards. The
+/// padding is observable-neutral: creation runs no entry action, the
+/// pad instances are never related or stimulated, and fuzz-generated
+/// models never `select` from a class extent.
+fn run_sharded(
+    domain: &Domain,
+    policy: SchedPolicy,
+    tc: &TestCase,
+    residues: &[usize],
+    shards: usize,
+) -> Result<Vec<ObservableEvent>, String> {
+    let mut sim = ShardedSimulation::with_policy(domain, policy.with_shards(shards));
+    let mut handles = Vec::with_capacity(tc.creates.len());
+    let mut next = 0usize;
+    for class in &tc.creates {
+        let want = residues[domain.class_id(class).map_err(|e| e.to_string())?.index()];
+        while next % 8 != want {
+            sim.create(class).map_err(|e| e.to_string())?;
+            next += 1;
+        }
+        handles.push(sim.create(class).map_err(|e| e.to_string())?);
+        next += 1;
+    }
+    for (a, b, assoc) in &tc.relates {
+        sim.relate(handles[*a], handles[*b], assoc)
+            .map_err(|e| e.to_string())?;
+    }
+    let mut stims = tc.stimuli.clone();
+    stims.sort_by_key(|s| s.time);
+    for s in &stims {
+        sim.inject(s.time, handles[s.inst], &s.event, s.args.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    sim.run_to_quiescence(1).map_err(|e| e.to_string())?;
+    if let Some(why) = sim.runtime_fallback() {
+        return Err(format!(
+            "statically admitted model hit the runtime fallback at shards={shards}: {why}"
+        ));
+    }
+    Ok(sim.trace().observable(domain))
+}
+
 /// Runs one case (already parsed) through all three executors and every
 /// oracle. This is the entry point corpus replay shares with the
 /// seed-driven path.
@@ -291,6 +380,39 @@ pub fn run_case(
         }
     }
 
+    // Executor 5: the sharded engine, wherever the effect analysis
+    // admits the model — the soundness oracle for admission. Every
+    // admitted model must produce the reference observables at every
+    // shard count; a divergence here means the analysis admitted a model
+    // whose trace is *not* a pure function of `(seed, shards)`.
+    let plan = xtuml_core::effects::analyze(domain);
+    let admitted = plan.admitted();
+    let newly_admitted = admitted && plan.uses_admission();
+    if admitted && ablation == Ablation::None {
+        let coloc: Vec<AssocId> = plan.coloc_assocs.iter().copied().collect();
+        let residues = coloc_residues(domain, &coloc);
+        for (shards, pair) in [
+            (2usize, "sharded2-vs-reference"),
+            (4, "sharded4-vs-reference"),
+            (8, "sharded8-vs-reference"),
+        ] {
+            let obs = match run_sharded(domain, ablation.policy(), tc, &residues, shards) {
+                Ok(o) => o,
+                Err(error) => {
+                    return CaseOutcome::ExecError {
+                        executor: "sharded",
+                        error,
+                    }
+                }
+            };
+            let report = check_equivalence(&ref_obs, &obs);
+            compared += report.compared as u64;
+            if !report.is_equivalent() {
+                return CaseOutcome::Divergence { pair, report };
+            }
+        }
+    }
+
     // Invariant oracles — only meaningful when no fault is injected (a
     // broken pair-order rule legitimately produces causality violations).
     if ablation == Ablation::None {
@@ -321,6 +443,8 @@ pub fn run_case(
         dispatches: interp.dispatches,
         observables: ref_obs.len() as u64,
         compared,
+        admitted,
+        newly_admitted,
     })
 }
 
@@ -424,6 +548,57 @@ mod tests {
             let outcome = run_spec(&generate(seed), Ablation::None, Engine::Frames);
             assert!(!outcome.is_failure(), "seed {seed}: {}", outcome.describe());
         }
+    }
+
+    #[test]
+    fn the_effect_analysis_admits_a_healthy_share_of_generated_models() {
+        // The acceptance bar for the non-self-access axis: a good share
+        // of generated models must be admitted *because of* the effect
+        // summaries (the syntactic reject-list refused every non-self
+        // access), and the racy variant must keep producing genuinely
+        // rejected models so the negative side stays covered too.
+        let mut admitted = 0u32;
+        let mut newly = 0u32;
+        let mut rejected = 0u32;
+        for seed in 0..100 {
+            let spec = generate(seed);
+            let domain = spec.lower().unwrap();
+            let plan = xtuml_core::effects::analyze(&domain);
+            if plan.admitted() {
+                admitted += 1;
+                if plan.uses_admission() {
+                    newly += 1;
+                }
+            } else {
+                rejected += 1;
+            }
+        }
+        assert!(newly >= 20, "only {newly}/100 models newly admitted");
+        assert!(rejected >= 3, "only {rejected}/100 models rejected");
+        assert!(admitted >= 50, "only {admitted}/100 models admitted");
+    }
+
+    #[test]
+    fn sharded_legs_run_for_newly_admitted_models_and_agree() {
+        // End-to-end soundness sweep: every newly admitted model must
+        // survive the sharded differential at 2, 4 and 8 shards (a
+        // runtime fallback or divergence fails the case), and enough
+        // cases must actually take that path for the oracle to mean
+        // anything.
+        let mut exercised = 0u32;
+        for seed in 0..40 {
+            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Bc);
+            let CaseOutcome::Pass(stats) = &outcome else {
+                panic!("seed {seed}: {}", outcome.describe())
+            };
+            if stats.newly_admitted {
+                exercised += 1;
+            }
+        }
+        assert!(
+            exercised >= 8,
+            "only {exercised}/40 cases exercised the sharded legs"
+        );
     }
 
     #[test]

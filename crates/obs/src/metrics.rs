@@ -91,6 +91,10 @@ pub enum Counter {
     BcActions,
     /// Action dispatches that fell back from the VM to compiled frames.
     BcFallbacks,
+    /// Sharded runs the effect analysis admitted to `shards > 1`
+    /// (counted once per run that actually executes sharded; the
+    /// `fallback_*` reasons above count the denied side).
+    ShardAdmitted,
 }
 
 /// Every counter, in snapshot order.
@@ -131,6 +135,7 @@ pub const COUNTERS: &[Counter] = &[
     Counter::MdaCompiles,
     Counter::BcActions,
     Counter::BcFallbacks,
+    Counter::ShardAdmitted,
 ];
 
 impl Counter {
@@ -173,6 +178,7 @@ impl Counter {
             Counter::MdaCompiles => "mda_compiles",
             Counter::BcActions => "bc_actions",
             Counter::BcFallbacks => "bc_fallbacks",
+            Counter::ShardAdmitted => "shard_admitted",
         }
     }
 }

@@ -5,7 +5,6 @@
 //! Runs offline on the in-repo `xtuml-prop` harness; reproduce a failure
 //! with the `XTUML_PROP_SEED` value printed on panic.
 
-use xtuml_prop::Gen;
 use xtuml_swrt::{Cpu, Scheduler, TimerWheel};
 
 /// Drain order equals the stable sort of (priority, enqueue index).

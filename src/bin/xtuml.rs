@@ -15,6 +15,7 @@ fn usage() -> String {
      \x20                 [--engine frames|bc] [--no-bc]\n\
      \x20                 [--profile out.json] [--metrics out.jsonl]\n\
      \x20 xtuml bc        <model.xtuml>\n\
+     \x20 xtuml analyze   <model.xtuml> [--format json]\n\
      \x20 xtuml stats     <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
      \x20                 [--engine frames|bc] [--no-bc] [--format json]\n\
      \x20 xtuml stats     --check-profile <trace.json>\n\
@@ -197,6 +198,29 @@ fn real_main() -> Result<(), String> {
         Some("bc") => {
             let model = read(it.next().ok_or_else(usage)?)?;
             print!("{}", cli::cmd_bc(&model).map_err(|e| e.to_string())?);
+        }
+        Some("analyze") => {
+            let mut path: Option<&str> = None;
+            let mut format = cli::LintFormat::Human;
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--format" => match rest.next() {
+                        Some("json") => format = cli::LintFormat::Json,
+                        Some("human") => format = cli::LintFormat::Human,
+                        _ => return Err("--format takes `human` or `json`".to_owned()),
+                    },
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown flag `{flag}`\n{}", usage()))
+                    }
+                    p => path = Some(p),
+                }
+            }
+            let model = read(path.ok_or_else(usage)?)?;
+            print!(
+                "{}",
+                cli::cmd_analyze(&model, format).map_err(|e| e.to_string())?
+            );
         }
         Some("stats") => {
             let mut paths: Vec<&str> = Vec::new();

@@ -416,8 +416,12 @@ pub struct RunOutput {
     /// Wall-clock measurements (segregated from `metrics`; these *do*
     /// vary run to run).
     pub timing: Option<xtuml_obs::Timing>,
-    /// Effective shard count after the shard-safety fallback.
+    /// Effective shard count after the shard-safety fallback (static
+    /// X0015 offenses, or a violated runtime colocation precondition).
     pub shards: usize,
+    /// Bytecode-lowering fallback reasons, aggregated to counts
+    /// (X0016; empty when every action lowered, or on other engines).
+    pub bc_fallback_reasons: Vec<(String, u32)>,
     /// The scheduler seed (echoed for metric sinks).
     pub seed: u64,
     /// Final simulation time.
@@ -558,8 +562,19 @@ pub fn cmd_run_full(
 
     let run_t0 = obs.on().then(std::time::Instant::now);
     sim.run_to_quiescence(opts.jobs)?;
+    // The effect analysis may admit a model conditionally, on a
+    // colocation precondition over the instance population; when the
+    // actual links violate it, the engine delegated to the sequential
+    // schedule and says why.
+    let runtime_note = sim
+        .runtime_fallback()
+        .map(|why| format!("note: running sequentially — {why}"));
+    let shards = if runtime_note.is_some() { 1 } else { shards };
     let mut out = String::new();
     if let Some(n) = note {
+        let _ = writeln!(out, "{n}");
+    }
+    if let Some(n) = runtime_note {
         let _ = writeln!(out, "{n}");
     }
     if let Some(n) = bc_note {
@@ -614,12 +629,17 @@ pub fn cmd_run_full(
         timing = Some(rec.timing);
         metrics = Some(rec.metrics);
     }
+    let mut reason_counts: BTreeMap<String, u32> = BTreeMap::new();
+    for f in sim.bc_fallbacks() {
+        *reason_counts.entry(f.reason.clone()).or_insert(0) += 1;
+    }
     Ok(RunOutput {
         text: out,
         profile_json,
         metrics,
         timing,
         shards,
+        bc_fallback_reasons: reason_counts.into_iter().collect(),
         seed: opts.seed,
         now: sim.now(),
         dispatches: sim.trace().dispatch_count() as u64,
@@ -656,6 +676,14 @@ pub fn cmd_stats(
                 out.now, out.dispatches, out.seed, out.shards
             );
             s.push_str(&m.render_human());
+            s.push_str("bc fallback reasons:\n");
+            if out.bc_fallback_reasons.is_empty() {
+                s.push_str("  (none)\n");
+            } else {
+                for (reason, count) in &out.bc_fallback_reasons {
+                    let _ = writeln!(s, "  {count:>4}x {reason}");
+                }
+            }
             if let Some(t) = &out.timing {
                 let _ = writeln!(s, "wall-clock (not deterministic):");
                 let _ = writeln!(s, "  run_wall_us           {:>12}", t.run_wall_ns / 1_000);
@@ -676,6 +704,17 @@ pub fn cmd_stats(
             let _ = writeln!(s, "  \"now\": {},", out.now);
             let _ = writeln!(s, "  \"dispatches\": {},", out.dispatches);
             let _ = writeln!(s, "  \"deterministic\": true,");
+            let reasons: Vec<String> = out
+                .bc_fallback_reasons
+                .iter()
+                .map(|(reason, count)| {
+                    format!(
+                        "\"{}\": {count}",
+                        reason.replace('\\', "\\\\").replace('"', "\\\"")
+                    )
+                })
+                .collect();
+            let _ = writeln!(s, "  \"bc_fallback_reasons\": {{{}}},", reasons.join(", "));
             let _ = write!(s, "  \"metrics\": ");
             let body = m.to_json();
             let mut lines = body.lines();
@@ -690,6 +729,24 @@ pub fn cmd_stats(
             Ok(s)
         }
     }
+}
+
+/// `analyze`: run the whole-model effect analysis and report per-action
+/// effect summaries, the class partition (shard-local / shard-safe /
+/// unsafe-with-witness), any cross-shard race witnesses, and the final
+/// sharding verdict (human-readable, or one JSON document with
+/// `--format json`).
+///
+/// # Errors
+///
+/// Returns parse diagnostics.
+pub fn cmd_analyze(model_src: &str, format: LintFormat) -> Result<String, CliError> {
+    let domain = parse_domain(model_src)?;
+    let plan = xtuml_core::effects::analyze(&domain);
+    Ok(match format {
+        LintFormat::Human => plan.render_human(&domain),
+        LintFormat::Json => plan.render_json(&domain),
+    })
 }
 
 /// `bc`: disassemble the register bytecode lowered from a model's state

@@ -1,0 +1,97 @@
+//! Golden-output tests for `xtuml analyze` — the whole-model effect
+//! analysis (`xtuml_core::effects`) over every checked-in lint fixture
+//! and fuzz-corpus model.
+//!
+//! Each golden under `tests/golden/analyze_*.txt` pins the rendered
+//! summary table byte-for-byte: per-action read/write/send footprints,
+//! the class partition, race witnesses and the admission verdict. Any
+//! drift in the effect lattice, receiver-shape classification or
+//! admission rules fails loudly. Regenerate a golden by running
+//! `xtuml analyze <model>` and committing the new output — after
+//! reading the diff.
+
+use xtuml::cli::{cmd_analyze, LintFormat};
+
+fn analyze(model: &str) -> String {
+    cmd_analyze(model, LintFormat::Human).expect("model parses")
+}
+
+#[test]
+fn lint_fixtures_match_their_analyze_goldens() {
+    for (name, model, golden) in [
+        (
+            "cycle",
+            include_str!("../models/lints/cycle.xtuml"),
+            include_str!("golden/analyze_cycle.txt"),
+        ),
+        (
+            "dead",
+            include_str!("../models/lints/dead.xtuml"),
+            include_str!("golden/analyze_dead.txt"),
+        ),
+        (
+            "marked",
+            include_str!("../models/lints/marked.xtuml"),
+            include_str!("golden/analyze_marked.txt"),
+        ),
+        (
+            "race",
+            include_str!("../models/lints/race.xtuml"),
+            include_str!("golden/analyze_race.txt"),
+        ),
+        (
+            "shardrace",
+            include_str!("../models/lints/shardrace.xtuml"),
+            include_str!("golden/analyze_shardrace.txt"),
+        ),
+    ] {
+        assert_eq!(analyze(model), golden, "analyze golden drifted: {name}");
+    }
+}
+
+#[test]
+fn fuzz_corpus_matches_its_analyze_goldens() {
+    for (name, model, golden) in [
+        (
+            "seed2",
+            include_str!("../models/fuzz-corpus/seed2.xtuml"),
+            include_str!("golden/analyze_seed2.txt"),
+        ),
+        (
+            "seed5",
+            include_str!("../models/fuzz-corpus/seed5.xtuml"),
+            include_str!("golden/analyze_seed5.txt"),
+        ),
+    ] {
+        assert_eq!(analyze(model), golden, "analyze golden drifted: {name}");
+    }
+}
+
+#[test]
+fn the_race_fixture_is_rejected_with_a_two_action_witness() {
+    let out = analyze(include_str!("../models/lints/shardrace.xtuml"));
+    assert!(
+        out.contains(
+            "race on `Cell.v`: Producer.Left writes at 13:9 vs Producer.Right writes at 17:9"
+        ),
+        "{out}"
+    );
+    assert!(
+        out.contains("verdict: falls back to sequential execution"),
+        "{out}"
+    );
+}
+
+#[test]
+fn analyze_json_is_valid_and_carries_the_verdict() {
+    let json = cmd_analyze(
+        include_str!("../models/lints/shardrace.xtuml"),
+        LintFormat::Json,
+    )
+    .expect("model parses");
+    assert!(json.contains("\"admitted\": false"), "{json}");
+    assert!(json.contains("\"races\""), "{json}");
+    let clean = cmd_analyze(include_str!("../models/doorbell.xtuml"), LintFormat::Json)
+        .expect("model parses");
+    assert!(clean.contains("\"admitted\": true"), "{clean}");
+}

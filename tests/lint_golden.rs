@@ -70,6 +70,26 @@ fn marked_fixture_matches_golden_and_fails() {
 }
 
 #[test]
+fn shardrace_fixture_matches_golden() {
+    // The X0017 regression pin: a genuine cross-shard race (one
+    // attribute written through two different associations from two
+    // different actions) must render the two-action witness with both
+    // statement spans.
+    let (out, deny_hit) = human(
+        "models/lints/shardrace.xtuml",
+        include_str!("../models/lints/shardrace.xtuml"),
+        None,
+    );
+    assert_eq!(out, include_str!("golden/shardrace.txt"));
+    assert!(!deny_hit, "cross-shard races are warnings by default");
+    assert!(out.contains("warning[X0017]"), "{out}");
+    assert!(
+        out.contains("witness: Producer.Left writes it at 13:9; Producer.Right writes it at 17:9"),
+        "{out}"
+    );
+}
+
+#[test]
 fn doorbell_is_clean() {
     let (out, deny_hit) = human(
         "models/doorbell.xtuml",

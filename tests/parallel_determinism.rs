@@ -67,8 +67,9 @@ fn pipeline_stim(stages: usize, feeds: usize) -> String {
     s
 }
 
-/// A model the shard-safety analysis must reject (it writes another
-/// instance's attribute), so the sweeps also cover the sequential
+/// A model the shard-safety analysis must reject: it writes an attribute
+/// of an instance found by a class-wide `select`, which no relationship
+/// colocation can justify. The sweeps thus also cover the sequential
 /// fallback path — which must still be worker-count invariant.
 fn unsafe_src() -> (String, String) {
     let model = "domain nonlocal;\n\n\
@@ -78,7 +79,7 @@ fn unsafe_src() -> (String, String) {
          \x20   initial I;\n\
          \x20   state I {\n    }\n\
          \x20   state W {\n\
-         \x20       b = any(self -> B[R1]);\n\
+         \x20       select any b from B;\n\
          \x20       b.x = (b.x + 1);\n\
          \x20       gen out(b.x) to SINK;\n\
          \x20   }\n\
@@ -98,11 +99,88 @@ fn unsafe_src() -> (String, String) {
     (model, stim)
 }
 
+/// A model only the effect analysis admits to sharding: the action
+/// reads a child attribute through navigation, but that attribute is
+/// written nowhere, so every shard's replica holds the correct declared
+/// default and no colocation is needed. The old syntactic reject-list
+/// refused any non-self access.
+fn const_read_src() -> (String, String) {
+    let model = "domain constread;\n\n\
+         actor SINK {\n    signal out(v: int);\n}\n\n\
+         class A {\n\
+         \x20   attr acc: int;\n\
+         \x20   event Go();\n\
+         \x20   initial I;\n\
+         \x20   state I {\n    }\n\
+         \x20   state W {\n\
+         \x20       self.acc = ((self.acc + (any(self -> B[R1])).k) + 1);\n\
+         \x20       gen out(self.acc) to SINK;\n\
+         \x20   }\n\
+         \x20   on I: Go -> W;\n\
+         \x20   on W: Go -> W;\n\
+         }\n\n\
+         class B {\n\
+         \x20   attr k: int;\n\
+         \x20   event Nop();\n\
+         \x20   initial I;\n\
+         \x20   state I {\n    }\n\
+         \x20   on I: Nop ignore;\n\
+         }\n\n\
+         assoc R1: A one -- B one;\n"
+        .to_owned();
+    let stim =
+        "create a A\ncreate b B\nrelate a b R1\nat 0 a Go\nat 1 a Go\nat 2 a Go\n".to_owned();
+    (model, stim)
+}
+
+/// Admitted through the colocation rule: the action *writes* a child
+/// attribute through the single association `R1`, which is safe exactly
+/// when every `R1` link stays on one shard. The stimulus pads the store
+/// with inert instances so the linked pair's indices agree mod 8 — the
+/// runtime precondition then holds at 2, 4 and 8 shards and the model
+/// really executes sharded.
+fn coloc_write_src() -> (String, String) {
+    let model = "domain colocw;\n\n\
+         actor SINK {\n    signal out(v: int);\n}\n\n\
+         class A {\n\
+         \x20   attr n: int;\n\
+         \x20   event Go();\n\
+         \x20   initial I;\n\
+         \x20   state I {\n    }\n\
+         \x20   state W {\n\
+         \x20       self.n = (self.n + 1);\n\
+         \x20       (any(self -> B[R1])).w = self.n;\n\
+         \x20       gen out(self.n) to SINK;\n\
+         \x20   }\n\
+         \x20   on I: Go -> W;\n\
+         \x20   on W: Go -> W;\n\
+         }\n\n\
+         class B {\n\
+         \x20   attr w: int;\n\
+         \x20   event Nop();\n\
+         \x20   initial I;\n\
+         \x20   state I {\n    }\n\
+         \x20   on I: Nop ignore;\n\
+         }\n\n\
+         assoc R1: A one -- B one;\n"
+        .to_owned();
+    let mut stim = String::from("create a A\n");
+    for k in 0..7 {
+        stim.push_str(&format!("create pad{k} B\n"));
+    }
+    stim.push_str("create b B\nrelate a b R1\nat 0 a Go\nat 1 a Go\n");
+    (model, stim)
+}
+
 /// Every (model, stimulus) pair the suite sweeps.
 fn cases() -> Vec<(String, String, String)> {
     let mut v = vec![("pipeline".to_owned(), pipeline_src(6), pipeline_stim(6, 12))];
     let (model, stim) = unsafe_src();
     v.push(("nonlocal-counter".to_owned(), model, stim));
+    let (model, stim) = const_read_src();
+    v.push(("const-read".to_owned(), model, stim));
+    let (model, stim) = coloc_write_src();
+    v.push(("coloc-write".to_owned(), model, stim));
     for (name, model, stim) in [
         ("doorbell", "models/doorbell.xtuml", "models/doorbell.stim"),
         (
@@ -191,6 +269,22 @@ fn the_pipeline_actually_exercises_the_sharded_engine() {
     // fall back with a note rather than erroring.
     let pipeline = xtuml::lang::parse_domain(&pipeline_src(6)).unwrap();
     xtuml_exec::shard_safety(&pipeline).expect("pipeline must be shard-safe");
+
+    // The two admitted-by-analysis cases must really need the effect
+    // summaries: self-only models pass the old reject-list too, so
+    // `uses_admission` is what proves the sweeps exercise the new rules.
+    for (name, src) in [
+        ("const-read", const_read_src().0),
+        ("coloc-write", coloc_write_src().0),
+    ] {
+        let domain = xtuml::lang::parse_domain(&src).unwrap();
+        let plan = xtuml_core::effects::analyze(&domain);
+        assert!(plan.admitted(), "{name}: must be admitted");
+        assert!(
+            plan.uses_admission(),
+            "{name}: must need the admission rules"
+        );
+    }
 
     let mut safety = Vec::new();
     for (name, model, stim) in cases() {

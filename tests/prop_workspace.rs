@@ -10,7 +10,6 @@ use xtuml::core::marks::{ElemRef, MarkSet, MarkValue};
 use xtuml::exec::SchedPolicy;
 use xtuml::lang::{parse_domain, print_domain};
 use xtuml::verify::{check_equivalence, run_model, verify_partition, TestCase};
-use xtuml_prop::Gen;
 
 /// Any partition of any small pipeline preserves observable behaviour.
 #[test]
