@@ -137,3 +137,41 @@ if [ -f BENCH_parallel.baseline.json ]; then
             if (ratio < 0.9) { print "FAIL: >10% regression"; exit 1 }
         }' target/BENCH_parallel.json
 fi
+
+# Snapshot/restore gates (DESIGN §15). The round-trip suite proves
+# `restore(snapshot(sim))` continues byte-identically over the corpus
+# and a generated sweep at shards {1,2,4}; the checkpointed fuzz smoke
+# re-runs the interpreter leg with a snapshot/restore cycle every few
+# dispatches across 200 generated models and must stay divergence-free.
+cargo test -q --release --test snapshot_roundtrip
+cargo run --quiet --release -- fuzz --seeds 200 --checkpoint \
+    > target/fuzz-smoke-ckpt.txt
+grep -q 'divergences      : 0' target/fuzz-smoke-ckpt.txt
+
+# Serve smoke gate: the daemon's golden transcript — spawned server on
+# loopback, every verb exercised including a restore-rewind whose
+# continuation must equal the pre-restore run — compared byte-for-byte
+# against the blessed golden. Any drift in the wire protocol, response
+# field order, or session semantics fails here.
+cargo run --quiet --release -- serve --smoke > target/serve-smoke.txt
+cmp target/serve-smoke.txt tests/golden/serve_smoke.txt
+
+# Serve load gate: the session-conformance suite, then one fresh
+# measurement against the blessed baseline. The harness runs best-of-3
+# to absorb scheduler noise; fail on a >10% regression or if the rate
+# ever drops below the 1k sessions/s acceptance floor.
+cargo test -q --release -p xtuml-serve
+if [ -f BENCH_serve.baseline.json ]; then
+    cp BENCH_serve.baseline.json target/
+    ( cd target && cargo run --quiet --release -p xtuml-bench --bin serve_load )
+    awk '
+        /"aggregate_sessions_per_sec"/ { cur = $2 + 0 }
+        /"baseline_sessions_per_sec"/  { base = $2 + 0 }
+        END {
+            if (base <= 0) { print "no serve baseline rate parsed"; exit 1 }
+            ratio = cur / base
+            printf "serve bench: %.0f vs baseline %.0f sessions/s (%.2fx)\n", cur, base, ratio
+            if (cur < 1000) { print "FAIL: below the 1k sessions/s floor"; exit 1 }
+            if (ratio < 0.9) { print "FAIL: >10% regression"; exit 1 }
+        }' target/BENCH_serve.json
+fi

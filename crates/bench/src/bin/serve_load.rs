@@ -1,0 +1,265 @@
+//! Self-timed load harness for the `xtuml serve` daemon (E12).
+//!
+//! Starts an in-process server on an ephemeral loopback port, then
+//! drives it with concurrent connections, each cycling the golden
+//! per-session transcript: create → stimulate → step → trace → close.
+//! Worker connections run closed-loop individually but overlap each
+//! other, approximating an open-loop arrival process at the single
+//! manager thread that serializes every session table operation.
+//!
+//! Two lanes are measured:
+//!
+//! * **sessions** — raw session churn: latency per request and
+//!   sessions per second across the worker pool.
+//! * **eviction** — the same transcript against a server with
+//!   `idle_evict = 1` and one noisy neighbour, so every touch of the
+//!   measured session first revives it from a spooled snapshot on
+//!   disk; the latency delta prices the eviction round-trip.
+//!
+//! Results go to `BENCH_serve.json` (headline
+//! `aggregate_sessions_per_sec` last, for the CI gate) and one row of
+//! `BENCH_history.jsonl`. A `BENCH_serve.baseline.json` alongside adds
+//! a speedup-vs-baseline figure.
+//!
+//! Usage: `cargo run --release -p xtuml-bench --bin serve_load`
+//!
+//! `BENCH_SERVE_SESSIONS=<n>` overrides sessions per worker (default
+//! 200); `BENCH_SERVE_WORKERS=<n>` the worker count (default 4);
+//! `BENCH_ITERS=<n>` the best-of iteration count for the session lane
+//! (default 3) — short walls are scheduling-noisy, and the workload is
+//! deterministic, so the minimum-wall sample is the least-noise one.
+
+use std::time::Instant;
+
+use xtuml_bench::history;
+use xtuml_serve::{Client, ServeConfig, Server, SessionCfg};
+
+const MODEL: &str = "domain Tiny;\n\
+    actor OUT { signal out(v: int); }\n\
+    class C {\n\
+        attr n: int = 0;\n\
+        event E(v: int);\n\
+        initial S;\n\
+        state S { }\n\
+        state T { self.n = self.n + rcvd.v; gen out(self.n) to OUT; }\n\
+        on S: E -> T;\n\
+        on T: E -> T;\n\
+    }\n";
+
+fn create_req() -> String {
+    let escaped = MODEL.replace('\n', "\\n");
+    format!(
+        r#"{{"verb": "create", "model": "{escaped}", "setup": "create c C\nat 0 c E 1\n", "seed": 1}}"#
+    )
+}
+
+struct Lane {
+    name: &'static str,
+    sessions: u64,
+    requests: u64,
+    wall_secs: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One session's golden transcript over an existing connection; returns
+/// per-request latencies in microseconds.
+fn drive_session(client: &mut Client, create: &str, lat: &mut Vec<u64>) {
+    let mut send = |req: &str| {
+        let t = Instant::now();
+        let reply = client.request(req).expect("request");
+        lat.push(t.elapsed().as_micros() as u64);
+        reply
+    };
+    let created = send(create);
+    assert!(created.contains("\"ok\": true"), "create failed: {created}");
+    // Session ids are server-global; pull ours out of the reply.
+    let id: u64 = xtuml_obs::json::parse(&created)
+        .ok()
+        .and_then(|d| d.get("session").and_then(|s| s.as_num()))
+        .expect("session id") as u64;
+    send(&format!(
+        r#"{{"verb": "stimulate", "session": {id}, "inst": 0, "event": "E", "args": [2], "time": 5}}"#
+    ));
+    let stepped = send(&format!(r#"{{"verb": "step", "session": {id}}}"#));
+    assert!(stepped.contains("\"quiescent\": true"), "{stepped}");
+    send(&format!(r#"{{"verb": "trace", "session": {id}}}"#));
+    send(&format!(r#"{{"verb": "close", "session": {id}}}"#));
+}
+
+fn session_lane(workers: usize, per_worker: u64) -> Lane {
+    let server = Server::start(ServeConfig {
+        port: 0,
+        session: SessionCfg::default(),
+    })
+    .expect("bind loopback");
+    let addr = server.addr();
+    let create = create_req();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let create = create.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(per_worker as usize * 5);
+                for _ in 0..per_worker {
+                    drive_session(&mut client, &create, &mut lat);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> = Vec::new();
+    for h in handles {
+        lat.extend(h.join().expect("worker"));
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    lat.sort_unstable();
+    Lane {
+        name: "sessions",
+        sessions: workers as u64 * per_worker,
+        requests: lat.len() as u64,
+        wall_secs,
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+fn eviction_lane(touches: u64) -> Lane {
+    let spool = std::env::temp_dir().join(format!("xtuml-serve-bench-{}", std::process::id()));
+    let server = Server::start(ServeConfig {
+        port: 0,
+        session: SessionCfg {
+            idle_evict: 1,
+            spool: spool.clone(),
+            ..SessionCfg::default()
+        },
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let created = client.request(&create_req()).expect("create");
+    assert!(created.contains("\"ok\": true"), "{created}");
+    // Every ping makes session 1 idle for >= 1 tick, so each stats call
+    // below revives it from its spooled snapshot first.
+    let mut lat = Vec::with_capacity(touches as usize);
+    let start = Instant::now();
+    for _ in 0..touches {
+        client.request(r#"{"verb": "ping"}"#).expect("ping");
+        let t = Instant::now();
+        let reply = client
+            .request(r#"{"verb": "stats", "session": 1}"#)
+            .expect("stats");
+        lat.push(t.elapsed().as_micros() as u64);
+        assert!(reply.contains("\"ok\": true"), "{reply}");
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+    lat.sort_unstable();
+    Lane {
+        name: "eviction",
+        sessions: 1,
+        requests: touches * 2,
+        wall_secs,
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+    }
+}
+
+fn main() {
+    let per_worker: u64 = std::env::var("BENCH_SERVE_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let workers: usize = std::env::var("BENCH_SERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    let iters: u32 = std::env::var("BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    let mut best = session_lane(workers, per_worker);
+    for _ in 1..iters {
+        let next = session_lane(workers, per_worker);
+        if next.wall_secs < best.wall_secs {
+            best = next;
+        }
+    }
+    let lanes = [best, eviction_lane(400)];
+    let sessions = &lanes[0];
+    let aggregate = sessions.sessions as f64 / sessions.wall_secs;
+
+    let mut json = String::new();
+    json.push_str("{\n  \"workload\": \"serve_golden_transcript\",\n");
+    json.push_str(&format!(
+        "  \"workers\": {workers},\n  \"sessions_per_worker\": {per_worker},\n  \"lanes\": [\n"
+    ));
+    for (i, l) in lanes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"lane\": \"{}\", \"sessions\": {}, \"requests\": {}, \"wall_secs\": {:.4}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            l.name,
+            l.sessions,
+            l.requests,
+            l.wall_secs,
+            l.p50_us,
+            l.p99_us,
+            if i + 1 < lanes.len() { "," } else { "" }
+        ));
+        println!(
+            "lane={:<9} sessions={:<6} requests={:<6} wall={:.3}s  p50={}us p99={}us",
+            l.name, l.sessions, l.requests, l.wall_secs, l.p50_us, l.p99_us
+        );
+    }
+    json.push_str("  ],\n");
+    // Keep the headline key *after* every other key: the CI awk takes
+    // the last line matching "aggregate_sessions_per_sec".
+    json.push_str(&format!(
+        "  \"requests_per_sec\": {:.0},\n",
+        sessions.requests as f64 / sessions.wall_secs
+    ));
+    json.push_str(&format!("  \"aggregate_sessions_per_sec\": {aggregate:.0}"));
+    println!("aggregate: {aggregate:.0} sessions/s");
+
+    if let Ok(base) = std::fs::read_to_string("BENCH_serve.baseline.json") {
+        if let Some(at) = base.find("\"aggregate_sessions_per_sec\":") {
+            let rest = base[at + "\"aggregate_sessions_per_sec\":".len()..].trim_start();
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                .unwrap_or(rest.len());
+            if let Ok(rate) = rest[..end].parse::<f64>() {
+                let speedup = aggregate / rate;
+                json.push_str(&format!(
+                    ",\n  \"baseline_sessions_per_sec\": {rate:.0},\n  \"speedup_vs_baseline\": {speedup:.2}"
+                ));
+                println!("baseline: {rate:.0} sessions/s ({speedup:.2}x)");
+            }
+        }
+    } else {
+        println!("(no baseline file)");
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    history::append_with(
+        "BENCH_history.jsonl",
+        "serve_load",
+        aggregate,
+        &[
+            ("p99_us", lanes[0].p99_us.to_string()),
+            ("eviction_p99_us", lanes[1].p99_us.to_string()),
+        ],
+    )
+    .expect("append BENCH_history.jsonl");
+}

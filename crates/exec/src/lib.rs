@@ -54,11 +54,13 @@
 pub mod sched;
 pub mod shard;
 pub mod sim;
+pub mod snapshot;
 pub mod store;
 pub mod trace;
 
 pub use sched::SchedPolicy;
 pub use shard::{shard_safety, ShardedSimulation};
 pub use sim::{Engine, Simulation};
+pub use snapshot::SnapError;
 pub use store::ObjectStore;
 pub use trace::{ObservableEvent, Trace, TraceEvent};

@@ -44,6 +44,7 @@
 
 use crate::sched::{SchedPolicy, SplitMix64};
 use crate::sim::{Engine, PayloadPool, Simulation};
+use crate::snapshot::{self, SnapError, SnapResult};
 use crate::store::ObjectStore;
 use crate::trace::{Trace, TraceEvent};
 use std::collections::VecDeque;
@@ -55,7 +56,7 @@ use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
 use xtuml_core::interp::{self, ActionHost, ExecCtx};
 use xtuml_core::model::{Domain, TransitionTarget};
 use xtuml_core::value::Value;
-use xtuml_obs::{Counter, EpochRow, Gauge, HistKind, NullSink, Recorder, Sink};
+use xtuml_obs::{Counter, EpochRow, Gauge, HistKind, Metrics, NullSink, Recorder, Sink};
 use xtuml_pool::{stream_seed, Pool};
 
 // ---------------------------------------------------------------------------
@@ -144,6 +145,21 @@ struct PendingStimulus {
     to: InstId,
     event: EventId,
     args: Arc<[Value]>,
+}
+
+/// The live epoch engine between barriers: shard replicas plus the
+/// coordinator's undelivered work. Held only while a run is paused at an
+/// epoch barrier ([`ShardedSimulation::run_epochs`] returned `None`) —
+/// exactly the points where every shard's epoch-local buffers are
+/// drained, which is what makes the pause a valid snapshot point.
+struct EngineState {
+    shards: Vec<ShardState>,
+    /// Not-yet-due external stimuli, sorted by `(time, seq)`.
+    stimuli: VecDeque<PendingStimulus>,
+    /// Armed timers, sorted by `(deadline, seq)` at every barrier.
+    timers: Vec<PendingTimer>,
+    total_steps: u64,
+    epoch_no: u64,
 }
 
 /// A delivery that has come due at the top of an epoch:
@@ -771,6 +787,9 @@ pub struct ShardedSimulation<'d> {
     /// despite static admission (a colocation precondition failed for
     /// the actual setup links and shard count); `None` otherwise.
     runtime_fallback: Option<String>,
+    /// The paused epoch engine, `Some` only between a `run_epochs` pause
+    /// and its resumption (always at an epoch barrier).
+    engine_state: Option<EngineState>,
 }
 
 impl std::fmt::Debug for ShardedSimulation<'_> {
@@ -804,6 +823,7 @@ impl<'d> ShardedSimulation<'d> {
             now: 0,
             obs: None,
             runtime_fallback: None,
+            engine_state: None,
         }
     }
 
@@ -941,98 +961,143 @@ impl<'d> ShardedSimulation<'d> {
     /// runtime errors (the lowest-id failing shard's error is reported,
     /// deterministically), and on `max_steps` exhaustion.
     pub fn run_to_quiescence(&mut self, jobs: usize) -> Result<u64> {
-        self.runtime_fallback = None;
-        if self.policy.shards <= 1 {
+        if self.engine_state.is_none() && self.policy.shards <= 1 {
+            self.runtime_fallback = None;
             return self.run_sequential();
         }
-        shard_safety(self.domain)?;
-        let nshards = self.policy.shards;
+        let steps = self.run_epochs(jobs, u64::MAX)?;
+        Ok(steps.expect("an unbounded epoch budget reaches quiescence"))
+    }
 
-        // Runtime leg of the colocation admission rule: the static pass
-        // admitted access through these associations on the promise that
-        // every link keeps both endpoints on one shard. Check the actual
-        // setup links at the actual shard count; on violation, delegate
-        // to the sequential engine (the trace stays a pure function of
-        // `(seed, shards)` — this check depends on nothing else).
-        let plan = xtuml_core::effects::analyze(self.domain);
-        for &assoc in &plan.coloc_assocs {
-            if let Some(&(a, b, _)) = self
-                .setup_links
-                .iter()
-                .find(|&&(a, b, r)| r == assoc && a.index() % nshards != b.index() % nshards)
-            {
-                self.runtime_fallback = Some(format!(
-                    "association `{}` links {a} and {b} across shards at shards={nshards}; \
-                     colocation precondition failed, running sequentially",
-                    self.domain.association(assoc).name
-                ));
-                if let Some(r) = self.obs.as_mut() {
-                    r.count(Counter::ShardFallbacks, 1);
+    /// Runs at most `max_epochs` epochs (clamped to ≥ 1), pausing at the
+    /// epoch barrier — the one point where every shard's epoch-local
+    /// buffers are drained, so the engine can be captured exactly by
+    /// [`ShardedSimulation::snapshot`]. Returns `Some(total_steps)` once
+    /// the run reaches quiescence, `None` when it paused with work
+    /// remaining; calling again resumes, and the eventual trace is
+    /// byte-identical to an uninterrupted
+    /// [`ShardedSimulation::run_to_quiescence`] no matter how often the
+    /// run pauses. Time jumps to the next timer/stimulus deadline do not
+    /// count as epochs — only barriers where shards actually dispatched.
+    ///
+    /// Two delegation paths run the sequential engine to completion and
+    /// return `Some` regardless of `max_epochs`: `policy.shards <= 1`,
+    /// and the colocation-precondition fallback
+    /// ([`ShardedSimulation::runtime_fallback`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedSimulation::run_to_quiescence`]. An error abandons any
+    /// paused engine — a failing shard stopped mid-dispatch, which is not
+    /// a barrier — so the next call starts a fresh run.
+    pub fn run_epochs(&mut self, jobs: usize, max_epochs: u64) -> Result<Option<u64>> {
+        let max_epochs = max_epochs.max(1);
+        if self.engine_state.is_none() {
+            self.runtime_fallback = None;
+            if self.policy.shards <= 1 {
+                return self.run_sequential().map(Some);
+            }
+            shard_safety(self.domain)?;
+            let nshards = self.policy.shards;
+
+            // Runtime leg of the colocation admission rule: the static
+            // pass admitted access through these associations on the
+            // promise that every link keeps both endpoints on one shard.
+            // Check the actual setup links at the actual shard count; on
+            // violation, delegate to the sequential engine (the trace
+            // stays a pure function of `(seed, shards)` — this check
+            // depends on nothing else).
+            let plan = xtuml_core::effects::analyze(self.domain);
+            for &assoc in &plan.coloc_assocs {
+                if let Some(&(a, b, _)) = self
+                    .setup_links
+                    .iter()
+                    .find(|&&(a, b, r)| r == assoc && a.index() % nshards != b.index() % nshards)
+                {
+                    self.runtime_fallback = Some(format!(
+                        "association `{}` links {a} and {b} across shards at shards={nshards}; \
+                         colocation precondition failed, running sequentially",
+                        self.domain.association(assoc).name
+                    ));
+                    if let Some(r) = self.obs.as_mut() {
+                        r.count(Counter::ShardFallbacks, 1);
+                    }
+                    return self.run_sequential().map(Some);
                 }
-                return self.run_sequential();
             }
+            if let Some(r) = self.obs.as_mut() {
+                r.count(Counter::ShardAdmitted, 1);
+            }
+
+            // Telemetry: setup totals, then the run-level span. The
+            // sharded setup methods never touch the recorder, so totals
+            // recorded here match what a plain `Simulation` counts at
+            // its call sites.
+            if let Some(r) = self.obs.as_mut() {
+                let live = self.store.live_count() as u64;
+                r.count(Counter::InstancesCreated, live);
+                r.gauge_max(Gauge::LiveInstancesMax, live);
+                r.count(Counter::StimuliInjected, self.stimuli.len() as u64);
+                r.gauge_max(Gauge::StimulusHeapMax, self.stimuli.len() as u64);
+                if r.spans_enabled() {
+                    let track = r.track;
+                    r.span_begin(track, "sim", "sharded_run");
+                }
+            }
+
+            // Split the setup population into shard replicas.
+            let shards: Vec<ShardState> = (0..nshards)
+                .map(|id| ShardState {
+                    id,
+                    nshards,
+                    store: self.store.clone(),
+                    queues: (0..self.store_len())
+                        .map(|_| InstQueues::default())
+                        .collect(),
+                    ready: Vec::new(),
+                    in_ready: vec![false; self.store_len()],
+                    // stream_seed even for shard 0: stream_seed(base, 0)
+                    // != base, so a sharded run never replays the
+                    // unsharded schedule by accident.
+                    rng: SplitMix64::new(stream_seed(self.policy.seed, id as u64)),
+                    local_seq: 0,
+                    trace: Vec::new(),
+                    outbox: Vec::new(),
+                    new_timers: Vec::new(),
+                    cancels: Vec::new(),
+                    dispatches: 0,
+                    dropped: 0,
+                    step_budget: self.max_steps,
+                    max_steps: self.max_steps,
+                    now: self.now,
+                    strict: self.policy.strict,
+                    self_priority: self.policy.self_priority,
+                    frame_buf: Vec::new(),
+                    payloads: PayloadPool::new(),
+                    obs: self.obs.as_ref().map(|r| r.fork_shard(id as u32)),
+                    epoch: 0,
+                    epoch_busy_ns: 0,
+                })
+                .collect();
+
+            let mut stimuli = std::mem::take(&mut self.stimuli);
+            stimuli.sort_by_key(|s| (s.time, s.seq));
+            self.engine_state = Some(EngineState {
+                shards,
+                stimuli: stimuli.into(),
+                timers: Vec::new(),
+                total_steps: 0,
+                epoch_no: 0,
+            });
         }
-        if let Some(r) = self.obs.as_mut() {
-            r.count(Counter::ShardAdmitted, 1);
-        }
+
         let pool = Pool::new(jobs);
-
-        // Telemetry: setup totals, then the run-level span. The sharded
-        // setup methods never touch the recorder, so totals recorded
-        // here match what a plain `Simulation` counts at its call sites.
-        if let Some(r) = self.obs.as_mut() {
-            let live = self.store.live_count() as u64;
-            r.count(Counter::InstancesCreated, live);
-            r.gauge_max(Gauge::LiveInstancesMax, live);
-            r.count(Counter::StimuliInjected, self.stimuli.len() as u64);
-            r.gauge_max(Gauge::StimulusHeapMax, self.stimuli.len() as u64);
-            if r.spans_enabled() {
-                let track = r.track;
-                r.span_begin(track, "sim", "sharded_run");
-            }
-        }
-
-        // Split the setup population into shard replicas.
-        let mut shards: Vec<ShardState> = (0..nshards)
-            .map(|id| ShardState {
-                id,
-                nshards,
-                store: self.store.clone(),
-                queues: (0..self.store_len())
-                    .map(|_| InstQueues::default())
-                    .collect(),
-                ready: Vec::new(),
-                in_ready: vec![false; self.store_len()],
-                // stream_seed even for shard 0: stream_seed(base, 0) !=
-                // base, so a sharded run never replays the unsharded
-                // schedule by accident.
-                rng: SplitMix64::new(stream_seed(self.policy.seed, id as u64)),
-                local_seq: 0,
-                trace: Vec::new(),
-                outbox: Vec::new(),
-                new_timers: Vec::new(),
-                cancels: Vec::new(),
-                dispatches: 0,
-                dropped: 0,
-                step_budget: self.max_steps,
-                max_steps: self.max_steps,
-                now: self.now,
-                strict: self.policy.strict,
-                self_priority: self.policy.self_priority,
-                frame_buf: Vec::new(),
-                payloads: PayloadPool::new(),
-                obs: self.obs.as_ref().map(|r| r.fork_shard(id as u32)),
-                epoch: 0,
-                epoch_busy_ns: 0,
-            })
-            .collect();
-
-        let mut stimuli = std::mem::take(&mut self.stimuli);
-        stimuli.sort_by_key(|s| (s.time, s.seq));
-        let mut stimuli: VecDeque<PendingStimulus> = stimuli.into();
-        let mut timers: Vec<PendingTimer> = Vec::new();
-        let mut total_steps = 0u64;
-        let mut epoch_no = 0u64;
+        let nshards = self.policy.shards;
+        // Taken out for the duration of the call: an error leaves the
+        // engine abandoned (see above), success either pauses (putting
+        // it back) or finishes (dropping it).
+        let mut st = self.engine_state.take().expect("ensured above");
+        let mut ran = 0u64;
 
         loop {
             // 1. Deliver due stimuli and timers into shard queues in
@@ -1042,11 +1107,11 @@ impl<'d> ShardedSimulation<'d> {
             // keeps the order total and deterministic.
             let now = self.now;
             let mut due: Vec<DueDelivery> = Vec::new();
-            while stimuli.front().is_some_and(|s| s.time <= now) {
-                let s = stimuli.pop_front().expect("peeked above");
+            while st.stimuli.front().is_some_and(|s| s.time <= now) {
+                let s = st.stimuli.pop_front().expect("peeked above");
                 due.push((s.time, s.seq, 0, None, s.to, s.event, s.args));
             }
-            timers.retain(|t| {
+            st.timers.retain(|t| {
                 if t.deadline <= now {
                     due.push((
                         t.deadline,
@@ -1070,7 +1135,7 @@ impl<'d> ShardedSimulation<'d> {
                 }
             }
             for (_, seq, _, from, to, event, args) in due {
-                let shard = &mut shards[to.index() % nshards];
+                let shard = &mut st.shards[to.index() % nshards];
                 shard.enqueue(
                     to,
                     Envelope {
@@ -1083,11 +1148,12 @@ impl<'d> ShardedSimulation<'d> {
             }
 
             // 2. If nothing is ready anywhere, jump time or quiesce.
-            if shards.iter().all(|s| s.ready.is_empty()) {
-                let next = timers
+            if st.shards.iter().all(|s| s.ready.is_empty()) {
+                let next = st
+                    .timers
                     .iter()
                     .map(|t| t.deadline)
-                    .chain(stimuli.front().map(|s| s.time))
+                    .chain(st.stimuli.front().map(|s| s.time))
                     .min();
                 match next {
                     Some(t) if t > self.now => {
@@ -1102,12 +1168,12 @@ impl<'d> ShardedSimulation<'d> {
             // 3. Run every shard to local quiescence, in parallel. Each
             // shard carries the remaining global dispatch budget so a
             // never-quiescing local cycle errors inside the epoch.
-            let remaining = self.max_steps.saturating_sub(total_steps);
-            epoch_no += 1;
-            for s in shards.iter_mut() {
+            let remaining = self.max_steps.saturating_sub(st.total_steps);
+            st.epoch_no += 1;
+            for s in st.shards.iter_mut() {
                 s.now = self.now;
                 s.step_budget = remaining;
-                s.epoch = epoch_no;
+                s.epoch = st.epoch_no;
             }
             let domain = self.domain;
             let program = &self.program;
@@ -1120,7 +1186,7 @@ impl<'d> ShardedSimulation<'d> {
                 None => &mut null,
             };
             let outcomes = pool
-                .try_map_mut_obs(sink, "epoch", &mut shards, |_, s| {
+                .try_map_mut_obs(sink, "epoch", &mut st.shards, |_, s| {
                     s.run_epoch(domain, program, bcp, engine)
                 })
                 .map_err(|e| CoreError::runtime(e.to_string()))?;
@@ -1129,12 +1195,12 @@ impl<'d> ShardedSimulation<'d> {
             // 4. Barrier: merge traces in shard order; report the
             // lowest-id shard's error (deterministic across jobs).
             let mut epoch_dispatches = 0u64;
-            for s in shards.iter_mut() {
+            for s in st.shards.iter_mut() {
                 self.trace.events.append(&mut s.trace);
                 self.dropped += s.dropped;
                 s.dropped = 0;
                 epoch_dispatches = epoch_dispatches.max(s.dispatches);
-                total_steps += s.dispatches;
+                st.total_steps += s.dispatches;
                 if let Some(r) = self.obs.as_mut() {
                     r.observe(HistKind::EpochDispatches, s.dispatches);
                     r.observe(HistKind::EpochOutbox, s.outbox.len() as u64);
@@ -1145,7 +1211,7 @@ impl<'d> ShardedSimulation<'d> {
                     }
                     if r.stream_epochs {
                         r.metrics.epoch_rows.push(EpochRow {
-                            epoch: epoch_no,
+                            epoch: st.epoch_no,
                             shard: s.id as u32,
                             dispatches: s.dispatches,
                             outbox: s.outbox.len() as u64,
@@ -1164,7 +1230,7 @@ impl<'d> ShardedSimulation<'d> {
                 r.timing.epochs_timed += 1;
             }
             outcomes.into_iter().collect::<Result<Vec<()>>>()?;
-            if total_steps > self.max_steps {
+            if st.total_steps > self.max_steps {
                 if let Some(r) = self.obs.as_mut() {
                     r.count(Counter::BudgetExhausted, 1);
                 }
@@ -1177,13 +1243,16 @@ impl<'d> ShardedSimulation<'d> {
             // 5. Route outboxes: source shards in id order, each
             // source's signals in send order — per-pair FIFO holds
             // because a sender lives in exactly one shard.
-            let routed: Vec<OutboxEntry> =
-                shards.iter_mut().flat_map(|s| s.outbox.drain(..)).collect();
+            let routed: Vec<OutboxEntry> = st
+                .shards
+                .iter_mut()
+                .flat_map(|s| s.outbox.drain(..))
+                .collect();
             if let Some(r) = self.obs.as_mut() {
                 r.gauge_max(Gauge::OutboxBurstMax, routed.len() as u64);
             }
             for OutboxEntry { to, env } in routed {
-                shards[to.index() % nshards].enqueue(to, env);
+                st.shards[to.index() % nshards].enqueue(to, env);
             }
 
             // 6. Collect every shard's new timers first, then apply
@@ -1192,34 +1261,43 @@ impl<'d> ShardedSimulation<'d> {
             // instance, so a cancel from a lower-id shard must also see
             // same-epoch timers armed by higher-id shards — interleaving
             // the passes would make the outcome depend on shard ids.
-            for s in shards.iter_mut() {
-                timers.append(&mut s.new_timers);
+            for s in st.shards.iter_mut() {
+                st.timers.append(&mut s.new_timers);
             }
             let mut cancelled = 0u64;
-            for s in shards.iter_mut() {
+            for s in st.shards.iter_mut() {
                 for (inst, event) in s.cancels.drain(..) {
-                    let before = timers.len();
-                    timers.retain(|t| !(t.to == inst && t.event == event));
-                    cancelled += (before - timers.len()) as u64;
+                    let before = st.timers.len();
+                    st.timers.retain(|t| !(t.to == inst && t.event == event));
+                    cancelled += (before - st.timers.len()) as u64;
                 }
             }
-            timers.sort_by_key(|t| (t.deadline, t.seq));
+            st.timers.sort_by_key(|t| (t.deadline, t.seq));
             if let Some(r) = self.obs.as_mut() {
                 if cancelled > 0 {
                     r.count(Counter::TimersCancelled, cancelled);
                 }
-                r.gauge_max(Gauge::TimerListMax, timers.len() as u64);
+                r.gauge_max(Gauge::TimerListMax, st.timers.len() as u64);
             }
 
             // 7. Advance time by the epoch's critical path: the busiest
             // shard's dispatch count (all shards ran concurrently).
             self.now += epoch_dispatches.max(1);
+
+            // Pause at the barrier once the epoch budget is spent. Every
+            // shard's epoch-local buffers were drained above, so this is
+            // exactly a snapshot point; the next call picks up at step 1.
+            ran += 1;
+            if ran >= max_epochs {
+                self.engine_state = Some(st);
+                return Ok(None);
+            }
         }
         // Fold per-shard recorders back in shard-id order — the merged
         // snapshot must not depend on worker scheduling — then close the
         // run-level span.
         if let Some(r) = self.obs.as_mut() {
-            for s in shards.iter_mut() {
+            for s in st.shards.iter_mut() {
                 if let Some(child) = s.obs.take() {
                     r.absorb(child);
                 }
@@ -1229,7 +1307,7 @@ impl<'d> ShardedSimulation<'d> {
                 r.span_end(track);
             }
         }
-        Ok(total_steps)
+        Ok(Some(st.total_steps))
     }
 
     /// The `shards == 1` path: replay setup into a classic sequential
@@ -1283,4 +1361,328 @@ impl<'d> ShardedSimulation<'d> {
         // because setup never deletes.
         self.store.live_count()
     }
+
+    // -- snapshot / restore -------------------------------------------------
+
+    /// Serializes the full engine state (DESIGN §15, kind 2).
+    ///
+    /// Valid before a run, after quiescence, and at any epoch barrier —
+    /// i.e. whenever the caller can observe the simulation at all, since
+    /// [`ShardedSimulation::run_epochs`] only ever pauses at barriers.
+    /// Captures the setup population and pending stimuli, the trace so
+    /// far, and (mid-run) every shard replica: store, queues, PRNG
+    /// stream state, send counter, and deterministic metrics.
+    /// [`ShardedSimulation::restore`] continues byte-identically to an
+    /// uninterrupted run. Wall-clock telemetry (spans, `Timing`) and
+    /// allocation caches are not captured, by design.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = snapshot::Writer::with_header(snapshot::KIND_SHARDED, self.domain);
+        w.u64(self.policy.seed);
+        w.bool(self.policy.self_priority);
+        w.bool(self.policy.pair_order);
+        w.bool(self.policy.strict);
+        w.u32(self.policy.shards as u32);
+        w.u8(match self.engine {
+            Engine::Frames => 0,
+            Engine::Bc => 1,
+        });
+        w.u64(self.max_steps);
+        w.u64(self.now);
+        w.u64(self.dropped);
+        w.u64(self.setup_seq);
+        self.store.snap_write(&mut w);
+        w.len(self.setup_links.len());
+        for &(a, b, assoc) in &self.setup_links {
+            w.u32(u32::from(a));
+            w.u32(u32::from(b));
+            w.u32(u32::from(assoc));
+        }
+        w.len(self.stimuli.len());
+        for s in &self.stimuli {
+            snap_write_stim(&mut w, s);
+        }
+        w.len(self.trace.events.len());
+        for e in &self.trace.events {
+            snapshot::write_trace_event(&mut w, e);
+        }
+        match self.runtime_fallback.as_deref() {
+            Some(why) => {
+                w.bool(true);
+                w.str(why);
+            }
+            None => w.bool(false),
+        }
+        match self.obs.as_deref() {
+            Some(rec) => {
+                w.bool(true);
+                w.u32(rec.track);
+                w.bool(rec.stream_epochs);
+                snapshot::write_metrics(&mut w, &rec.metrics.to_raw());
+            }
+            None => w.bool(false),
+        }
+        match self.engine_state.as_ref() {
+            Some(st) => {
+                w.bool(true);
+                w.u64(st.total_steps);
+                w.u64(st.epoch_no);
+                w.len(st.stimuli.len());
+                for s in &st.stimuli {
+                    snap_write_stim(&mut w, s);
+                }
+                w.len(st.timers.len());
+                for t in &st.timers {
+                    w.u64(t.deadline);
+                    w.u64(t.seq);
+                    w.u32(u32::from(t.from));
+                    w.u32(u32::from(t.to));
+                    w.u32(u32::from(t.event));
+                    snapshot::write_values(&mut w, &t.args);
+                }
+                w.len(st.shards.len());
+                for s in &st.shards {
+                    // Barrier invariant: epoch-local buffers are drained.
+                    debug_assert!(s.trace.is_empty() && s.outbox.is_empty());
+                    debug_assert!(s.new_timers.is_empty() && s.cancels.is_empty());
+                    s.store.snap_write(&mut w);
+                    w.len(s.queues.len());
+                    for q in &s.queues {
+                        for half in [&q.self_q, &q.main_q] {
+                            w.len(half.len());
+                            for e in half {
+                                snap_write_env(&mut w, e);
+                            }
+                        }
+                    }
+                    w.u64(s.rng.state());
+                    w.u64(s.local_seq);
+                    match s.obs.as_ref() {
+                        Some(rec) => {
+                            w.bool(true);
+                            snapshot::write_metrics(&mut w, &rec.metrics.to_raw());
+                        }
+                        None => w.bool(false),
+                    }
+                }
+            }
+            None => w.bool(false),
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a sharded simulation from a
+    /// [`ShardedSimulation::snapshot`] against the same domain.
+    ///
+    /// A mid-run snapshot resumes at the captured epoch barrier and the
+    /// completed run's trace is byte-identical to an uninterrupted one.
+    /// An attached recorder comes back with its deterministic metrics
+    /// only (no span buffer, zeroed wall-clock timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] — never panics — on truncated
+    /// or corrupt input, version or kind mismatch, or a snapshot taken
+    /// against a different domain.
+    pub fn restore(domain: &'d Domain, bytes: &[u8]) -> SnapResult<ShardedSimulation<'d>> {
+        let (mut r, kind) = snapshot::Reader::open(bytes, domain)?;
+        if kind != snapshot::KIND_SHARDED {
+            return Err(SnapError::Corrupt(format!(
+                "expected a sharded-engine snapshot, got kind {kind}"
+            )));
+        }
+        let policy = SchedPolicy {
+            seed: r.u64()?,
+            self_priority: r.bool()?,
+            pair_order: r.bool()?,
+            strict: r.bool()?,
+            shards: r.u32()? as usize,
+        };
+        let engine = match r.u8()? {
+            0 => Engine::Frames,
+            1 => Engine::Bc,
+            t => return Err(SnapError::Corrupt(format!("bad engine tag {t}"))),
+        };
+        let mut sim = ShardedSimulation::with_policy(domain, policy);
+        sim.engine = engine;
+        sim.max_steps = r.u64()?;
+        sim.now = r.u64()?;
+        sim.dropped = r.u64()?;
+        sim.setup_seq = r.u64()?;
+        sim.store = ObjectStore::snap_read(&mut r)?;
+        let nl = r.len(12)?;
+        sim.setup_links.reserve(nl);
+        for _ in 0..nl {
+            sim.setup_links.push((
+                InstId::new(r.u32()?),
+                InstId::new(r.u32()?),
+                AssocId::new(r.u32()?),
+            ));
+        }
+        let ns = r.len(28)?;
+        sim.stimuli.reserve(ns);
+        for _ in 0..ns {
+            sim.stimuli.push(snap_read_stim(&mut r)?);
+        }
+        let ne = r.len(13)?;
+        sim.trace.events.reserve(ne);
+        for _ in 0..ne {
+            sim.trace.events.push(snapshot::read_trace_event(&mut r)?);
+        }
+        if r.bool()? {
+            sim.runtime_fallback = Some(r.str()?);
+        }
+        if r.bool()? {
+            let mut rec = Recorder::new();
+            rec.track = r.u32()?;
+            rec.stream_epochs = r.bool()?;
+            rec.metrics = Metrics::from_raw(snapshot::read_metrics(&mut r)?);
+            sim.obs = Some(Box::new(rec));
+        }
+        if r.bool()? {
+            let total_steps = r.u64()?;
+            let epoch_no = r.u64()?;
+            let ns = r.len(28)?;
+            let mut stimuli = VecDeque::with_capacity(ns);
+            for _ in 0..ns {
+                stimuli.push_back(snap_read_stim(&mut r)?);
+            }
+            let nt = r.len(32)?;
+            let mut timers = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                timers.push(PendingTimer {
+                    deadline: r.u64()?,
+                    seq: r.u64()?,
+                    from: InstId::new(r.u32()?),
+                    to: InstId::new(r.u32()?),
+                    event: EventId::new(r.u32()?),
+                    args: snapshot::read_values(&mut r)?,
+                });
+            }
+            let nshards = r.len(29)?;
+            if nshards != sim.policy.shards {
+                return Err(SnapError::Corrupt(format!(
+                    "{nshards} shard replicas for a policy of {} shards",
+                    sim.policy.shards
+                )));
+            }
+            let mut shards = Vec::with_capacity(nshards);
+            for id in 0..nshards {
+                let store = ObjectStore::snap_read(&mut r)?;
+                let nq = r.len(8)?;
+                if nq != store.id_space() {
+                    return Err(SnapError::Corrupt(format!(
+                        "shard {id}: {nq} instance queues for an id space of {}",
+                        store.id_space()
+                    )));
+                }
+                let mut queues = Vec::with_capacity(nq);
+                for _ in 0..nq {
+                    let mut q = InstQueues::default();
+                    for half in [&mut q.self_q, &mut q.main_q] {
+                        let n = r.len(10)?;
+                        for _ in 0..n {
+                            half.push_back(snap_read_env(&mut r)?);
+                        }
+                    }
+                    queues.push(q);
+                }
+                let rng = SplitMix64::from_state(r.u64()?);
+                let local_seq = r.u64()?;
+                let obs = if r.bool()? {
+                    let raw = snapshot::read_metrics(&mut r)?;
+                    let mut child = match sim.obs.as_deref() {
+                        Some(root) => root.fork_shard(id as u32),
+                        None => {
+                            let mut c = Recorder::new();
+                            c.track = id as u32 + 1;
+                            c
+                        }
+                    };
+                    child.metrics = Metrics::from_raw(raw);
+                    Some(child)
+                } else {
+                    None
+                };
+                // Ready sets are derived state: exactly the instances
+                // with a non-empty queue, ascending by id.
+                let mut in_ready = vec![false; nq];
+                let mut ready = Vec::new();
+                for (i, q) in queues.iter().enumerate() {
+                    if !q.is_empty() {
+                        in_ready[i] = true;
+                        ready.push(InstId::new(i as u32));
+                    }
+                }
+                shards.push(ShardState {
+                    id,
+                    nshards,
+                    store,
+                    queues,
+                    ready,
+                    in_ready,
+                    rng,
+                    local_seq,
+                    trace: Vec::new(),
+                    outbox: Vec::new(),
+                    new_timers: Vec::new(),
+                    cancels: Vec::new(),
+                    dispatches: 0,
+                    dropped: 0,
+                    step_budget: sim.max_steps,
+                    max_steps: sim.max_steps,
+                    now: sim.now,
+                    strict: sim.policy.strict,
+                    self_priority: sim.policy.self_priority,
+                    frame_buf: Vec::new(),
+                    payloads: PayloadPool::new(),
+                    obs,
+                    epoch: epoch_no,
+                    epoch_busy_ns: 0,
+                });
+            }
+            sim.engine_state = Some(EngineState {
+                shards,
+                stimuli,
+                timers,
+                total_steps,
+                epoch_no,
+            });
+        }
+        r.expect_end()?;
+        Ok(sim)
+    }
+}
+
+fn snap_write_env(w: &mut snapshot::Writer, e: &Envelope) {
+    snapshot::write_opt_inst(w, e.from);
+    w.u32(u32::from(e.event));
+    w.u64(e.seq);
+    snapshot::write_values(w, &e.args);
+}
+
+fn snap_read_env(r: &mut snapshot::Reader<'_>) -> SnapResult<Envelope> {
+    Ok(Envelope {
+        from: snapshot::read_opt_inst(r)?,
+        event: EventId::new(r.u32()?),
+        seq: r.u64()?,
+        args: snapshot::read_values(r)?,
+    })
+}
+
+fn snap_write_stim(w: &mut snapshot::Writer, s: &PendingStimulus) {
+    w.u64(s.time);
+    w.u64(s.seq);
+    w.u32(u32::from(s.to));
+    w.u32(u32::from(s.event));
+    snapshot::write_values(w, &s.args);
+}
+
+fn snap_read_stim(r: &mut snapshot::Reader<'_>) -> SnapResult<PendingStimulus> {
+    Ok(PendingStimulus {
+        time: r.u64()?,
+        seq: r.u64()?,
+        to: InstId::new(r.u32()?),
+        event: EventId::new(r.u32()?),
+        args: snapshot::read_values(r)?,
+    })
 }

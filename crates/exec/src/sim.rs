@@ -17,6 +17,7 @@
 //! is recycled across dispatches.
 
 use crate::sched::{SchedPolicy, SplitMix64};
+use crate::snapshot::{self, SnapError, SnapResult};
 use crate::store::ObjectStore;
 use crate::trace::{Trace, TraceEvent};
 use std::cmp::Reverse;
@@ -795,6 +796,206 @@ impl<'d> Simulation<'d> {
         self.payloads.recycle(env.args);
         out
     }
+
+    // -- snapshot / restore -------------------------------------------------
+
+    /// Number of pending (not yet delivered) external stimuli — the
+    /// bound the serve daemon's per-session backpressure checks against.
+    pub fn pending_stimuli(&self) -> usize {
+        self.stimuli.len()
+    }
+
+    /// Serializes the full execution state (DESIGN §15).
+    ///
+    /// Captures everything execution can observe: the population, signal
+    /// queues, timers, pending stimuli, the scheduler PRNG state, the
+    /// trace so far, and the deterministic metrics of an attached
+    /// recorder. [`Simulation::restore`] continues **byte-identically**
+    /// to an uninterrupted run. Not captured (see [`crate::snapshot`]):
+    /// registered bridges, wall-clock telemetry, allocation caches.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = snapshot::Writer::with_header(snapshot::KIND_SEQUENTIAL, self.domain);
+        w.u64(self.policy.seed);
+        w.bool(self.policy.self_priority);
+        w.bool(self.policy.pair_order);
+        w.bool(self.policy.strict);
+        w.u32(self.policy.shards as u32);
+        w.u8(match self.engine {
+            Engine::Frames => 0,
+            Engine::Bc => 1,
+        });
+        w.u64(self.now);
+        w.u64(self.send_seq);
+        w.u64(self.dropped);
+        w.u64(self.max_steps);
+        w.u64(self.rng.state());
+        self.store.snap_write(&mut w);
+        w.len(self.queues.len());
+        for q in &self.queues {
+            for half in [&q.self_q, &q.main_q] {
+                w.len(half.len());
+                for e in half {
+                    snap_write_env(&mut w, e);
+                }
+            }
+        }
+        w.len(self.timers.len());
+        for t in &self.timers {
+            w.u64(t.deadline);
+            w.u64(t.seq);
+            w.u32(u32::from(t.from));
+            w.u32(u32::from(t.to));
+            w.u32(u32::from(t.event));
+            snapshot::write_values(&mut w, &t.args);
+        }
+        // Heap iteration order is arbitrary; write stimuli sorted by the
+        // total (time, seq) key so equal states produce equal bytes.
+        let mut stimuli: Vec<&Stimulus> = self.stimuli.iter().map(|Reverse(s)| s).collect();
+        stimuli.sort_by_key(|s| (s.time, s.seq));
+        w.len(stimuli.len());
+        for s in stimuli {
+            w.u64(s.time);
+            w.u64(s.seq);
+            w.u32(u32::from(s.to));
+            w.u32(u32::from(s.event));
+            snapshot::write_values(&mut w, &s.args);
+        }
+        w.len(self.trace.events.len());
+        for e in &self.trace.events {
+            snapshot::write_trace_event(&mut w, e);
+        }
+        match self.obs.as_deref() {
+            Some(rec) => {
+                w.bool(true);
+                w.u32(rec.track);
+                w.bool(rec.stream_epochs);
+                snapshot::write_metrics(&mut w, &rec.metrics.to_raw());
+            }
+            None => w.bool(false),
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a simulation from a [`Simulation::snapshot`] against the
+    /// same domain.
+    ///
+    /// The restored simulation continues byte-identically to the one the
+    /// snapshot was taken from. Bridges are **not** restored (re-register
+    /// them); an attached recorder comes back with its deterministic
+    /// metrics only (no span buffer, zeroed wall-clock timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`SnapError`] — never panics — on truncated
+    /// or corrupt input, version or kind mismatch, or a snapshot taken
+    /// against a different domain.
+    pub fn restore(domain: &'d Domain, bytes: &[u8]) -> SnapResult<Simulation<'d>> {
+        let (mut r, kind) = snapshot::Reader::open(bytes, domain)?;
+        if kind != snapshot::KIND_SEQUENTIAL {
+            return Err(SnapError::Corrupt(format!(
+                "expected a sequential snapshot, got kind {kind}"
+            )));
+        }
+        let policy = SchedPolicy {
+            seed: r.u64()?,
+            self_priority: r.bool()?,
+            pair_order: r.bool()?,
+            strict: r.bool()?,
+            shards: r.u32()? as usize,
+        };
+        let engine = match r.u8()? {
+            0 => Engine::Frames,
+            1 => Engine::Bc,
+            t => return Err(SnapError::Corrupt(format!("bad engine tag {t}"))),
+        };
+        let mut sim = Simulation::with_policy(domain, policy);
+        sim.engine = engine;
+        sim.now = r.u64()?;
+        sim.send_seq = r.u64()?;
+        sim.dropped = r.u64()?;
+        sim.max_steps = r.u64()?;
+        sim.rng = SplitMix64::from_state(r.u64()?);
+        sim.store = ObjectStore::snap_read(&mut r)?;
+        let nq = r.len(8)?;
+        if nq != sim.store.id_space() {
+            return Err(SnapError::Corrupt(format!(
+                "{nq} instance queues for an id space of {}",
+                sim.store.id_space()
+            )));
+        }
+        sim.queues = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            let mut q = InstQueues::default();
+            for half in [&mut q.self_q, &mut q.main_q] {
+                let n = r.len(10)?;
+                for _ in 0..n {
+                    half.push_back(snap_read_env(&mut r)?);
+                }
+            }
+            sim.queues.push(q);
+        }
+        let nt = r.len(30)?;
+        sim.timers = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            sim.timers.push(TimerEntry {
+                deadline: r.u64()?,
+                seq: r.u64()?,
+                from: InstId::new(r.u32()?),
+                to: InstId::new(r.u32()?),
+                event: EventId::new(r.u32()?),
+                args: snapshot::read_values(&mut r)?,
+            });
+        }
+        let ns = r.len(32)?;
+        for _ in 0..ns {
+            sim.stimuli.push(Reverse(Stimulus {
+                time: r.u64()?,
+                seq: r.u64()?,
+                to: InstId::new(r.u32()?),
+                event: EventId::new(r.u32()?),
+                args: snapshot::read_values(&mut r)?,
+            }));
+        }
+        let ne = r.len(13)?;
+        sim.trace.events.reserve(ne);
+        for _ in 0..ne {
+            sim.trace.events.push(snapshot::read_trace_event(&mut r)?);
+        }
+        if r.bool()? {
+            let mut rec = Recorder::new();
+            rec.track = r.u32()?;
+            rec.stream_epochs = r.bool()?;
+            rec.metrics = xtuml_obs::Metrics::from_raw(snapshot::read_metrics(&mut r)?);
+            sim.obs = Some(Box::new(rec));
+        }
+        r.expect_end()?;
+        // The ready set is derived state: exactly the instances with a
+        // non-empty queue, ascending by id (the sorted-list invariant).
+        sim.in_ready = vec![false; sim.queues.len()];
+        for (i, q) in sim.queues.iter().enumerate() {
+            if !q.is_empty() {
+                sim.in_ready[i] = true;
+                sim.ready.push(InstId::new(i as u32));
+            }
+        }
+        Ok(sim)
+    }
+}
+
+fn snap_write_env(w: &mut snapshot::Writer, e: &Envelope) {
+    snapshot::write_opt_inst(w, e.from);
+    w.u32(u32::from(e.event));
+    w.u64(e.seq);
+    snapshot::write_values(w, &e.args);
+}
+
+fn snap_read_env(r: &mut snapshot::Reader<'_>) -> SnapResult<Envelope> {
+    Ok(Envelope {
+        from: snapshot::read_opt_inst(r)?,
+        event: EventId::new(r.u32()?),
+        seq: r.u64()?,
+        args: snapshot::read_values(r)?,
+    })
 }
 
 impl ActionHost for Simulation<'_> {
@@ -1397,6 +1598,66 @@ mod tests {
         sim.inject(0, c, "E", vec![]).unwrap();
         let err = sim.run_to_quiescence().unwrap_err();
         assert!(err.to_string().contains("max_steps"));
+    }
+
+    #[test]
+    fn snapshot_mid_run_continues_byte_identically() {
+        let d = pipeline_domain(4).unwrap();
+        let setup = |sim: &mut Simulation| {
+            let insts: Vec<InstId> = (0..4)
+                .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+                .collect();
+            for k in 0..3 {
+                sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+                    .unwrap();
+            }
+            for i in 0..12 {
+                sim.inject(i, insts[0], "Feed", vec![Value::Int(i as i64)])
+                    .unwrap();
+            }
+        };
+        let mut reference = Simulation::with_policy(&d, SchedPolicy::seeded(7));
+        setup(&mut reference);
+        reference.run_to_quiescence().unwrap();
+
+        for cut in [0u64, 1, 5, 11] {
+            let mut sim = Simulation::with_policy(&d, SchedPolicy::seeded(7));
+            setup(&mut sim);
+            for _ in 0..cut {
+                assert!(sim.step().unwrap());
+            }
+            let bytes = sim.snapshot();
+            let mut restored = Simulation::restore(&d, &bytes).unwrap();
+            restored.run_to_quiescence().unwrap();
+            assert_eq!(
+                restored.trace(),
+                reference.trace(),
+                "divergence after restoring at step {cut}"
+            );
+            assert_eq!(restored.now(), reference.now());
+            // A second snapshot of the same state is byte-identical.
+            let mut again = Simulation::restore(&d, &bytes).unwrap();
+            assert_eq!(again.snapshot(), bytes);
+            again.run_to_quiescence().unwrap();
+            assert_eq!(again.trace(), reference.trace());
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshots_error_structurally() {
+        let d = counter_domain();
+        let mut sim = Simulation::new(&d);
+        let c = sim.create("Counter").unwrap();
+        sim.inject(0, c, "Bump", vec![]).unwrap();
+        let bytes = sim.snapshot();
+        // Every truncation must produce SnapError, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(Simulation::restore(&d, &bytes[..cut]).is_err());
+        }
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Simulation::restore(&d, &long).is_err());
     }
 
     #[test]

@@ -391,6 +391,68 @@ impl ObjectStore {
         Ok(())
     }
 
+    /// Serializes the full population (instances, tombstones, proxies,
+    /// links) into a snapshot stream.
+    pub(crate) fn snap_write(&self, w: &mut crate::snapshot::Writer) {
+        w.len(self.instances.len());
+        for i in &self.instances {
+            w.u32(u32::from(i.class));
+            w.u32(u32::from(i.state));
+            w.bool(i.alive);
+            w.bool(i.proxy);
+            w.len(i.attrs.len());
+            for a in &i.attrs {
+                crate::snapshot::write_value(w, a);
+            }
+        }
+        w.len(self.links.len());
+        for links in &self.links {
+            w.len(links.len());
+            for (a, b) in links {
+                w.u32(u32::from(*a));
+                w.u32(u32::from(*b));
+            }
+        }
+    }
+
+    /// Rebuilds a population from a snapshot stream written by
+    /// [`ObjectStore::snap_write`].
+    pub(crate) fn snap_read(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> crate::snapshot::SnapResult<ObjectStore> {
+        let n = r.len(11)?;
+        let mut instances = Vec::with_capacity(n);
+        for _ in 0..n {
+            let class = ClassId::new(r.u32()?);
+            let state = StateId::new(r.u32()?);
+            let alive = r.bool()?;
+            let proxy = r.bool()?;
+            let na = r.len(1)?;
+            let mut attrs = Vec::with_capacity(na);
+            for _ in 0..na {
+                attrs.push(crate::snapshot::read_value(r)?);
+            }
+            instances.push(Instance {
+                class,
+                attrs,
+                state,
+                alive,
+                proxy,
+            });
+        }
+        let nl = r.len(4)?;
+        let mut links = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            let np = r.len(8)?;
+            let mut pairs = Vec::with_capacity(np);
+            for _ in 0..np {
+                pairs.push((InstId::new(r.u32()?), InstId::new(r.u32()?)));
+            }
+            links.push(pairs);
+        }
+        Ok(ObjectStore { instances, links })
+    }
+
     /// Removes a link.
     ///
     /// # Errors

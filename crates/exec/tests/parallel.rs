@@ -370,6 +370,136 @@ fn coloc_admission_checks_links_at_runtime() {
     assert!(reason.contains("R1"), "{reason}");
 }
 
+/// Sets up the standard pipeline workload on a sharded simulation.
+fn setup_pipeline(sim: &mut ShardedSimulation<'_>, stages: usize) {
+    let insts: Vec<_> = (0..stages)
+        .map(|k| sim.create(&format!("Stage{k}")).unwrap())
+        .collect();
+    for k in 0..stages - 1 {
+        sim.relate(insts[k], insts[k + 1], &format!("R{}", k + 1))
+            .unwrap();
+    }
+    for i in 0..12 {
+        sim.inject(i, insts[0], "Feed", vec![Value::Int(i as i64)])
+            .unwrap();
+    }
+}
+
+#[test]
+fn epoch_paused_run_matches_uninterrupted_run() {
+    // run_epochs(jobs, 1) pauses at every barrier; driving the run one
+    // epoch at a time must reproduce the uninterrupted trace exactly.
+    let stages = 6;
+    let domain = pipeline_domain(stages).unwrap();
+    for (shards, seed) in [(2usize, 3u64), (4, 11)] {
+        let reference = sharded_pipeline_trace(&domain, stages, seed, shards, 2);
+        let policy = SchedPolicy::seeded(seed).with_shards(shards);
+        let mut sim = ShardedSimulation::with_policy(&domain, policy);
+        setup_pipeline(&mut sim, stages);
+        let mut pauses = 0u32;
+        while sim.run_epochs(2, 1).unwrap().is_none() {
+            pauses += 1;
+            assert!(pauses < 10_000, "runaway epoch loop");
+        }
+        assert!(pauses > 0, "pipeline must take more than one epoch");
+        assert!(sim.runtime_fallback().is_none());
+        assert_eq!(sim.trace().render(&domain), reference, "shards {shards}");
+    }
+}
+
+#[test]
+fn snapshot_at_every_barrier_restores_byte_identically() {
+    // Snapshot + restore at every epoch barrier, continuing each time in
+    // the restored engine: the final trace must be byte-identical to an
+    // uninterrupted run, and re-snapshotting a restored engine must
+    // reproduce the snapshot bytes exactly.
+    let stages = 6;
+    let domain = pipeline_domain(stages).unwrap();
+    for (shards, seed) in [(2usize, 3u64), (4, 11)] {
+        let reference = sharded_pipeline_trace(&domain, stages, seed, shards, 2);
+        let policy = SchedPolicy::seeded(seed).with_shards(shards);
+        let mut sim = ShardedSimulation::with_policy(&domain, policy);
+        setup_pipeline(&mut sim, stages);
+        let mut restores = 0u32;
+        let total = loop {
+            match sim.run_epochs(2, 1).unwrap() {
+                Some(total) => break total,
+                None => {
+                    let bytes = sim.snapshot();
+                    sim = ShardedSimulation::restore(&domain, &bytes).unwrap();
+                    assert_eq!(sim.snapshot(), bytes, "re-snapshot must be stable");
+                    restores += 1;
+                    assert!(restores < 10_000, "runaway epoch loop");
+                }
+            }
+        };
+        assert!(restores > 0 && total > 0);
+        assert_eq!(sim.trace().render(&domain), reference, "shards {shards}");
+
+        // A post-quiescence snapshot round-trips the finished run too.
+        let done = sim.snapshot();
+        let back = ShardedSimulation::restore(&domain, &done).unwrap();
+        assert_eq!(back.trace().render(&domain), reference);
+        assert_eq!(back.now(), sim.now());
+    }
+}
+
+#[test]
+fn sharded_snapshot_preserves_timers_and_metrics() {
+    // Timer-armed model: pause/snapshot/restore at every barrier while
+    // timers are pending, with a recorder attached; the trace and the
+    // deterministic metrics must match the uninterrupted run.
+    let mut b = DomainBuilder::new("m");
+    b.actor("OUT").event("fired", &[("tag", DataType::Int)]);
+    b.class("T")
+        .event("Arm", &[("tag", DataType::Int)])
+        .event("Disarm", &[])
+        .event("Late", &[("tag", DataType::Int)])
+        .state("Idle", "")
+        .state("Armed", "gen Late(rcvd.tag) to self after 10;")
+        .state("Safe", "cancel Late;")
+        .state("Fired", "gen fired(rcvd.tag) to OUT;")
+        .initial("Idle")
+        .transition("Idle", "Arm", "Armed")
+        .transition("Armed", "Disarm", "Safe")
+        .transition("Armed", "Late", "Fired");
+    let domain = b.build().unwrap();
+    let setup = |sim: &mut ShardedSimulation<'_>| {
+        let insts: Vec<_> = (0..4).map(|_| sim.create("T").unwrap()).collect();
+        for (i, t) in insts.iter().enumerate() {
+            sim.inject(0, *t, "Arm", vec![Value::Int(i as i64)])
+                .unwrap();
+        }
+        sim.inject(1, insts[2], "Disarm", vec![]).unwrap();
+    };
+
+    let policy = SchedPolicy::seeded(3).with_shards(4);
+    let mut plain = ShardedSimulation::with_policy(&domain, policy);
+    plain.attach_recorder(xtuml_obs::Recorder::new());
+    setup(&mut plain);
+    plain.run_to_quiescence(2).unwrap();
+    let want_trace = plain.trace().render(&domain);
+    let want_metrics = plain.take_recorder().unwrap().metrics.to_json();
+
+    let mut sim = ShardedSimulation::with_policy(&domain, policy);
+    sim.attach_recorder(xtuml_obs::Recorder::new());
+    setup(&mut sim);
+    let mut restores = 0u32;
+    while sim.run_epochs(2, 1).unwrap().is_none() {
+        let bytes = sim.snapshot();
+        sim = ShardedSimulation::restore(&domain, &bytes).unwrap();
+        restores += 1;
+        assert!(restores < 10_000, "runaway epoch loop");
+    }
+    assert!(restores > 0);
+    assert_eq!(sim.trace().render(&domain), want_trace);
+    assert_eq!(
+        sim.take_recorder().unwrap().metrics.to_json(),
+        want_metrics,
+        "deterministic metrics must survive snapshot/restore"
+    );
+}
+
 #[test]
 fn timers_and_cancellation_work_sharded() {
     // One instance per shard arms a timer; one disarms before it fires.

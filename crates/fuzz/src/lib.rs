@@ -65,6 +65,11 @@ pub struct FuzzConfig {
     /// differential); [`Engine::Frames`] reproduces the historical
     /// three-way run.
     pub engine: Engine,
+    /// Add the checkpoint leg (`--checkpoint`): the interpreter runs a
+    /// second time, snapshotting and restoring itself on a fixed
+    /// dispatch schedule, and the case fails unless the restored run's
+    /// trace is byte-identical to the uninterrupted one.
+    pub checkpoint: bool,
 }
 
 impl Default for FuzzConfig {
@@ -76,6 +81,7 @@ impl Default for FuzzConfig {
             ablation: Ablation::None,
             jobs: 1,
             engine: Engine::default(),
+            checkpoint: false,
         }
     }
 }
@@ -221,14 +227,14 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let pool = xtuml_pool::Pool::new(cfg.jobs);
     let outcomes = pool.map(&seeds, |_, &seed| {
         let spec = generate(seed);
-        let outcome = run_spec(&spec, cfg.ablation, cfg.engine);
+        let outcome = run_spec(&spec, cfg.ablation, cfg.engine, cfg.checkpoint);
         match outcome {
             CaseOutcome::Pass(stats) => Ok(stats),
             other => {
                 let class = other.class();
                 let detail = other.describe();
                 let (min_spec, shrink_stats) = if cfg.shrink {
-                    let (s, st) = shrink(&spec, cfg.ablation, cfg.engine);
+                    let (s, st) = shrink(&spec, cfg.ablation, cfg.engine, cfg.checkpoint);
                     (s, Some(st))
                 } else {
                     (spec, None)

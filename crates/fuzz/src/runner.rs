@@ -202,6 +202,52 @@ fn run_interpreter(
     })
 }
 
+/// Checkpoint cadence for `--checkpoint` runs: dispatches between
+/// snapshot/restore cycles. Small enough that short fuzz cases still
+/// cross several checkpoints, large enough that the leg stays cheap.
+const CHECKPOINT_EVERY: u64 = 5;
+
+/// The interpreter leg again, but the simulation is serialized, dropped
+/// and rebuilt from its own snapshot every [`CHECKPOINT_EVERY`]
+/// dispatches. The final trace must be byte-identical to the
+/// uninterrupted run — any drift means the snapshot codec lost a piece
+/// of live scheduler state.
+fn run_interpreter_checkpointed(
+    domain: &Domain,
+    policy: SchedPolicy,
+    tc: &TestCase,
+    engine: Engine,
+) -> Result<Trace, String> {
+    let mut sim = Simulation::with_policy(domain, policy);
+    sim.set_engine(engine);
+    let mut handles = Vec::with_capacity(tc.creates.len());
+    for class in &tc.creates {
+        handles.push(sim.create(class).map_err(|e| e.to_string())?);
+    }
+    for (a, b, assoc) in &tc.relates {
+        sim.relate(handles[*a], handles[*b], assoc)
+            .map_err(|e| e.to_string())?;
+    }
+    let mut stims = tc.stimuli.clone();
+    stims.sort_by_key(|s| s.time);
+    for s in &stims {
+        sim.inject(s.time, handles[s.inst], &s.event, s.args.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    let mut steps = 0u64;
+    while sim.step().map_err(|e| e.to_string())? {
+        steps += 1;
+        if steps > 10_000_000 {
+            return Err("checkpointed run exceeded 10000000 steps - livelock?".to_owned());
+        }
+        if steps.is_multiple_of(CHECKPOINT_EVERY) {
+            let bytes = sim.snapshot();
+            sim = Simulation::restore(domain, &bytes).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(sim.trace().clone())
+}
+
 /// Per-class create residues (mod 8) that satisfy the colocation
 /// precondition at shards ∈ {2, 4, 8}: classes joined by a colocation
 /// association share a residue, distinct components round-robin across
@@ -292,6 +338,7 @@ pub fn run_case(
     tc: &TestCase,
     ablation: Ablation,
     engine: Engine,
+    checkpoint: bool,
 ) -> CaseOutcome {
     // Executor 1: the independent reference interpreter.
     let (ref_obs, ref_stats) = match run_reference(domain, tc) {
@@ -341,6 +388,35 @@ pub fn run_case(
                 "bytecode VM trace diverges from the frame interpreter at event {n}                  (vm {} events, frames {})",
                 interp.trace.events.len(),
                 frames.trace.events.len()
+            ));
+        }
+    }
+
+    // Executor 3b (`--checkpoint`): the interpreter leg once more, with a
+    // snapshot/restore cycle on a fixed dispatch schedule. Byte-identical
+    // traces lock the snapshot codec to the live scheduler state.
+    if checkpoint {
+        let ck = match run_interpreter_checkpointed(domain, ablation.policy(), tc, engine) {
+            Ok(t) => t,
+            Err(error) => {
+                return CaseOutcome::ExecError {
+                    executor: "checkpoint",
+                    error,
+                }
+            }
+        };
+        if ck != interp.trace {
+            let n = interp
+                .trace
+                .events
+                .iter()
+                .zip(ck.events.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            return CaseOutcome::OracleFailure(format!(
+                "checkpointed interpreter trace diverges from the uninterrupted run at event {n} (uninterrupted {} events, checkpointed {})",
+                interp.trace.events.len(),
+                ck.events.len()
             ));
         }
     }
@@ -450,7 +526,12 @@ pub fn run_case(
 
 /// Runs one spec end-to-end: lower, round-trip every textual artifact,
 /// then [`run_case`] on the **reparsed** model.
-pub fn run_spec(spec: &FuzzSpec, ablation: Ablation, engine: Engine) -> CaseOutcome {
+pub fn run_spec(
+    spec: &FuzzSpec,
+    ablation: Ablation,
+    engine: Engine,
+    checkpoint: bool,
+) -> CaseOutcome {
     let domain = match spec.lower() {
         Ok(d) => d,
         Err(e) => return CaseOutcome::BuildError(e.to_string()),
@@ -492,7 +573,7 @@ pub fn run_spec(spec: &FuzzSpec, ablation: Ablation, engine: Engine) -> CaseOutc
         Err(e) => return CaseOutcome::RoundTrip(format!("stimulus script failed to reparse: {e}")),
     }
 
-    run_case(&reparsed, &marks, &tc, ablation, engine)
+    run_case(&reparsed, &marks, &tc, ablation, engine, checkpoint)
 }
 
 /// Replays serialized corpus artifacts (see [`crate::corpus`]).
@@ -507,6 +588,7 @@ pub fn replay(
     stim: &str,
     ablation: Ablation,
     engine: Engine,
+    checkpoint: bool,
 ) -> Result<CaseOutcome, String> {
     let domain = parse_domain(model).map_err(|e| format!("model: {e}"))?;
     let (marks_domain, markset) = parse_marks(marks).map_err(|e| format!("marks: {e}"))?;
@@ -517,7 +599,9 @@ pub fn replay(
         ));
     }
     let tc = parse_stim(stim)?;
-    Ok(run_case(&domain, &markset, &tc, ablation, engine))
+    Ok(run_case(
+        &domain, &markset, &tc, ablation, engine, checkpoint,
+    ))
 }
 
 #[cfg(test)]
@@ -537,7 +621,7 @@ mod tests {
     #[test]
     fn first_seeds_pass_all_oracles() {
         for seed in 0..10 {
-            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Bc);
+            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Bc, false);
             assert!(!outcome.is_failure(), "seed {seed}: {}", outcome.describe());
         }
     }
@@ -545,9 +629,22 @@ mod tests {
     #[test]
     fn frames_engine_passes_the_three_way() {
         for seed in 0..5 {
-            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Frames);
+            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Frames, false);
             assert!(!outcome.is_failure(), "seed {seed}: {}", outcome.describe());
         }
+    }
+
+    #[test]
+    fn checkpointed_runs_match_uninterrupted_ones() {
+        // `--checkpoint` re-runs the interpreter leg with a
+        // snapshot/restore cycle every few dispatches; the byte-identical
+        // trace oracle must hold on healthy seeds for both engines.
+        for seed in 0..8 {
+            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Bc, true);
+            assert!(!outcome.is_failure(), "seed {seed}: {}", outcome.describe());
+        }
+        let outcome = run_spec(&generate(0), Ablation::None, Engine::Frames, true);
+        assert!(!outcome.is_failure(), "frames: {}", outcome.describe());
     }
 
     #[test]
@@ -587,7 +684,7 @@ mod tests {
         // anything.
         let mut exercised = 0u32;
         for seed in 0..40 {
-            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Bc);
+            let outcome = run_spec(&generate(seed), Ablation::None, Engine::Bc, false);
             let CaseOutcome::Pass(stats) = &outcome else {
                 panic!("seed {seed}: {}", outcome.describe())
             };
@@ -603,7 +700,7 @@ mod tests {
 
     #[test]
     fn outcome_classes_are_stable() {
-        let outcome = run_spec(&generate(0), Ablation::None, Engine::Bc);
+        let outcome = run_spec(&generate(0), Ablation::None, Engine::Bc, false);
         assert_eq!(outcome.class(), "pass");
         assert!(outcome.describe().starts_with("pass"));
     }

@@ -171,9 +171,14 @@ fn candidates(spec: &FuzzSpec) -> Vec<FuzzSpec> {
 /// Greedily minimizes a failing spec while the failure (same class)
 /// reproduces. Returns the original spec untouched when it does not fail
 /// at all.
-pub fn shrink(spec: &FuzzSpec, ablation: Ablation, engine: Engine) -> (FuzzSpec, ShrinkStats) {
+pub fn shrink(
+    spec: &FuzzSpec,
+    ablation: Ablation,
+    engine: Engine,
+    checkpoint: bool,
+) -> (FuzzSpec, ShrinkStats) {
     let before = (spec.classes.len(), spec.stmt_count(), spec.stimuli.len());
-    let target = run_spec(spec, ablation, engine).class();
+    let target = run_spec(spec, ablation, engine, checkpoint).class();
     let mut stats = ShrinkStats {
         attempts: 1,
         classes: (before.0, before.0),
@@ -190,7 +195,7 @@ pub fn shrink(spec: &FuzzSpec, ablation: Ablation, engine: Engine) -> (FuzzSpec,
                 break 'outer;
             }
             stats.attempts += 1;
-            if run_spec(&cand, ablation, engine).class() == target {
+            if run_spec(&cand, ablation, engine, checkpoint).class() == target {
                 current = cand;
                 continue 'outer;
             }
@@ -212,8 +217,11 @@ mod tests {
     #[test]
     fn passing_specs_are_left_alone() {
         let spec = generate(0);
-        assert_eq!(run_spec(&spec, Ablation::None, Engine::Bc).class(), "pass");
-        let (same, stats) = shrink(&spec, Ablation::None, Engine::Bc);
+        assert_eq!(
+            run_spec(&spec, Ablation::None, Engine::Bc, false).class(),
+            "pass"
+        );
+        let (same, stats) = shrink(&spec, Ablation::None, Engine::Bc, false);
         assert_eq!(same, spec);
         assert_eq!(stats.attempts, 1);
         assert!((stats.ratio() - 1.0).abs() < 1e-9);

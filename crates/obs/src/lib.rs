@@ -35,8 +35,8 @@ pub mod profile;
 
 pub use json::{check_chrome_trace, escape, parse, Value};
 pub use metrics::{
-    Counter, EpochRow, Gauge, Hist, HistKind, Metrics, ShardLane, Timing, COUNTERS, GAUGES, HISTS,
-    HIST_BUCKETS,
+    Counter, EpochRow, Gauge, Hist, HistKind, Metrics, MetricsRaw, ShardLane, Timing, COUNTERS,
+    GAUGES, HISTS, HIST_BUCKETS,
 };
 pub use profile::{Clock, SpanBuf, SpanEvent};
 

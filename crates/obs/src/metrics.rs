@@ -339,6 +339,25 @@ pub struct Metrics {
     pub epoch_rows: Vec<EpochRow>,
 }
 
+/// The raw backing arrays of a [`Metrics`] snapshot, in catalogue order
+/// — the serialization surface for simulation snapshots. All fields are
+/// public so serializers can walk them without this crate knowing any
+/// wire format; [`Metrics::from_raw`] re-normalizes lengths, so a raw
+/// block written by an older catalogue still loads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRaw {
+    /// Counter values, in [`COUNTERS`] order.
+    pub counters: Vec<u64>,
+    /// Gauge high-water marks, in [`GAUGES`] order.
+    pub gauges: Vec<u64>,
+    /// Histograms, in [`HISTS`] order.
+    pub hists: Vec<Hist>,
+    /// Per-shard lanes, in shard order.
+    pub lanes: Vec<ShardLane>,
+    /// Per-epoch rows.
+    pub epoch_rows: Vec<EpochRow>,
+}
+
 impl Metrics {
     /// An all-zero snapshot.
     pub fn new() -> Metrics {
@@ -400,6 +419,36 @@ impl Metrics {
             });
         }
         &mut self.lanes[shard as usize]
+    }
+
+    /// Extracts the raw backing arrays (for serialization).
+    pub fn to_raw(&self) -> MetricsRaw {
+        MetricsRaw {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hists: self.hists.clone(),
+            lanes: self.lanes.clone(),
+            epoch_rows: self.epoch_rows.clone(),
+        }
+    }
+
+    /// Rebuilds a snapshot from raw arrays, padding or truncating the
+    /// catalogued vectors to the current catalogue lengths so a block
+    /// recorded under an older (append-only) catalogue still loads.
+    pub fn from_raw(raw: MetricsRaw) -> Metrics {
+        let mut counters = raw.counters;
+        counters.resize(COUNTERS.len(), 0);
+        let mut gauges = raw.gauges;
+        gauges.resize(GAUGES.len(), 0);
+        let mut hists = raw.hists;
+        hists.resize(HISTS.len(), Hist::default());
+        Metrics {
+            counters,
+            gauges,
+            hists,
+            lanes: raw.lanes,
+            epoch_rows: raw.epoch_rows,
+        }
     }
 
     /// Folds `other` in: counters and histograms add, gauges take the

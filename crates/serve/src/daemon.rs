@@ -1,0 +1,291 @@
+//! The TCP daemon: accept loop, per-connection reader threads, and one
+//! manager thread that owns the session table.
+//!
+//! [`Simulation`](xtuml_exec::Simulation) is deliberately `!Send`, so
+//! concurrency lives at the edges: each connection gets a cheap thread
+//! that reads frames and forwards them as jobs, and a single manager
+//! thread applies every request in arrival order against the
+//! [`Store`]. That serialization is a feature, not a compromise — it is
+//! what makes a multi-tenant transcript deterministic enough to diff
+//! byte-for-byte in the smoke test.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crate::frame::{read_frame, write_frame, MAX_FRAME};
+use crate::proto::{err_response, json_str, Request};
+use crate::session::{SessionCfg, Store};
+
+/// Reply-frame cap for [`Client`] reads. Replies can carry hex-encoded
+/// snapshots, so the bound is far looser than the request-side
+/// [`MAX_FRAME`].
+pub const MAX_REPLY: usize = 64 << 20;
+
+/// Daemon configuration: bind port plus the session-table limits.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port on loopback (0 = ephemeral, for tests).
+    pub port: u16,
+    /// Session-table limits.
+    pub session: SessionCfg,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            port: 7711,
+            session: SessionCfg::default(),
+        }
+    }
+}
+
+struct Job {
+    body: Vec<u8>,
+    reply: mpsc::Sender<String>,
+}
+
+/// A running daemon. Dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop; connection threads die with their peers.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    jobs: Option<mpsc::Sender<Job>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds loopback and spawns the accept + manager threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel::<Job>();
+        let session_cfg = cfg.session;
+        // The manager: sole owner of every Simulation. Exits when the
+        // last job sender (server handle + connection threads) is gone.
+        thread::spawn(move || {
+            let mut store = Store::new(session_cfg);
+            while let Ok(job) = rx.recv() {
+                let reply = match std::str::from_utf8(&job.body) {
+                    Err(_) => err_response("frame payload is not UTF-8", &[]),
+                    Ok(text) => match Request::parse(text) {
+                        Err(e) => err_response(&e, &[]),
+                        Ok(req) => store.apply(&req),
+                    },
+                };
+                let _ = job.reply.send(reply);
+            }
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_tx = tx.clone();
+        let accept = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let jobs = accept_tx.clone();
+                thread::spawn(move || serve_conn(stream, &jobs));
+            }
+        });
+        Ok(Server {
+            addr,
+            stop,
+            jobs: Some(tx),
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and releases the manager's job
+    /// queue. Established connections finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.jobs = None;
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+fn serve_conn(stream: TcpStream, jobs: &mpsc::Sender<Job>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader, MAX_FRAME) {
+            Ok(None) => break,
+            Ok(Some(body)) => {
+                let (rtx, rrx) = mpsc::channel();
+                if jobs.send(Job { body, reply: rtx }).is_err() {
+                    break;
+                }
+                let Ok(reply) = rrx.recv() else { break };
+                if write_frame(&mut writer, reply.as_bytes()).is_err() {
+                    break;
+                }
+            }
+            Err(e) => {
+                // Oversized or truncated framing leaves the stream
+                // position unknowable: answer once, then hang up.
+                let _ = write_frame(&mut writer, err_response(&e.to_string(), &[]).as_bytes());
+                break;
+            }
+        }
+    }
+}
+
+/// A blocking request/reply client over one connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request frame and waits for its reply frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a non-UTF-8 reply, or the server closing the
+    /// connection instead of replying.
+    pub fn request(&mut self, body: &str) -> io::Result<String> {
+        write_frame(&mut self.writer, body.as_bytes())?;
+        match read_frame(&mut self.reader, MAX_REPLY)? {
+            Some(bytes) => String::from_utf8(bytes)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "reply is not UTF-8")),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+}
+
+/// The doorbell model used by the smoke transcript.
+pub const SMOKE_MODEL: &str = include_str!("../../../models/doorbell.xtuml");
+/// The doorbell setup script used by the smoke transcript.
+pub const SMOKE_SETUP: &str = include_str!("../../../models/doorbell.stim");
+
+fn transcript_step(client: &mut Client, out: &mut String, req: &str) -> io::Result<String> {
+    let resp = client.request(req)?;
+    out.push_str("-> ");
+    out.push_str(req);
+    out.push_str("\n<- ");
+    out.push_str(&resp);
+    out.push('\n');
+    Ok(resp)
+}
+
+/// Runs the deterministic smoke transcript against an in-process server
+/// on an ephemeral loopback port and returns the full `->`/`<-` log.
+/// The same session is driven to quiescence, snapshotted, stimulated
+/// further, rolled back via `restore`, and stimulated identically — so
+/// the transcript itself witnesses that restore rewinds state exactly.
+/// CI diffs the returned text against `tests/golden/serve_smoke.txt`.
+///
+/// # Errors
+///
+/// Propagates I/O failures; returns `InvalidData` if the replayed
+/// continuation diverges from the pre-restore one.
+pub fn smoke() -> io::Result<String> {
+    let cfg = ServeConfig {
+        port: 0,
+        session: SessionCfg::default(),
+    };
+    let server = Server::start(cfg)?;
+    let mut client = Client::connect(server.addr())?;
+    let mut out = String::new();
+
+    transcript_step(&mut client, &mut out, r#"{"verb": "ping"}"#)?;
+    let create = format!(
+        r#"{{"verb": "create", "model": {}, "setup": {}, "seed": 42}}"#,
+        json_str(SMOKE_MODEL),
+        json_str(SMOKE_SETUP)
+    );
+    transcript_step(&mut client, &mut out, &create)?;
+    transcript_step(&mut client, &mut out, r#"{"verb": "step", "session": 1}"#)?;
+    transcript_step(&mut client, &mut out, r#"{"verb": "trace", "session": 1}"#)?;
+    transcript_step(&mut client, &mut out, r#"{"verb": "stats", "session": 1}"#)?;
+
+    // Snapshot at quiescence, then a stimulate/step/trace continuation.
+    let snap = transcript_step(
+        &mut client,
+        &mut out,
+        r#"{"verb": "snapshot", "session": 1}"#,
+    )?;
+    let hex = xtuml_obs::json::parse(&snap)
+        .ok()
+        .and_then(|doc| doc.get("bytes").and_then(|b| b.as_str().map(str::to_owned)))
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "snapshot reply without bytes")
+        })?;
+    let stim = r#"{"verb": "stimulate", "session": 1, "inst": 0, "event": "Press", "time": 2000}"#;
+    transcript_step(&mut client, &mut out, stim)?;
+    transcript_step(&mut client, &mut out, r#"{"verb": "step", "session": 1}"#)?;
+    let first = transcript_step(&mut client, &mut out, r#"{"verb": "trace", "session": 1}"#)?;
+
+    // Rewind via restore and replay the identical continuation; the
+    // trace replies must match byte-for-byte.
+    let restore = format!(
+        r#"{{"verb": "restore", "session": 1, "bytes": {}}}"#,
+        json_str(&hex)
+    );
+    transcript_step(&mut client, &mut out, &restore)?;
+    transcript_step(&mut client, &mut out, stim)?;
+    transcript_step(&mut client, &mut out, r#"{"verb": "step", "session": 1}"#)?;
+    let second = transcript_step(&mut client, &mut out, r#"{"verb": "trace", "session": 1}"#)?;
+    if first != second {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "continuation after restore diverged from the original",
+        ));
+    }
+
+    transcript_step(&mut client, &mut out, r#"{"verb": "close", "session": 1}"#)?;
+    transcript_step(&mut client, &mut out, r#"{"verb": "step", "session": 1}"#)?;
+    drop(client);
+    server.shutdown();
+    Ok(out)
+}

@@ -1,0 +1,96 @@
+//! Wire framing: a 4-byte little-endian length prefix, then exactly that
+//! many payload bytes. The length cap is enforced *before* any
+//! allocation, so a hostile prefix cannot trigger a giant buffer; once a
+//! connection sends an oversized or short frame the stream position is
+//! unknowable and the connection must be closed.
+
+use std::io::{self, Read, Write};
+
+/// Default per-frame byte cap (1 MiB) — far above any legitimate
+/// request, far below an allocation bomb.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above `u32::MAX` bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large to encode"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// `InvalidData` for a length prefix above `max`; `UnexpectedEof` when
+/// the stream ends mid-frame; other I/O errors as raised.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    // Distinguish clean close (EOF before any prefix byte) from a
+    // truncated prefix.
+    let mut got = 0usize;
+    while got < 4 {
+        let n = r.read(&mut prefix[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-length-prefix",
+            ));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &wire[..];
+        let err = read_frame(&mut r, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_hangs() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abcdef").unwrap();
+        for cut in 1..wire.len() {
+            let mut r = &wire[..cut];
+            assert!(read_frame(&mut r, MAX_FRAME).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -20,7 +20,10 @@ fn usage() -> String {
      \x20                 [--engine frames|bc] [--no-bc] [--format json]\n\
      \x20 xtuml stats     --check-profile <trace.json>\n\
      \x20 xtuml fuzz      [--seeds N] [--start S] [--jobs J] [--shrink] [--corpus DIR]\n\
-     \x20                 [--engine frames|bc] [--no-bc] [--metrics out.jsonl]\n"
+     \x20                 [--engine frames|bc] [--no-bc] [--checkpoint]\n\
+     \x20                 [--metrics out.jsonl]\n\
+     \x20 xtuml serve     [--port P] [--sessions N] [--queue-cap N] [--fuel N]\n\
+     \x20                 [--idle-evict N] [--spool DIR] [--smoke]\n"
         .to_owned()
 }
 
@@ -321,6 +324,7 @@ fn real_main() -> Result<(), String> {
                     "--engine" => opts.engine = parse_engine(rest.next())?,
                     "--no-bc" => opts.engine = xtuml::fuzz::Engine::Frames,
                     "--shrink" => opts.shrink = true,
+                    "--checkpoint" => opts.checkpoint = true,
                     "--corpus" => {
                         corpus_dir = Some(rest.next().ok_or("--corpus takes a directory")?);
                     }
@@ -357,6 +361,53 @@ fn real_main() -> Result<(), String> {
             if !ok {
                 return Err(String::new());
             }
+        }
+        Some("serve") => {
+            let mut opts = cli::ServeOptions::default();
+            let mut rest = it;
+            while let Some(arg) = rest.next() {
+                match arg {
+                    "--port" => {
+                        opts.port = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .ok_or("--port takes a port number")?;
+                    }
+                    "--sessions" => {
+                        opts.sessions = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--sessions takes a count (>= 1)")?;
+                    }
+                    "--queue-cap" => {
+                        opts.queue_cap = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--queue-cap takes a count (>= 1)")?;
+                    }
+                    "--fuel" => {
+                        opts.fuel = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .ok_or("--fuel takes a dispatch budget")?;
+                    }
+                    "--idle-evict" => {
+                        opts.idle_evict = rest
+                            .next()
+                            .and_then(|n| n.parse().ok())
+                            .ok_or("--idle-evict takes a tick count")?;
+                    }
+                    "--spool" => {
+                        opts.spool =
+                            Some(rest.next().ok_or("--spool takes a directory")?.to_owned());
+                    }
+                    "--smoke" => opts.smoke = true,
+                    flag => return Err(format!("unknown flag `{flag}`\n{}", usage())),
+                }
+            }
+            print!("{}", cli::cmd_serve(&opts).map_err(|e| e.to_string())?);
         }
         _ => return Err(usage()),
     }

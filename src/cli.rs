@@ -804,6 +804,11 @@ pub struct FuzzOptions {
     /// byte-identical); `Frames` drops back to the historical
     /// three-way.
     pub engine: xtuml_fuzz::Engine,
+    /// Add the snapshot/restore checkpoint leg (`--checkpoint`): the
+    /// interpreter runs a second time, serializing and rebuilding itself
+    /// every few dispatches, and the case fails unless the restored
+    /// run's trace is byte-identical to the uninterrupted one.
+    pub checkpoint: bool,
 }
 
 impl Default for FuzzOptions {
@@ -815,6 +820,7 @@ impl Default for FuzzOptions {
             ablation: xtuml_fuzz::Ablation::None,
             jobs: 1,
             engine: xtuml_fuzz::Engine::default(),
+            checkpoint: false,
         }
     }
 }
@@ -839,6 +845,7 @@ pub fn cmd_fuzz(
         ablation: opts.ablation,
         jobs: opts.jobs,
         engine: opts.engine,
+        checkpoint: opts.checkpoint,
     };
     let report = xtuml_fuzz::fuzz(&cfg);
     let mut entries = Vec::new();
@@ -850,6 +857,79 @@ pub fn cmd_fuzz(
         }
     }
     Ok((report, entries))
+}
+
+/// Options for [`cmd_serve`], mirroring the `serve` subcommand's flags.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// TCP port on loopback (`--port P`; 0 picks an ephemeral port).
+    pub port: u16,
+    /// Maximum concurrent sessions (`--sessions N`).
+    pub sessions: usize,
+    /// Per-session pending-stimulus cap (`--queue-cap N`); a stimulate
+    /// beyond it gets an explicit backpressure reply.
+    pub queue_cap: usize,
+    /// Default per-session dispatch budget (`--fuel N`).
+    pub fuel: u64,
+    /// Idle-eviction threshold in request ticks (`--idle-evict N`,
+    /// 0 disables): untouched sessions are snapshotted to the spool
+    /// directory and revived transparently on their next touch.
+    pub idle_evict: u64,
+    /// Spool directory for evicted sessions (`--spool DIR`).
+    pub spool: Option<String>,
+    /// Run the deterministic smoke transcript instead of serving
+    /// (`--smoke`): in-process server, golden request/response log on
+    /// stdout, exit.
+    pub smoke: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            port: 7711,
+            sessions: 1024,
+            queue_cap: 1024,
+            fuel: 1_000_000,
+            idle_evict: 0,
+            spool: None,
+            smoke: false,
+        }
+    }
+}
+
+/// `serve`: host the multi-tenant simulation daemon (DESIGN §15).
+///
+/// With `--smoke`, runs the golden transcript against an in-process
+/// server and returns it; otherwise binds the requested port and serves
+/// until killed (this call never returns).
+///
+/// # Errors
+///
+/// Bind/socket failures, or a smoke transcript that diverged after
+/// restore.
+pub fn cmd_serve(opts: &ServeOptions) -> Result<String, CliError> {
+    if opts.smoke {
+        return xtuml_serve::smoke().map_err(|e| CliError(format!("smoke failed: {e}")));
+    }
+    let mut session = xtuml_serve::SessionCfg {
+        max_sessions: opts.sessions,
+        queue_cap: opts.queue_cap,
+        fuel: opts.fuel,
+        idle_evict: opts.idle_evict,
+        ..xtuml_serve::SessionCfg::default()
+    };
+    if let Some(dir) = &opts.spool {
+        session.spool = std::path::PathBuf::from(dir);
+    }
+    let server = xtuml_serve::Server::start(xtuml_serve::ServeConfig {
+        port: opts.port,
+        session,
+    })
+    .map_err(|e| CliError(format!("cannot bind port {}: {e}", opts.port)))?;
+    println!("xtuml serve: listening on {}", server.addr());
+    loop {
+        std::thread::park();
+    }
 }
 
 fn parse_arg(word: &str) -> Result<Value, String> {

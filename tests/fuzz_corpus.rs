@@ -20,8 +20,17 @@ fn corpus() -> Vec<xtuml::fuzz::CorpusEntry> {
 #[test]
 fn corpus_replays_clean_under_defined_semantics() {
     for e in corpus() {
-        let outcome = replay(&e.model, &e.marks, &e.stim, Ablation::None, Engine::Bc)
-            .unwrap_or_else(|err| panic!("{}: replay failed: {err}", e.name));
+        // Checkpointing on: corpus replay doubles as a snapshot/restore
+        // conformance check on real minimized witnesses.
+        let outcome = replay(
+            &e.model,
+            &e.marks,
+            &e.stim,
+            Ablation::None,
+            Engine::Bc,
+            true,
+        )
+        .unwrap_or_else(|err| panic!("{}: replay failed: {err}", e.name));
         assert!(
             !outcome.is_failure(),
             "{}: expected a clean replay, got: {}",
@@ -34,8 +43,15 @@ fn corpus_replays_clean_under_defined_semantics() {
 #[test]
 fn corpus_reproduces_divergence_under_pair_order_fault() {
     for e in corpus() {
-        let outcome = replay(&e.model, &e.marks, &e.stim, Ablation::PairOrder, Engine::Bc)
-            .unwrap_or_else(|err| panic!("{}: replay failed: {err}", e.name));
+        let outcome = replay(
+            &e.model,
+            &e.marks,
+            &e.stim,
+            Ablation::PairOrder,
+            Engine::Bc,
+            false,
+        )
+        .unwrap_or_else(|err| panic!("{}: replay failed: {err}", e.name));
         assert!(
             matches!(outcome, CaseOutcome::Divergence { .. }),
             "{}: the minimized witness no longer reproduces; got: {}",
