@@ -117,6 +117,27 @@ awk '
         if (ratio < 0.98) { print "FAIL: disabled telemetry costs >2%"; exit 1 }
     }' target/BENCH_interp.json target/BENCH_interp.baseline.json
 
+# Null-dispatch gate: the dispatch microbench measures pure per-signal
+# engine overhead (every action body is empty), which is exactly the
+# surface the dispatch superloop optimizes — regressions here are
+# invisible in the pipeline bench, whose real action work dominates.
+# The binary byte-compares the engines on a scaled-down conformance
+# pass before timing, and interleaves its timed columns so heap and
+# frequency drift cannot masquerade as an engine difference. Gate at
+# 0.9x of the blessed baseline; like the interp baseline it is
+# host-specific and must be re-blessed when the CI host changes.
+( cd target && cargo run --quiet --release -p xtuml-bench --bin dispatch )
+cp BENCH_dispatch.baseline.json target/
+awk '
+    FNR == 1 { file++ }
+    /"aggregate_signals_per_sec"/ { rate[file] = $2 + 0 }
+    END {
+        if (rate[2] <= 0) { print "no dispatch baseline rate parsed"; exit 1 }
+        ratio = rate[1] / rate[2]
+        printf "dispatch bench: %.0f vs baseline %.0f (%.2fx)\n", rate[1], rate[2], ratio
+        if (ratio < 0.9) { print "FAIL: >10% dispatch overhead regression"; exit 1 }
+    }' target/BENCH_dispatch.json target/BENCH_dispatch.baseline.json
+
 # Scaling-bench gate: smoke-run the jobs sweep at 1 and 2 workers (the
 # binary itself byte-compares the traces before trusting any timing),
 # then fail on a >10% aggregate throughput regression against the

@@ -208,6 +208,23 @@ pub fn manycore_case(cores: usize, work: i64) -> TestCase {
     tc
 }
 
+/// Builds the null-action domain: a single `Nil` class whose `Ping`
+/// transitions carry **empty** action bodies. Every dispatched signal
+/// does no model work at all, so a run's wall time is pure engine
+/// overhead — scheduler pick, dispatch-slot lookup, trace recording —
+/// which is exactly what the dispatch microbench wants to isolate.
+pub fn null_domain() -> Domain {
+    let mut b = DomainBuilder::new("nulldisp");
+    b.class("Nil")
+        .event("Ping", &[])
+        .state("Idle", "")
+        .state("Spin", "")
+        .initial("Idle")
+        .transition("Idle", "Ping", "Spin")
+        .transition("Spin", "Ping", "Spin");
+    b.build().expect("null-action generator emits valid models")
+}
+
 /// A test case for the ring: one token with `hops` hops left.
 pub fn ring_case(nodes: usize, hops: i64) -> TestCase {
     let mut tc = TestCase::new(&format!("ring-{nodes}x{hops}"));
@@ -262,6 +279,29 @@ mod tests {
         let mut totals: Vec<i64> = obs.iter().map(|o| o.args[0].as_int().unwrap()).collect();
         totals.sort_unstable();
         assert_eq!(totals, vec![30, 35, 40, 45, 50, 55]);
+    }
+
+    #[test]
+    fn null_domain_dispatches_without_doing_anything() {
+        use xtuml_exec::{Engine, Simulation};
+        let d = null_domain();
+        let run = |engine| {
+            let mut sim = Simulation::new(&d);
+            let nil = sim.create("Nil").unwrap();
+            for _ in 0..16 {
+                sim.inject(0, nil, "Ping", vec![]).unwrap();
+            }
+            sim.set_engine(engine);
+            sim.run_to_quiescence().unwrap();
+            let fired = sim
+                .trace()
+                .iter()
+                .filter(|e| matches!(e, xtuml_exec::TraceEvent::Dispatch { .. }))
+                .count();
+            assert_eq!(fired, 16);
+            sim.trace().clone()
+        };
+        assert_eq!(run(Engine::Bc), run(Engine::Frames));
     }
 
     #[test]

@@ -215,11 +215,27 @@ pub struct BcAction {
     pub const_folds: u32,
 }
 
+impl BcAction {
+    /// True when running this action can have no observable effect:
+    /// every instruction is pure fuel accounting or the terminator.
+    /// Fuel and step counts live in a per-dispatch [`ExecCtx`] and are
+    /// discarded on return (an empty body can never exhaust
+    /// `DEFAULT_FUEL`), so executors may skip the VM entirely for such
+    /// actions.
+    pub fn is_nop(&self) -> bool {
+        self.code
+            .iter()
+            .all(|i| matches!(i.op, Op::Fuel | Op::Halt))
+    }
+}
+
 /// One `(class, state, event)` entry of a [`BcProgram`].
 #[derive(Debug, Clone)]
 pub enum BcEntry {
-    /// Lowered successfully; execute with [`run_bc`].
-    Vm(Box<BcAction>),
+    /// Lowered successfully; execute with [`run_bc`]. Shared via `Arc`
+    /// so executors can pre-resolve dispatch tables holding direct,
+    /// thread-safe references to the action.
+    Vm(Arc<BcAction>),
     /// Not encodable; the executor falls back to the frame interpreter
     /// (diagnostic X0016, reason recorded in [`BcProgram::fallbacks`]).
     Unsupported,
@@ -279,7 +295,7 @@ impl BcProgram {
                     .enumerate()
                     .map(|(idx, slot)| match slot {
                         Some(Ok(action)) => match lower_action_with(action, consts) {
-                            Ok(bca) => Some(BcEntry::Vm(Box::new(bca))),
+                            Ok(bca) => Some(BcEntry::Vm(Arc::new(bca))),
                             Err(reason) => {
                                 let (state, event) = idx
                                     .checked_div(cc.n_events)

@@ -274,6 +274,11 @@ pub struct ExecCtx {
     pub frame: Vec<Option<Value>>,
     /// Candidate binding for `selected` inside `where` clauses.
     pub(crate) selected: Option<Value>,
+    /// Reusable candidate buffer for filtered selects: the filter needs
+    /// `&mut host`, so candidates must be materialised before evaluation,
+    /// but hot dispatch loops can hand the buffer back in (like `frame`)
+    /// so steady-state filtered selects allocate nothing.
+    pub scratch: Vec<InstId>,
     /// Primitive-step counter (statements + expression nodes); the
     /// substrates convert this into cycles.
     pub steps: u64,
@@ -301,6 +306,7 @@ impl ExecCtx {
             self_class,
             frame,
             selected: None,
+            scratch: Vec::new(),
             steps: 0,
             fuel: DEFAULT_FUEL,
         }
@@ -452,14 +458,22 @@ fn exec_stmt<H: ActionHost>(
             target,
             delay,
         } => {
-            let mut vals = Vec::with_capacity(args.len());
-            for a in args {
-                vals.push(eval(host, ctx, action, a)?);
-            }
-            let to = eval(host, ctx, action, target)?.as_inst()?;
             match delay {
-                None => host.send(ctx.self_inst, to, *event, vals)?,
+                None => {
+                    // Hot path: build the payload in a pooled buffer
+                    // (same recycling the bytecode VM's sends use), so
+                    // steady-state frame-interpreted sends allocate
+                    // nothing either.
+                    let payload = eval_payload(host, ctx, action, args)?;
+                    let to = eval(host, ctx, action, target)?.as_inst()?;
+                    host.send_arc(ctx.self_inst, to, *event, payload)?;
+                }
                 Some(d) => {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(eval(host, ctx, action, a)?);
+                    }
+                    let to = eval(host, ctx, action, target)?.as_inst()?;
                     let ticks = eval(host, ctx, action, d)?.as_int()?;
                     if ticks < 0 {
                         return Err(CoreError::runtime("negative signal delay"));
@@ -470,11 +484,8 @@ fn exec_stmt<H: ActionHost>(
             Ok(Flow::Normal)
         }
         CStmt::GenActor { actor, event, args } => {
-            let mut vals = Vec::with_capacity(args.len());
-            for a in args {
-                vals.push(eval(host, ctx, action, a)?);
-            }
-            host.send_actor(ctx.self_inst, *actor, *event, vals)?;
+            let payload = eval_payload(host, ctx, action, args)?;
+            host.send_actor_arc(ctx.self_inst, *actor, *event, payload)?;
             Ok(Flow::Normal)
         }
         CStmt::Cancel { event } => {
@@ -541,17 +552,31 @@ fn select_first<H: ActionHost>(
     filter: &CExpr,
 ) -> Result<Option<InstId>> {
     // The filter needs `&mut host`, so candidates must be materialised
-    // before evaluation (the host cannot be borrowed while iterating it).
-    for inst in host.instances_of(class) {
+    // before evaluation (the host cannot be borrowed while iterating it)
+    // — into the reusable scratch buffer, not a fresh `Vec`.
+    let mut cands = std::mem::take(&mut ctx.scratch);
+    cands.clear();
+    host.each_instance(class, &mut |i| cands.push(i));
+    let mut picked = None;
+    for &inst in &cands {
         ctx.burn(1)?;
         let saved = ctx.selected.replace(Value::Inst(class, Some(inst)));
         let keep = eval(host, ctx, action, filter).and_then(|v| v.as_bool());
         ctx.selected = saved;
-        if keep? {
-            return Ok(Some(inst));
+        match keep {
+            Ok(true) => {
+                picked = Some(inst);
+                break;
+            }
+            Ok(false) => {}
+            Err(e) => {
+                ctx.scratch = cands;
+                return Err(e);
+            }
         }
     }
-    Ok(None)
+    ctx.scratch = cands;
+    Ok(picked)
 }
 
 /// `select many … where f`: all candidates passing the filter.
@@ -562,17 +587,58 @@ fn select_filtered<H: ActionHost>(
     class: ClassId,
     filter: &CExpr,
 ) -> Result<Vec<InstId>> {
+    // The output `Vec` is the result (it becomes a `Value::Set`), but the
+    // candidate list goes through the reusable scratch buffer.
+    let mut cands = std::mem::take(&mut ctx.scratch);
+    cands.clear();
+    host.each_instance(class, &mut |i| cands.push(i));
     let mut out = Vec::new();
-    for inst in host.instances_of(class) {
+    for &inst in &cands {
         ctx.burn(1)?;
         let saved = ctx.selected.replace(Value::Inst(class, Some(inst)));
         let keep = eval(host, ctx, action, filter).and_then(|v| v.as_bool());
         ctx.selected = saved;
-        if keep? {
-            out.push(inst);
+        match keep {
+            Ok(true) => out.push(inst),
+            Ok(false) => {}
+            Err(e) => {
+                ctx.scratch = cands;
+                return Err(e);
+            }
         }
     }
+    ctx.scratch = cands;
     Ok(out)
+}
+
+/// Evaluates send arguments into an `Arc<[Value]>` payload, reusing a
+/// uniquely-owned buffer from the host's payload pool when one of the
+/// right arity is available, and allocating otherwise. Argument
+/// evaluation order (and therefore burn/error order) matches the plain
+/// `Vec` path exactly.
+fn eval_payload<H: ActionHost>(
+    host: &mut H,
+    ctx: &mut ExecCtx,
+    action: &CAction,
+    args: &[CExpr],
+) -> Result<std::sync::Arc<[Value]>> {
+    match host.take_payload(args.len()) {
+        Some(mut arc) => {
+            for (i, a) in args.iter().enumerate() {
+                let v = eval(host, ctx, action, a)?;
+                std::sync::Arc::get_mut(&mut arc).expect("pooled payloads are uniquely owned")[i] =
+                    v;
+            }
+            Ok(arc)
+        }
+        None => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(host, ctx, action, a)?);
+            }
+            Ok(std::sync::Arc::from(vals))
+        }
+    }
 }
 
 fn unbound_slot(action: &CAction, slot: Slot) -> CoreError {

@@ -63,4 +63,4 @@ pub use shard::{shard_safety, ShardedSimulation};
 pub use sim::{Engine, Simulation};
 pub use snapshot::SnapError;
 pub use store::ObjectStore;
-pub use trace::{ObservableEvent, Trace, TraceEvent};
+pub use trace::{ObservableEvent, Trace, TraceEvent, TraceMode};

@@ -43,18 +43,18 @@
 //! still reject — the latter as diagnostic `X0017 cross-shard-race`.
 
 use crate::sched::{SchedPolicy, SplitMix64};
-use crate::sim::{Engine, PayloadPool, Simulation};
+use crate::sim::{DispatchTable, Engine, Exec, PayloadPool, Simulation, Slot, SpanNames};
 use crate::snapshot::{self, SnapError, SnapResult};
 use crate::store::ObjectStore;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceMode};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use xtuml_core::bc::{self, BcEntry, BcFallback, BcProgram};
+use xtuml_core::bc::{self, BcFallback, BcProgram};
 use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result};
 use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
 use xtuml_core::interp::{self, ActionHost, ExecCtx};
-use xtuml_core::model::{Domain, TransitionTarget};
+use xtuml_core::model::Domain;
 use xtuml_core::value::Value;
 use xtuml_obs::{Counter, EpochRow, Gauge, HistKind, Metrics, NullSink, Recorder, Sink};
 use xtuml_pool::{stream_seed, Pool};
@@ -192,7 +192,7 @@ struct ShardState {
     /// without cross-shard coordination.
     local_seq: u64,
     /// Epoch-local state, cleared at each barrier:
-    trace: Vec<TraceEvent>,
+    trace: Trace,
     outbox: Vec<OutboxEntry>,
     new_timers: Vec<PendingTimer>,
     /// `(instance, event)` pairs cancelled this epoch, applied to the
@@ -211,6 +211,9 @@ struct ShardState {
     strict: bool,
     self_priority: bool,
     frame_buf: Vec<Option<Value>>,
+    /// Recycled candidate buffer for filtered selects (see
+    /// [`ExecCtx::scratch`]).
+    scratch_buf: Vec<InstId>,
     /// Per-shard recycled signal payload buffers (see
     /// [`PayloadPool`]); shard-local, so pooling never couples shards.
     payloads: PayloadPool,
@@ -277,8 +280,8 @@ impl ShardState {
         &mut self,
         domain: &Domain,
         program: &CompiledProgram,
-        bcp: &BcProgram,
-        engine: Engine,
+        table: &DispatchTable,
+        spans: Option<&SpanNames>,
     ) -> Result<()> {
         let timed = self.obs.is_some().then(std::time::Instant::now);
         if let Some(r) = self.obs.as_mut() {
@@ -287,7 +290,7 @@ impl ShardState {
                 r.span_begin(track, "shard", &format!("epoch {}", self.epoch));
             }
         }
-        let out = self.run_epoch_inner(domain, program, bcp, engine);
+        let out = self.run_epoch_inner(domain, program, table, spans);
         if let Some(r) = self.obs.as_mut() {
             if r.spans_enabled() {
                 let track = r.track;
@@ -304,8 +307,8 @@ impl ShardState {
         &mut self,
         domain: &Domain,
         program: &CompiledProgram,
-        bcp: &BcProgram,
-        engine: Engine,
+        table: &DispatchTable,
+        spans: Option<&SpanNames>,
     ) -> Result<()> {
         while !self.ready.is_empty() {
             if self.dispatches >= self.step_budget {
@@ -318,15 +321,32 @@ impl ShardState {
                 )));
             }
             let pick = self.ready[self.rng.below(self.ready.len())];
-            let env = self.pop_envelope(pick);
-            if self.queues[pick.index()].is_empty() {
-                self.in_ready[pick.index()] = false;
-                let at = self.ready.partition_point(|&r| r < pick);
-                debug_assert_eq!(self.ready.get(at), Some(&pick));
-                self.ready.remove(at);
+            // Same-instance batch (superloop): nothing is delivered
+            // mid-epoch and shards never delete, so while `pick` stays
+            // the only ready instance the next draw must re-select it —
+            // drain its queues without re-entering ready-set
+            // bookkeeping, consuming one PRNG draw per signal to keep
+            // the stream identical.
+            loop {
+                let env = self.pop_envelope(pick);
+                let drained = self.queues[pick.index()].is_empty();
+                if drained {
+                    self.in_ready[pick.index()] = false;
+                    let at = self.ready.partition_point(|&r| r < pick);
+                    debug_assert_eq!(self.ready.get(at), Some(&pick));
+                    self.ready.remove(at);
+                }
+                self.dispatch(domain, program, table, spans, pick, env)?;
+                self.dispatches += 1;
+                if drained
+                    || self.ready.len() != 1
+                    || self.ready[0] != pick
+                    || self.dispatches >= self.step_budget
+                {
+                    break;
+                }
+                self.rng.below(1); // the draw a re-pick would consume
             }
-            self.dispatch(domain, program, bcp, engine, pick, env)?;
-            self.dispatches += 1;
         }
         Ok(())
     }
@@ -335,17 +355,16 @@ impl ShardState {
         &mut self,
         domain: &Domain,
         program: &CompiledProgram,
-        bcp: &BcProgram,
-        engine: Engine,
+        table: &DispatchTable,
+        spans: Option<&SpanNames>,
         inst: InstId,
         env: Envelope,
     ) -> Result<()> {
         let (class, from_state) = self.store.class_state(inst)?;
-        let c = domain.class(class);
-        let Some(machine) = c.state_machine.as_ref() else {
+        let Some(cs) = table.class(class) else {
             return Err(CoreError::runtime(format!(
                 "signal sent to passive class {}",
-                c.name
+                domain.class(class).name
             )));
         };
         let mut rtc_span = false;
@@ -354,57 +373,62 @@ impl ShardState {
             if r.spans_enabled() {
                 rtc_span = true;
                 let track = r.track;
-                let name = format!("{}.{}", c.name, c.events[env.event.index()].name);
-                r.span_begin(track, "rtc", &name);
+                match spans {
+                    Some(sn) => r.span_begin(track, "rtc", sn.rtc(class, env.event)),
+                    None => {
+                        let c = domain.class(class);
+                        let name = format!("{}.{}", c.name, c.events[env.event.index()].name);
+                        r.span_begin(track, "rtc", &name);
+                    }
+                }
             }
         }
-        let out = match program.target(class, from_state, env.event) {
-            TransitionTarget::To(to_state) => {
+        let out = match cs.slot(from_state, env.event) {
+            Slot::Run { to, exec } => {
+                let to_state = *to;
                 self.store.set_state(inst, to_state)?;
-                self.trace.push(TraceEvent::Dispatch {
-                    time: self.now,
-                    inst,
-                    from: env.from,
-                    event: env.event,
-                    seq: env.seq,
-                    from_state,
-                    to_state,
-                });
+                self.trace.push_dispatch(
+                    self.now, inst, env.from, env.event, env.seq, from_state, to_state,
+                );
                 let mut action_span = false;
                 if let Some(r) = self.obs.as_mut() {
                     r.count(Counter::TransitionsFired, 1);
                     if r.spans_enabled() {
                         action_span = true;
                         let track = r.track;
-                        let name = format!("action {}.{}", c.name, machine.state(to_state).name);
-                        r.span_begin(track, "action", &name);
-                    }
-                }
-                // Same engine selection as the sequential dispatcher: the
-                // bytecode VM unless the engine is frames or this action
-                // could not be lowered.
-                let vm_action = if engine == Engine::Bc {
-                    match bcp.entry(class, to_state, env.event) {
-                        Some(BcEntry::Vm(bca)) => Some(&**bca),
-                        _ => {
-                            if let Some(r) = self.obs.as_mut() {
-                                r.count(Counter::BcFallbacks, 1);
+                        match spans {
+                            Some(sn) => r.span_begin(track, "action", sn.action(class, to_state)),
+                            None => {
+                                let c = domain.class(class);
+                                let machine = c.state_machine.as_ref().expect("active class");
+                                let name =
+                                    format!("action {}.{}", c.name, machine.state(to_state).name);
+                                r.span_begin(track, "action", &name);
                             }
-                            None
                         }
                     }
-                } else {
-                    None
-                };
-                let mut frame = std::mem::take(&mut self.frame_buf);
-                frame.clear();
-                let run = match vm_action {
-                    Some(bca) => {
+                }
+                let run = match exec {
+                    Exec::Nop { vm } => {
+                        // Provably effect-free body: no frame, no ctx, no
+                        // VM entry. Counters must match a real execution.
+                        if *vm {
+                            if let Some(r) = self.obs.as_mut() {
+                                r.count(Counter::BcActions, 1);
+                            }
+                        }
+                        Ok(interp::Outcome::Completed)
+                    }
+                    Exec::Vm(bca) => {
                         if let Some(r) = self.obs.as_mut() {
                             r.count(Counter::BcActions, 1);
                         }
+                        // Recycle one frame allocation across dispatches.
+                        let mut frame = std::mem::take(&mut self.frame_buf);
+                        frame.clear();
                         frame.resize(bca.n_regs, None);
                         let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.scratch = std::mem::take(&mut self.scratch_buf);
                         ctx.bind_args(env.args.iter().cloned());
                         let mut host = ShardHost {
                             shard: self,
@@ -412,11 +436,17 @@ impl ShardState {
                         };
                         let r = bc::run_bc(&mut host, &mut ctx, bca);
                         self.frame_buf = std::mem::take(&mut ctx.frame);
+                        self.scratch_buf = std::mem::take(&mut ctx.scratch);
                         r
                     }
-                    None => {
+                    Exec::Frames { fallback } => {
+                        if *fallback {
+                            if let Some(r) = self.obs.as_mut() {
+                                r.count(Counter::BcFallbacks, 1);
+                            }
+                        }
                         // Only the frame interpreter needs the compiled
-                        // action; a `Vm` entry implies the frame compile
+                        // action; a `Vm` slot implies the frame compile
                         // it lowered from succeeded.
                         let action =
                             program.action(class, to_state, env.event).ok_or_else(|| {
@@ -424,8 +454,11 @@ impl ShardState {
                                     "internal: dispatched pair has no compiled action",
                                 )
                             })??;
+                        let mut frame = std::mem::take(&mut self.frame_buf);
+                        frame.clear();
                         frame.resize(action.frame_len(), None);
                         let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.scratch = std::mem::take(&mut self.scratch_buf);
                         ctx.bind_args(env.args.iter().cloned());
                         let mut host = ShardHost {
                             shard: self,
@@ -433,6 +466,7 @@ impl ShardState {
                         };
                         let r = interp::run_code(&mut host, &mut ctx, action);
                         self.frame_buf = std::mem::take(&mut ctx.frame);
+                        self.scratch_buf = std::mem::take(&mut ctx.scratch);
                         r
                     }
                 };
@@ -445,19 +479,17 @@ impl ShardState {
                 run?;
                 Ok(())
             }
-            TransitionTarget::Ignore => {
+            Slot::Ignore => {
                 if let Some(r) = self.obs.as_mut() {
                     r.count(Counter::SignalsIgnored, 1);
                 }
-                self.trace.push(TraceEvent::Ignored {
-                    time: self.now,
-                    inst,
-                    event: env.event,
-                });
+                self.trace.push_ignored(self.now, inst, env.event);
                 Ok(())
             }
-            TransitionTarget::CantHappen => {
+            Slot::CantHappen => {
                 if self.strict {
+                    let c = domain.class(class);
+                    let machine = c.state_machine.as_ref().expect("active class");
                     Err(CoreError::CantHappen {
                         class: c.name.clone(),
                         state: machine.state(from_state).name.clone(),
@@ -468,11 +500,7 @@ impl ShardState {
                     if let Some(r) = self.obs.as_mut() {
                         r.count(Counter::SignalsDropped, 1);
                     }
-                    self.trace.push(TraceEvent::Dropped {
-                        time: self.now,
-                        inst,
-                        event: env.event,
-                    });
+                    self.trace.push_dropped(self.now, inst, env.event);
                     Ok(())
                 }
             }
@@ -540,11 +568,7 @@ impl ActionHost for ShardHost<'_, '_> {
             r.count(Counter::InstancesCreated, 1);
             r.gauge_max(Gauge::LiveInstancesMax, s.store.live_count() as u64);
         }
-        s.trace.push(TraceEvent::Create {
-            time: s.now,
-            inst,
-            class,
-        });
+        s.trace.push_create(s.now, inst, class);
         Ok(inst)
     }
 
@@ -679,12 +703,9 @@ impl ActionHost for ShardHost<'_, '_> {
         if let Some(r) = self.shard.obs.as_mut() {
             r.count(Counter::ActorSignals, 1);
         }
-        self.shard.trace.push(TraceEvent::ActorSignal {
-            time: self.shard.now,
-            actor,
-            event,
-            args,
-        });
+        self.shard
+            .trace
+            .push_actor_signal(self.shard.now, actor, event, args);
         Ok(())
     }
 
@@ -739,12 +760,9 @@ impl ActionHost for ShardHost<'_, '_> {
         if let Some(r) = self.shard.obs.as_mut() {
             r.count(Counter::BridgeCalls, 1);
         }
-        self.shard.trace.push(TraceEvent::BridgeCall {
-            time: self.shard.now,
-            actor,
-            func: func.to_owned(),
-            args: Arc::from(args.as_slice()),
-        });
+        self.shard
+            .trace
+            .push_bridge_call(self.shard.now, actor, func, Arc::from(args.as_slice()));
         Ok(match ret_ty {
             Some(t) => Value::default_for(t),
             None => Value::Bool(false),
@@ -790,6 +808,12 @@ pub struct ShardedSimulation<'d> {
     /// The paused epoch engine, `Some` only between a `run_epochs` pause
     /// and its resumption (always at an epoch barrier).
     engine_state: Option<EngineState>,
+    /// Dense `(state × event) → slot` dispatch tables, pre-resolved for
+    /// the selected engine (rebuilt on [`ShardedSimulation::set_engine`]).
+    table: DispatchTable,
+    /// Pre-interned span names, built on first recorder attach with
+    /// spans enabled.
+    spans: Option<SpanNames>,
 }
 
 impl std::fmt::Debug for ShardedSimulation<'_> {
@@ -807,11 +831,14 @@ impl<'d> ShardedSimulation<'d> {
     pub fn with_policy(domain: &'d Domain, policy: SchedPolicy) -> ShardedSimulation<'d> {
         let program = CompiledProgram::new(domain);
         let bc = BcProgram::new(domain, &program);
+        let table = DispatchTable::new(domain, &program, &bc, Engine::default());
         ShardedSimulation {
             domain,
             program,
             bc,
             engine: Engine::default(),
+            table,
+            spans: None,
             policy: policy.with_shards(policy.shards),
             store: ObjectStore::new(domain.associations.len()),
             setup_links: Vec::new(),
@@ -830,6 +857,9 @@ impl<'d> ShardedSimulation<'d> {
     /// Attaches a telemetry recorder. Setup already performed still
     /// counts: the run snapshots population/stimulus totals at start.
     pub fn attach_recorder(&mut self, rec: Recorder) {
+        if rec.spans_enabled() && self.spans.is_none() {
+            self.spans = Some(SpanNames::new(self.domain));
+        }
         self.obs = Some(Box::new(rec));
     }
 
@@ -878,7 +908,31 @@ impl<'d> ShardedSimulation<'d> {
     /// Selects the action executor (default [`Engine::Bc`]); `shards == 1`
     /// delegation passes the choice to the inner sequential engine.
     pub fn set_engine(&mut self, engine: Engine) {
-        self.engine = engine;
+        if engine != self.engine {
+            self.engine = engine;
+            self.table = DispatchTable::new(self.domain, &self.program, &self.bc, engine);
+        }
+    }
+
+    /// Selects how much the trace ring records (default
+    /// [`TraceMode::Full`]). [`TraceMode::Off`] must never be used in
+    /// differential or golden comparisons.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace.set_mode(mode);
+        // A restored mid-run engine already has live shard replicas.
+        if let Some(st) = self.engine_state.as_mut() {
+            for s in st.shards.iter_mut() {
+                s.trace.set_mode(mode);
+            }
+        }
+    }
+
+    /// Number of `(class, state, event)` dispatch slots that resolved to
+    /// the frame-interpreter fallback when the table was built for the
+    /// bytecode engine (0 under [`Engine::Frames`], where every slot is
+    /// a deliberate frames slot, not a fallback).
+    pub fn bc_fallback_slots(&self) -> usize {
+        self.table.fallback_slots()
     }
 
     /// The currently selected action executor.
@@ -900,11 +954,7 @@ impl<'d> ShardedSimulation<'d> {
     pub fn create(&mut self, class: &str) -> Result<InstId> {
         let id = self.domain.class_id(class)?;
         let inst = self.store.create(self.domain, id);
-        self.trace.push(TraceEvent::Create {
-            time: 0,
-            inst,
-            class: id,
-        });
+        self.trace.push_create(0, inst, id);
         Ok(inst)
     }
 
@@ -1061,7 +1111,7 @@ impl<'d> ShardedSimulation<'d> {
                     // unsharded schedule by accident.
                     rng: SplitMix64::new(stream_seed(self.policy.seed, id as u64)),
                     local_seq: 0,
-                    trace: Vec::new(),
+                    trace: Trace::with_mode(self.trace.mode()),
                     outbox: Vec::new(),
                     new_timers: Vec::new(),
                     cancels: Vec::new(),
@@ -1073,6 +1123,7 @@ impl<'d> ShardedSimulation<'d> {
                     strict: self.policy.strict,
                     self_priority: self.policy.self_priority,
                     frame_buf: Vec::new(),
+                    scratch_buf: Vec::new(),
                     payloads: PayloadPool::new(),
                     obs: self.obs.as_ref().map(|r| r.fork_shard(id as u32)),
                     epoch: 0,
@@ -1177,8 +1228,8 @@ impl<'d> ShardedSimulation<'d> {
             }
             let domain = self.domain;
             let program = &self.program;
-            let bcp = &self.bc;
-            let engine = self.engine;
+            let table = &self.table;
+            let spans = self.spans.as_ref();
             let epoch_t0 = self.obs.is_some().then(std::time::Instant::now);
             let mut null = NullSink;
             let sink: &mut dyn Sink = match self.obs.as_mut() {
@@ -1187,7 +1238,7 @@ impl<'d> ShardedSimulation<'d> {
             };
             let outcomes = pool
                 .try_map_mut_obs(sink, "epoch", &mut st.shards, |_, s| {
-                    s.run_epoch(domain, program, bcp, engine)
+                    s.run_epoch(domain, program, table, spans)
                 })
                 .map_err(|e| CoreError::runtime(e.to_string()))?;
             let epoch_wall_ns = epoch_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
@@ -1196,7 +1247,7 @@ impl<'d> ShardedSimulation<'d> {
             // lowest-id shard's error (deterministic across jobs).
             let mut epoch_dispatches = 0u64;
             for s in st.shards.iter_mut() {
-                self.trace.events.append(&mut s.trace);
+                self.trace.append(&mut s.trace);
                 self.dropped += s.dropped;
                 s.dropped = 0;
                 epoch_dispatches = epoch_dispatches.max(s.dispatches);
@@ -1324,14 +1375,15 @@ impl<'d> ShardedSimulation<'d> {
         if let Some(r) = self.obs.take() {
             sim.attach_recorder(*r);
         }
-        // Recreate the population in id order (ids are dense).
-        let mut created = 0u32;
-        for e in &self.trace.events {
-            if let TraceEvent::Create { class, .. } = e {
-                let inst = ActionHost::create(&mut sim, *class)?;
-                debug_assert_eq!(inst.index() as u32, created);
-                created += 1;
-            }
+        sim.set_trace_mode(self.trace.mode());
+        // Recreate the population in id order from the store (ids are
+        // dense and setup never deletes); the store — not the trace — is
+        // the source of truth so this works under `TraceMode::Off` too.
+        for i in 0..self.store.id_space() {
+            let id = InstId::new(i as u32);
+            let class = self.store.class_of(id)?;
+            let inst = ActionHost::create(&mut sim, class)?;
+            debug_assert_eq!(inst, id);
         }
         for &(a, b, assoc) in &self.setup_links {
             ActionHost::relate(&mut sim, a, b, assoc)?;
@@ -1350,9 +1402,7 @@ impl<'d> ShardedSimulation<'d> {
         let steps = run?;
         self.dropped += sim.dropped_events();
         self.now = sim.now();
-        self.trace = Trace {
-            events: sim.trace().events.clone(),
-        };
+        self.trace = sim.trace().clone();
         Ok(steps)
     }
 
@@ -1401,9 +1451,9 @@ impl<'d> ShardedSimulation<'d> {
         for s in &self.stimuli {
             snap_write_stim(&mut w, s);
         }
-        w.len(self.trace.events.len());
-        for e in &self.trace.events {
-            snapshot::write_trace_event(&mut w, e);
+        w.len(self.trace.len());
+        for e in self.trace.iter() {
+            snapshot::write_trace_event(&mut w, &e);
         }
         match self.runtime_fallback.as_deref() {
             Some(why) => {
@@ -1503,7 +1553,7 @@ impl<'d> ShardedSimulation<'d> {
             t => return Err(SnapError::Corrupt(format!("bad engine tag {t}"))),
         };
         let mut sim = ShardedSimulation::with_policy(domain, policy);
-        sim.engine = engine;
+        sim.set_engine(engine); // rebuilds the dispatch table if != default
         sim.max_steps = r.u64()?;
         sim.now = r.u64()?;
         sim.dropped = r.u64()?;
@@ -1524,9 +1574,9 @@ impl<'d> ShardedSimulation<'d> {
             sim.stimuli.push(snap_read_stim(&mut r)?);
         }
         let ne = r.len(13)?;
-        sim.trace.events.reserve(ne);
+        sim.trace.reserve(ne);
         for _ in 0..ne {
-            sim.trace.events.push(snapshot::read_trace_event(&mut r)?);
+            sim.trace.push(snapshot::read_trace_event(&mut r)?);
         }
         if r.bool()? {
             sim.runtime_fallback = Some(r.str()?);
@@ -1622,7 +1672,7 @@ impl<'d> ShardedSimulation<'d> {
                     in_ready,
                     rng,
                     local_seq,
-                    trace: Vec::new(),
+                    trace: Trace::new(),
                     outbox: Vec::new(),
                     new_timers: Vec::new(),
                     cancels: Vec::new(),
@@ -1634,6 +1684,7 @@ impl<'d> ShardedSimulation<'d> {
                     strict: sim.policy.strict,
                     self_priority: sim.policy.self_priority,
                     frame_buf: Vec::new(),
+                    scratch_buf: Vec::new(),
                     payloads: PayloadPool::new(),
                     obs,
                     epoch: epoch_no,

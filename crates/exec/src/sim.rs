@@ -19,15 +19,14 @@
 use crate::sched::{SchedPolicy, SplitMix64};
 use crate::snapshot::{self, SnapError, SnapResult};
 use crate::store::ObjectStore;
-use crate::trace::{Trace, TraceEvent};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use crate::trace::{Trace, TraceMode};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
-use xtuml_core::bc::{self, BcEntry, BcFallback, BcProgram};
+use xtuml_core::bc::{self, BcAction, BcEntry, BcFallback, BcProgram};
 use xtuml_core::code::CompiledProgram;
 use xtuml_core::error::{CoreError, Result};
-use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId};
+use xtuml_core::ids::{ActorId, AssocId, AttrId, ClassId, EventId, InstId, StateId};
 use xtuml_core::interp::{self, ActionHost, ExecCtx};
 use xtuml_core::model::{Domain, TransitionTarget};
 use xtuml_core::value::Value;
@@ -162,6 +161,211 @@ impl PayloadPool {
     }
 }
 
+/// Moves `args` into a pooled buffer when one of the right arity is
+/// free, avoiding the double allocation (`Vec` + `Arc`) per payload.
+#[inline]
+pub(crate) fn pooled_payload(pool: &mut PayloadPool, args: Vec<Value>) -> Arc<[Value]> {
+    match pool.take(args.len()) {
+        Some(mut buf) => {
+            let slots = Arc::get_mut(&mut buf).expect("pooled buffers are uniquely owned");
+            for (slot, v) in slots.iter_mut().zip(args) {
+                *slot = v;
+            }
+            buf
+        }
+        None => Arc::from(args),
+    }
+}
+
+/// How a resolved dispatch slot executes its action.
+#[derive(Debug, Clone)]
+pub(crate) enum Exec {
+    /// Run the lowered bytecode action directly.
+    Vm(Arc<BcAction>),
+    /// Run the compiled frames. `fallback` marks slots the bytecode
+    /// lowering could not encode under [`Engine::Bc`] (diagnostic
+    /// X0016); those still count `BcFallbacks` per dispatch so the
+    /// metrics goldens are unchanged.
+    Frames { fallback: bool },
+    /// The lowered body is provably effect-free ([`BcAction::is_nop`]):
+    /// skip frame setup and execution entirely. The state change and
+    /// trace record still happen in the shared dispatch path. `vm`
+    /// records which engine the table was resolved for, so the
+    /// per-dispatch `BcActions` counter stays byte-identical to a run
+    /// that actually entered the VM.
+    Nop { vm: bool },
+}
+
+/// One pre-resolved `(from_state, event)` dispatch decision.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot {
+    /// Transition to `to`, executing per `exec`.
+    Run { to: StateId, exec: Exec },
+    /// Declared ignore: consume silently.
+    Ignore,
+    /// Undeclared pair: error in strict mode, drop otherwise.
+    CantHappen,
+}
+
+/// Dense per-class slot table, indexed `state * n_events + event`.
+#[derive(Debug, Clone)]
+pub(crate) struct ClassSlots {
+    n_events: usize,
+    slots: Vec<Slot>,
+}
+
+impl ClassSlots {
+    #[inline]
+    pub(crate) fn slot(&self, state: StateId, event: EventId) -> &Slot {
+        &self.slots[state.index() * self.n_events + event.index()]
+    }
+}
+
+/// Pre-resolved dispatch decisions for a whole domain.
+///
+/// Built once per engine selection at `Simulation` construction. The
+/// dispatch hot path indexes it with two loads instead of walking the
+/// transition table, re-checking the engine, and probing the bytecode
+/// program per signal — and the slot holds a direct reference to the
+/// lowered [`BcAction`], so no `Rc` of the whole program is cloned per
+/// dispatch. Slots are `Arc`-backed and the table is `Sync`, so shard
+/// workers share one copy by reference.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DispatchTable {
+    /// Per class; `None` for passive classes (no state machine).
+    classes: Vec<Option<ClassSlots>>,
+    /// Slots resolved to the frame interpreter because the bytecode
+    /// lowering bailed (X0016), under [`Engine::Bc`]. Static — decided
+    /// once here, not re-discovered per signal.
+    fallback_slots: usize,
+}
+
+impl DispatchTable {
+    pub(crate) fn new(
+        domain: &Domain,
+        program: &CompiledProgram,
+        bc: &BcProgram,
+        engine: Engine,
+    ) -> DispatchTable {
+        let mut fallback_slots = 0;
+        let classes = domain
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| {
+                let class = ClassId::new(ci as u32);
+                let machine = c.state_machine.as_ref()?;
+                let n_events = c.events.len();
+                let mut slots = Vec::with_capacity(machine.states.len() * n_events);
+                for s in 0..machine.states.len() {
+                    for e in 0..n_events {
+                        let (state, event) = (StateId::new(s as u32), EventId::new(e as u32));
+                        slots.push(match program.target(class, state, event) {
+                            TransitionTarget::To(to) => {
+                                let exec = match engine {
+                                    Engine::Bc => match bc.entry(class, to, event) {
+                                        Some(BcEntry::Vm(a)) if a.is_nop() => {
+                                            Exec::Nop { vm: true }
+                                        }
+                                        Some(BcEntry::Vm(a)) => Exec::Vm(Arc::clone(a)),
+                                        // `Unsupported` (X0016) and failed
+                                        // frame compiles both take the
+                                        // frames path, which re-raises any
+                                        // compile error lazily.
+                                        _ => {
+                                            fallback_slots += 1;
+                                            Exec::Frames { fallback: true }
+                                        }
+                                    },
+                                    // A lowered-and-nop body proves the
+                                    // frames action it came from is
+                                    // effect-free too — the frames engine
+                                    // elides it the same way (no counters
+                                    // fire either way on this path).
+                                    Engine::Frames => match bc.entry(class, to, event) {
+                                        Some(BcEntry::Vm(a)) if a.is_nop() => {
+                                            Exec::Nop { vm: false }
+                                        }
+                                        _ => Exec::Frames { fallback: false },
+                                    },
+                                };
+                                Slot::Run { to, exec }
+                            }
+                            TransitionTarget::Ignore => Slot::Ignore,
+                            TransitionTarget::CantHappen => Slot::CantHappen,
+                        });
+                    }
+                }
+                Some(ClassSlots { n_events, slots })
+            })
+            .collect();
+        DispatchTable {
+            classes,
+            fallback_slots,
+        }
+    }
+
+    /// The slot table for `class`, or `None` for passive classes.
+    #[inline]
+    pub(crate) fn class(&self, class: ClassId) -> Option<&ClassSlots> {
+        self.classes[class.index()].as_ref()
+    }
+
+    /// Slots that resolved to the frame interpreter under `Engine::Bc`
+    /// because the lowering bailed (X0016).
+    pub(crate) fn fallback_slots(&self) -> usize {
+        self.fallback_slots
+    }
+}
+
+/// Pre-interned span names, so `--profile` runs stop calling `format!`
+/// per signal on the dispatch hot path.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanNames {
+    /// `rtc[class][event]` = `"Class.Event"`.
+    rtc: Vec<Vec<String>>,
+    /// `action[class][state]` = `"action Class.State"`.
+    action: Vec<Vec<String>>,
+}
+
+impl SpanNames {
+    pub(crate) fn new(domain: &Domain) -> SpanNames {
+        let rtc = domain
+            .classes
+            .iter()
+            .map(|c| {
+                c.events
+                    .iter()
+                    .map(|e| format!("{}.{}", c.name, e.name))
+                    .collect()
+            })
+            .collect();
+        let action = domain
+            .classes
+            .iter()
+            .map(|c| {
+                c.state_machine.as_ref().map_or_else(Vec::new, |m| {
+                    m.states
+                        .iter()
+                        .map(|s| format!("action {}.{}", c.name, s.name))
+                        .collect()
+                })
+            })
+            .collect();
+        SpanNames { rtc, action }
+    }
+
+    #[inline]
+    pub(crate) fn rtc(&self, class: ClassId, event: EventId) -> &str {
+        &self.rtc[class.index()][event.index()]
+    }
+
+    #[inline]
+    pub(crate) fn action(&self, class: ClassId, state: StateId) -> &str {
+        &self.action[class.index()][state.index()]
+    }
+}
+
 /// An executing Executable UML model. See the crate-level example.
 pub struct Simulation<'d> {
     domain: &'d Domain,
@@ -171,6 +375,12 @@ pub struct Simulation<'d> {
     bc: Rc<BcProgram>,
     /// Action executor selection; [`Engine::Bc`] by default.
     engine: Engine,
+    /// Pre-resolved `(class, state, event) → slot` dispatch decisions,
+    /// rebuilt whenever the engine selection changes.
+    table: DispatchTable,
+    /// Pre-interned span names; built when a spans-enabled recorder
+    /// attaches.
+    spans: Option<SpanNames>,
     store: ObjectStore,
     queues: Vec<InstQueues>,
     /// Instances with at least one queued signal, kept sorted ascending by
@@ -180,8 +390,12 @@ pub struct Simulation<'d> {
     /// Membership mirror of `ready`, indexed by instance.
     in_ready: Vec<bool>,
     timers: Vec<TimerEntry>,
-    /// Pending external stimuli, min-heap ordered by `(time, seq)`.
-    stimuli: BinaryHeap<Reverse<Stimulus>>,
+    /// Pending external stimuli, kept sorted ascending by `(time, seq)`.
+    /// Injection is overwhelmingly in time order, so maintaining the
+    /// order on push is one back-element compare; delivery then streams
+    /// `pop_front` over contiguous memory instead of sifting a binary
+    /// heap per stimulus.
+    stimuli: VecDeque<Stimulus>,
     now: u64,
     send_seq: u64,
     policy: SchedPolicy,
@@ -192,6 +406,9 @@ pub struct Simulation<'d> {
     max_steps: u64,
     /// Recycled execution frame: taken by each dispatch, returned after.
     frame_buf: Vec<Option<Value>>,
+    /// Recycled candidate buffer for filtered selects (see
+    /// [`ExecCtx::scratch`]).
+    scratch_buf: Vec<InstId>,
     /// Recycled signal payload buffers, fed by finished dispatches and
     /// drained by the VM's computed sends.
     payloads: PayloadPool,
@@ -221,17 +438,20 @@ impl<'d> Simulation<'d> {
     pub fn with_policy(domain: &'d Domain, policy: SchedPolicy) -> Simulation<'d> {
         let program = Rc::new(CompiledProgram::new(domain));
         let bc = Rc::new(BcProgram::new(domain, &program));
+        let table = DispatchTable::new(domain, &program, &bc, Engine::default());
         Simulation {
             domain,
             program,
             bc,
             engine: Engine::default(),
+            table,
+            spans: None,
             store: ObjectStore::new(domain.associations.len()),
             queues: Vec::new(),
             ready: Vec::new(),
             in_ready: Vec::new(),
             timers: Vec::new(),
-            stimuli: BinaryHeap::new(),
+            stimuli: VecDeque::new(),
             now: 0,
             send_seq: 0,
             policy,
@@ -241,6 +461,7 @@ impl<'d> Simulation<'d> {
             dropped: 0,
             max_steps: 10_000_000,
             frame_buf: Vec::new(),
+            scratch_buf: Vec::new(),
             payloads: PayloadPool::new(),
             obs: None,
         }
@@ -251,6 +472,9 @@ impl<'d> Simulation<'d> {
     /// values are deterministic: a pure function of the seed for a given
     /// model and stimulus schedule.
     pub fn attach_recorder(&mut self, rec: Recorder) {
+        if rec.spans_enabled() && self.spans.is_none() {
+            self.spans = Some(SpanNames::new(self.domain));
+        }
         self.obs = Some(Box::new(rec));
     }
 
@@ -289,9 +513,21 @@ impl<'d> Simulation<'d> {
         self.max_steps = max;
     }
 
-    /// Selects the action executor (default [`Engine::Bc`]).
+    /// Selects the action executor (default [`Engine::Bc`]) and
+    /// re-resolves the dispatch table for it.
     pub fn set_engine(&mut self, engine: Engine) {
+        if engine != self.engine {
+            self.table = DispatchTable::new(self.domain, &self.program, &self.bc, engine);
+        }
         self.engine = engine;
+    }
+
+    /// Sets the trace recording mode ([`TraceMode::Full`] by default).
+    ///
+    /// [`TraceMode::Off`] records nothing; differential and golden
+    /// comparisons require `Full`.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace.set_mode(mode);
     }
 
     /// The currently selected action executor.
@@ -303,6 +539,13 @@ impl<'d> Simulation<'d> {
     /// the frame interpreter instead (diagnostic `X0016`).
     pub fn bc_fallbacks(&self) -> &[BcFallback] {
         &self.bc.fallbacks
+    }
+
+    /// Number of dispatch slots statically resolved to the frame
+    /// interpreter because the bytecode lowering bailed (X0016), under
+    /// the current engine. Zero when the engine is [`Engine::Frames`].
+    pub fn bc_fallback_slots(&self) -> usize {
+        self.table.fallback_slots()
     }
 
     /// Registers a handler for synchronous bridge calls on `actor`.
@@ -373,13 +616,14 @@ impl<'d> Simulation<'d> {
             )));
         }
         self.send_seq += 1;
-        self.stimuli.push(Reverse(Stimulus {
+        let args = pooled_payload(&mut self.payloads, args);
+        self.stim_insert(Stimulus {
             time,
             seq: self.send_seq,
             to: inst,
             event: event_id,
-            args: Arc::from(args),
-        }));
+            args,
+        });
         if let Some(o) = self.obs.as_mut() {
             o.count(Counter::StimuliInjected, 1);
             o.gauge_max(Gauge::StimulusHeapMax, self.stimuli.len() as u64);
@@ -442,7 +686,18 @@ impl<'d> Simulation<'d> {
 
     fn run_to_quiescence_inner(&mut self) -> Result<u64> {
         let mut steps = 0u64;
-        while self.step()? {
+        let cap = self.max_steps.saturating_add(1);
+        loop {
+            self.superloop(cap, &mut steps)?;
+            if steps > self.max_steps {
+                return Err(CoreError::runtime(format!(
+                    "exceeded max_steps ({}) — livelock?",
+                    self.max_steps
+                )));
+            }
+            if !self.step()? {
+                return Ok(steps);
+            }
             steps += 1;
             if steps > self.max_steps {
                 return Err(CoreError::runtime(format!(
@@ -451,7 +706,79 @@ impl<'d> Simulation<'d> {
                 )));
             }
         }
-        Ok(steps)
+    }
+
+    /// Runs at most `budget - *steps` dispatch steps through the
+    /// superloop, batching while no interleaving concern exists. Callers
+    /// fall back to [`Simulation::step`] for delivery and time jumps.
+    ///
+    /// The superloop is byte-identical to per-step dispatch because its
+    /// preconditions make the skipped work provably dead: with no
+    /// pending timer and no stimulus due at the current time,
+    /// `deliver_due` is a no-op and no time jump can occur; and when a
+    /// lone ready instance absorbs a scheduler draw, the draw is still
+    /// consumed (`below(1)` advances the PRNG exactly like any pick) so
+    /// the random stream — and hence every later pick — is unchanged.
+    /// Stimuli scheduled for the *future* are fine: the loop re-checks
+    /// the (sorted) queue front after every dispatch, since each
+    /// dispatch advances `now` and can make the front due.
+    fn superloop(&mut self, budget: u64, steps: &mut u64) -> Result<()> {
+        while *steps < budget
+            && !self.ready.is_empty()
+            && self.timers.is_empty()
+            && self.stimuli.front().is_none_or(|s| s.time > self.now)
+        {
+            let pick = self.ready[self.rng.below(self.ready.len())];
+            // Same-instance batch: drain `pick`'s queues in a tight
+            // inner loop without re-entering ready-set bookkeeping,
+            // for as long as it provably remains the only candidate.
+            loop {
+                let env = self.pop_envelope(pick);
+                let drained = self.queues[pick.index()].is_empty();
+                if drained {
+                    self.unmark_ready(pick);
+                }
+                self.dispatch(pick, env)?;
+                self.now += 1;
+                *steps += 1;
+                if *steps >= budget
+                    || drained
+                    || !self.timers.is_empty()
+                    || self.stimuli.front().is_some_and(|s| s.time <= self.now)
+                    || self.ready.len() != 1
+                    || self.ready[0] != pick
+                {
+                    break;
+                }
+                // The scheduler would re-draw over a single candidate;
+                // consume that draw to keep the stream identical.
+                self.rng.below(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs at most `budget` dispatch steps, batching through the
+    /// superloop (the serve daemon's step path). `ran` is incremented
+    /// per dispatch — also on error, so callers can account fuel.
+    /// Returns `true` when the run reached quiescence before the budget
+    /// was exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run_to_quiescence`], except `max_steps`
+    /// does not apply (the budget is the cap).
+    pub fn run_steps(&mut self, budget: u64, ran: &mut u64) -> Result<bool> {
+        loop {
+            self.superloop(budget, ran)?;
+            if *ran >= budget {
+                return Ok(false);
+            }
+            if !self.step()? {
+                return Ok(true);
+            }
+            *ran += 1;
+        }
     }
 
     /// Runs until simulation time reaches `deadline` or quiescence.
@@ -494,7 +821,7 @@ impl<'d> Simulation<'d> {
                     .timers
                     .iter()
                     .map(|t| t.deadline)
-                    .chain(self.stimuli.peek().map(|Reverse(s)| s.time))
+                    .chain(self.stimuli.front().map(|s| s.time))
                     .min();
                 match next {
                     Some(t) if t > self.now => {
@@ -516,6 +843,24 @@ impl<'d> Simulation<'d> {
         }
     }
 
+    /// Inserts a stimulus, maintaining the `(time, seq)` sort. The
+    /// common case — injection in nondecreasing time order — is a
+    /// single compare against the back element.
+    fn stim_insert(&mut self, s: Stimulus) {
+        let in_order = self
+            .stimuli
+            .back()
+            .is_none_or(|b| (b.time, b.seq) <= (s.time, s.seq));
+        if in_order {
+            self.stimuli.push_back(s);
+        } else {
+            let at = self
+                .stimuli
+                .partition_point(|q| (q.time, q.seq) < (s.time, s.seq));
+            self.stimuli.insert(at, s);
+        }
+    }
+
     /// Moves due stimuli and timers into instance queues, in `(time, seq)`
     /// order.
     fn deliver_due(&mut self) {
@@ -525,8 +870,8 @@ impl<'d> Simulation<'d> {
             // traffic): heap pops already come out in (time, seq) order,
             // the exact order the old collect-and-sort produced, because
             // `seq` is globally unique across timers and stimuli.
-            while self.stimuli.peek().is_some_and(|Reverse(s)| s.time <= now) {
-                let Reverse(s) = self.stimuli.pop().expect("peeked above");
+            while self.stimuli.front().is_some_and(|s| s.time <= now) {
+                let s = self.stimuli.pop_front().expect("peeked above");
                 if !self.store.is_alive(s.to) {
                     continue; // instance died while the stimulus was in flight
                 }
@@ -546,8 +891,8 @@ impl<'d> Simulation<'d> {
         // (time, seq, to, from, event, args)
         type Due = (u64, u64, InstId, Option<InstId>, EventId, Arc<[Value]>);
         let mut due: Vec<Due> = Vec::new();
-        while self.stimuli.peek().is_some_and(|Reverse(s)| s.time <= now) {
-            let Reverse(s) = self.stimuli.pop().expect("peeked above");
+        while self.stimuli.front().is_some_and(|s| s.time <= now) {
+            let s = self.stimuli.pop_front().expect("peeked above");
             due.push((s.time, s.seq, s.to, None, s.event, s.args));
         }
         self.timers.retain(|t| {
@@ -653,12 +998,21 @@ impl<'d> Simulation<'d> {
     }
 
     fn dispatch(&mut self, inst: InstId, env: Envelope) -> Result<()> {
+        // Detach the table so the slot borrow does not pin `self`
+        // (actions need the host mutably). Dispatch is not reentrant, so
+        // nothing observes the hole.
+        let table = std::mem::take(&mut self.table);
+        let out = self.dispatch_with(&table, inst, env);
+        self.table = table;
+        out
+    }
+
+    fn dispatch_with(&mut self, table: &DispatchTable, inst: InstId, env: Envelope) -> Result<()> {
         let (class, from_state) = self.store.class_state(inst)?;
-        let c = self.domain.class(class);
-        let Some(machine) = c.state_machine.as_ref() else {
+        let Some(cs) = table.class(class) else {
             return Err(CoreError::runtime(format!(
                 "signal sent to passive class {}",
-                c.name
+                self.domain.class(class).name
             )));
         };
         let mut rtc_span = false;
@@ -666,69 +1020,77 @@ impl<'d> Simulation<'d> {
             o.count(Counter::SignalsDispatched, 1);
             if o.spans_enabled() {
                 let track = o.track;
-                let name = format!("{}.{}", c.name, c.events[env.event.index()].name);
-                o.span_begin(track, "rtc", &name);
+                match &self.spans {
+                    Some(sn) => o.span_begin(track, "rtc", sn.rtc(class, env.event)),
+                    None => {
+                        let c = self.domain.class(class);
+                        let name = format!("{}.{}", c.name, c.events[env.event.index()].name);
+                        o.span_begin(track, "rtc", &name);
+                    }
+                }
                 rtc_span = true;
             }
         }
-        let out = match self.program.target(class, from_state, env.event) {
-            TransitionTarget::To(to_state) => {
+        let out = match cs.slot(from_state, env.event) {
+            Slot::Run { to, exec } => {
+                let to_state = *to;
                 self.store.set_state(inst, to_state)?;
-                self.trace.push(TraceEvent::Dispatch {
-                    time: self.now,
-                    inst,
-                    from: env.from,
-                    event: env.event,
-                    seq: env.seq,
-                    from_state,
-                    to_state,
-                });
+                self.trace.push_dispatch(
+                    self.now, inst, env.from, env.event, env.seq, from_state, to_state,
+                );
                 if let Some(o) = self.obs.as_mut() {
                     o.count(Counter::TransitionsFired, 1);
                     if o.spans_enabled() {
                         let track = o.track;
-                        let name = format!("action {}.{}", c.name, machine.state(to_state).name);
-                        o.span_begin(track, "action", &name);
-                    }
-                }
-                // Pick the executor: the bytecode VM unless the engine is
-                // frames or this action could not be lowered.
-                let bcp = Rc::clone(&self.bc);
-                let vm_action = if self.engine == Engine::Bc {
-                    match bcp.entry(class, to_state, env.event) {
-                        Some(BcEntry::Vm(bca)) => Some(&**bca),
-                        _ => {
-                            if let Some(o) = self.obs.as_mut() {
-                                o.count(Counter::BcFallbacks, 1);
+                        match &self.spans {
+                            Some(sn) => o.span_begin(track, "action", sn.action(class, to_state)),
+                            None => {
+                                let c = self.domain.class(class);
+                                let machine = c.state_machine.as_ref().expect("active class");
+                                let name =
+                                    format!("action {}.{}", c.name, machine.state(to_state).name);
+                                o.span_begin(track, "action", &name);
                             }
-                            None
                         }
                     }
-                } else {
-                    None
-                };
-                // Recycle one frame allocation across all dispatches.
-                let mut frame = std::mem::take(&mut self.frame_buf);
-                frame.clear();
-                let run = match vm_action {
-                    Some(bca) => {
+                }
+                let run = match exec {
+                    Exec::Nop { vm } => {
+                        // Provably effect-free body: no frame, no ctx, no
+                        // VM entry. Counters must match a real execution.
+                        if *vm {
+                            if let Some(o) = self.obs.as_mut() {
+                                o.count(Counter::BcActions, 1);
+                            }
+                        }
+                        Ok(interp::Outcome::Completed)
+                    }
+                    Exec::Vm(bca) => {
                         if let Some(o) = self.obs.as_mut() {
                             o.count(Counter::BcActions, 1);
                         }
+                        // Recycle one frame allocation across dispatches.
+                        let mut frame = std::mem::take(&mut self.frame_buf);
+                        frame.clear();
                         frame.resize(bca.n_regs, None);
                         let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.scratch = std::mem::take(&mut self.scratch_buf);
                         ctx.bind_args(env.args.iter().cloned());
                         let r = bc::run_bc(self, &mut ctx, bca);
                         self.frame_buf = std::mem::take(&mut ctx.frame);
+                        self.scratch_buf = std::mem::take(&mut ctx.scratch);
                         r
                     }
-                    None => {
-                        // The frame interpreter needs the compiled action;
-                        // the VM path never touches it (a `Vm` entry
-                        // implies the frame compile it lowered from
-                        // succeeded). Clone the program handle so the
-                        // action borrow does not pin `self` (which the
-                        // interpreter needs mutably).
+                    Exec::Frames { fallback } => {
+                        if *fallback {
+                            if let Some(o) = self.obs.as_mut() {
+                                o.count(Counter::BcFallbacks, 1);
+                            }
+                        }
+                        // The frame interpreter needs the compiled action.
+                        // Clone the program handle so the action borrow
+                        // does not pin `self` (which the interpreter needs
+                        // mutably).
                         let program = Rc::clone(&self.program);
                         let action =
                             program.action(class, to_state, env.event).ok_or_else(|| {
@@ -736,11 +1098,15 @@ impl<'d> Simulation<'d> {
                                     "internal: dispatched pair has no compiled action",
                                 )
                             })??;
+                        let mut frame = std::mem::take(&mut self.frame_buf);
+                        frame.clear();
                         frame.resize(action.frame_len(), None);
                         let mut ctx = ExecCtx::with_frame(inst, class, frame);
+                        ctx.scratch = std::mem::take(&mut self.scratch_buf);
                         ctx.bind_args(env.args.iter().cloned());
                         let r = interp::run_code(self, &mut ctx, action);
                         self.frame_buf = std::mem::take(&mut ctx.frame);
+                        self.scratch_buf = std::mem::take(&mut ctx.scratch);
                         r
                     }
                 };
@@ -753,19 +1119,17 @@ impl<'d> Simulation<'d> {
                 run?;
                 Ok(())
             }
-            TransitionTarget::Ignore => {
+            Slot::Ignore => {
                 if let Some(o) = self.obs.as_mut() {
                     o.count(Counter::SignalsIgnored, 1);
                 }
-                self.trace.push(TraceEvent::Ignored {
-                    time: self.now,
-                    inst,
-                    event: env.event,
-                });
+                self.trace.push_ignored(self.now, inst, env.event);
                 Ok(())
             }
-            TransitionTarget::CantHappen => {
+            Slot::CantHappen => {
                 if self.policy.strict {
+                    let c = self.domain.class(class);
+                    let machine = c.state_machine.as_ref().expect("active class");
                     Err(CoreError::CantHappen {
                         class: c.name.clone(),
                         state: machine.state(from_state).name.clone(),
@@ -776,11 +1140,7 @@ impl<'d> Simulation<'d> {
                     if let Some(o) = self.obs.as_mut() {
                         o.count(Counter::SignalsDropped, 1);
                     }
-                    self.trace.push(TraceEvent::Dropped {
-                        time: self.now,
-                        inst,
-                        event: env.event,
-                    });
+                    self.trace.push_dropped(self.now, inst, env.event);
                     Ok(())
                 }
             }
@@ -848,21 +1208,20 @@ impl<'d> Simulation<'d> {
             w.u32(u32::from(t.event));
             snapshot::write_values(&mut w, &t.args);
         }
-        // Heap iteration order is arbitrary; write stimuli sorted by the
-        // total (time, seq) key so equal states produce equal bytes.
-        let mut stimuli: Vec<&Stimulus> = self.stimuli.iter().map(|Reverse(s)| s).collect();
-        stimuli.sort_by_key(|s| (s.time, s.seq));
-        w.len(stimuli.len());
-        for s in stimuli {
+        // The queue invariant keeps stimuli sorted by the total
+        // (time, seq) key, so plain iteration produces the same bytes
+        // the old sort-then-write did.
+        w.len(self.stimuli.len());
+        for s in &self.stimuli {
             w.u64(s.time);
             w.u64(s.seq);
             w.u32(u32::from(s.to));
             w.u32(u32::from(s.event));
             snapshot::write_values(&mut w, &s.args);
         }
-        w.len(self.trace.events.len());
-        for e in &self.trace.events {
-            snapshot::write_trace_event(&mut w, e);
+        w.len(self.trace.len());
+        for e in self.trace.iter() {
+            snapshot::write_trace_event(&mut w, &e);
         }
         match self.obs.as_deref() {
             Some(rec) => {
@@ -909,7 +1268,7 @@ impl<'d> Simulation<'d> {
             t => return Err(SnapError::Corrupt(format!("bad engine tag {t}"))),
         };
         let mut sim = Simulation::with_policy(domain, policy);
-        sim.engine = engine;
+        sim.set_engine(engine);
         sim.now = r.u64()?;
         sim.send_seq = r.u64()?;
         sim.dropped = r.u64()?;
@@ -947,19 +1306,22 @@ impl<'d> Simulation<'d> {
             });
         }
         let ns = r.len(32)?;
+        sim.stimuli.reserve(ns);
         for _ in 0..ns {
-            sim.stimuli.push(Reverse(Stimulus {
+            // Snapshots write stimuli in (time, seq) order; stim_insert
+            // keeps that invariant (and repairs a hand-edited snapshot).
+            sim.stim_insert(Stimulus {
                 time: r.u64()?,
                 seq: r.u64()?,
                 to: InstId::new(r.u32()?),
                 event: EventId::new(r.u32()?),
                 args: snapshot::read_values(&mut r)?,
-            }));
+            });
         }
         let ne = r.len(13)?;
-        sim.trace.events.reserve(ne);
+        sim.trace.reserve(ne);
         for _ in 0..ne {
-            sim.trace.events.push(snapshot::read_trace_event(&mut r)?);
+            sim.trace.push(snapshot::read_trace_event(&mut r)?);
         }
         if r.bool()? {
             let mut rec = Recorder::new();
@@ -1012,11 +1374,7 @@ impl ActionHost for Simulation<'_> {
             o.count(Counter::InstancesCreated, 1);
             o.gauge_max(Gauge::LiveInstancesMax, self.store.live_count() as u64);
         }
-        self.trace.push(TraceEvent::Create {
-            time: self.now,
-            inst,
-            class,
-        });
+        self.trace.push_create(self.now, inst, class);
         Ok(inst)
     }
 
@@ -1028,10 +1386,7 @@ impl ActionHost for Simulation<'_> {
         if let Some(o) = self.obs.as_mut() {
             o.count(Counter::InstancesDeleted, 1);
         }
-        self.trace.push(TraceEvent::Delete {
-            time: self.now,
-            inst,
-        });
+        self.trace.push_delete(self.now, inst);
         Ok(())
     }
 
@@ -1134,12 +1489,7 @@ impl ActionHost for Simulation<'_> {
         if let Some(o) = self.obs.as_mut() {
             o.count(Counter::ActorSignals, 1);
         }
-        self.trace.push(TraceEvent::ActorSignal {
-            time: self.now,
-            actor,
-            event,
-            args,
-        });
+        self.trace.push_actor_signal(self.now, actor, event, args);
         Ok(())
     }
 
@@ -1189,12 +1539,8 @@ impl ActionHost for Simulation<'_> {
         if let Some(o) = self.obs.as_mut() {
             o.count(Counter::BridgeCalls, 1);
         }
-        self.trace.push(TraceEvent::BridgeCall {
-            time: self.now,
-            actor,
-            func: func.to_owned(),
-            args: Arc::from(args.as_slice()),
-        });
+        self.trace
+            .push_bridge_call(self.now, actor, func, Arc::from(args.as_slice()));
         if let Some(handler) = self.bridges.get_mut(&actor) {
             return handler(func, &args);
         }
@@ -1208,6 +1554,7 @@ impl ActionHost for Simulation<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceEvent;
     use xtuml_core::builder::{pipeline_domain, DomainBuilder};
     use xtuml_core::value::DataType;
 
@@ -1259,7 +1606,6 @@ mod tests {
         assert_eq!(sim.state_name(c).unwrap(), "Idle");
         assert!(sim
             .trace()
-            .events
             .iter()
             .any(|e| matches!(e, TraceEvent::Ignored { .. })));
     }

@@ -193,7 +193,6 @@ fn run_interpreter(
         trace: trace.clone(),
         dispatches: trace.dispatch_count() as u64,
         ignored: trace
-            .events
             .iter()
             .filter(|e| matches!(e, TraceEvent::Ignored { .. }))
             .count() as u64,
@@ -379,15 +378,14 @@ pub fn run_case(
         if frames.trace != interp.trace {
             let n = interp
                 .trace
-                .events
                 .iter()
-                .zip(frames.trace.events.iter())
+                .zip(frames.trace.iter())
                 .take_while(|(a, b)| a == b)
                 .count();
             return CaseOutcome::OracleFailure(format!(
                 "bytecode VM trace diverges from the frame interpreter at event {n}                  (vm {} events, frames {})",
-                interp.trace.events.len(),
-                frames.trace.events.len()
+                interp.trace.len(),
+                frames.trace.len()
             ));
         }
     }
@@ -408,15 +406,14 @@ pub fn run_case(
         if ck != interp.trace {
             let n = interp
                 .trace
-                .events
                 .iter()
-                .zip(ck.events.iter())
+                .zip(ck.iter())
                 .take_while(|(a, b)| a == b)
                 .count();
             return CaseOutcome::OracleFailure(format!(
                 "checkpointed interpreter trace diverges from the uninterrupted run at event {n} (uninterrupted {} events, checkpointed {})",
-                interp.trace.events.len(),
-                ck.events.len()
+                interp.trace.len(),
+                ck.len()
             ));
         }
     }

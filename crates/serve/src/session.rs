@@ -334,22 +334,18 @@ impl Store {
                     if budget == 0 && max_steps != Some(0) {
                         return err_response("fuel exhausted", &[("fuel_left", "0".to_owned())]);
                     }
+                    // Batched stepping: the superloop amortizes scheduler and
+                    // lookup overhead across the whole budget instead of
+                    // paying it per signal.
                     let mut ran = 0u64;
-                    let mut quiescent = false;
-                    while ran < budget {
-                        match sim.step() {
-                            Ok(true) => ran += 1,
-                            Ok(false) => {
-                                quiescent = true;
-                                break;
-                            }
-                            Err(e) => {
-                                *fuel_left -= ran;
-                                *steps += ran;
-                                return err_response(&e.to_string(), &[]);
-                            }
+                    let quiescent = match sim.run_steps(budget, &mut ran) {
+                        Ok(q) => q,
+                        Err(e) => {
+                            *fuel_left -= ran;
+                            *steps += ran;
+                            return err_response(&e.to_string(), &[]);
                         }
-                    }
+                    };
                     *fuel_left -= ran;
                     *steps += ran;
                     ok_response(&[
@@ -396,10 +392,10 @@ impl Store {
                 let from = *from;
                 self.with_live_sim(*session, |sim, _, _, _, _| {
                     let trace = sim.trace();
-                    let total = trace.events.len();
+                    let total = trace.len();
                     let mut sub = Trace::new();
-                    for e in trace.events.iter().skip(from) {
-                        sub.push(e.clone());
+                    for e in trace.iter().skip(from) {
+                        sub.push(e);
                     }
                     let rendered = sub.render(sim.domain());
                     let mut events = String::from("[");
@@ -433,7 +429,7 @@ impl Store {
                         ("steps", steps.to_string()),
                         ("pending", sim.pending_stimuli().to_string()),
                         ("fuel_left", fuel_left.to_string()),
-                        ("trace_len", sim.trace().events.len().to_string()),
+                        ("trace_len", sim.trace().len().to_string()),
                         ("dropped", sim.dropped_events().to_string()),
                     ];
                     if let Some(m) = metrics {

@@ -12,12 +12,13 @@ fn usage() -> String {
      \x20 xtuml interface <model.xtuml> <marks.marks>\n\
      \x20 xtuml compile   <model.xtuml> <marks.marks> [out_dir]\n\
      \x20 xtuml run       <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
-     \x20                 [--engine frames|bc] [--no-bc]\n\
+     \x20                 [--engine frames|bc] [--no-bc] [--trace full|off]\n\
      \x20                 [--profile out.json] [--metrics out.jsonl]\n\
      \x20 xtuml bc        <model.xtuml>\n\
      \x20 xtuml analyze   <model.xtuml> [--format json]\n\
      \x20 xtuml stats     <model.xtuml> <script.stim> [--seed S] [--jobs J] [--shards N]\n\
-     \x20                 [--engine frames|bc] [--no-bc] [--format json]\n\
+     \x20                 [--engine frames|bc] [--no-bc] [--trace full|off]\n\
+     \x20                 [--format json]\n\
      \x20 xtuml stats     --check-profile <trace.json>\n\
      \x20 xtuml fuzz      [--seeds N] [--start S] [--jobs J] [--shrink] [--corpus DIR]\n\
      \x20                 [--engine frames|bc] [--no-bc] [--checkpoint]\n\
@@ -38,6 +39,17 @@ fn parse_engine(word: Option<&str>) -> Result<xtuml_exec::Engine, String> {
         Some("bc") => Ok(xtuml_exec::Engine::Bc),
         Some("frames") => Ok(xtuml_exec::Engine::Frames),
         _ => Err("--engine takes `frames` or `bc`".to_owned()),
+    }
+}
+
+// `off` exists for pure-throughput runs only; goldens and differential
+// legs must keep the default `full` (an empty trace compares equal to
+// an empty trace, which proves nothing).
+fn parse_trace(word: Option<&str>) -> Result<xtuml_exec::TraceMode, String> {
+    match word {
+        Some("full") => Ok(xtuml_exec::TraceMode::Full),
+        Some("off") => Ok(xtuml_exec::TraceMode::Off),
+        _ => Err("--trace takes `full` or `off`".to_owned()),
     }
 }
 
@@ -147,6 +159,7 @@ fn real_main() -> Result<(), String> {
                     }
                     "--engine" => opts.engine = parse_engine(rest.next())?,
                     "--no-bc" => opts.engine = xtuml_exec::Engine::Frames,
+                    "--trace" => opts.trace = parse_trace(rest.next())?,
                     "--profile" => {
                         profile_path = Some(rest.next().ok_or("--profile takes a file path")?);
                     }
@@ -259,6 +272,7 @@ fn real_main() -> Result<(), String> {
                     }
                     "--engine" => opts.engine = parse_engine(rest.next())?,
                     "--no-bc" => opts.engine = xtuml_exec::Engine::Frames,
+                    "--trace" => opts.trace = parse_trace(rest.next())?,
                     "--format" => match rest.next() {
                         Some("json") => format = cli::LintFormat::Json,
                         Some("human") => format = cli::LintFormat::Human,

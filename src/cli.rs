@@ -340,6 +340,12 @@ pub struct RunOptions {
     /// `jobs`. Actions the bytecode lowering cannot encode fall back
     /// to the frame interpreter per action, with an X0016 note.
     pub engine: xtuml_exec::Engine,
+    /// Trace recording (`--trace full|off`). `Off` skips the trace ring
+    /// entirely for pure-throughput runs; the transcript then reports no
+    /// dispatch count or observable events. Differential and golden
+    /// comparisons must run with `Full` (the default) — `Off` makes
+    /// traces trivially, meaninglessly equal.
+    pub trace: xtuml_exec::TraceMode,
 }
 
 impl Default for RunOptions {
@@ -349,6 +355,7 @@ impl Default for RunOptions {
             jobs: 1,
             shards: None,
             engine: xtuml_exec::Engine::default(),
+            trace: xtuml_exec::TraceMode::default(),
         }
     }
 }
@@ -422,6 +429,11 @@ pub struct RunOutput {
     /// Bytecode-lowering fallback reasons, aggregated to counts
     /// (X0016; empty when every action lowered, or on other engines).
     pub bc_fallback_reasons: Vec<(String, u32)>,
+    /// Dispatch-table slots resolved to the frame-interpreter fallback
+    /// when the table was built for the bytecode engine — a static
+    /// property of (model, engine), decided once per (class, state,
+    /// event) rather than re-checked per signal.
+    pub bc_fallback_slots: usize,
     /// The scheduler seed (echoed for metric sinks).
     pub seed: u64,
     /// Final simulation time.
@@ -470,6 +482,7 @@ pub fn cmd_run_full(
     let policy = xtuml_exec::SchedPolicy::seeded(opts.seed).with_shards(shards);
     let mut sim = xtuml_exec::ShardedSimulation::with_policy(&domain, policy);
     sim.set_engine(opts.engine);
+    sim.set_trace_mode(opts.trace);
     // Like the X0015 shard fallback, a lowering fallback is a property
     // of the model alone, so it is reported once up front rather than
     // per dispatch (the per-dispatch cost shows up as `bc_fallbacks`
@@ -640,6 +653,7 @@ pub fn cmd_run_full(
         timing,
         shards,
         bc_fallback_reasons: reason_counts.into_iter().collect(),
+        bc_fallback_slots: sim.bc_fallback_slots(),
         seed: opts.seed,
         now: sim.now(),
         dispatches: sim.trace().dispatch_count() as u64,
@@ -676,6 +690,11 @@ pub fn cmd_stats(
                 out.now, out.dispatches, out.seed, out.shards
             );
             s.push_str(&m.render_human());
+            let _ = writeln!(
+                s,
+                "bc fallback slots (static, decided once per class/state/event): {}",
+                out.bc_fallback_slots
+            );
             s.push_str("bc fallback reasons:\n");
             if out.bc_fallback_reasons.is_empty() {
                 s.push_str("  (none)\n");
@@ -715,6 +734,7 @@ pub fn cmd_stats(
                 })
                 .collect();
             let _ = writeln!(s, "  \"bc_fallback_reasons\": {{{}}},", reasons.join(", "));
+            let _ = writeln!(s, "  \"bc_fallback_slots\": {},", out.bc_fallback_slots);
             let _ = write!(s, "  \"metrics\": ");
             let body = m.to_json();
             let mut lines = body.lines();

@@ -48,6 +48,8 @@ fn disk_models_are_byte_identical_across_engines() {
                         jobs,
                         shards: Some(shards),
                         engine,
+                        // Differential legs must compare full traces.
+                        trace: xtuml_exec::TraceMode::Full,
                     };
                     let bc = cmd_run_with(&model, &stim, opts(Engine::Bc))
                         .unwrap_or_else(|e| panic!("{name}: bc run failed: {e}"));
